@@ -1,0 +1,93 @@
+/// E10 — ablation of the ℓmax *range* permitted by Theorem 2.1: any uniform
+/// ℓmax ∈ [log₂Δ + 15, c₂·log n] yields O(log n) stabilization. We sweep the
+/// whole range (and slightly past its lower edge) to show the cost of larger
+/// caps: stabilization time grows with ℓmax since the final climb to ℓmax is
+/// linear in it, while the bound's *shape* stays logarithmic in n.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/exp/families.hpp"
+#include "src/exp/runner.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+namespace {
+
+using namespace beepmis;
+
+support::SampleSet run_with_uniform_lmax(std::size_t n, std::int32_t lmax,
+                                         std::uint64_t seeds) {
+  support::SampleSet out;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    support::Rng grng(21 + s);
+    const graph::Graph g =
+        exp::make_family(exp::Family::ErdosRenyiAvg8, n, grng);
+    auto algo = std::make_unique<core::SelfStabMis>(
+        g, core::LmaxVector(g.vertex_count(), lmax), core::Knowledge::Custom);
+    auto* a = algo.get();
+    beep::Simulation sim(g, std::move(algo), 400 + s);
+    support::Rng irng(500 + s);
+    core::apply_init(*a, core::InitPolicy::UniformRandom, irng);
+    sim.run_until(
+        [&](const beep::Simulation&) { return a->is_stabilized(); },
+        exp::default_round_budget(n) * 4);
+    out.add(static_cast<double>(sim.round()));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E10: ablation of the lmax range (Thm 2.1 allows [log2(D)+15, c2 log n])",
+      "any lmax in the permitted range stabilizes in O(log n); larger caps "
+      "cost proportionally more rounds");
+
+  constexpr std::size_t kN = 1024;
+  constexpr std::uint64_t kSeeds = 15;
+
+  support::Rng probe_rng(21);
+  const graph::Graph probe =
+      exp::make_family(exp::Family::ErdosRenyiAvg8, kN, probe_rng);
+  const std::int32_t logd = core::ceil_log2(probe.max_degree());
+  const std::int32_t logn = core::ceil_log2(kN);
+
+  struct Config {
+    std::string label;
+    std::int32_t lmax;
+  };
+  const Config configs[] = {
+      {"log2(D)+4 (below Thm range)", logd + 4},
+      {"log2(D)+15 (range lower edge)", logd + 15},
+      {"2*log2(D)+15", 2 * logd + 15},
+      {"4*log2(D)+15", 4 * logd + 15},
+      {"1*log2(n)+15", logn + 15},
+      {"2*log2(n)+15", 2 * logn + 15},
+      {"4*log2(n)+15 (range upper end)", 4 * logn + 15},
+  };
+
+  support::Table t({"uniform lmax policy", "lmax", "median rounds", "p95",
+                    "median / lmax"});
+  for (const auto& cfg : configs) {
+    const auto rounds = run_with_uniform_lmax(kN, cfg.lmax, kSeeds);
+    t.row()
+        .cell(cfg.label)
+        .cell(static_cast<std::int64_t>(cfg.lmax))
+        .cell(rounds.median(), 1)
+        .cell(rounds.quantile(0.95), 1)
+        .cell(rounds.median() / cfg.lmax, 2);
+  }
+  std::cout << t.str();
+  std::printf(
+      "\nreading: time scales close to linearly with lmax (stable vertices "
+      "must climb to it),\nso the cheapest valid choice is the lower edge "
+      "log2(D)+15 — exactly what Thm 2.1 recommends.\n");
+  return 0;
+}

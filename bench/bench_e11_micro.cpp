@@ -1,0 +1,139 @@
+/// E11 — micro-benchmarks of the simulator and the algorithms: round
+/// throughput (node·rounds/s), per-component costs (decide, feedback, OR
+/// aggregation, stabilization detector), and graph construction. These are
+/// engineering numbers for the simulator substrate, not paper claims.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/beep/network.hpp"
+#include "src/core/fast_engine.hpp"
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/observers.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+#include "src/exp/families.hpp"
+#include "src/graph/generators.hpp"
+
+namespace {
+
+using namespace beepmis;
+
+graph::Graph make_er(std::size_t n) {
+  support::Rng rng(1);
+  return graph::make_erdos_renyi_avg_degree(n, 8.0, rng);
+}
+
+void BM_SimulationRound_Algo1(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  auto algo = std::make_unique<core::SelfStabMis>(
+      g, core::lmax_global_delta(g));
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 3);
+  support::Rng irng(5);
+  core::apply_init(*a, core::InitPolicy::UniformRandom, irng);
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulationRound_Algo1)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_SimulationRound_Algo2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  auto algo = std::make_unique<core::SelfStabMisTwoChannel>(
+      g, core::lmax_one_hop(g));
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 3);
+  support::Rng irng(5);
+  core::apply_init(*a, core::InitPolicy::UniformRandom, irng);
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulationRound_Algo2)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_StabilizationDetector(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  core::SelfStabMis a(g, core::lmax_global_delta(g));
+  support::Rng irng(5);
+  core::apply_init(a, core::InitPolicy::UniformRandom, irng);
+  for (auto _ : state) benchmark::DoNotOptimize(a.is_stabilized());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StabilizationDetector)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_AnalysisSnapshot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  core::SelfStabMis a(g, core::lmax_global_delta(g));
+  support::Rng irng(5);
+  core::apply_init(a, core::InitPolicy::UniformRandom, irng);
+  for (auto _ : state) benchmark::DoNotOptimize(core::analysis_snapshot(a));
+}
+BENCHMARK(BM_AnalysisSnapshot)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_FullStabilizationRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto algo = std::make_unique<core::SelfStabMis>(
+        g, core::lmax_global_delta(g));
+    auto* a = algo.get();
+    beep::Simulation sim(g, std::move(algo), ++seed);
+    support::Rng irng(seed);
+    core::apply_init(*a, core::InitPolicy::UniformRandom, irng);
+    sim.run_until(
+        [&](const beep::Simulation&) { return a->is_stabilized(); }, 100000);
+    benchmark::DoNotOptimize(sim.round());
+  }
+}
+BENCHMARK(BM_FullStabilizationRun)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_FullStabilizationRun_FastEngine(benchmark::State& state) {
+  // Same workload as BM_FullStabilizationRun, on the settled-set-skipping
+  // engine (equivalence is proven in test_fast_engine.cpp; this measures
+  // what the optimization buys).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  const auto lmax = core::lmax_global_delta(g);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    core::FastMisEngine fast(g, lmax, ++seed);
+    support::Rng irng(seed);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto span = static_cast<std::uint64_t>(2 * lmax[v] + 1);
+      fast.set_level(v,
+                     static_cast<std::int32_t>(irng.below(span)) - lmax[v]);
+    }
+    fast.run_to_stabilization(100000);
+    benchmark::DoNotOptimize(fast.round());
+  }
+}
+BENCHMARK(BM_FullStabilizationRun_FastEngine)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_GraphGeneration_ER(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::make_erdos_renyi_avg_degree(n, 8.0, rng));
+}
+BENCHMARK(BM_GraphGeneration_ER)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_RngBernoulliPow2(benchmark::State& state) {
+  support::Rng rng(3);
+  unsigned k = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.bernoulli_pow2(k));
+    k = k % 20 + 1;
+  }
+}
+BENCHMARK(BM_RngBernoulliPow2);
+
+}  // namespace

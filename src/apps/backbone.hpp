@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace beepmis::apps {
+
+/// Connected dominating set (routing backbone) via MIS + connectors — the
+/// classic wireless-backbone construction (Wan–Alzoubi–Frieder style): the
+/// MIS members are the dominators (an MIS is a dominating set), then
+/// connector vertices are greedily added to join dominators that are 2 or 3
+/// hops apart, yielding a connected backbone of size O(|MIS|) on unit-disk
+/// graphs.
+///
+/// Division of labor mirrors practice: the *election* of dominators runs
+/// fully distributed in the beeping model (the paper's self-stabilizing
+/// MIS); the connector selection here is a deterministic post-processing
+/// pass (an omniscient helper, like all our verifiers) — a faithful
+/// distributed connector protocol would need messages beyond beeps.
+struct BackboneResult {
+  std::vector<bool> members;   ///< backbone = dominators + connectors
+  std::size_t dominators = 0;  ///< |MIS|
+  std::size_t connectors = 0;
+  std::uint64_t rounds = 0;    ///< beeping rounds used by the MIS
+};
+
+/// Builds the backbone. Requires a connected graph (aborts otherwise,
+/// since a connected dominating set cannot exist). Returns std::nullopt if
+/// the MIS did not stabilize within `max_rounds`.
+std::optional<BackboneResult> backbone_via_selfstab_mis(
+    const graph::Graph& g, std::uint64_t seed, std::uint64_t max_rounds);
+
+/// Validates: members form a dominating set whose induced subgraph is
+/// connected (for n >= 1).
+bool is_connected_dominating_set(const graph::Graph& g,
+                                 const std::vector<bool>& members);
+
+}  // namespace beepmis::apps

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace beepmis::apps {
+
+/// (Δ+1)-coloring computed *through* the self-stabilizing beeping MIS —
+/// Luby's classic reduction, and one of the downstream uses the paper's
+/// introduction motivates ("routing and clustering", greedy colouring in
+/// JSX's original paper).
+///
+/// Reduction: build the conflict graph G ⊗ K_{Δ+1} on vertex set
+/// V × {0..Δ}, with edges
+///   {(v,i),(v,j)}  for i ≠ j          (a vertex holds at most one color)
+///   {(v,i),(u,i)}  for {u,v} ∈ E      (adjacent vertices clash on a color)
+/// Any MIS of the conflict graph selects exactly one (v, color(v)) pair per
+/// vertex, and the induced coloring is proper. Running the self-stabilizing
+/// MIS on the conflict graph therefore yields a *self-stabilizing*
+/// (Δ+1)-coloring in the beeping model (each physical node simulates its
+/// Δ+1 color-slot nodes).
+struct ColoringResult {
+  std::vector<std::uint32_t> colors;  ///< color of each vertex, in [0, Δ]
+  std::uint64_t rounds = 0;           ///< beeping rounds used by the MIS
+  std::uint32_t colors_used = 0;      ///< distinct colors in the result
+};
+
+/// Runs the reduction. Returns std::nullopt only if the underlying MIS did
+/// not stabilize within `max_rounds` (practically impossible with sane
+/// budgets). Complexity: the conflict graph has n·(Δ+1) vertices.
+std::optional<ColoringResult> color_via_selfstab_mis(
+    const graph::Graph& g, std::uint64_t seed, std::uint64_t max_rounds);
+
+/// Validates a proper coloring: adjacent vertices differ, every color < k.
+bool is_proper_coloring(const graph::Graph& g,
+                        const std::vector<std::uint32_t>& colors,
+                        std::uint32_t k);
+
+/// Builds the conflict graph of the reduction (exposed for tests).
+graph::Graph make_coloring_conflict_graph(const graph::Graph& g);
+
+}  // namespace beepmis::apps

@@ -1,0 +1,112 @@
+#include "src/apps/iterated_coloring.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::apps {
+
+IteratedJsxColoring::IteratedJsxColoring(const graph::Graph& g,
+                                         std::uint32_t epoch_length)
+    : graph_(&g), epoch_length_(epoch_length) {
+  BEEPMIS_CHECK(epoch_length_ >= 4 && epoch_length_ % 2 == 0,
+                "epoch length must be even and >= 4");
+  const std::size_t n = g.vertex_count();
+  colored_.assign(n, 0);
+  color_.assign(n, 0);
+  exponent_.assign(n, 1);
+  joined_.assign(n, 0);
+  suppressed_.assign(n, 0);
+  heard_in_a_.assign(n, 0);
+}
+
+void IteratedJsxColoring::decide_beeps(beep::Round round,
+                                       std::span<support::Rng> rngs,
+                                       std::span<beep::ChannelMask> send) {
+  const auto epoch = static_cast<std::uint32_t>(round / epoch_length_);
+  const std::uint64_t offset = round % epoch_length_;
+  const bool compete_round = (offset % 2) == 0;
+  const std::size_t n = colored_.size();
+
+  if (offset == 0) {
+    // Epoch boundary: everyone still uncoloured re-enters the competition
+    // with a fresh JSX state.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (colored_[v]) continue;
+      exponent_[v] = 1;
+      joined_[v] = 0;
+      suppressed_[v] = 0;
+      heard_in_a_[v] = 0;
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    bool beep = false;
+    if (compete_round) {
+      if (!colored_[v] && !suppressed_[v])
+        beep = rngs[v].bernoulli_pow2(exponent_[v]);
+    } else {
+      // Notify: this epoch's winners (and fresh joiners) suppress their
+      // neighborhood for the rest of the epoch.
+      beep = joined_[v] || (colored_[v] && color_[v] == epoch);
+    }
+    send[v] = beep ? beep::kChannel1 : 0;
+  }
+}
+
+void IteratedJsxColoring::receive_feedback(
+    beep::Round round, std::span<const beep::ChannelMask> sent,
+    std::span<const beep::ChannelMask> heard) {
+  const auto epoch = static_cast<std::uint32_t>(round / epoch_length_);
+  const bool compete_round = (round % 2) == 0;
+  const std::size_t n = colored_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    const bool b = sent[v] & beep::kChannel1;
+    const bool h = heard[v] & beep::kChannel1;
+    if (compete_round) {
+      if (!colored_[v] && !suppressed_[v]) {
+        if (b && !h) joined_[v] = 1;
+        heard_in_a_[v] = h ? 1 : 0;
+      }
+      continue;
+    }
+    // Notify round.
+    if (joined_[v]) {
+      colored_[v] = 1;
+      color_[v] = epoch;
+      joined_[v] = 0;
+    } else if (!colored_[v] && !suppressed_[v]) {
+      if (h) {
+        suppressed_[v] = 1;  // a neighbor took this epoch's colour
+      } else if (heard_in_a_[v]) {
+        exponent_[v] = std::min<std::uint32_t>(exponent_[v] + 1, 62);
+      } else {
+        exponent_[v] = std::max<std::uint32_t>(exponent_[v] - 1, 1);
+      }
+    }
+  }
+}
+
+void IteratedJsxColoring::corrupt_node(graph::VertexId v, support::Rng& rng) {
+  colored_[v] = static_cast<std::uint8_t>(rng.below(2));
+  color_[v] = static_cast<std::uint32_t>(rng.below(32));
+  exponent_[v] = static_cast<std::uint32_t>(1 + rng.below(20));
+  joined_[v] = static_cast<std::uint8_t>(rng.below(2));
+  suppressed_[v] = static_cast<std::uint8_t>(rng.below(2));
+  heard_in_a_[v] = static_cast<std::uint8_t>(rng.below(2));
+}
+
+bool IteratedJsxColoring::complete() const {
+  return std::all_of(colored_.begin(), colored_.end(),
+                     [](std::uint8_t c) { return c != 0; });
+}
+
+std::uint32_t IteratedJsxColoring::colors_used() const {
+  std::set<std::uint32_t> used;
+  for (std::size_t v = 0; v < colored_.size(); ++v)
+    if (colored_[v]) used.insert(color_[v]);
+  return static_cast<std::uint32_t>(used.size());
+}
+
+}  // namespace beepmis::apps

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/beep/algorithm.hpp"
+#include "src/graph/graph.hpp"
+
+namespace beepmis::apps {
+
+/// Greedy colouring by iterated MIS in the beeping model — the companion
+/// problem of the JSX paper ("…maximal independent set selection and greedy
+/// colouring"). Colour c is the set of vertices that join the MIS of the
+/// still-uncoloured subgraph during epoch c.
+///
+/// Time is divided into fixed-length epochs of `epoch_length` rounds, each
+/// running the JSX competition (two-round phases) among uncoloured
+/// vertices; a vertex that wins (beeps alone in a compete round) takes the
+/// current epoch index as its colour, announces it in notify rounds for the
+/// rest of the epoch, and is silent afterwards. Coloured vertices never
+/// compete again.
+///
+/// Correctness is structural: within an epoch winners form an independent
+/// set (a winner's neighbors heard it and stop competing), and vertices in
+/// different epochs never share a colour, so the colouring is always
+/// proper. Completeness (everyone coloured) needs epochs long enough for
+/// local competition to resolve — Θ(log n)-ish; the epoch length is the
+/// knowledge this algorithm consumes, mirroring JSX's synchronous-start
+/// assumptions. Colour count is at most Δ+1-ish in practice but, unlike
+/// the conflict-graph reduction (coloring.hpp), not hard-capped.
+class IteratedJsxColoring : public beep::BeepingAlgorithm {
+ public:
+  IteratedJsxColoring(const graph::Graph& g, std::uint32_t epoch_length);
+
+  // --- BeepingAlgorithm ------------------------------------------------
+  std::string name() const override { return "iterated-jsx-coloring"; }
+  unsigned channels() const override { return 1; }
+  std::size_t node_count() const override { return colored_.size(); }
+  void decide_beeps(beep::Round round, std::span<support::Rng> rngs,
+                    std::span<beep::ChannelMask> send) override;
+  void receive_feedback(beep::Round round,
+                        std::span<const beep::ChannelMask> sent,
+                        std::span<const beep::ChannelMask> heard) override;
+  void corrupt_node(graph::VertexId v, support::Rng& rng) override;
+
+  // --- Results -----------------------------------------------------------
+  bool colored(graph::VertexId v) const { return colored_[v]; }
+  std::uint32_t color(graph::VertexId v) const { return color_[v]; }
+  /// True when every vertex holds a colour.
+  bool complete() const;
+  /// Colours as a dense vector (only meaningful once complete()).
+  std::vector<std::uint32_t> colors() const { return color_; }
+  std::uint32_t colors_used() const;
+  std::uint32_t epoch_length() const noexcept { return epoch_length_; }
+
+ private:
+  const graph::Graph* graph_;
+  std::uint32_t epoch_length_;  // rounds per epoch (even)
+  std::vector<std::uint8_t> colored_;
+  std::vector<std::uint32_t> color_;
+  std::vector<std::uint32_t> exponent_;   // JSX beep-probability exponent
+  std::vector<std::uint8_t> joined_;      // won a compete round this epoch
+  std::vector<std::uint8_t> suppressed_;  // lost this epoch (heard a winner)
+  std::vector<std::uint8_t> heard_in_a_;
+};
+
+}  // namespace beepmis::apps

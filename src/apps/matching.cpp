@@ -1,0 +1,45 @@
+#include "src/apps/matching.hpp"
+
+#include "src/exp/runner.hpp"
+#include "src/graph/properties.hpp"
+#include "src/support/check.hpp"
+
+namespace beepmis::apps {
+
+std::optional<MatchingResult> matching_via_selfstab_mis(
+    const graph::Graph& g, std::uint64_t seed, std::uint64_t max_rounds) {
+  MatchingResult out;
+  if (g.edge_count() == 0) return out;  // the empty matching is maximal
+  const auto edges = graph::edge_list(g);
+  const graph::Graph lg = graph::line_graph(g);
+
+  auto sim = exp::make_selfstab_sim(lg, exp::Variant::GlobalDelta, seed);
+  support::Rng init_rng = support::Rng(seed).derive_stream(0xfadedcafe);
+  exp::apply_init(*sim, core::InitPolicy::UniformRandom, init_rng);
+  const exp::RunResult r = exp::run_to_stabilization(*sim, max_rounds);
+  if (!r.stabilized) return std::nullopt;
+
+  const auto members = exp::selfstab_mis_members(*sim);
+  for (graph::VertexId e = 0; e < edges.size(); ++e)
+    if (members[e]) out.edges.push_back(edges[e]);
+  out.rounds = r.rounds;
+  return out;
+}
+
+bool is_maximal_matching(
+    const graph::Graph& g,
+    const std::vector<std::pair<graph::VertexId, graph::VertexId>>& edges) {
+  std::vector<bool> used(g.vertex_count(), false);
+  for (const auto& [u, v] : edges) {
+    BEEPMIS_CHECK(g.has_edge(u, v), "matched pair is not an edge");
+    if (used[u] || used[v]) return false;  // shares an endpoint
+    used[u] = used[v] = true;
+  }
+  // Maximality: every edge has a used endpoint.
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+    for (graph::VertexId u : g.neighbors(v))
+      if (v < u && !used[v] && !used[u]) return false;
+  return true;
+}
+
+}  // namespace beepmis::apps

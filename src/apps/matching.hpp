@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace beepmis::apps {
+
+/// Maximal matching via the self-stabilizing beeping MIS on the line graph:
+/// a matching of G is an independent set of L(G), and a *maximal* matching
+/// is exactly an MIS of L(G). Each physical edge is simulated by one of its
+/// endpoints, so the construction runs in the beeping model with constant
+/// per-node overhead on bounded-degree graphs.
+struct MatchingResult {
+  /// Matched edges as (u, v) pairs with u < v.
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> edges;
+  std::uint64_t rounds = 0;  ///< beeping rounds used by the MIS on L(G)
+};
+
+/// Computes a maximal matching. Returns std::nullopt if the MIS did not
+/// stabilize within `max_rounds`.
+std::optional<MatchingResult> matching_via_selfstab_mis(
+    const graph::Graph& g, std::uint64_t seed, std::uint64_t max_rounds);
+
+/// Validates: no two matched edges share an endpoint (matching), and no
+/// unmatched edge has both endpoints free (maximality).
+bool is_maximal_matching(
+    const graph::Graph& g,
+    const std::vector<std::pair<graph::VertexId, graph::VertexId>>& edges);
+
+}  // namespace beepmis::apps

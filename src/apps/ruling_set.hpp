@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace beepmis::apps {
+
+/// (α, β)-ruling sets computed through the self-stabilizing beeping MIS.
+///
+/// An (α, β)-ruling set R ⊆ V has pairwise distance ≥ α between members and
+/// every vertex within distance β of some member. An MIS is exactly a
+/// (2, 1)-ruling set; an MIS of the graph power G^{α-1} is an
+/// (α, α-1)-ruling set of G — the standard reduction, used in clustering
+/// (e.g. electing well-separated clusterheads in a sensor field).
+struct RulingSetResult {
+  std::vector<bool> members;
+  std::uint64_t rounds = 0;  ///< beeping rounds used by the MIS on G^{α-1}
+};
+
+/// Computes an (alpha, alpha-1)-ruling set (alpha >= 2) by running the
+/// self-stabilizing MIS on G^{alpha-1}. Returns std::nullopt if the MIS did
+/// not stabilize within `max_rounds`.
+std::optional<RulingSetResult> ruling_set_via_selfstab_mis(
+    const graph::Graph& g, std::size_t alpha, std::uint64_t seed,
+    std::uint64_t max_rounds);
+
+/// Checks the (alpha, beta)-ruling property by BFS (test-sized graphs).
+bool is_ruling_set(const graph::Graph& g, const std::vector<bool>& members,
+                   std::size_t alpha, std::size_t beta);
+
+}  // namespace beepmis::apps

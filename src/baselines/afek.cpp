@@ -1,0 +1,132 @@
+#include "src/baselines/afek.hpp"
+
+#include <algorithm>
+
+#include "src/mis/verifier.hpp"
+#include "src/support/check.hpp"
+
+namespace beepmis::baselines {
+
+namespace {
+std::uint32_t ceil_log2_sz(std::size_t x) {
+  std::uint32_t b = 0;
+  std::size_t p = 1;
+  while (p < x) {
+    p <<= 1;
+    ++b;
+  }
+  return b;
+}
+}  // namespace
+
+AfekStyleMis::AfekStyleMis(const graph::Graph& g, std::size_t upper_bound_n)
+    : graph_(&g) {
+  BEEPMIS_CHECK(upper_bound_n >= g.vertex_count(),
+                "N must upper-bound the network size");
+  slots_ = ceil_log2_sz(std::max<std::size_t>(upper_bound_n, 2)) + 1;
+  const std::size_t n = g.vertex_count();
+  status_.assign(n, Status::Competing);
+  joined_.assign(n, 0);
+  silent_notify_.assign(n, 0);
+}
+
+void AfekStyleMis::decide_beeps(beep::Round round,
+                                std::span<support::Rng> rngs,
+                                std::span<beep::ChannelMask> send) {
+  const bool compete_round = (round % 2) == 0;
+  const auto slot = static_cast<std::uint32_t>((round / 2) % slots_);
+  const std::size_t n = status_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    // Resolve a pending member-member conflict with a private coin.
+    if (status_[v] == Status::InMis && joined_[v] == 2) {
+      if (rngs[v].bernoulli_pow2(1)) status_[v] = Status::Competing;
+      joined_[v] = 0;
+    }
+    bool beep = false;
+    if (compete_round) {
+      // Exponential ramp: probability 2^{-(T-slot)}, from ~1/N up to 1/2.
+      if (status_[v] == Status::Competing)
+        beep = rngs[v].bernoulli_pow2(slots_ - slot);
+    } else {
+      beep = status_[v] == Status::InMis || joined_[v] != 0;
+    }
+    send[v] = beep ? beep::kChannel1 : 0;
+  }
+}
+
+void AfekStyleMis::receive_feedback(beep::Round round,
+                                    std::span<const beep::ChannelMask> sent,
+                                    std::span<const beep::ChannelMask> heard) {
+  const bool compete_round = (round % 2) == 0;
+  const std::size_t n = status_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    const bool b = sent[v] & beep::kChannel1;
+    const bool h = heard[v] & beep::kChannel1;
+    if (compete_round) {
+      if (status_[v] == Status::Competing && b && !h) joined_[v] = 1;
+      continue;
+    }
+    // Notify round.
+    switch (status_[v]) {
+      case Status::Competing:
+        if (joined_[v]) {
+          // Announced candidacy this round; a simultaneous notify beep means
+          // an adjacent member or co-joiner exists — abort the join.
+          status_[v] = h ? Status::Out : Status::InMis;
+          joined_[v] = 0;
+          silent_notify_[v] = 0;
+        } else if (h) {
+          status_[v] = Status::Out;
+          silent_notify_[v] = 0;
+        }
+        break;
+      case Status::InMis:
+        // Hearing another notify beep means an adjacent member — possible
+        // only after corruption or a join race. Anonymity forbids a
+        // deterministic tie-break, so mark the conflict; the next decide
+        // step resolves it with the node's own coin (demote w.p. 1/2,
+        // so conflicts die out in expected O(1) notify rounds).
+        joined_[v] = h ? 2 : 0;
+        (void)b;
+        break;
+      case Status::Out:
+        joined_[v] = 0;  // clears corruption-injected stale join flags
+        if (h) {
+          silent_notify_[v] = 0;
+        } else if (++silent_notify_[v] >= slots_) {
+          // A full phase of silent notify rounds: the dominating member is
+          // gone (fault) — rejoin the competition.
+          status_[v] = Status::Competing;
+          silent_notify_[v] = 0;
+        }
+        break;
+    }
+  }
+}
+
+void AfekStyleMis::corrupt_node(graph::VertexId v, support::Rng& rng) {
+  status_[v] = static_cast<Status>(rng.below(3));
+  joined_[v] = static_cast<std::uint8_t>(rng.below(2));
+  silent_notify_[v] =
+      static_cast<std::uint32_t>(rng.below(static_cast<std::uint64_t>(slots_) + 1));
+}
+
+std::vector<bool> AfekStyleMis::mis_members() const {
+  std::vector<bool> in(status_.size());
+  for (std::size_t v = 0; v < status_.size(); ++v)
+    in[v] = status_[v] == Status::InMis;
+  return in;
+}
+
+bool AfekStyleMis::is_stabilized() const {
+  if (std::any_of(status_.begin(), status_.end(),
+                  [](Status s) { return s == Status::Competing; }))
+    return false;
+  if (std::any_of(joined_.begin(), joined_.end(),
+                  [](std::uint8_t j) { return j != 0; }))
+    return false;
+  const auto in = mis_members();
+  return mis::is_mis(*graph_, in);
+}
+
+}  // namespace beepmis::baselines

@@ -1,0 +1,85 @@
+#include "src/baselines/afek_noknow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace beepmis::baselines {
+
+AfekNoKnowledgeMis::AfekNoKnowledgeMis(const graph::Graph& g) : graph_(&g) {
+  status_.assign(g.vertex_count(), Status::Active);
+  joined_.assign(g.vertex_count(), 0);
+}
+
+AfekNoKnowledgeMis::SlotPosition AfekNoKnowledgeMis::slot_position(
+    beep::Round round) {
+  const std::uint64_t slot_index = round / 2;
+  // Find phase i with T(i-1) <= slot_index < T(i), T(i) = i(i+1)/2.
+  // Closed-form via sqrt, then fix up boundary rounding.
+  std::uint64_t i = static_cast<std::uint64_t>(
+      (std::sqrt(8.0 * static_cast<double>(slot_index) + 1.0) - 1.0) / 2.0);
+  auto tri = [](std::uint64_t k) { return k * (k + 1) / 2; };
+  while (tri(i + 1) <= slot_index) ++i;
+  while (i > 0 && tri(i) > slot_index) --i;
+  return SlotPosition{i + 1, slot_index - tri(i), round % 2 == 0};
+}
+
+void AfekNoKnowledgeMis::decide_beeps(beep::Round round,
+                                      std::span<support::Rng> rngs,
+                                      std::span<beep::ChannelMask> send) {
+  const SlotPosition pos = slot_position(round);
+  const std::size_t n = status_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    bool beep = false;
+    if (pos.compete_round) {
+      if (status_[v] == Status::Active) {
+        // Probability 2^{slot - phase}, ramping up to 1/2 within the phase.
+        const auto k = static_cast<unsigned>(pos.phase - pos.slot);
+        beep = rngs[v].bernoulli_pow2(k);
+      }
+    } else {
+      beep = status_[v] == Status::InMis || joined_[v] != 0;
+    }
+    send[v] = beep ? beep::kChannel1 : 0;
+  }
+}
+
+void AfekNoKnowledgeMis::receive_feedback(
+    beep::Round round, std::span<const beep::ChannelMask> sent,
+    std::span<const beep::ChannelMask> heard) {
+  const SlotPosition pos = slot_position(round);
+  const std::size_t n = status_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    const bool b = sent[v] & beep::kChannel1;
+    const bool h = heard[v] & beep::kChannel1;
+    if (pos.compete_round) {
+      if (status_[v] == Status::Active && b && !h) joined_[v] = 1;
+    } else {
+      if (joined_[v]) {
+        // Simultaneous notify beep = adjacent co-joiner: abort, stay active.
+        status_[v] = h ? Status::Active : Status::InMis;
+        joined_[v] = 0;
+      } else if (status_[v] == Status::Active && h) {
+        status_[v] = Status::Out;
+      }
+    }
+  }
+}
+
+void AfekNoKnowledgeMis::corrupt_node(graph::VertexId v, support::Rng& rng) {
+  status_[v] = static_cast<Status>(rng.below(3));
+  joined_[v] = static_cast<std::uint8_t>(rng.below(2));
+}
+
+bool AfekNoKnowledgeMis::terminated() const {
+  return std::none_of(status_.begin(), status_.end(),
+                      [](Status s) { return s == Status::Active; });
+}
+
+std::vector<bool> AfekNoKnowledgeMis::mis_members() const {
+  std::vector<bool> in(status_.size());
+  for (std::size_t v = 0; v < status_.size(); ++v)
+    in[v] = status_[v] == Status::InMis;
+  return in;
+}
+
+}  // namespace beepmis::baselines

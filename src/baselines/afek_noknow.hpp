@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/beep/algorithm.hpp"
+#include "src/graph/graph.hpp"
+
+namespace beepmis::baselines {
+
+/// The *topology-knowledge-free* beeping MIS algorithm in the style of Afek
+/// et al. [1] (the O(log²n) construction the paper's introduction contrasts
+/// with JSX): no vertex knows anything about the graph — safety against
+/// unknown degrees comes from an escalating probability ramp.
+///
+/// Structure (documented adaptation of [1]): competition proceeds in phases
+/// i = 1, 2, …; phase i has i slots; in slot j ∈ {0..i-1} of phase i an
+/// active node beeps with probability 2^{j-i} (ramping from 2^{-i} up to
+/// 1/2). Each slot is two rounds: compete then notify. A node that beeps
+/// alone in a compete round joins the MIS; MIS members beep in every notify
+/// round; active nodes hearing a notify beep retire. Once the phase index
+/// reaches ~log₂(degree), a node's ramp is long enough for the standard
+/// analysis, giving Σ_{i≤O(log n)} O(i) = O(log²n) rounds w.h.p.
+///
+/// Like JSX it is NOT self-stabilizing: it needs the synchronous clean start
+/// (phase/slot structure is derived from the global round number) and
+/// retired nodes are silent forever.
+class AfekNoKnowledgeMis : public beep::BeepingAlgorithm {
+ public:
+  enum class Status : std::uint8_t { Active, InMis, Out };
+
+  explicit AfekNoKnowledgeMis(const graph::Graph& g);
+
+  // --- BeepingAlgorithm ------------------------------------------------
+  std::string name() const override { return "afek-noknow"; }
+  unsigned channels() const override { return 1; }
+  std::size_t node_count() const override { return status_.size(); }
+  void decide_beeps(beep::Round round, std::span<support::Rng> rngs,
+                    std::span<beep::ChannelMask> send) override;
+  void receive_feedback(beep::Round round,
+                        std::span<const beep::ChannelMask> sent,
+                        std::span<const beep::ChannelMask> heard) override;
+  void corrupt_node(graph::VertexId v, support::Rng& rng) override;
+
+  // --- State access ------------------------------------------------------
+  Status status(graph::VertexId v) const { return status_[v]; }
+  bool terminated() const;
+  std::vector<bool> mis_members() const;
+
+  /// Maps a global round to (phase >= 1, slot in [0, phase), compete?).
+  /// Exposed for tests.
+  struct SlotPosition {
+    std::uint64_t phase;
+    std::uint64_t slot;
+    bool compete_round;
+  };
+  static SlotPosition slot_position(beep::Round round);
+
+ private:
+  const graph::Graph* graph_;
+  std::vector<Status> status_;
+  std::vector<std::uint8_t> joined_;
+};
+
+}  // namespace beepmis::baselines

@@ -1,0 +1,99 @@
+#include "src/baselines/jsx.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::baselines {
+
+JsxMis::JsxMis(const graph::Graph& g) : graph_(&g) {
+  const std::size_t n = g.vertex_count();
+  status_.assign(n, Status::Active);
+  exponent_.assign(n, 1);  // p = 1/2
+  offset_.assign(n, 0);
+  joined_.assign(n, 0);
+  heard_in_a_.assign(n, 0);
+}
+
+void JsxMis::decide_beeps(beep::Round round, std::span<support::Rng> rngs,
+                          std::span<beep::ChannelMask> send) {
+  const std::size_t n = status_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    const bool compete_round = ((round + offset_[v]) % 2) == 0;
+    bool beep = false;
+    if (compete_round) {
+      if (status_[v] == Status::Active)
+        beep = rngs[v].bernoulli_pow2(exponent_[v]);
+    } else {
+      beep = joined_[v] != 0;
+    }
+    send[v] = beep ? beep::kChannel1 : 0;
+  }
+}
+
+void JsxMis::receive_feedback(beep::Round round,
+                              std::span<const beep::ChannelMask> sent,
+                              std::span<const beep::ChannelMask> heard) {
+  const std::size_t n = status_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    const bool compete_round = ((round + offset_[v]) % 2) == 0;
+    const bool b = sent[v] & beep::kChannel1;
+    const bool h = heard[v] & beep::kChannel1;
+    if (compete_round) {
+      if (status_[v] == Status::Active && b && !h) joined_[v] = 1;
+      heard_in_a_[v] = h ? 1 : 0;
+    } else {
+      if (joined_[v]) {
+        status_[v] = Status::InMis;
+        joined_[v] = 0;
+      } else if (status_[v] == Status::Active) {
+        if (h) {
+          status_[v] = Status::Out;
+        } else {
+          // End-of-phase probability adaptation.
+          if (heard_in_a_[v])
+            exponent_[v] = std::min<std::uint32_t>(exponent_[v] + 1, 62);
+          else
+            exponent_[v] = std::max<std::uint32_t>(exponent_[v] - 1, 1);
+        }
+      }
+    }
+  }
+}
+
+void JsxMis::corrupt_node(graph::VertexId v, support::Rng& rng) {
+  // Scramble all RAM: status, probability exponent, phase parity, and the
+  // intra-phase scratch flags.
+  status_[v] = static_cast<Status>(rng.below(3));
+  exponent_[v] = static_cast<std::uint32_t>(1 + rng.below(20));
+  offset_[v] = static_cast<std::uint8_t>(rng.below(2));
+  joined_[v] = static_cast<std::uint8_t>(rng.below(2));
+  heard_in_a_[v] = static_cast<std::uint8_t>(rng.below(2));
+}
+
+void JsxMis::set_exponent(graph::VertexId v, std::uint32_t k) {
+  BEEPMIS_CHECK(k >= 1 && k <= 62, "exponent outside [1, 62]");
+  exponent_[v] = k;
+}
+
+bool JsxMis::terminated() const {
+  return std::none_of(status_.begin(), status_.end(),
+                      [](Status s) { return s == Status::Active; });
+}
+
+std::vector<bool> JsxMis::mis_members() const {
+  std::vector<bool> in(status_.size());
+  for (std::size_t v = 0; v < status_.size(); ++v)
+    in[v] = status_[v] == Status::InMis;
+  return in;
+}
+
+void JsxMis::reset_clean() {
+  std::fill(status_.begin(), status_.end(), Status::Active);
+  std::fill(exponent_.begin(), exponent_.end(), 1u);
+  std::fill(offset_.begin(), offset_.end(), 0);
+  std::fill(joined_.begin(), joined_.end(), 0);
+  std::fill(heard_in_a_.begin(), heard_in_a_.end(), 0);
+}
+
+}  // namespace beepmis::baselines

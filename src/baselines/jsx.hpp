@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/beep/algorithm.hpp"
+#include "src/graph/graph.hpp"
+
+namespace beepmis::baselines {
+
+/// The original (non-self-stabilizing) beeping MIS algorithm of Jeavons,
+/// Scott and Xu [17], exactly as recapped in Section 2 of the paper.
+///
+/// Time is divided into phases of two rounds:
+///   round A (compete): an active node beeps with probability p(v); if it
+///     beeped and heard nothing it marks itself joined.
+///   round B (notify): joined nodes beep and become in_mis; active nodes
+///     hearing a notify beep become out. At the end of the phase active
+///     nodes adapt: p ← p/2 if a compete beep was heard, else
+///     p ← min(2p, 1/2). Initially p = 1/2.
+/// in_mis / out nodes stay silent forever.
+///
+/// The paper identifies the two reasons this is NOT self-stabilizing:
+/// (1) the analysis requires the clean initial state p = 1/2 / everyone
+/// active, and (2) phases require all vertices to agree on round parity.
+/// Both are RAM here: corrupt_node scrambles the probability exponent, the
+/// status, and a per-node phase-offset bit (a node with offset 1 swaps the
+/// roles of rounds A and B). Experiment E5 uses exactly these corruptions to
+/// demonstrate the failure modes that motivate the paper's algorithm.
+class JsxMis : public beep::BeepingAlgorithm {
+ public:
+  enum class Status : std::uint8_t { Active, InMis, Out };
+
+  explicit JsxMis(const graph::Graph& g);
+
+  // --- BeepingAlgorithm ------------------------------------------------
+  std::string name() const override { return "jsx"; }
+  unsigned channels() const override { return 1; }
+  std::size_t node_count() const override { return status_.size(); }
+  void decide_beeps(beep::Round round, std::span<support::Rng> rngs,
+                    std::span<beep::ChannelMask> send) override;
+  void receive_feedback(beep::Round round,
+                        std::span<const beep::ChannelMask> sent,
+                        std::span<const beep::ChannelMask> heard) override;
+  void corrupt_node(graph::VertexId v, support::Rng& rng) override;
+
+  // --- State access ------------------------------------------------------
+  Status status(graph::VertexId v) const { return status_[v]; }
+  void set_status(graph::VertexId v, Status s) { status_[v] = s; }
+  /// Beep-probability exponent k: p(v) = 2^-k, k >= 1.
+  std::uint32_t exponent(graph::VertexId v) const { return exponent_[v]; }
+  void set_exponent(graph::VertexId v, std::uint32_t k);
+  /// Phase-offset bit; 1 swaps compete/notify round roles for this node.
+  void set_phase_offset(graph::VertexId v, bool off) { offset_[v] = off; }
+
+  /// True when no node is active. NOTE: termination is NOT validity — from
+  /// corrupted states the algorithm can terminate on a non-MIS, or never
+  /// terminate; callers must check mis_members() against the verifier.
+  bool terminated() const;
+  std::vector<bool> mis_members() const;
+
+  /// Resets every node to the clean initial state (active, p = 1/2,
+  /// offset 0) — what the JSX analysis assumes.
+  void reset_clean();
+
+ private:
+  const graph::Graph* graph_;
+  std::vector<Status> status_;
+  std::vector<std::uint32_t> exponent_;
+  std::vector<std::uint8_t> offset_;
+  std::vector<std::uint8_t> joined_;      // beeped alone in compete round
+  std::vector<std::uint8_t> heard_in_a_;  // compete-round beep was heard
+};
+
+}  // namespace beepmis::baselines

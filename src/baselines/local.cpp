@@ -1,0 +1,27 @@
+#include "src/baselines/local.hpp"
+
+#include "src/support/check.hpp"
+
+namespace beepmis::local {
+
+LocalSimulation::LocalSimulation(const graph::Graph& g,
+                                 std::unique_ptr<LocalAlgorithm> algo,
+                                 std::uint64_t seed)
+    : graph_(&g), algo_(std::move(algo)) {
+  BEEPMIS_CHECK(algo_ != nullptr, "simulation needs an algorithm");
+  BEEPMIS_CHECK(algo_->node_count() == g.vertex_count(),
+                "algorithm sized for a different graph");
+  const support::Rng master(seed);
+  rngs_.reserve(g.vertex_count());
+  for (std::size_t v = 0; v < g.vertex_count(); ++v)
+    rngs_.push_back(master.derive_stream(v));
+  sent_.assign(g.vertex_count(), 0);
+}
+
+void LocalSimulation::step() {
+  algo_->compose(round_, rngs_, sent_);
+  algo_->deliver(round_, sent_);
+  ++round_;
+}
+
+}  // namespace beepmis::local

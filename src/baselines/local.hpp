@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/support/rng.hpp"
+
+namespace beepmis::local {
+
+/// One broadcast message: a single 64-bit word per node per round. This is
+/// deliberately a *much* stronger model than beeping — each node delivers a
+/// full word to every neighbor and receives every neighbor's word
+/// individually. It exists to host message-passing comparators (Luby) that
+/// the paper's introduction contrasts the beeping model with.
+using Message = std::uint64_t;
+
+/// A synchronous message-passing (broadcast-LOCAL) algorithm, stored
+/// struct-of-arrays like beep::BeepingAlgorithm.
+class LocalAlgorithm {
+ public:
+  virtual ~LocalAlgorithm() = default;
+  virtual std::string name() const = 0;
+  virtual std::size_t node_count() const = 0;
+  /// Phase 1: out[v] = the word v broadcasts this round.
+  virtual void compose(std::uint64_t round, std::span<support::Rng> rngs,
+                       std::span<Message> out) = 0;
+  /// Phase 2: for node v, inbox(v) spans the words of v's neighbors in
+  /// graph-neighbor order.
+  virtual void deliver(std::uint64_t round,
+                       std::span<const Message> all_sent) = 0;
+};
+
+/// Synchronous engine for the broadcast-LOCAL model. Mirrors
+/// beep::Simulation: deterministic per-node RNG streams from a master seed.
+class LocalSimulation {
+ public:
+  LocalSimulation(const graph::Graph& g, std::unique_ptr<LocalAlgorithm> algo,
+                  std::uint64_t seed);
+
+  const graph::Graph& graph() const noexcept { return *graph_; }
+  LocalAlgorithm& algorithm() noexcept { return *algo_; }
+  std::uint64_t round() const noexcept { return round_; }
+
+  void step();
+
+ private:
+  const graph::Graph* graph_;
+  std::unique_ptr<LocalAlgorithm> algo_;
+  std::vector<support::Rng> rngs_;
+  std::vector<Message> sent_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace beepmis::local

@@ -1,0 +1,74 @@
+#include "src/baselines/luby.hpp"
+
+#include <algorithm>
+
+namespace beepmis::baselines {
+
+namespace {
+// Round-B message payloads.
+constexpr local::Message kMsgMember = 1;
+constexpr local::Message kMsgNotMember = 0;
+// Round-A sentinel for inactive nodes: never a strict minimum.
+constexpr local::Message kInactive = ~local::Message{0};
+}  // namespace
+
+LubyMis::LubyMis(const graph::Graph& g) : graph_(&g) {
+  status_.assign(g.vertex_count(), Status::Active);
+  value_.assign(g.vertex_count(), 0);
+}
+
+void LubyMis::compose(std::uint64_t round, std::span<support::Rng> rngs,
+                      std::span<local::Message> out) {
+  const bool draw_round = (round % 2) == 0;
+  for (std::size_t v = 0; v < status_.size(); ++v) {
+    if (draw_round) {
+      // Reserve the max value as the inactive sentinel; a draw of exactly
+      // kInactive is remapped (bias 2^-64, irrelevant).
+      value_[v] = status_[v] == Status::Active
+                      ? std::min(rngs[v](), kInactive - 1)
+                      : kInactive;
+      out[v] = value_[v];
+    } else {
+      out[v] = status_[v] == Status::InMis ? kMsgMember : kMsgNotMember;
+    }
+  }
+}
+
+void LubyMis::deliver(std::uint64_t round,
+                      std::span<const local::Message> all_sent) {
+  const bool draw_round = (round % 2) == 0;
+  for (graph::VertexId v = 0; v < status_.size(); ++v) {
+    if (status_[v] != Status::Active) continue;
+    if (draw_round) {
+      bool strict_min = true;
+      for (graph::VertexId u : graph_->neighbors(v)) {
+        if (all_sent[u] <= value_[v]) {
+          strict_min = false;
+          break;
+        }
+      }
+      if (strict_min) status_[v] = Status::InMis;
+    } else {
+      for (graph::VertexId u : graph_->neighbors(v)) {
+        if (all_sent[u] == kMsgMember) {
+          status_[v] = Status::Out;
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool LubyMis::terminated() const {
+  return std::none_of(status_.begin(), status_.end(),
+                      [](Status s) { return s == Status::Active; });
+}
+
+std::vector<bool> LubyMis::mis_members() const {
+  std::vector<bool> in(status_.size());
+  for (std::size_t v = 0; v < status_.size(); ++v)
+    in[v] = status_[v] == Status::InMis;
+  return in;
+}
+
+}  // namespace beepmis::baselines

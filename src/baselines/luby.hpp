@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/baselines/local.hpp"
+#include "src/graph/graph.hpp"
+
+namespace beepmis::baselines {
+
+/// Luby's randomized MIS algorithm (1986) in the broadcast-LOCAL model — the
+/// classic message-passing reference point the paper's introduction cites.
+///
+/// One Luby phase = 2 LOCAL rounds:
+///   round A: every active node draws a uniform 64-bit value and broadcasts
+///     it; a node whose value is a strict minimum among its active
+///     neighborhood joins the MIS.
+///   round B: nodes broadcast their membership; active neighbors of members
+///     become out.
+/// Terminates when no node is active; O(log n) phases w.h.p.
+///
+/// Not self-stabilizing (and not meant to be): it is the clean-start
+/// reference for MIS size and round counts in experiment E6.
+class LubyMis : public local::LocalAlgorithm {
+ public:
+  enum class Status : std::uint8_t { Active, InMis, Out };
+
+  explicit LubyMis(const graph::Graph& g);
+
+  std::string name() const override { return "luby"; }
+  std::size_t node_count() const override { return status_.size(); }
+  void compose(std::uint64_t round, std::span<support::Rng> rngs,
+               std::span<local::Message> out) override;
+  void deliver(std::uint64_t round,
+               std::span<const local::Message> all_sent) override;
+
+  Status status(graph::VertexId v) const { return status_[v]; }
+  bool terminated() const;
+  std::vector<bool> mis_members() const;
+
+ private:
+  const graph::Graph* graph_;
+  std::vector<Status> status_;
+  std::vector<std::uint64_t> value_;  // round-A draw
+};
+
+}  // namespace beepmis::baselines

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "src/beep/types.hpp"
+#include "src/graph/graph.hpp"
+#include "src/support/rng.hpp"
+
+namespace beepmis::beep {
+
+/// A distributed algorithm in the (full-duplex, collision-detecting) beeping
+/// model, stored struct-of-arrays: one object holds the local state of every
+/// node of the run.
+///
+/// The model's weakness is enforced by this interface: per round the engine
+/// asks each node for a beep decision (decide_beeps) and then tells it, per
+/// channel, only *whether at least one neighbor beeped* (receive_feedback).
+/// A node never sees neighbor identities, counts, or payloads. Implementations
+/// must compute node v's decision from node v's state alone — the SoA layout
+/// is a performance choice, not a license for global coordination.
+///
+/// The fault model (Sec 1.1 of the paper) maps onto this class as: the
+/// mutable arrays are RAM (corruptible via corrupt_node), everything set at
+/// construction (graph knowledge such as lmax, the code itself) is ROM.
+class BeepingAlgorithm {
+ public:
+  virtual ~BeepingAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of beeping channels the algorithm uses (1 or 2).
+  virtual unsigned channels() const = 0;
+
+  virtual std::size_t node_count() const = 0;
+
+  /// Phase 1 of round `round`: fill send[v] with node v's channel mask.
+  /// rngs[v] is node v's private randomness stream.
+  virtual void decide_beeps(Round round, std::span<support::Rng> rngs,
+                            std::span<ChannelMask> send) = 0;
+
+  /// Phase 2: heard[v] has bit k set iff some *neighbor* of v beeped on
+  /// channel k (full-duplex: v's own beep is not echoed back). sent[v] is
+  /// v's own decision from phase 1. Update node states.
+  virtual void receive_feedback(Round round, std::span<const ChannelMask> sent,
+                                std::span<const ChannelMask> heard) = 0;
+
+  /// Transient fault: overwrite node v's RAM with arbitrary (uniformly
+  /// random, in-representable-range) values. Self-stabilization must hold
+  /// from any reachable-by-corruption state.
+  virtual void corrupt_node(graph::VertexId v, support::Rng& rng) = 0;
+};
+
+}  // namespace beepmis::beep

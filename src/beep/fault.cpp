@@ -1,0 +1,40 @@
+#include "src/beep/fault.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::beep {
+
+std::vector<graph::VertexId> FaultInjector::corrupt_random(Simulation& sim,
+                                                           std::size_t count,
+                                                           support::Rng& rng) {
+  const std::size_t n = sim.graph().vertex_count();
+  BEEPMIS_CHECK(count <= n, "cannot corrupt more nodes than exist");
+  // Floyd's algorithm for a uniform k-subset without building [0, n).
+  std::vector<graph::VertexId> chosen;
+  chosen.reserve(count);
+  for (std::size_t j = n - count; j < n; ++j) {
+    const auto t = static_cast<graph::VertexId>(rng.below(j + 1));
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end())
+      chosen.push_back(t);
+    else
+      chosen.push_back(static_cast<graph::VertexId>(j));
+  }
+  corrupt_nodes(sim, chosen, rng);
+  return chosen;
+}
+
+void FaultInjector::corrupt_nodes(Simulation& sim,
+                                  std::span<const graph::VertexId> nodes,
+                                  support::Rng& rng) {
+  for (graph::VertexId v : nodes) sim.algorithm().corrupt_node(v, rng);
+}
+
+void FaultInjector::corrupt_all(Simulation& sim, support::Rng& rng) {
+  const std::size_t n = sim.graph().vertex_count();
+  for (graph::VertexId v = 0; v < n; ++v)
+    sim.algorithm().corrupt_node(v, rng);
+}
+
+}  // namespace beepmis::beep

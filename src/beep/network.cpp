@@ -1,0 +1,101 @@
+#include "src/beep/network.hpp"
+
+#include <bit>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::beep {
+
+Simulation::Simulation(const graph::Graph& g,
+                       std::unique_ptr<BeepingAlgorithm> algo,
+                       std::uint64_t seed, ChannelNoise noise, Duplex duplex)
+    : graph_(&g), algo_(std::move(algo)), noise_(noise), duplex_(duplex) {
+  BEEPMIS_CHECK(noise_.false_positive >= 0.0 && noise_.false_positive <= 1.0,
+                "false-positive rate outside [0,1]");
+  BEEPMIS_CHECK(noise_.false_negative >= 0.0 && noise_.false_negative <= 1.0,
+                "false-negative rate outside [0,1]");
+  BEEPMIS_CHECK(algo_ != nullptr, "simulation needs an algorithm");
+  BEEPMIS_CHECK(algo_->node_count() == g.vertex_count(),
+                "algorithm sized for a different graph");
+  const unsigned ch = algo_->channels();
+  BEEPMIS_CHECK(ch >= 1 && ch <= kMaxChannels, "unsupported channel count");
+  const std::size_t n = g.vertex_count();
+  const support::Rng master(seed);
+  rngs_.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) rngs_.push_back(master.derive_stream(v));
+  send_.assign(n, 0);
+  heard_.assign(n, 0);
+  beep_totals_.assign(ch, 0);
+  noise_rng_ = master.derive_stream(0x401533);
+}
+
+void Simulation::step() {
+  const std::size_t n = graph_->vertex_count();
+  const auto channel_bits =
+      static_cast<ChannelMask>((1u << algo_->channels()) - 1u);
+
+  algo_->decide_beeps(round_, rngs_, send_);
+
+  for (std::size_t v = 0; v < n; ++v) {
+    BEEPMIS_CHECK((send_[v] & ~channel_bits) == 0,
+                  "algorithm beeped on a channel it does not have");
+    for (unsigned ch = 0; ch < beep_totals_.size(); ++ch)
+      beep_totals_[ch] += (send_[v] >> ch) & 1u;
+  }
+
+  // Full-duplex collision-detection semantics: heard[v] is the OR of the
+  // masks of v's neighbors; v's own beep is not included.
+  for (graph::VertexId v = 0; v < n; ++v) {
+    ChannelMask h = 0;
+    for (graph::VertexId u : graph_->neighbors(v)) h |= send_[u];
+    heard_[v] = h;
+  }
+
+  // Half-duplex ablation: a transmitting radio cannot listen — it learns
+  // nothing in a round in which it beeped on any channel.
+  if (duplex_ == Duplex::Half) {
+    for (graph::VertexId v = 0; v < n; ++v)
+      if (send_[v]) heard_[v] = 0;
+  }
+
+  // Receiver-side noise (extension; inactive in the paper's model). Flips
+  // are per (node, channel): a false positive injects a phantom beep, a
+  // false negative drops a real one.
+  if (noise_.enabled()) {
+    for (graph::VertexId v = 0; v < n; ++v) {
+      for (unsigned ch = 0; ch < algo_->channels(); ++ch) {
+        const ChannelMask bit = static_cast<ChannelMask>(1u << ch);
+        if (heard_[v] & bit) {
+          if (noise_rng_.bernoulli(noise_.false_negative)) heard_[v] &= ~bit;
+        } else {
+          if (noise_rng_.bernoulli(noise_.false_positive)) heard_[v] |= bit;
+        }
+      }
+    }
+  }
+
+  algo_->receive_feedback(round_, send_, heard_);
+  ++round_;
+}
+
+Round Simulation::run_until(const std::function<bool(const Simulation&)>& stop,
+                            Round max_rounds) {
+  while (round_ < max_rounds && !stop(*this)) step();
+  return round_;
+}
+
+void Simulation::run(Round rounds) {
+  for (Round i = 0; i < rounds; ++i) step();
+}
+
+std::uint64_t Simulation::total_beeps(unsigned ch) const {
+  BEEPMIS_CHECK(ch < beep_totals_.size(), "channel out of range");
+  return beep_totals_[ch];
+}
+
+support::Rng& Simulation::node_rng(graph::VertexId v) {
+  BEEPMIS_CHECK(v < rngs_.size(), "node out of range");
+  return rngs_[v];
+}
+
+}  // namespace beepmis::beep

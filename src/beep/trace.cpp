@@ -1,0 +1,23 @@
+#include "src/beep/trace.hpp"
+
+namespace beepmis::beep {
+
+void Trace::observe(const Simulation& sim) {
+  RoundRecord rec;
+  rec.round = sim.round();
+  for (ChannelMask m : sim.last_sent()) {
+    rec.beeps_ch1 += m & kChannel1 ? 1 : 0;
+    rec.beeps_ch2 += m & kChannel2 ? 1 : 0;
+  }
+  for (ChannelMask m : sim.last_heard()) rec.heard_any += m ? 1 : 0;
+  records_.push_back(rec);
+}
+
+std::uint64_t Trace::total_beeps() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : records_)
+    total += static_cast<std::uint64_t>(r.beeps_ch1) + r.beeps_ch2;
+  return total;
+}
+
+}  // namespace beepmis::beep

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/beep/network.hpp"
+#include "src/beep/types.hpp"
+
+namespace beepmis::beep {
+
+/// Per-round observation of a simulation, recorded by Trace.
+struct RoundRecord {
+  Round round = 0;
+  std::uint32_t beeps_ch1 = 0;  ///< nodes that beeped on channel 1
+  std::uint32_t beeps_ch2 = 0;  ///< nodes that beeped on channel 2
+  std::uint32_t heard_any = 0;  ///< nodes that heard at least one beep
+};
+
+/// Opt-in per-round telemetry. Call observe(sim) after each Simulation::step.
+/// Costs O(n) per observation; big sweeps skip it, lemma/communication
+/// experiments use it.
+class Trace {
+ public:
+  void observe(const Simulation& sim);
+
+  const std::vector<RoundRecord>& records() const noexcept { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Sum of ch1+ch2 beeps over all recorded rounds.
+  std::uint64_t total_beeps() const noexcept;
+
+ private:
+  std::vector<RoundRecord> records_;
+};
+
+}  // namespace beepmis::beep

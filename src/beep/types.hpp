@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+
+namespace beepmis::beep {
+
+/// Synchronous round index, starting at 0.
+using Round = std::uint64_t;
+
+/// Per-node, per-round channel bitmask. The full-duplex beeping model with
+/// collision detection carries exactly one bit per channel per round:
+/// "at least one neighbor beeped on this channel". Bit k = channel k.
+using ChannelMask = std::uint8_t;
+
+inline constexpr ChannelMask kChannel1 = 0x1;
+inline constexpr ChannelMask kChannel2 = 0x2;
+inline constexpr unsigned kMaxChannels = 2;
+
+}  // namespace beepmis::beep

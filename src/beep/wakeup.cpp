@@ -1,0 +1,57 @@
+#include "src/beep/wakeup.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::beep {
+
+StaggeredWakeup::StaggeredWakeup(std::unique_ptr<BeepingAlgorithm> inner,
+                                 std::vector<Round> wake_rounds)
+    : inner_(std::move(inner)), wake_rounds_(std::move(wake_rounds)) {
+  BEEPMIS_CHECK(inner_ != nullptr, "wake-up decorator needs an algorithm");
+  BEEPMIS_CHECK(wake_rounds_.size() == inner_->node_count(),
+                "one wake round per node required");
+  scratch_heard_.assign(inner_->node_count(), 0);
+}
+
+std::string StaggeredWakeup::name() const {
+  return "staggered[" + inner_->name() + "]";
+}
+
+void StaggeredWakeup::decide_beeps(Round round, std::span<support::Rng> rngs,
+                                   std::span<ChannelMask> send) {
+  // A node waking *this* round starts from an uncontrolled state.
+  for (graph::VertexId v = 0; v < wake_rounds_.size(); ++v)
+    if (wake_rounds_[v] == round) inner_->corrupt_node(v, rngs[v]);
+
+  inner_->decide_beeps(round, rngs, send);
+
+  // Sleeping radios emit nothing.
+  for (graph::VertexId v = 0; v < wake_rounds_.size(); ++v)
+    if (!awake(v, round)) send[v] = 0;
+}
+
+void StaggeredWakeup::receive_feedback(Round round,
+                                       std::span<const ChannelMask> sent,
+                                       std::span<const ChannelMask> heard) {
+  // Sleeping radios hear nothing; their internal state evolution before the
+  // wake round is irrelevant (it is overwritten at wake), but feeding zeros
+  // keeps the inner algorithm's invariants (e.g. level ranges) intact.
+  std::copy(heard.begin(), heard.end(), scratch_heard_.begin());
+  for (graph::VertexId v = 0; v < wake_rounds_.size(); ++v)
+    if (!awake(v, round)) scratch_heard_[v] = 0;
+  inner_->receive_feedback(round, sent, scratch_heard_);
+}
+
+void StaggeredWakeup::corrupt_node(graph::VertexId v, support::Rng& rng) {
+  inner_->corrupt_node(v, rng);
+}
+
+Round StaggeredWakeup::last_wake_round() const {
+  Round last = 0;
+  for (Round r : wake_rounds_) last = std::max(last, r);
+  return last;
+}
+
+}  // namespace beepmis::beep

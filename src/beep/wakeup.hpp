@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/beep/algorithm.hpp"
+
+namespace beepmis::beep {
+
+/// Adversarial wake-up decorator — the execution model of Afek et al.'s
+/// polynomial lower bound, which the paper's related-work section explains
+/// is *not* applicable to its own setting. This decorator makes the
+/// difference executable: each node sleeps until its (adversary-chosen)
+/// wake round. A sleeping node's radio is off — it emits nothing and hears
+/// nothing — and at its wake round its RAM is set to an arbitrary value
+/// (nodes begin execution in an uncontrolled state).
+///
+/// For a self-stabilizing algorithm this is no harder than a transient
+/// fault at the last wake-up: stabilization restarts from an arbitrary
+/// configuration at max(wake rounds). Experiment E18 measures exactly that.
+class StaggeredWakeup : public BeepingAlgorithm {
+ public:
+  /// wake_rounds[v] = first round in which node v participates.
+  StaggeredWakeup(std::unique_ptr<BeepingAlgorithm> inner,
+                  std::vector<Round> wake_rounds);
+
+  std::string name() const override;
+  unsigned channels() const override { return inner_->channels(); }
+  std::size_t node_count() const override { return inner_->node_count(); }
+  void decide_beeps(Round round, std::span<support::Rng> rngs,
+                    std::span<ChannelMask> send) override;
+  void receive_feedback(Round round, std::span<const ChannelMask> sent,
+                        std::span<const ChannelMask> heard) override;
+  void corrupt_node(graph::VertexId v, support::Rng& rng) override;
+
+  BeepingAlgorithm& inner() noexcept { return *inner_; }
+  bool awake(graph::VertexId v, Round round) const {
+    return round >= wake_rounds_[v];
+  }
+  Round last_wake_round() const;
+
+ private:
+  std::unique_ptr<BeepingAlgorithm> inner_;
+  std::vector<Round> wake_rounds_;
+  std::vector<ChannelMask> scratch_heard_;
+};
+
+}  // namespace beepmis::beep

@@ -1,0 +1,280 @@
+#include "src/core/fast_engine.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::core {
+
+FastMisEngine::FastMisEngine(const graph::Graph& g, LmaxVector lmax,
+                             std::uint64_t seed)
+    : graph_(&g), lmax_(std::move(lmax)) {
+  BEEPMIS_CHECK(lmax_.size() == g.vertex_count(), "lmax sized for wrong graph");
+  for (std::int32_t m : lmax_)
+    BEEPMIS_CHECK(m >= 2, "lmax must be at least 2 for every vertex");
+  const std::size_t n = g.vertex_count();
+  levels_.assign(n, 1);
+  // Identical stream derivation to beep::Simulation — this is what makes
+  // the engines coin-for-coin compatible.
+  const support::Rng master(seed);
+  rngs_.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) rngs_.push_back(master.derive_stream(v));
+  settled_.assign(n, 0);
+  beep_.assign(n, 0);
+  refresh_settlement();
+}
+
+bool FastMisEngine::member_settled(graph::VertexId v) const {
+  if (levels_[v] != -lmax_[v]) return false;
+  for (graph::VertexId u : graph_->neighbors(v))
+    if (levels_[u] != lmax_[u]) return false;
+  return true;
+}
+
+void FastMisEngine::refresh_settlement() const {
+  dirty_ = false;
+  const std::size_t n = levels_.size();
+  std::fill(settled_.begin(), settled_.end(), 0);
+  for (graph::VertexId v = 0; v < n; ++v)
+    if (member_settled(v)) settled_[v] = 1;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (settled_[v] || levels_[v] != lmax_[v]) continue;
+    for (graph::VertexId u : graph_->neighbors(v))
+      if (settled_[u] == 1) {
+        settled_[v] = 2;
+        break;
+      }
+  }
+  active_.clear();
+  for (graph::VertexId v = 0; v < n; ++v)
+    if (!settled_[v]) active_.push_back(v);
+  active_count_ = active_.size();
+}
+
+void FastMisEngine::set_level(graph::VertexId v, std::int32_t level) {
+  BEEPMIS_CHECK(v < levels_.size(), "vertex out of range");
+  BEEPMIS_CHECK(level >= -lmax_[v] && level <= lmax_[v],
+                "level outside [-lmax, lmax]");
+  levels_[v] = level;
+  dirty_ = true;
+}
+
+void FastMisEngine::step() {
+  if (dirty_) refresh_settlement();
+  // Phase 1: beep decisions for active vertices (settled members beep too,
+  // but their contribution is looked up from settled_ instead of stored).
+  for (graph::VertexId v : active_) {
+    const std::int32_t l = levels_[v];
+    bool beep = false;
+    if (l < lmax_[v])
+      beep = l <= 0 || rngs_[v].bernoulli_pow2(static_cast<unsigned>(l));
+    beep_[v] = beep ? 1 : 0;
+  }
+
+  // Phase 2: feedback + update, active vertices only. A neighbor beeps iff
+  // it is an active beeper or a settled member (settled dominated vertices
+  // are silent: p(lmax) = 0).
+  for (graph::VertexId v : active_) {
+    bool heard = false;
+    for (graph::VertexId u : graph_->neighbors(v)) {
+      if (settled_[u] == 1 || (settled_[u] == 0 && beep_[u])) {
+        heard = true;
+        break;
+      }
+    }
+    std::int32_t& l = levels_[v];
+    if (heard)
+      l = std::min(l + 1, lmax_[v]);
+    else if (beep_[v])
+      l = -lmax_[v];
+    else
+      l = std::max(l - 1, 1);
+  }
+
+  // Phase 3: settle newly frozen vertices. Members first (their neighbors
+  // are at their caps by definition), then a dominated sweep — run every
+  // round, because an active vertex can climb back to its cap next to an
+  // *old* settled member and must still leave the active set.
+  bool any_settled = false;
+  for (graph::VertexId v : active_) {
+    if (levels_[v] == -lmax_[v] && member_settled(v)) {
+      settled_[v] = 1;
+      any_settled = true;
+    }
+  }
+  for (graph::VertexId v : active_) {
+    if (settled_[v] || levels_[v] != lmax_[v]) continue;
+    for (graph::VertexId u : graph_->neighbors(v)) {
+      if (settled_[u] == 1) {
+        settled_[v] = 2;
+        any_settled = true;
+        break;
+      }
+    }
+  }
+  if (any_settled) {
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&](graph::VertexId v) {
+                                   return settled_[v] != 0;
+                                 }),
+                  active_.end());
+    active_count_ = active_.size();
+  }
+  ++round_;
+}
+
+std::uint64_t FastMisEngine::run_to_stabilization(std::uint64_t max_rounds) {
+  if (dirty_) refresh_settlement();
+  const std::uint64_t start = round_;
+  while (active_count_ > 0 && round_ - start < max_rounds) step();
+  return round_ - start;
+}
+
+std::vector<bool> FastMisEngine::mis_members() const {
+  std::vector<bool> in(levels_.size(), false);
+  for (graph::VertexId v = 0; v < levels_.size(); ++v)
+    in[v] = member_settled(v);
+  return in;
+}
+
+}  // namespace beepmis::core
+
+namespace beepmis::core {
+
+FastMisEngine2::FastMisEngine2(const graph::Graph& g, LmaxVector lmax,
+                               std::uint64_t seed)
+    : graph_(&g), lmax_(std::move(lmax)) {
+  BEEPMIS_CHECK(lmax_.size() == g.vertex_count(), "lmax sized for wrong graph");
+  for (std::int32_t m : lmax_)
+    BEEPMIS_CHECK(m >= 2, "lmax must be at least 2 for every vertex");
+  const std::size_t n = g.vertex_count();
+  levels_.assign(n, 1);
+  const support::Rng master(seed);
+  rngs_.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) rngs_.push_back(master.derive_stream(v));
+  settled_.assign(n, 0);
+  beep_.assign(n, 0);
+  refresh_settlement();
+}
+
+bool FastMisEngine2::member_settled(graph::VertexId v) const {
+  if (levels_[v] != 0) return false;
+  for (graph::VertexId u : graph_->neighbors(v))
+    if (levels_[u] != lmax_[u]) return false;
+  return true;
+}
+
+void FastMisEngine2::refresh_settlement() const {
+  dirty_ = false;
+  const std::size_t n = levels_.size();
+  std::fill(settled_.begin(), settled_.end(), 0);
+  for (graph::VertexId v = 0; v < n; ++v)
+    if (member_settled(v)) settled_[v] = 1;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (settled_[v] || levels_[v] != lmax_[v]) continue;
+    for (graph::VertexId u : graph_->neighbors(v))
+      if (settled_[u] == 1) {
+        settled_[v] = 2;
+        break;
+      }
+  }
+  active_.clear();
+  for (graph::VertexId v = 0; v < n; ++v)
+    if (!settled_[v]) active_.push_back(v);
+  active_count_ = active_.size();
+}
+
+void FastMisEngine2::set_level(graph::VertexId v, std::int32_t level) {
+  BEEPMIS_CHECK(v < levels_.size(), "vertex out of range");
+  BEEPMIS_CHECK(level >= 0 && level <= lmax_[v], "level outside [0, lmax]");
+  levels_[v] = level;
+  dirty_ = true;
+}
+
+void FastMisEngine2::step() {
+  if (dirty_) refresh_settlement();
+  // Phase 1: decisions for active vertices. ℓ = 0 beeps channel 2 with
+  // certainty (no coin); 0 < ℓ < ℓmax draws the channel-1 coin; ℓmax silent.
+  for (graph::VertexId v : active_) {
+    const std::int32_t l = levels_[v];
+    std::uint8_t b = 0;
+    if (l == 0) {
+      b = 2;
+    } else if (l < lmax_[v] &&
+               rngs_[v].bernoulli_pow2(static_cast<unsigned>(l))) {
+      b = 1;
+    }
+    beep_[v] = b;
+  }
+
+  // Phase 2: feedback + Algorithm 2's update. Settled members count as
+  // channel-2 beepers; settled dominated vertices are silent.
+  for (graph::VertexId v : active_) {
+    bool heard1 = false, heard2 = false;
+    for (graph::VertexId u : graph_->neighbors(v)) {
+      if (settled_[u] == 1) {
+        heard2 = true;
+      } else if (settled_[u] == 0) {
+        if (beep_[u] == 2)
+          heard2 = true;
+        else if (beep_[u] == 1)
+          heard1 = true;
+      }
+      if (heard2) break;
+    }
+    std::int32_t& l = levels_[v];
+    if (heard2)
+      l = lmax_[v];
+    else if (heard1)
+      l = std::min(l + 1, lmax_[v]);
+    else if (beep_[v] == 1)
+      l = 0;
+    else if (beep_[v] != 2)
+      l = std::max(l - 1, 1);
+    // else: member that heard nothing — stays 0.
+  }
+
+  // Phase 3: settlement sweeps (members, then dominated — every round).
+  bool any_settled = false;
+  for (graph::VertexId v : active_) {
+    if (levels_[v] == 0 && member_settled(v)) {
+      settled_[v] = 1;
+      any_settled = true;
+    }
+  }
+  for (graph::VertexId v : active_) {
+    if (settled_[v] || levels_[v] != lmax_[v]) continue;
+    for (graph::VertexId u : graph_->neighbors(v)) {
+      if (settled_[u] == 1) {
+        settled_[v] = 2;
+        any_settled = true;
+        break;
+      }
+    }
+  }
+  if (any_settled) {
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&](graph::VertexId v) {
+                                   return settled_[v] != 0;
+                                 }),
+                  active_.end());
+    active_count_ = active_.size();
+  }
+  ++round_;
+}
+
+std::uint64_t FastMisEngine2::run_to_stabilization(std::uint64_t max_rounds) {
+  if (dirty_) refresh_settlement();
+  const std::uint64_t start = round_;
+  while (active_count_ > 0 && round_ - start < max_rounds) step();
+  return round_ - start;
+}
+
+std::vector<bool> FastMisEngine2::mis_members() const {
+  std::vector<bool> in(levels_.size(), false);
+  for (graph::VertexId v = 0; v < levels_.size(); ++v)
+    in[v] = member_settled(v);
+  return in;
+}
+
+}  // namespace beepmis::core

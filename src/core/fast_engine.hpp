@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/lmax.hpp"
+#include "src/graph/graph.hpp"
+#include "src/support/rng.hpp"
+
+namespace beepmis::core {
+
+/// Optimized executor for Algorithm 1 that exploits the key structural fact
+/// of the stable states: a *settled* vertex — an MIS member with all
+/// neighbors capped, or a capped vertex dominated by such a member — never
+/// changes again and never consumes randomness (its beep probability is 0
+/// or 1). The engine keeps an active set and processes only unsettled
+/// vertices and their audible members, so late rounds (when most of the
+/// graph has locked in) cost O(active) instead of O(n + m).
+///
+/// Guaranteed equivalent to running SelfStabMis under beep::Simulation with
+/// the same seed: per-node RNG streams are derived identically and coins
+/// are drawn in exactly the same cases, so levels agree round-for-round
+/// (tested exhaustively in test_fast_engine.cpp). Use the generic pair for
+/// anything involving faults mid-run or observers; use this for bulk
+/// sweeps.
+class FastMisEngine {
+ public:
+  FastMisEngine(const graph::Graph& g, LmaxVector lmax, std::uint64_t seed);
+
+  std::uint64_t round() const noexcept { return round_; }
+  std::int32_t level(graph::VertexId v) const { return levels_[v]; }
+  std::int32_t lmax(graph::VertexId v) const { return lmax_[v]; }
+
+  /// Sets ℓ(v) (initial-configuration setup). O(1); settlement tracking is
+  /// lazily rebuilt before the next step()/is_stabilized().
+  void set_level(graph::VertexId v, std::int32_t level);
+
+  void step();
+
+  /// Runs until stabilization or `max_rounds` additional rounds; returns
+  /// the number of rounds executed.
+  std::uint64_t run_to_stabilization(std::uint64_t max_rounds);
+
+  bool is_stabilized() const {
+    if (dirty_) refresh_settlement();
+    return active_count_ == 0;
+  }
+  std::vector<bool> mis_members() const;
+  /// Number of currently unsettled vertices (for instrumentation).
+  std::size_t active_count() const noexcept { return active_count_; }
+
+ private:
+  // The settlement bookkeeping is a cache over levels_ (rebuilt lazily
+  // after set_level), hence mutable + const refresh.
+  void refresh_settlement() const;
+  bool member_settled(graph::VertexId v) const;
+
+  const graph::Graph* graph_;
+  LmaxVector lmax_;
+  std::vector<std::int32_t> levels_;
+  std::vector<support::Rng> rngs_;
+  mutable std::vector<std::uint8_t> settled_;  // 0 active, 1 member, 2 dom.
+  mutable std::vector<graph::VertexId> active_;
+  std::vector<std::uint8_t> beep_;  // scratch, indexed by vertex
+  mutable std::size_t active_count_ = 0;
+  std::uint64_t round_ = 0;
+  mutable bool dirty_ = false;
+};
+
+/// The Algorithm 2 counterpart of FastMisEngine: settled vertices are
+/// members at ℓ = 0 with all neighbors capped (their channel-2 beep is
+/// implied) and capped vertices adjacent to settled members. Same
+/// coin-for-coin equivalence guarantee with SelfStabMisTwoChannel under
+/// beep::Simulation (channel-1 coins are drawn exactly when 0 < ℓ < ℓmax).
+class FastMisEngine2 {
+ public:
+  FastMisEngine2(const graph::Graph& g, LmaxVector lmax, std::uint64_t seed);
+
+  std::uint64_t round() const noexcept { return round_; }
+  std::int32_t level(graph::VertexId v) const { return levels_[v]; }
+  std::int32_t lmax(graph::VertexId v) const { return lmax_[v]; }
+  void set_level(graph::VertexId v, std::int32_t level);
+  void step();
+  std::uint64_t run_to_stabilization(std::uint64_t max_rounds);
+  bool is_stabilized() const {
+    if (dirty_) refresh_settlement();
+    return active_count_ == 0;
+  }
+  std::vector<bool> mis_members() const;
+  std::size_t active_count() const noexcept { return active_count_; }
+
+ private:
+  void refresh_settlement() const;
+  bool member_settled(graph::VertexId v) const;
+
+  const graph::Graph* graph_;
+  LmaxVector lmax_;
+  std::vector<std::int32_t> levels_;
+  std::vector<support::Rng> rngs_;
+  mutable std::vector<std::uint8_t> settled_;  // 0 active, 1 member, 2 dom.
+  mutable std::vector<graph::VertexId> active_;
+  std::vector<std::uint8_t> beep_;  // 0 none, 1 ch1, 2 ch2 (active only)
+  mutable std::size_t active_count_ = 0;
+  std::uint64_t round_ = 0;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace beepmis::core

@@ -1,0 +1,110 @@
+#include "src/core/init.hpp"
+
+#include "src/support/check.hpp"
+
+namespace beepmis::core {
+
+std::string init_policy_name(InitPolicy p) {
+  switch (p) {
+    case InitPolicy::Default: return "default";
+    case InitPolicy::UniformRandom: return "uniform-random";
+    case InitPolicy::AllMin: return "all-min";
+    case InitPolicy::AllMax: return "all-max";
+    case InitPolicy::AllOne: return "all-one";
+    case InitPolicy::FakeMis: return "fake-mis";
+    case InitPolicy::HalfCorrupt: return "half-corrupt";
+  }
+  return "?";
+}
+
+const std::vector<InitPolicy>& all_init_policies() {
+  static const std::vector<InitPolicy> all = {
+      InitPolicy::Default,  InitPolicy::UniformRandom, InitPolicy::AllMin,
+      InitPolicy::AllMax,   InitPolicy::AllOne,        InitPolicy::FakeMis,
+      InitPolicy::HalfCorrupt,
+  };
+  return all;
+}
+
+namespace {
+
+/// Builds an intentionally *non-maximal* independent set: greedily pick
+/// every other eligible vertex, then drop half the picks. The remaining set
+/// is independent but leaves undominated vertices — the "looks stable but is
+/// not an MIS" corruption that the self-stabilizing detector must expose.
+std::vector<bool> non_maximal_independent_set(const graph::Graph& g,
+                                              support::Rng& rng) {
+  auto in = mis::random_greedy_mis(g, rng);
+  bool drop = true;
+  for (std::size_t v = 0; v < in.size(); ++v) {
+    if (in[v]) {
+      if (drop) in[v] = false;
+      drop = !drop;
+    }
+  }
+  return in;
+}
+
+template <typename Algo>
+void apply_common(Algo& algo, InitPolicy policy, support::Rng& rng,
+                  std::int32_t mis_level) {
+  const auto n = static_cast<graph::VertexId>(algo.node_count());
+  switch (policy) {
+    case InitPolicy::Default:
+      for (graph::VertexId v = 0; v < n; ++v) algo.set_level(v, 1);
+      break;
+    case InitPolicy::UniformRandom:
+      for (graph::VertexId v = 0; v < n; ++v) algo.corrupt_node(v, rng);
+      break;
+    case InitPolicy::AllMin:
+      for (graph::VertexId v = 0; v < n; ++v) algo.set_level(v, mis_level);
+      break;
+    case InitPolicy::AllMax:
+      for (graph::VertexId v = 0; v < n; ++v) algo.set_level(v, algo.lmax(v));
+      break;
+    case InitPolicy::AllOne:
+      for (graph::VertexId v = 0; v < n; ++v) algo.set_level(v, 1);
+      break;
+    case InitPolicy::FakeMis: {
+      const auto fake = non_maximal_independent_set(algo.graph(), rng);
+      for (graph::VertexId v = 0; v < n; ++v)
+        algo.set_level(v, fake[v] ? mis_level : algo.lmax(v));
+      break;
+    }
+    case InitPolicy::HalfCorrupt:
+      for (graph::VertexId v = 0; v < n; ++v) {
+        algo.set_level(v, 1);
+        if (rng.bernoulli(0.5)) algo.corrupt_node(v, rng);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+void apply_init(SelfStabMis& algo, InitPolicy policy, support::Rng& rng) {
+  // Algorithm 1 encodes MIS membership as ℓ = -ℓmax(v); AllMin/FakeMis need a
+  // per-vertex value, so handle those inline and delegate the rest.
+  const auto n = static_cast<graph::VertexId>(algo.node_count());
+  switch (policy) {
+    case InitPolicy::AllMin:
+      for (graph::VertexId v = 0; v < n; ++v) algo.set_level(v, -algo.lmax(v));
+      break;
+    case InitPolicy::FakeMis: {
+      const auto fake = non_maximal_independent_set(algo.graph(), rng);
+      for (graph::VertexId v = 0; v < n; ++v)
+        algo.set_level(v, fake[v] ? -algo.lmax(v) : algo.lmax(v));
+      break;
+    }
+    default:
+      apply_common(algo, policy, rng, /*mis_level=*/0);
+      break;
+  }
+}
+
+void apply_init(SelfStabMisTwoChannel& algo, InitPolicy policy,
+                support::Rng& rng) {
+  apply_common(algo, policy, rng, /*mis_level=*/0);
+}
+
+}  // namespace beepmis::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+#include "src/mis/verifier.hpp"
+#include "src/support/rng.hpp"
+
+namespace beepmis::core {
+
+/// Initial-configuration policies for self-stabilization experiments.
+///
+/// Self-stabilization quantifies over *all* initial states; these policies
+/// sample/construct the states the analysis identifies as interesting:
+/// uniformly arbitrary RAM, all-claiming-MIS, all-out, and "plausible but
+/// corrupt" configurations that locally look legal.
+enum class InitPolicy {
+  Default,        ///< ℓ = 1 everywhere (the JSX clean start)
+  UniformRandom,  ///< ℓ(v) uniform over its full range — arbitrary RAM
+  AllMin,         ///< every vertex claims MIS membership (ℓ = -ℓmax, or 0 for 2ch)
+  AllMax,         ///< every vertex renounces (ℓ = ℓmax): nobody competes, silence
+  AllOne,         ///< ℓ = 1: everyone competes at probability 1/2
+  FakeMis,        ///< a *non-maximal* independent set encoded as if stable:
+                  ///< members at MIS level, all others at ℓmax; undominated
+                  ///< vertices must detect the silence and recompete
+  HalfCorrupt,    ///< start from Default, corrupt a uniformly random half
+};
+
+std::string init_policy_name(InitPolicy p);
+const std::vector<InitPolicy>& all_init_policies();
+
+/// Applies the policy to an Algorithm 1 instance.
+void apply_init(SelfStabMis& algo, InitPolicy policy, support::Rng& rng);
+/// Applies the policy to an Algorithm 2 instance (MIS level is 0, not -ℓmax).
+void apply_init(SelfStabMisTwoChannel& algo, InitPolicy policy,
+                support::Rng& rng);
+
+}  // namespace beepmis::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace beepmis::core {
+
+/// Per-vertex level cap ℓmax(v): the single piece of topology knowledge
+/// Algorithm 1/2 needs. The three theorems are exactly three choices of this
+/// vector (computed here by an omniscient helper and handed to nodes at
+/// construction time — i.e. stored in ROM, per the fault model).
+using LmaxVector = std::vector<std::int32_t>;
+
+/// Which knowledge regime generated an LmaxVector (for reporting).
+enum class Knowledge {
+  GlobalMaxDegree,   ///< Thm 2.1: ℓmax = ⌈log₂Δ⌉ + c₁, uniform
+  OwnDegree,         ///< Thm 2.2: ℓmax(v) = 2⌈log₂deg(v)⌉ + c₁
+  OneHopMaxDegree,   ///< Cor 2.3: ℓmax(v) = 2⌈log₂deg₂(v)⌉ + c₁
+  Custom,
+};
+
+std::string knowledge_name(Knowledge k);
+
+/// Paper-mandated minimum constants (Thms 2.1/2.2, Cor 2.3).
+inline constexpr std::int32_t kC1GlobalDelta = 15;
+inline constexpr std::int32_t kC1OwnDegree = 30;
+inline constexpr std::int32_t kC1TwoChannel = 15;
+
+/// ⌈log₂ x⌉ for x >= 1; 0 for x == 0 (isolated vertices contribute no
+/// degree term, the constant c₁ alone suffices for them).
+std::int32_t ceil_log2(std::size_t x);
+
+/// Thm 2.1 policy: uniform ℓmax = ⌈log₂Δ⌉ + c1 (requires c1 >= 1; the
+/// theorem's bound needs c1 >= 15, smaller values are allowed for the
+/// ablation experiments).
+LmaxVector lmax_global_delta(const graph::Graph& g,
+                             std::int32_t c1 = kC1GlobalDelta);
+
+/// Thm 2.2 policy: ℓmax(v) = 2⌈log₂deg(v)⌉ + c1 (theorem needs c1 >= 30).
+LmaxVector lmax_own_degree(const graph::Graph& g,
+                           std::int32_t c1 = kC1OwnDegree);
+
+/// Cor 2.3 policy: ℓmax(v) = 2⌈log₂deg₂(v)⌉ + c1 where deg₂ is the max
+/// degree over the closed 1-hop neighborhood (theorem needs c1 >= 15).
+LmaxVector lmax_one_hop(const graph::Graph& g,
+                        std::int32_t c1 = kC1TwoChannel);
+
+}  // namespace beepmis::core

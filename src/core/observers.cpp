@@ -1,0 +1,117 @@
+#include "src/core/observers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace beepmis::core {
+
+double mu(const SelfStabMis& algo, graph::VertexId v) {
+  const auto& g = algo.graph();
+  double m = 1.0;
+  for (graph::VertexId u : g.neighbors(v))
+    m = std::min(m, static_cast<double>(algo.level(u)) /
+                        static_cast<double>(algo.lmax(u)));
+  return m;
+}
+
+double expected_beeping_neighbors(const SelfStabMis& algo,
+                                  graph::VertexId v) {
+  double d = 0.0;
+  for (graph::VertexId u : algo.graph().neighbors(v))
+    d += algo.beep_probability(u);
+  return d;
+}
+
+std::size_t prominent_count(const SelfStabMis& algo) {
+  std::size_t c = 0;
+  for (graph::VertexId v = 0; v < algo.node_count(); ++v)
+    if (algo.is_prominent(v)) ++c;
+  return c;
+}
+
+std::vector<bool> platinum_flags(const SelfStabMis& algo) {
+  const auto& g = algo.graph();
+  const std::size_t n = g.vertex_count();
+  std::vector<bool> flags(n, false);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (!algo.is_prominent(v)) continue;
+    flags[v] = true;
+    for (graph::VertexId u : g.neighbors(v)) flags[u] = true;
+  }
+  return flags;
+}
+
+double eta(const SelfStabMis& algo, graph::VertexId v,
+           const std::vector<bool>& stable) {
+  double s = 0.0;
+  for (graph::VertexId u : algo.graph().neighbors(v))
+    if (!stable[u]) s += std::ldexp(1.0, -algo.lmax(u));
+  return s;
+}
+
+double eta_prime(const SelfStabMis& algo, graph::VertexId v,
+                 const std::vector<bool>& stable) {
+  double s = 0.0;
+  for (graph::VertexId u : algo.graph().neighbors(v))
+    if (!stable[u] && algo.lmax(u) > algo.lmax(v))
+      s += std::ldexp(1.0, -algo.lmax(v));
+  return s;
+}
+
+std::vector<bool> light_flags(const SelfStabMis& algo) {
+  const std::size_t n = algo.node_count();
+  std::vector<bool> flags(n, false);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (mu(algo, v) <= 0.0) continue;
+    flags[v] = expected_beeping_neighbors(algo, v) <= 10.0 ||
+               algo.level(v) <= 0;
+  }
+  return flags;
+}
+
+std::vector<bool> golden_flags(const SelfStabMis& algo) {
+  const auto& g = algo.graph();
+  const std::size_t n = g.vertex_count();
+  const auto light = light_flags(algo);
+  std::vector<bool> flags(n, false);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const double d = expected_beeping_neighbors(algo, v);
+    if (algo.level(v) <= 1 && d <= 0.02) {
+      flags[v] = true;
+      continue;
+    }
+    double d_light = 0.0;
+    for (graph::VertexId u : g.neighbors(v))
+      if (light[u]) d_light += algo.beep_probability(u);
+    flags[v] = d_light > 0.001;
+  }
+  return flags;
+}
+
+bool lemma31_holds(const SelfStabMis& algo, graph::VertexId v) {
+  return algo.level(v) > 0 || mu(algo, v) > 0.0;
+}
+
+AnalysisSnapshot analysis_snapshot(const SelfStabMis& algo) {
+  AnalysisSnapshot s;
+  const std::size_t n = algo.node_count();
+  const auto platinum = platinum_flags(algo);
+  const auto golden = golden_flags(algo);
+  const auto stable = algo.stable_vertices();
+  const auto mis = algo.mis_members();
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (algo.is_prominent(v)) ++s.prominent;
+    if (platinum[v]) ++s.platinum;
+    if (golden[v]) ++s.golden;
+    if (stable[v]) ++s.stable;
+    if (mis[v]) ++s.mis;
+    if (!lemma31_holds(algo, v)) ++s.lemma31_violations;
+    const double d = expected_beeping_neighbors(algo, v);
+    s.max_d = std::max(s.max_d, d);
+    s.mean_d += d;
+  }
+  if (n > 0) s.mean_d /= static_cast<double>(n);
+  return s;
+}
+
+}  // namespace beepmis::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/selfstab_mis.hpp"
+#include "src/graph/graph.hpp"
+
+namespace beepmis::core {
+
+/// Omniscient observers of the analysis objects in Section 3 of the paper.
+/// These are *not* available to nodes; they exist so the lemma experiments
+/// (E7, E8) can measure the quantities the proofs reason about. All cost
+/// O(n + m) per snapshot and are opt-in.
+
+/// μ_t(v) = min over neighbors u of ℓ(u)/ℓmax(u); +1 for isolated vertices
+/// (min over the empty set, consistent with I_t's definition).
+double mu(const SelfStabMis& algo, graph::VertexId v);
+
+/// d_t(v) = Σ_{u ∈ N(v)} p_t(u): expected number of beeping neighbors.
+double expected_beeping_neighbors(const SelfStabMis& algo, graph::VertexId v);
+
+/// Number of prominent vertices (ℓ ≤ 0), the paper's PM_t.
+std::size_t prominent_count(const SelfStabMis& algo);
+
+/// flags[v] = true iff round is platinum for v: N⁺(v) ∩ PM_t ≠ ∅
+/// (Definition 3.3).
+std::vector<bool> platinum_flags(const SelfStabMis& algo);
+
+/// η_t(v) = Σ_{u ∈ N(v)\S_t} 2^{-ℓmax(u)} (Section 3). `stable` must be
+/// the current stable_vertices() bitmap.
+double eta(const SelfStabMis& algo, graph::VertexId v,
+           const std::vector<bool>& stable);
+
+/// η′_t(v) = Σ_{u ∈ N(v)\S_t, ℓmax(u) > ℓmax(v)} 2^{-ℓmax(v)}.
+double eta_prime(const SelfStabMis& algo, graph::VertexId v,
+                 const std::vector<bool>& stable);
+
+/// Light vertices (Definition 6.1): μ_t(v) > 0 ∧ (d_t(v) ≤ 10 ∨ ℓ_t(v) ≤ 0).
+std::vector<bool> light_flags(const SelfStabMis& algo);
+
+/// flags[v] = true iff the round is golden for v (Definition 6.2):
+/// (ℓ_t(v) ≤ 1 ∧ d_t(v) ≤ 0.02) ∨ d_t^L(v) > 0.001, where d^L sums p over
+/// light neighbors.
+std::vector<bool> golden_flags(const SelfStabMis& algo);
+
+/// Lemma 3.1 predicate for one vertex: ℓ_t(v) > 0 ∨ μ_t(v) > 0. The lemma
+/// guarantees this holds for all v in every round t > max_w ℓmax(w).
+bool lemma31_holds(const SelfStabMis& algo, graph::VertexId v);
+
+/// Aggregate snapshot for round-by-round tracking in experiments.
+struct AnalysisSnapshot {
+  std::size_t prominent = 0;       ///< |PM_t|
+  std::size_t platinum = 0;        ///< vertices with a platinum round now
+  std::size_t golden = 0;          ///< vertices with a golden round now
+  std::size_t stable = 0;          ///< |S_t|
+  std::size_t mis = 0;             ///< |I_t|
+  std::size_t lemma31_violations = 0;
+  double max_d = 0.0;              ///< max_v d_t(v)
+  double mean_d = 0.0;             ///< mean_v d_t(v)
+};
+
+AnalysisSnapshot analysis_snapshot(const SelfStabMis& algo);
+
+}  // namespace beepmis::core

@@ -1,0 +1,113 @@
+#include "src/core/selfstab_mis2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::core {
+
+SelfStabMisTwoChannel::SelfStabMisTwoChannel(const graph::Graph& g,
+                                             LmaxVector lmax,
+                                             Knowledge knowledge)
+    : graph_(&g), lmax_(std::move(lmax)), knowledge_(knowledge) {
+  BEEPMIS_CHECK(lmax_.size() == g.vertex_count(), "lmax sized for wrong graph");
+  // ℓmax = 1 would make silence absorbing (the decay floor ℓ ← max(ℓ−1, 1)
+  // coincides with the cap, so a silent vertex can never re-enter the
+  // competition); ℓmax ≥ 2 is the liveness minimum. The paper's policies
+  // (ℓmax ≥ log₂deg + 15) satisfy it with huge margin.
+  for (std::int32_t m : lmax_)
+    BEEPMIS_CHECK(m >= 2, "lmax must be at least 2 for every vertex");
+  levels_.assign(g.vertex_count(), 1);
+}
+
+std::string SelfStabMisTwoChannel::name() const {
+  return "selfstab-mis-2ch[" + knowledge_name(knowledge_) + "]";
+}
+
+void SelfStabMisTwoChannel::decide_beeps(beep::Round /*round*/,
+                                         std::span<support::Rng> rngs,
+                                         std::span<beep::ChannelMask> send) {
+  const std::size_t n = levels_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::int32_t l = levels_[v];
+    beep::ChannelMask m = 0;
+    if (l == 0) {
+      m = beep::kChannel2;
+    } else if (l < lmax_[v] &&
+               rngs[v].bernoulli_pow2(static_cast<unsigned>(l))) {
+      m = beep::kChannel1;
+    }
+    send[v] = m;
+  }
+}
+
+void SelfStabMisTwoChannel::receive_feedback(
+    beep::Round /*round*/, std::span<const beep::ChannelMask> sent,
+    std::span<const beep::ChannelMask> heard) {
+  const std::size_t n = levels_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    std::int32_t& l = levels_[v];
+    if (heard[v] & beep::kChannel2) {
+      l = lmax_[v];
+    } else if (heard[v] & beep::kChannel1) {
+      l = std::min(l + 1, lmax_[v]);
+    } else if (sent[v] & beep::kChannel1) {
+      l = 0;
+    } else if (!(sent[v] & beep::kChannel2)) {
+      l = std::max(l - 1, 1);
+    }
+    // else: sent beep2, heard nothing — stays in the MIS at ℓ = 0.
+  }
+}
+
+void SelfStabMisTwoChannel::corrupt_node(graph::VertexId v,
+                                         support::Rng& rng) {
+  levels_[v] =
+      static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(lmax_[v]) + 1));
+}
+
+void SelfStabMisTwoChannel::set_level(graph::VertexId v, std::int32_t level) {
+  BEEPMIS_CHECK(v < levels_.size(), "vertex out of range");
+  BEEPMIS_CHECK(level >= 0 && level <= lmax_[v], "level outside [0, lmax]");
+  levels_[v] = level;
+}
+
+double SelfStabMisTwoChannel::beep_probability(graph::VertexId v) const {
+  const std::int32_t l = levels_[v];
+  if (l == 0 || l >= lmax_[v]) return 0.0;  // channel-1 probability only
+  return std::ldexp(1.0, -l);
+}
+
+std::vector<bool> SelfStabMisTwoChannel::mis_members() const {
+  const std::size_t n = levels_.size();
+  std::vector<bool> in(n, false);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (levels_[v] != 0) continue;
+    bool all_capped = true;
+    for (graph::VertexId u : graph_->neighbors(v)) {
+      if (levels_[u] != lmax_[u]) {
+        all_capped = false;
+        break;
+      }
+    }
+    in[v] = all_capped;
+  }
+  return in;
+}
+
+std::vector<bool> SelfStabMisTwoChannel::stable_vertices() const {
+  const auto in = mis_members();
+  std::vector<bool> stable = in;
+  for (graph::VertexId v = 0; v < in.size(); ++v)
+    if (in[v])
+      for (graph::VertexId u : graph_->neighbors(v)) stable[u] = true;
+  return stable;
+}
+
+bool SelfStabMisTwoChannel::is_stabilized() const {
+  const auto stable = stable_vertices();
+  return std::all_of(stable.begin(), stable.end(), [](bool b) { return b; });
+}
+
+}  // namespace beepmis::core

@@ -1,0 +1,60 @@
+#include "src/core/state_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace beepmis::core {
+
+namespace {
+
+constexpr const char* kMagic = "beepmis-levels";
+constexpr int kVersion = 1;
+
+template <typename Algo>
+void save(const Algo& algo, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n' << algo.node_count() << '\n';
+  for (graph::VertexId v = 0; v < algo.node_count(); ++v)
+    os << algo.level(v) << '\n';
+}
+
+template <typename Algo>
+bool load(Algo& algo, std::istream& is, std::int32_t lo_factor) {
+  std::string magic;
+  int version = 0;
+  std::size_t n = 0;
+  if (!(is >> magic >> version >> n)) return false;
+  if (magic != kMagic || version != kVersion) return false;
+  if (n != algo.node_count()) return false;
+  std::vector<std::int32_t> levels(n);
+  for (auto& l : levels)
+    if (!(is >> l)) return false;
+  // Validate before mutating: all-or-nothing semantics.
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const std::int32_t lo = lo_factor * algo.lmax(v);
+    if (levels[v] < lo || levels[v] > algo.lmax(v)) return false;
+  }
+  for (graph::VertexId v = 0; v < n; ++v) algo.set_level(v, levels[v]);
+  return true;
+}
+
+}  // namespace
+
+void save_levels(const SelfStabMis& algo, std::ostream& os) {
+  save(algo, os);
+}
+
+void save_levels(const SelfStabMisTwoChannel& algo, std::ostream& os) {
+  save(algo, os);
+}
+
+bool load_levels(SelfStabMis& algo, std::istream& is) {
+  return load(algo, is, /*lo_factor=*/-1);
+}
+
+bool load_levels(SelfStabMisTwoChannel& algo, std::istream& is) {
+  return load(algo, is, /*lo_factor=*/0);
+}
+
+}  // namespace beepmis::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+
+namespace beepmis::core {
+
+/// Checkpointing of algorithm RAM (the level vector) — lets long experiments
+/// snapshot and resume, and lets the CLI persist a network's state across
+/// invocations. Text format:
+///
+///   beepmis-levels 1
+///   <n>
+///   <level of vertex 0>
+///   ...
+///
+/// Loading validates the header, the vertex count and every level against
+/// the destination's ℓmax ranges (a checkpoint for a different topology or
+/// knowledge policy is rejected rather than silently clamped — unlike
+/// carry_levels, which exists precisely to clamp across topologies).
+void save_levels(const SelfStabMis& algo, std::ostream& os);
+void save_levels(const SelfStabMisTwoChannel& algo, std::ostream& os);
+
+/// Returns false (leaving the algorithm untouched) on malformed input,
+/// count mismatch, or out-of-range levels.
+bool load_levels(SelfStabMis& algo, std::istream& is);
+bool load_levels(SelfStabMisTwoChannel& algo, std::istream& is);
+
+}  // namespace beepmis::core

@@ -1,0 +1,32 @@
+#include "src/core/transfer.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::core {
+
+namespace {
+
+template <typename Algo>
+void carry(const Algo& from, Algo& to, bool negative_range) {
+  BEEPMIS_CHECK(from.node_count() == to.node_count(),
+                "level transfer requires identical vertex sets");
+  for (graph::VertexId v = 0; v < from.node_count(); ++v) {
+    const std::int32_t lo = negative_range ? -to.lmax(v) : 0;
+    to.set_level(v, std::clamp(from.level(v), lo, to.lmax(v)));
+  }
+}
+
+}  // namespace
+
+void carry_levels(const SelfStabMis& from, SelfStabMis& to) {
+  carry(from, to, /*negative_range=*/true);
+}
+
+void carry_levels(const SelfStabMisTwoChannel& from,
+                  SelfStabMisTwoChannel& to) {
+  carry(from, to, /*negative_range=*/false);
+}
+
+}  // namespace beepmis::core

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+
+namespace beepmis::core {
+
+/// Carries per-vertex levels from one algorithm instance to another —
+/// typically across a topology change (same vertex ids, different edges,
+/// hence possibly different ℓmax per vertex). Levels are clamped into the
+/// destination's valid range; this models nodes whose RAM survives a link
+/// change while their (ROM) topology knowledge is re-provisioned.
+///
+/// Self-stabilization makes this well-defined: whatever the clamped levels
+/// are, the destination converges from them.
+void carry_levels(const SelfStabMis& from, SelfStabMis& to);
+void carry_levels(const SelfStabMisTwoChannel& from,
+                  SelfStabMisTwoChannel& to);
+
+}  // namespace beepmis::core

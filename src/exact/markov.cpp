@@ -1,0 +1,295 @@
+#include "src/exact/markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::exact {
+
+namespace {
+
+double beep_probability(std::int32_t level, std::int32_t lmax) {
+  if (level >= lmax) return 0.0;
+  if (level <= 0) return 1.0;
+  return std::ldexp(1.0, -level);
+}
+
+}  // namespace
+
+MarkovAnalysis::MarkovAnalysis(const graph::Graph& g, core::LmaxVector lmax,
+                               Chain chain)
+    : graph_(&g), lmax_(std::move(lmax)), chain_(chain) {
+  BEEPMIS_CHECK(lmax_.size() == g.vertex_count(), "lmax sized for wrong graph");
+  const std::size_t n = g.vertex_count();
+  BEEPMIS_CHECK(n >= 1 && n <= 6, "exact analysis is for tiny graphs");
+  radix_.resize(n);
+  level_lo_.resize(n);
+  state_count_ = 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    BEEPMIS_CHECK(lmax_[v] >= 1 && lmax_[v] <= 6, "lmax too large for exact");
+    level_lo_[v] = chain_ == Chain::Algorithm1 ? -lmax_[v] : 0;
+    radix_[v] = static_cast<std::size_t>(lmax_[v] - level_lo_[v] + 1);
+    BEEPMIS_CHECK(state_count_ < (std::size_t{1} << 40) / radix_[v],
+                  "state space too large");
+    state_count_ *= radix_[v];
+  }
+  transitions_.resize(state_count_);
+  built_.assign(state_count_, false);
+}
+
+std::size_t MarkovAnalysis::encode(
+    const std::vector<std::int32_t>& levels) const {
+  BEEPMIS_CHECK(levels.size() == radix_.size(), "size mismatch");
+  std::size_t s = 0;
+  for (std::size_t v = levels.size(); v-- > 0;) {
+    const auto digit = static_cast<std::size_t>(levels[v] - level_lo_[v]);
+    BEEPMIS_CHECK(digit < radix_[v], "level outside range");
+    s = s * radix_[v] + digit;
+  }
+  return s;
+}
+
+std::vector<std::int32_t> MarkovAnalysis::decode(std::size_t state) const {
+  std::vector<std::int32_t> levels(radix_.size());
+  for (std::size_t v = 0; v < radix_.size(); ++v) {
+    levels[v] = static_cast<std::int32_t>(state % radix_[v]) + level_lo_[v];
+    state /= radix_[v];
+  }
+  return levels;
+}
+
+bool MarkovAnalysis::is_absorbing(std::size_t state) const {
+  const auto levels = decode(state);
+  const std::size_t n = levels.size();
+  // MIS-membership level: -lmax for Algorithm 1, 0 for Algorithm 2.
+  std::vector<bool> stable(n, false);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const std::int32_t member_level =
+        chain_ == Chain::Algorithm1 ? -lmax_[v] : 0;
+    if (levels[v] != member_level) continue;
+    bool all_capped = true;
+    for (graph::VertexId u : graph_->neighbors(v))
+      if (levels[u] != lmax_[u]) {
+        all_capped = false;
+        break;
+      }
+    if (all_capped) {
+      stable[v] = true;
+      for (graph::VertexId u : graph_->neighbors(v)) stable[u] = true;
+    }
+  }
+  return std::all_of(stable.begin(), stable.end(), [](bool b) { return b; });
+}
+
+const std::vector<MarkovAnalysis::Transition>& MarkovAnalysis::transitions(
+    std::size_t state) const {
+  if (built_[state]) return transitions_[state];
+  const auto levels = decode(state);
+  const std::size_t n = levels.size();
+
+  // Split vertices into deterministic and random beepers. For Algorithm 2
+  // the deterministic "beep" at ℓ = 0 is a channel-2 beep; the random ones
+  // are channel-1 competition beeps.
+  std::vector<std::size_t> random_vertices;
+  std::vector<bool> base_beep(n, false);  // deterministic beeper this round
+  std::vector<double> prob(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (chain_ == Chain::Algorithm1) {
+      prob[v] = beep_probability(levels[v], lmax_[v]);
+      if (prob[v] == 1.0)
+        base_beep[v] = true;
+      else if (prob[v] > 0.0)
+        random_vertices.push_back(v);
+    } else {
+      if (levels[v] == 0) {
+        base_beep[v] = true;  // channel-2 membership beep
+      } else if (levels[v] < lmax_[v]) {
+        prob[v] = std::ldexp(1.0, -levels[v]);
+        random_vertices.push_back(v);
+      }
+    }
+  }
+
+  std::map<std::size_t, double> acc;
+  const std::size_t outcomes = std::size_t{1} << random_vertices.size();
+  for (std::size_t mask = 0; mask < outcomes; ++mask) {
+    std::vector<bool> beep = base_beep;
+    double p = 1.0;
+    for (std::size_t i = 0; i < random_vertices.size(); ++i) {
+      const std::size_t v = random_vertices[i];
+      const bool b = (mask >> i) & 1;
+      beep[v] = b;
+      p *= b ? prob[v] : 1.0 - prob[v];
+    }
+    // Apply the chain's update rule.
+    std::vector<std::int32_t> next(n);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (chain_ == Chain::Algorithm1) {
+        bool heard = false;
+        for (graph::VertexId u : graph_->neighbors(v))
+          if (beep[u]) {
+            heard = true;
+            break;
+          }
+        if (heard)
+          next[v] = std::min(levels[v] + 1, lmax_[v]);
+        else if (beep[v])
+          next[v] = -lmax_[v];
+        else
+          next[v] = std::max(levels[v] - 1, 1);
+      } else {
+        // Algorithm 2: beep[u] is ch2 iff levels[u]==0, else ch1.
+        bool heard1 = false, heard2 = false;
+        for (graph::VertexId u : graph_->neighbors(v)) {
+          if (!beep[u]) continue;
+          (levels[u] == 0 ? heard2 : heard1) = true;
+        }
+        const bool sent1 = beep[v] && levels[v] != 0;
+        const bool sent2 = beep[v] && levels[v] == 0;
+        if (heard2)
+          next[v] = lmax_[v];
+        else if (heard1)
+          next[v] = std::min(levels[v] + 1, lmax_[v]);
+        else if (sent1)
+          next[v] = 0;
+        else if (!sent2)
+          next[v] = std::max(levels[v] - 1, 1);
+        else
+          next[v] = 0;  // member heard nothing: stays
+      }
+    }
+    acc[encode(next)] += p;
+  }
+
+  auto& out = transitions_[state];
+  out.reserve(acc.size());
+  for (const auto& [to, p] : acc) out.push_back(Transition{to, p});
+  built_[state] = true;
+  return out;
+}
+
+const std::vector<double>& MarkovAnalysis::expected_absorption_rounds() {
+  if (hitting_done_) return hitting_;
+  BEEPMIS_CHECK(absorption_reachable_from_everywhere(),
+                "some state cannot stabilize — algorithm bug");
+  hitting_.assign(state_count_, 0.0);
+  // Value iteration on h = 1 + Q h over transient states; geometric
+  // convergence because the chain is absorbing.
+  std::vector<bool> absorbing(state_count_);
+  for (std::size_t s = 0; s < state_count_; ++s) absorbing[s] = is_absorbing(s);
+  for (int iter = 0; iter < 1000000; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t s = 0; s < state_count_; ++s) {
+      if (absorbing[s]) continue;
+      double h = 1.0;
+      for (const auto& t : transitions(s)) h += t.probability * hitting_[t.to];
+      max_delta = std::max(max_delta, std::abs(h - hitting_[s]));
+      hitting_[s] = h;  // Gauss–Seidel update (in place)
+    }
+    if (max_delta < 1e-12) break;
+  }
+  hitting_done_ = true;
+  return hitting_;
+}
+
+const std::vector<double>& MarkovAnalysis::expected_absorption_rounds_squared() {
+  if (hitting2_done_) return hitting2_;
+  const auto& h = expected_absorption_rounds();
+  hitting2_.assign(state_count_, 0.0);
+  std::vector<bool> absorbing(state_count_);
+  for (std::size_t s = 0; s < state_count_; ++s) absorbing[s] = is_absorbing(s);
+  for (int iter = 0; iter < 1000000; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t s = 0; s < state_count_; ++s) {
+      if (absorbing[s]) continue;
+      double h2 = 1.0;
+      for (const auto& t : transitions(s))
+        h2 += t.probability * (2.0 * h[t.to] + hitting2_[t.to]);
+      max_delta = std::max(max_delta, std::abs(h2 - hitting2_[s]));
+      hitting2_[s] = h2;
+    }
+    if (max_delta < 1e-10) break;
+  }
+  hitting2_done_ = true;
+  return hitting2_;
+}
+
+std::vector<double> MarkovAnalysis::distribution_after(
+    std::size_t state, std::uint64_t rounds) const {
+  std::vector<double> dist(state_count_, 0.0);
+  dist[state] = 1.0;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    std::vector<double> next(state_count_, 0.0);
+    for (std::size_t s = 0; s < state_count_; ++s) {
+      if (dist[s] == 0.0) continue;
+      for (const auto& t : transitions(s))
+        next[t.to] += dist[s] * t.probability;
+    }
+    dist.swap(next);
+  }
+  return dist;
+}
+
+std::vector<double> MarkovAnalysis::absorption_probabilities(
+    std::size_t state) const {
+  // Power iteration on the distribution until the transient mass is
+  // negligible; geometric decay makes this fast on the tiny chains the
+  // class supports.
+  std::vector<double> dist(state_count_, 0.0);
+  dist[state] = 1.0;
+  for (int iter = 0; iter < 1000000; ++iter) {
+    double transient = 0.0;
+    std::vector<double> next(state_count_, 0.0);
+    for (std::size_t s = 0; s < state_count_; ++s) {
+      if (dist[s] == 0.0) continue;
+      if (is_absorbing(s)) {
+        next[s] += dist[s];
+        continue;
+      }
+      transient += dist[s];
+      for (const auto& t : transitions(s))
+        next[t.to] += dist[s] * t.probability;
+    }
+    dist.swap(next);
+    if (transient < 1e-13) break;
+  }
+  // Zero out the (negligible) remaining transient mass and renormalize.
+  double total = 0.0;
+  for (std::size_t s = 0; s < state_count_; ++s) {
+    if (!is_absorbing(s)) dist[s] = 0.0;
+    total += dist[s];
+  }
+  BEEPMIS_CHECK(total > 0.999, "absorption mass failed to converge");
+  for (double& p : dist) p /= total;
+  return dist;
+}
+
+bool MarkovAnalysis::absorption_reachable_from_everywhere() const {
+  // Reverse BFS from the absorbing set over the transition graph.
+  std::vector<std::vector<std::size_t>> reverse(state_count_);
+  std::queue<std::size_t> frontier;
+  std::vector<bool> reaches(state_count_, false);
+  for (std::size_t s = 0; s < state_count_; ++s) {
+    if (is_absorbing(s)) {
+      reaches[s] = true;
+      frontier.push(s);
+      continue;
+    }
+    for (const auto& t : transitions(s)) reverse[t.to].push_back(s);
+  }
+  while (!frontier.empty()) {
+    const std::size_t s = frontier.front();
+    frontier.pop();
+    for (std::size_t from : reverse[s])
+      if (!reaches[from]) {
+        reaches[from] = true;
+        frontier.push(from);
+      }
+  }
+  return std::all_of(reaches.begin(), reaches.end(), [](bool b) { return b; });
+}
+
+}  // namespace beepmis::exact

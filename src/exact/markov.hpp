@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/lmax.hpp"
+#include "src/graph/graph.hpp"
+
+namespace beepmis::exact {
+
+/// Which algorithm's transition law the chain models.
+enum class Chain {
+  Algorithm1,  ///< levels in [-ℓmax, ℓmax], single channel
+  Algorithm2,  ///< levels in [0, ℓmax], two channels (beep2 at ℓ = 0)
+};
+
+/// Exact Markov-chain analysis of Algorithm 1 / Algorithm 2 on tiny
+/// instances.
+///
+/// The execution is a Markov chain over level configurations (the level
+/// ranges depend on the Chain): given a configuration, each vertex beeps
+/// independently with its p(ℓ(v)), and the next configuration is a
+/// deterministic function of the beep vector. Stable configurations
+/// (S_t = V) are absorbing. For graphs small enough to enumerate the state
+/// space we can compute absorption quantities in closed form and check the
+/// simulator against an *independent* ground truth (no Monte-Carlo error,
+/// no shared code path with the engine).
+///
+/// Feasibility: states = Π(2ℓmax(v)+1); transitions expand 2^{#random
+/// vertices} beep outcomes per state. Intended for n ≤ 4, ℓmax ≤ 3.
+class MarkovAnalysis {
+ public:
+  /// Builds the chain on g with the given caps.
+  MarkovAnalysis(const graph::Graph& g, core::LmaxVector lmax,
+                 Chain chain = Chain::Algorithm1);
+
+  std::size_t state_count() const noexcept { return state_count_; }
+
+  /// Encodes a configuration into a state index (mixed-radix).
+  std::size_t encode(const std::vector<std::int32_t>& levels) const;
+  std::vector<std::int32_t> decode(std::size_t state) const;
+
+  /// Whether the state is absorbing (stable per the paper's S_t = V).
+  bool is_absorbing(std::size_t state) const;
+
+  /// Exact expected number of rounds to absorption from `state`, by solving
+  /// the linear system (I - Q)h = 1 with Gauss-Seidel on the transient
+  /// classes. Returns a vector indexed by state (0 for absorbing states).
+  /// Aborts if some state cannot reach absorption (would contradict
+  /// self-stabilization — checked and reported).
+  const std::vector<double>& expected_absorption_rounds();
+
+  /// Exact probability distribution after `rounds` steps starting from a
+  /// point mass on `state` (vector over states).
+  std::vector<double> distribution_after(std::size_t state,
+                                         std::uint64_t rounds) const;
+
+  /// Exact E[T²] to absorption per state (0 for absorbing states), via the
+  /// recurrence E[T²|s] = 1 + 2·Σ p·h(t) + Σ p·h₂(t). Together with
+  /// expected_absorption_rounds this gives the exact standard deviation of
+  /// the stabilization time — E16 checks the simulator against both
+  /// moments.
+  const std::vector<double>& expected_absorption_rounds_squared();
+
+  /// Exact absorption distribution from `state`: for each absorbing state
+  /// a, the probability that the chain is eventually absorbed in a. Answers
+  /// "which MIS does the dynamics select, and how often" in closed form
+  /// (validated against simulation in the tests). Sum is 1 for every start
+  /// state.
+  std::vector<double> absorption_probabilities(std::size_t state) const;
+
+  /// True iff from every state, absorption is reachable (the qualitative
+  /// self-stabilization property, verified exhaustively).
+  bool absorption_reachable_from_everywhere() const;
+
+ private:
+  struct Transition {
+    std::size_t to;
+    double probability;
+  };
+  const std::vector<Transition>& transitions(std::size_t state) const;
+
+  const graph::Graph* graph_;
+  core::LmaxVector lmax_;
+  Chain chain_;
+  std::vector<std::int32_t> level_lo_;  // per-vertex lower level bound
+  std::vector<std::size_t> radix_;
+  std::size_t state_count_;
+  mutable std::vector<std::vector<Transition>> transitions_;  // lazily built
+  mutable std::vector<bool> built_;
+  std::vector<double> hitting_;   // cached expected_absorption_rounds
+  std::vector<double> hitting2_;  // cached second moments
+  bool hitting_done_ = false;
+  bool hitting2_done_ = false;
+};
+
+}  // namespace beepmis::exact

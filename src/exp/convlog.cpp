@@ -1,0 +1,52 @@
+#include "src/exp/convlog.hpp"
+
+#include <ostream>
+
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+#include "src/support/check.hpp"
+
+namespace beepmis::exp {
+
+void ConvergenceLog::observe(const beep::Simulation& sim) {
+  ConvergencePoint pt;
+  pt.round = sim.round();
+  for (beep::ChannelMask m : sim.last_sent()) {
+    pt.beeps_ch1 += (m & beep::kChannel1) ? 1 : 0;
+    pt.beeps_ch2 += (m & beep::kChannel2) ? 1 : 0;
+  }
+
+  const auto& base = sim.algorithm();
+  if (auto* a1 = dynamic_cast<const core::SelfStabMis*>(&base)) {
+    for (graph::VertexId v = 0; v < a1->node_count(); ++v)
+      pt.prominent += a1->is_prominent(v);
+    const auto stable = a1->stable_vertices();
+    const auto mis = a1->mis_members();
+    for (graph::VertexId v = 0; v < a1->node_count(); ++v) {
+      pt.stable += stable[v];
+      pt.mis += mis[v];
+    }
+  } else if (auto* a2 =
+                 dynamic_cast<const core::SelfStabMisTwoChannel*>(&base)) {
+    for (graph::VertexId v = 0; v < a2->node_count(); ++v)
+      pt.prominent += a2->level(v) == 0;
+    const auto stable = a2->stable_vertices();
+    const auto mis = a2->mis_members();
+    for (graph::VertexId v = 0; v < a2->node_count(); ++v) {
+      pt.stable += stable[v];
+      pt.mis += mis[v];
+    }
+  } else {
+    BEEPMIS_CHECK(false, "convergence log: not a self-stab MIS simulation");
+  }
+  points_.push_back(pt);
+}
+
+void ConvergenceLog::write_csv(std::ostream& os) const {
+  os << "round,prominent,stable,mis,beeps_ch1,beeps_ch2\n";
+  for (const auto& p : points_)
+    os << p.round << ',' << p.prominent << ',' << p.stable << ',' << p.mis
+       << ',' << p.beeps_ch1 << ',' << p.beeps_ch2 << '\n';
+}
+
+}  // namespace beepmis::exp

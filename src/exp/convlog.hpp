@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/beep/network.hpp"
+
+namespace beepmis::exp {
+
+/// One row of a convergence log.
+struct ConvergencePoint {
+  beep::Round round = 0;
+  std::size_t prominent = 0;  ///< |PM_t| (Algorithm 2: vertices at ℓ = 0)
+  std::size_t stable = 0;     ///< |S_t|
+  std::size_t mis = 0;        ///< |I_t|
+  std::uint32_t beeps_ch1 = 0;
+  std::uint32_t beeps_ch2 = 0;
+};
+
+/// Records the convergence trajectory of a self-stabilizing MIS simulation
+/// (either algorithm): call observe(sim) after each step. Costs O(n + m)
+/// per observation.
+class ConvergenceLog {
+ public:
+  void observe(const beep::Simulation& sim);
+  const std::vector<ConvergencePoint>& points() const noexcept {
+    return points_;
+  }
+  void clear() { points_.clear(); }
+
+  /// CSV dump: header + one line per observed round.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<ConvergencePoint> points_;
+};
+
+}  // namespace beepmis::exp

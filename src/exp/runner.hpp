@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+#include "src/graph/graph.hpp"
+
+namespace beepmis::exp {
+
+/// Which of the paper's three algorithm variants to run.
+enum class Variant {
+  GlobalDelta,  ///< Algorithm 1 + Thm 2.1 lmax policy
+  OwnDegree,    ///< Algorithm 1 + Thm 2.2 lmax policy
+  TwoChannel,   ///< Algorithm 2 + Cor 2.3 lmax policy
+};
+
+std::string variant_name(Variant v);
+
+/// Outcome of one run-to-stabilization.
+struct RunResult {
+  bool stabilized = false;   ///< reached S_t = V within the round budget
+  beep::Round rounds = 0;    ///< rounds until stabilization (or budget)
+  std::size_t mis_size = 0;  ///< |I_t| at stop
+  bool valid_mis = false;    ///< verifier-confirmed MIS at stop
+};
+
+/// Builds a simulation of the requested variant on `g`, with the
+/// paper-default constant c1 for the variant if `c1` is 0.
+std::unique_ptr<beep::Simulation> make_selfstab_sim(const graph::Graph& g,
+                                                    Variant variant,
+                                                    std::uint64_t seed,
+                                                    std::int32_t c1 = 0);
+
+/// Applies an initial-configuration policy to a simulation built by
+/// make_selfstab_sim (dispatches on the concrete algorithm type).
+void apply_init(beep::Simulation& sim, core::InitPolicy policy,
+                support::Rng& rng);
+
+/// True iff the simulation's algorithm reports S_t = V (dispatches on type).
+bool selfstab_stabilized(const beep::Simulation& sim);
+
+/// Current I_t of the simulation's algorithm.
+std::vector<bool> selfstab_mis_members(const beep::Simulation& sim);
+
+/// Runs until stabilization or `max_rounds`, verifying the final MIS.
+/// Counts rounds from the simulation's *current* round, so it also measures
+/// re-stabilization after mid-run fault injection.
+RunResult run_to_stabilization(beep::Simulation& sim, beep::Round max_rounds);
+
+/// One-shot: build, initialize, run. The workhorse of the sweeps.
+RunResult run_variant(const graph::Graph& g, Variant variant,
+                      core::InitPolicy init, std::uint64_t seed,
+                      beep::Round max_rounds, std::int32_t c1 = 0);
+
+/// A generous default budget: stabilization is Θ(log n), so this failing
+/// indicates a real bug rather than bad luck.
+beep::Round default_round_budget(std::size_t n);
+
+}  // namespace beepmis::exp

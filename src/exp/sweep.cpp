@@ -1,0 +1,122 @@
+#include "src/exp/sweep.hpp"
+
+#include "src/core/fast_engine.hpp"
+#include "src/mis/verifier.hpp"
+#include "src/support/check.hpp"
+
+namespace beepmis::exp {
+
+namespace {
+
+/// Fast-engine path (uniform-random init). Both engine classes share the
+/// same interface surface; run the appropriate one per variant.
+template <typename Engine>
+RunResult run_fast_engine(Engine& engine, const graph::Graph& g,
+                          beep::Round max_rounds) {
+  RunResult r;
+  r.rounds = engine.run_to_stabilization(max_rounds);
+  r.stabilized = engine.is_stabilized();
+  const auto members = engine.mis_members();
+  r.mis_size = mis::member_count(members);
+  r.valid_mis = mis::is_mis(g, members);
+  return r;
+}
+
+RunResult run_fast(const graph::Graph& g, Variant variant, std::uint64_t seed,
+                   beep::Round max_rounds, std::int32_t c1) {
+  support::Rng init_rng = support::Rng(seed).derive_stream(0xfadedcafe);
+  if (variant == Variant::TwoChannel) {
+    core::FastMisEngine2 engine(
+        g, core::lmax_one_hop(g, c1 ? c1 : core::kC1TwoChannel), seed);
+    // Mirrors SelfStabMisTwoChannel::corrupt_node draw-for-draw.
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      engine.set_level(
+          v, static_cast<std::int32_t>(init_rng.below(
+                 static_cast<std::uint64_t>(engine.lmax(v)) + 1)));
+    return run_fast_engine(engine, g, max_rounds);
+  }
+  core::LmaxVector lmax =
+      variant == Variant::GlobalDelta
+          ? core::lmax_global_delta(g, c1 ? c1 : core::kC1GlobalDelta)
+          : core::lmax_own_degree(g, c1 ? c1 : core::kC1OwnDegree);
+  core::FastMisEngine engine(g, std::move(lmax), seed);
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto span = static_cast<std::uint64_t>(2 * engine.lmax(v) + 1);
+    engine.set_level(
+        v, static_cast<std::int32_t>(init_rng.below(span)) - engine.lmax(v));
+  }
+  return run_fast_engine(engine, g, max_rounds);
+}
+
+}  // namespace
+
+std::vector<SweepPoint> run_scaling_sweep(Family family,
+                                          const SweepConfig& config) {
+  BEEPMIS_CHECK(!config.sizes.empty(), "sweep needs sizes");
+  BEEPMIS_CHECK(config.seeds >= 1, "sweep needs at least one seed");
+  std::vector<SweepPoint> points;
+  points.reserve(config.sizes.size());
+  for (std::size_t n : config.sizes) {
+    SweepPoint pt;
+    pt.family = family;
+    for (std::size_t s = 0; s < config.seeds; ++s) {
+      // One master seed per (family, n, s); graph draw, node streams and
+      // init draw all derive from it.
+      const std::uint64_t seed =
+          config.base_seed * 0x9e3779b97f4a7c15ULL + n * 1009 + s;
+      support::Rng graph_rng = support::Rng(seed).derive_stream(0x6ea9);
+      const graph::Graph g = make_family(family, n, graph_rng);
+      pt.n = g.vertex_count();
+      const bool fast = config.use_fast_engine &&
+                        config.init == core::InitPolicy::UniformRandom;
+      const RunResult r =
+          fast ? run_fast(g, config.variant, seed,
+                          default_round_budget(g.vertex_count()), config.c1)
+               : run_variant(g, config.variant, config.init, seed,
+                             default_round_budget(g.vertex_count()),
+                             config.c1);
+      if (!r.stabilized) ++pt.failures;
+      if (!r.valid_mis) ++pt.invalid;
+      pt.rounds.add(static_cast<double>(r.rounds));
+    }
+    points.push_back(std::move(pt));
+  }
+  return points;
+}
+
+support::Table sweep_table(const std::vector<SweepPoint>& points) {
+  support::Table t({"family", "n", "runs", "mean", "median", "p95", "max",
+                    "fail", "invalid"});
+  for (const auto& pt : points) {
+    t.row()
+        .cell(family_name(pt.family))
+        .cell(static_cast<std::uint64_t>(pt.n))
+        .cell(static_cast<std::uint64_t>(pt.rounds.count()))
+        .cell(pt.rounds.mean(), 1)
+        .cell(pt.rounds.median(), 1)
+        .cell(pt.rounds.quantile(0.95), 1)
+        .cell(pt.rounds.max(), 0)
+        .cell(static_cast<std::uint64_t>(pt.failures))
+        .cell(static_cast<std::uint64_t>(pt.invalid));
+  }
+  return t;
+}
+
+std::vector<std::pair<support::GrowthModel, support::FitResult>>
+rank_sweep_growth(const std::vector<SweepPoint>& points) {
+  std::vector<double> ns, ys;
+  for (const auto& pt : points) {
+    ns.push_back(static_cast<double>(pt.n));
+    ys.push_back(pt.rounds.median());
+  }
+  return support::rank_growth_models(ns, ys);
+}
+
+std::vector<std::size_t> pow2_sizes(unsigned lo, unsigned hi) {
+  BEEPMIS_CHECK(lo <= hi && hi < 31, "bad size ladder");
+  std::vector<std::size_t> sizes;
+  for (unsigned e = lo; e <= hi; ++e) sizes.push_back(std::size_t{1} << e);
+  return sizes;
+}
+
+}  // namespace beepmis::exp

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/exp/families.hpp"
+#include "src/exp/runner.hpp"
+#include "src/support/fit.hpp"
+#include "src/support/stats.hpp"
+#include "src/support/table.hpp"
+
+namespace beepmis::exp {
+
+/// Aggregated stabilization-time measurements at one (family, n) point.
+struct SweepPoint {
+  Family family;
+  std::size_t n = 0;            ///< actual vertex count of the instance
+  support::SampleSet rounds;    ///< stabilization rounds across seeds
+  std::size_t failures = 0;     ///< runs that did not stabilize in budget
+  std::size_t invalid = 0;      ///< runs whose final set was not a valid MIS
+};
+
+/// Configuration of a scaling sweep T(n).
+struct SweepConfig {
+  Variant variant = Variant::GlobalDelta;
+  core::InitPolicy init = core::InitPolicy::UniformRandom;
+  std::vector<std::size_t> sizes;   ///< n values
+  std::size_t seeds = 20;           ///< runs per (family, n)
+  std::uint64_t base_seed = 1;
+  std::int32_t c1 = 0;              ///< 0 = paper default for the variant
+  /// Run on the fast engines (proven round-identical to the reference
+  /// simulator; see test_fast_engine.cpp) — enables larger n ladders.
+  /// Requires init == UniformRandom.
+  bool use_fast_engine = false;
+};
+
+/// Runs the sweep for one family. Each run gets an independent seed; the
+/// graph instance is redrawn per seed for randomized families.
+std::vector<SweepPoint> run_scaling_sweep(Family family,
+                                          const SweepConfig& config);
+
+/// Renders sweep points as a table: n, mean, median, p95, max, failures.
+support::Table sweep_table(const std::vector<SweepPoint>& points);
+
+/// Extracts (n, median rounds) pairs and ranks growth models by R².
+std::vector<std::pair<support::GrowthModel, support::FitResult>>
+rank_sweep_growth(const std::vector<SweepPoint>& points);
+
+/// Standard size ladder 2^lo .. 2^hi.
+std::vector<std::size_t> pow2_sizes(unsigned lo, unsigned hi);
+
+}  // namespace beepmis::exp

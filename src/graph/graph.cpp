@@ -1,0 +1,51 @@
+#include "src/graph/graph.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::graph {
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  BEEPMIS_CHECK(u < vertex_count() && v < vertex_count(), "vertex out of range");
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+GraphBuilder::GraphBuilder(std::size_t vertex_count, std::string name)
+    : n_(vertex_count), name_(std::move(name)) {}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  BEEPMIS_CHECK(u < n_ && v < n_, "edge endpoint out of range");
+  BEEPMIS_CHECK(u != v, "self-loops are not allowed in a simple graph");
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.name_ = std::move(name_);
+  g.offsets_.assign(n_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= n_; ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // Each vertex's edges were appended in globally sorted order, so
+  // neighborhoods are already sorted — required by has_edge's binary search.
+  for (std::size_t v = 0; v < n_; ++v)
+    g.max_degree_ = std::max(g.max_degree_, g.offsets_[v + 1] - g.offsets_[v]);
+  return g;
+}
+
+}  // namespace beepmis::graph

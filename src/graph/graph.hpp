@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace beepmis::graph {
+
+using VertexId = std::uint32_t;
+
+/// Immutable simple undirected graph in compressed-sparse-row form.
+///
+/// The beeping simulator iterates neighborhoods every round for every node,
+/// so adjacency locality dominates simulation throughput; CSR keeps each
+/// neighborhood contiguous. Vertices are anonymous to algorithms (the model
+/// forbids identities); VertexId exists only for the simulator and verifiers.
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t vertex_count() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t edge_count() const noexcept { return adjacency_.size() / 2; }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Maximum degree Δ; 0 for the empty graph.
+  std::size_t max_degree() const noexcept { return max_degree_; }
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Human-readable label recorded by the generator ("er_n1024_p0.008", ...).
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::size_t> offsets_;
+  std::vector<VertexId> adjacency_;
+  std::size_t max_degree_ = 0;
+  std::string name_;
+};
+
+/// Accumulates edges, then freezes into a CSR Graph. Deduplicates parallel
+/// edges and rejects self-loops (the model is on simple graphs).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t vertex_count, std::string name = "graph");
+
+  /// Adds undirected edge {u, v}. Self-loops abort; duplicates are merged at
+  /// build() time.
+  void add_edge(VertexId u, VertexId v);
+
+  std::size_t vertex_count() const noexcept { return n_; }
+
+  /// Freezes into an immutable Graph. The builder is consumed.
+  Graph build() &&;
+
+ private:
+  std::size_t n_;
+  std::string name_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace beepmis::graph

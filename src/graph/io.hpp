@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.hpp"
+
+namespace beepmis::graph {
+
+/// Writes the graph as a plain edge list:
+///   line 1: "<n> <m>"
+///   then one "u v" line per edge (u < v).
+void write_edge_list(const Graph& g, std::ostream& os);
+
+/// Parses the format produced by write_edge_list. Aborts the stream-level
+/// contract (bad counts, out-of-range vertices) via BEEPMIS_CHECK.
+Graph read_edge_list(std::istream& is, std::string name = "loaded");
+
+/// Graphviz DOT output for small graphs (debugging / examples).
+void write_dot(const Graph& g, std::ostream& os);
+
+/// DIMACS undirected-graph format ("c" comments, "p edge n m" header,
+/// "e u v" lines, 1-based vertices) — the de-facto interchange format of
+/// the graph-algorithm community; lets users run the library on standard
+/// benchmark instances.
+void write_dimacs(const Graph& g, std::ostream& os);
+
+/// Parses DIMACS; tolerates comment lines anywhere and duplicate edges
+/// (deduplicated). Aborts on malformed headers/records or out-of-range
+/// vertices.
+Graph read_dimacs(std::istream& is, std::string name = "dimacs");
+
+}  // namespace beepmis::graph

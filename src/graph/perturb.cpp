@@ -1,0 +1,71 @@
+#include "src/graph/perturb.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::graph {
+
+Graph perturb_edges(const Graph& g, std::size_t add_count,
+                    std::size_t remove_count, support::Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(g.edge_count());
+  for (VertexId v = 0; v < n; ++v)
+    for (VertexId u : g.neighbors(v))
+      if (v < u) edges.emplace_back(v, u);
+
+  // Remove: random prefix of a partial shuffle.
+  remove_count = std::min(remove_count, edges.size());
+  for (std::size_t i = 0; i < remove_count; ++i) {
+    const std::size_t j = i + rng.below(edges.size() - i);
+    std::swap(edges[i], edges[j]);
+  }
+  std::set<std::pair<VertexId, VertexId>> kept(edges.begin() + remove_count,
+                                               edges.end());
+
+  // Add: rejection-sample non-edges. Bail out if the graph is too dense to
+  // supply them (complete graph).
+  const std::size_t max_edges = n >= 2 ? n * (n - 1) / 2 : 0;
+  add_count = std::min(add_count, max_edges - kept.size());
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < add_count && attempts < 100 * (add_count + 1)) {
+    ++attempts;
+    auto u = static_cast<VertexId>(rng.below(n));
+    auto v = static_cast<VertexId>(rng.below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (kept.emplace(u, v).second) ++added;
+  }
+
+  GraphBuilder b(n, g.name() + "+churn");
+  for (const auto& [u, v] : kept) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+Graph isolate_vertices(const Graph& g, std::size_t count, support::Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  BEEPMIS_CHECK(count <= n, "cannot isolate more vertices than exist");
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.below(n - i);
+    std::swap(order[i], order[j]);
+  }
+  std::vector<bool> dead(n, false);
+  for (std::size_t i = 0; i < count; ++i) dead[order[i]] = true;
+
+  GraphBuilder b(n, g.name() + "+isolated");
+  for (VertexId v = 0; v < n; ++v) {
+    if (dead[v]) continue;
+    for (VertexId u : g.neighbors(v))
+      if (v < u && !dead[u]) b.add_edge(v, u);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace beepmis::graph

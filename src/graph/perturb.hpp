@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+
+#include "src/graph/graph.hpp"
+#include "src/support/rng.hpp"
+
+namespace beepmis::graph {
+
+/// Topology churn for dynamic-network experiments: returns a copy of `g`
+/// with `remove_count` uniformly random existing edges removed and
+/// `add_count` uniformly random non-edges added (no self-loops, no
+/// duplicates). Counts are clamped to what the graph can supply.
+Graph perturb_edges(const Graph& g, std::size_t add_count,
+                    std::size_t remove_count, support::Rng& rng);
+
+/// Removes a uniformly random set of `count` vertices *by isolating them*
+/// (dropping all their incident edges, keeping ids stable so per-vertex
+/// algorithm state remains aligned). Models node crash-with-silence.
+Graph isolate_vertices(const Graph& g, std::size_t count, support::Rng& rng);
+
+}  // namespace beepmis::graph

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace beepmis::graph {
+
+/// Aggregate degree statistics of a graph.
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+  std::size_t isolated = 0;  ///< number of degree-0 vertices
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// deg₂(v) = max degree over the closed neighborhood N⁺(v) — the quantity
+/// Corollary 2.3's lmax policy is allowed to know.
+std::vector<std::size_t> two_hop_max_degree(const Graph& g);
+
+/// Number of connected components.
+std::size_t connected_component_count(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// True iff every vertex has degree exactly d.
+bool is_regular(const Graph& g, std::size_t d);
+
+/// True iff the graph contains no triangle (O(m·Δ); test-sized graphs only).
+bool is_triangle_free(const Graph& g);
+
+/// Graph diameter via BFS from every vertex (test-sized graphs only).
+/// Returns 0 for n <= 1; aborts if the graph is disconnected.
+std::size_t diameter(const Graph& g);
+
+/// Hop distances from `src` to every vertex (SIZE_MAX = unreachable).
+std::vector<std::size_t> bfs_distances(const Graph& g, VertexId src);
+
+/// k-th graph power G^k: same vertices, edge {u,v} iff 0 < dist(u,v) <= k.
+/// O(n·(n+m)); intended for application-layer reductions on moderate n.
+Graph graph_power(const Graph& g, std::size_t k);
+
+/// The edges of g in canonical order (u < v, lexicographic): the vertex
+/// numbering used by line_graph.
+std::vector<std::pair<VertexId, VertexId>> edge_list(const Graph& g);
+
+/// Line graph L(G): one vertex per edge of G (numbered per edge_list),
+/// adjacent iff the edges share an endpoint. MIS(L(G)) = maximal matching
+/// of G — the reduction behind apps/matching.
+Graph line_graph(const Graph& g);
+
+}  // namespace beepmis::graph

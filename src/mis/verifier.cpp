@@ -1,0 +1,73 @@
+#include "src/mis/verifier.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::mis {
+
+bool is_independent(const graph::Graph& g, const std::vector<bool>& membership) {
+  BEEPMIS_CHECK(membership.size() == g.vertex_count(), "size mismatch");
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (!membership[v]) continue;
+    for (graph::VertexId u : g.neighbors(v))
+      if (u > v && membership[u]) return false;
+  }
+  return true;
+}
+
+bool is_maximal(const graph::Graph& g, const std::vector<bool>& membership) {
+  BEEPMIS_CHECK(membership.size() == g.vertex_count(), "size mismatch");
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (membership[v]) continue;
+    bool dominated = false;
+    for (graph::VertexId u : g.neighbors(v)) {
+      if (membership[u]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+bool is_mis(const graph::Graph& g, const std::vector<bool>& membership) {
+  return is_independent(g, membership) && is_maximal(g, membership);
+}
+
+std::size_t member_count(const std::vector<bool>& membership) {
+  return static_cast<std::size_t>(
+      std::count(membership.begin(), membership.end(), true));
+}
+
+std::vector<bool> greedy_mis(const graph::Graph& g,
+                             std::span<const graph::VertexId> order) {
+  const std::size_t n = g.vertex_count();
+  std::vector<graph::VertexId> identity;
+  if (order.empty()) {
+    identity.resize(n);
+    std::iota(identity.begin(), identity.end(), 0);
+    order = identity;
+  }
+  BEEPMIS_CHECK(order.size() == n, "order must be a permutation of V");
+  std::vector<bool> in(n, false), blocked(n, false);
+  for (graph::VertexId v : order) {
+    if (blocked[v]) continue;
+    in[v] = true;
+    blocked[v] = true;
+    for (graph::VertexId u : g.neighbors(v)) blocked[u] = true;
+  }
+  return in;
+}
+
+std::vector<bool> random_greedy_mis(const graph::Graph& g, support::Rng& rng) {
+  std::vector<graph::VertexId> order(g.vertex_count());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+  return greedy_mis(g, order);
+}
+
+}  // namespace beepmis::mis

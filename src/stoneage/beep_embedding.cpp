@@ -1,0 +1,58 @@
+#include "src/stoneage/beep_embedding.hpp"
+
+#include "src/support/check.hpp"
+
+namespace beepmis::stoneage {
+
+BeepingInStoneAge::BeepingInStoneAge(
+    std::unique_ptr<beep::BeepingAlgorithm> inner)
+    : inner_(std::move(inner)) {
+  BEEPMIS_CHECK(inner_ != nullptr, "embedding needs an inner algorithm");
+  sent_.assign(inner_->node_count(), 0);
+  heard_.assign(inner_->node_count(), 0);
+}
+
+std::string BeepingInStoneAge::name() const {
+  return "stoneage[" + inner_->name() + "]";
+}
+
+std::size_t BeepingInStoneAge::node_count() const {
+  return inner_->node_count();
+}
+
+unsigned BeepingInStoneAge::alphabet_size() const {
+  return 1u << inner_->channels();  // all channel masks
+}
+
+void BeepingInStoneAge::decide(std::uint64_t round,
+                               std::span<support::Rng> rngs,
+                               std::span<Letter> shown) {
+  inner_->decide_beeps(round, rngs, sent_);
+  for (std::size_t v = 0; v < sent_.size(); ++v)
+    shown[v] = static_cast<Letter>(sent_[v]);
+}
+
+void BeepingInStoneAge::receive(std::uint64_t round,
+                                std::span<const Letter> /*shown*/,
+                                std::span<const std::uint8_t> counts) {
+  const unsigned sigma = alphabet_size();
+  const unsigned channels = inner_->channels();
+  for (std::size_t v = 0; v < heard_.size(); ++v) {
+    beep::ChannelMask h = 0;
+    // Channel k was heard iff some displayed letter with bit k has a
+    // non-zero (i.e. saturated-at-1) count.
+    for (unsigned letter = 1; letter < sigma; ++letter) {
+      if (counts[v * sigma + letter] > 0)
+        h |= static_cast<beep::ChannelMask>(letter);
+    }
+    h &= static_cast<beep::ChannelMask>((1u << channels) - 1u);
+    heard_[v] = h;
+  }
+  inner_->receive_feedback(round, sent_, heard_);
+}
+
+void BeepingInStoneAge::corrupt_node(graph::VertexId v, support::Rng& rng) {
+  inner_->corrupt_node(v, rng);
+}
+
+}  // namespace beepmis::stoneage

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+
+#include "src/beep/algorithm.hpp"
+#include "src/stoneage/stoneage.hpp"
+
+namespace beepmis::stoneage {
+
+/// The formal embedding of the beeping model into the Stone Age model: any
+/// beeping algorithm with c channels runs unchanged as a Stone Age machine
+/// with alphabet Σ = channel masks (|Σ| = 2^c) and counting bound b = 1.
+///
+/// A Stone Age node displays the mask it would have beeped; the b = 1
+/// counts reconstruct exactly the beeping feedback "≥1 neighbor beeped on
+/// channel k" (a neighbor beeped channel k iff it displayed some letter
+/// with bit k set). This makes the related-work statement "the Stone Age
+/// model is at least as strong as beeping" executable: wrapping is lossless
+/// and — with the same per-node random streams — round-for-round identical
+/// (tested in test_stoneage.cpp).
+class BeepingInStoneAge : public StoneAgeAlgorithm {
+ public:
+  explicit BeepingInStoneAge(std::unique_ptr<beep::BeepingAlgorithm> inner);
+
+  std::string name() const override;
+  std::size_t node_count() const override;
+  unsigned alphabet_size() const override;
+  unsigned counting_bound() const override { return 1; }
+  void decide(std::uint64_t round, std::span<support::Rng> rngs,
+              std::span<Letter> shown) override;
+  void receive(std::uint64_t round, std::span<const Letter> shown,
+               std::span<const std::uint8_t> counts) override;
+  void corrupt_node(graph::VertexId v, support::Rng& rng) override;
+
+  beep::BeepingAlgorithm& inner() noexcept { return *inner_; }
+  const beep::BeepingAlgorithm& inner() const noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<beep::BeepingAlgorithm> inner_;
+  std::vector<beep::ChannelMask> sent_, heard_;
+};
+
+}  // namespace beepmis::stoneage

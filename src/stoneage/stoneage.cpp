@@ -1,0 +1,54 @@
+#include "src/stoneage/stoneage.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::stoneage {
+
+StoneAgeSimulation::StoneAgeSimulation(const graph::Graph& g,
+                                       std::unique_ptr<StoneAgeAlgorithm> algo,
+                                       std::uint64_t seed)
+    : graph_(&g), algo_(std::move(algo)) {
+  BEEPMIS_CHECK(algo_ != nullptr, "simulation needs an algorithm");
+  BEEPMIS_CHECK(algo_->node_count() == g.vertex_count(),
+                "algorithm sized for a different graph");
+  const unsigned sigma = algo_->alphabet_size();
+  BEEPMIS_CHECK(sigma >= 2 && sigma <= kMaxAlphabet, "bad alphabet size");
+  BEEPMIS_CHECK(algo_->counting_bound() >= 1, "counting bound must be >= 1");
+  const support::Rng master(seed);
+  rngs_.reserve(g.vertex_count());
+  for (std::size_t v = 0; v < g.vertex_count(); ++v)
+    rngs_.push_back(master.derive_stream(v));
+  shown_.assign(g.vertex_count(), 0);
+  counts_.assign(g.vertex_count() * sigma, 0);
+}
+
+void StoneAgeSimulation::step() {
+  const std::size_t n = graph_->vertex_count();
+  const unsigned sigma = algo_->alphabet_size();
+  const auto b = static_cast<std::uint8_t>(
+      std::min<unsigned>(algo_->counting_bound(), 255));
+
+  algo_->decide(round_, rngs_, shown_);
+  for (std::size_t v = 0; v < n; ++v)
+    BEEPMIS_CHECK(shown_[v] < sigma, "algorithm displayed an invalid letter");
+
+  // One-two-many feedback: per (node, letter), saturated neighbor count.
+  std::fill(counts_.begin(), counts_.end(), 0);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (graph::VertexId u : graph_->neighbors(v)) {
+      std::uint8_t& c = counts_[v * sigma + shown_[u]];
+      if (c < b) ++c;
+    }
+  }
+
+  algo_->receive(round_, shown_, counts_);
+  ++round_;
+}
+
+void StoneAgeSimulation::run(std::uint64_t rounds) {
+  for (std::uint64_t i = 0; i < rounds; ++i) step();
+}
+
+}  // namespace beepmis::stoneage

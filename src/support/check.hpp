@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Lightweight invariant checking used across the library.
+///
+/// BEEPMIS_CHECK is always on (simulation correctness beats raw speed here;
+/// the checks are branch-predictable and essentially free), and aborts with a
+/// source location so violations are caught at the point of damage rather
+/// than rounds later.
+#define BEEPMIS_CHECK(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "[beepmis] check failed at %s:%d: %s — %s\n",    \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,81 @@
+#include "src/support/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::support {
+
+FitResult linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  BEEPMIS_CHECK(xs.size() == ys.size(), "fit: size mismatch");
+  BEEPMIS_CHECK(xs.size() >= 2, "fit: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  BEEPMIS_CHECK(sxx > 0, "fit: regressor is constant");
+  FitResult r;
+  r.slope = sxy / sxx;
+  r.intercept = my - r.slope * mx;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (r.intercept + r.slope * xs[i]);
+    ss_res += e * e;
+  }
+  r.r2 = syy > 0 ? 1.0 - ss_res / syy : 1.0;
+  r.rmse = std::sqrt(ss_res / n);
+  return r;
+}
+
+std::string growth_model_name(GrowthModel m) {
+  switch (m) {
+    case GrowthModel::LogN: return "log n";
+    case GrowthModel::LogNLogLogN: return "log n * loglog n";
+    case GrowthModel::Linear: return "n";
+    case GrowthModel::Sqrt: return "sqrt n";
+  }
+  return "?";
+}
+
+double growth_regressor(GrowthModel m, double n) {
+  BEEPMIS_CHECK(n >= 3.0, "growth regressor requires n >= 3");
+  switch (m) {
+    case GrowthModel::LogN: return std::log(n);
+    case GrowthModel::LogNLogLogN: return std::log(n) * std::log(std::log(n));
+    case GrowthModel::Linear: return n;
+    case GrowthModel::Sqrt: return std::sqrt(n);
+  }
+  return 0.0;
+}
+
+FitResult fit_growth(GrowthModel m, std::span<const double> ns,
+                     std::span<const double> ys) {
+  std::vector<double> xs(ns.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) xs[i] = growth_regressor(m, ns[i]);
+  return linear_fit(xs, ys);
+}
+
+std::vector<std::pair<GrowthModel, FitResult>> rank_growth_models(
+    std::span<const double> ns, std::span<const double> ys) {
+  std::vector<std::pair<GrowthModel, FitResult>> out;
+  for (GrowthModel m : {GrowthModel::LogN, GrowthModel::LogNLogLogN,
+                        GrowthModel::Sqrt, GrowthModel::Linear}) {
+    out.emplace_back(m, fit_growth(m, ns, ys));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second.r2 > b.second.r2; });
+  return out;
+}
+
+}  // namespace beepmis::support

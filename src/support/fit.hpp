@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace beepmis::support {
+
+/// Result of an ordinary least-squares fit y ≈ a + b·f(x).
+struct FitResult {
+  double intercept = 0.0;  ///< a
+  double slope = 0.0;      ///< b
+  double r2 = 0.0;         ///< coefficient of determination
+  double rmse = 0.0;       ///< root-mean-square residual
+};
+
+/// OLS fit of y against precomputed regressors f(x). xs/ys must have equal
+/// size >= 2 and xs must not be constant.
+FitResult linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Growth models the scaling experiments compare. The theorems predict which
+/// model explains T(n): Thm 2.1 / Cor 2.3 → LogN, Thm 2.2 → LogNLogLogN.
+enum class GrowthModel { LogN, LogNLogLogN, Linear, Sqrt };
+
+std::string growth_model_name(GrowthModel m);
+
+/// Evaluate the model regressor at n (natural logs; n must be >= 3 for
+/// LogNLogLogN so log log n > 0).
+double growth_regressor(GrowthModel m, double n);
+
+/// Fit T(n) data against a growth model: regresses ys on growth_regressor(ns).
+FitResult fit_growth(GrowthModel m, std::span<const double> ns,
+                     std::span<const double> ys);
+
+/// Fits all models and returns them ordered best-R² first, as
+/// (model, fit) pairs. Used by benches to report which asymptotic shape the
+/// measurements actually follow.
+std::vector<std::pair<GrowthModel, FitResult>> rank_growth_models(
+    std::span<const double> ns, std::span<const double> ys);
+
+}  // namespace beepmis::support

@@ -1,0 +1,77 @@
+#include "src/support/rng.hpp"
+
+namespace beepmis::support {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire (2019): multiply-shift with rejection of the biased low range.
+  using u128 = unsigned __int128;
+  std::uint64_t x = (*this)();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+bool Rng::bernoulli_pow2(unsigned k) noexcept {
+  if (k == 0) return true;
+  if (k >= 64) return false;
+  // Success iff the top k random bits are all zero: probability exactly 2^-k.
+  return ((*this)() >> (64 - k)) == 0;
+}
+
+Rng Rng::derive_stream(std::uint64_t key) const noexcept {
+  // Mix (seed, key) through two SplitMix64 rounds; streams for distinct keys
+  // start from well-separated points of the SplitMix64 sequence.
+  std::uint64_t sm = seed_ ^ (0x6a09e667f3bcc909ULL + key * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t derived = splitmix64(sm) ^ splitmix64(sm);
+  return Rng{derived};
+}
+
+}  // namespace beepmis::support

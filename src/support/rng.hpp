@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace beepmis::support {
+
+/// SplitMix64 step: the canonical 64-bit mixer, used both as a stream
+/// splitter (deriving independent per-node seeds from a master seed) and to
+/// seed xoshiro256** state. Reference: Steele, Lea, Flood (2014).
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Deterministic xoshiro256** PRNG (Blackman & Vigna).
+///
+/// Every random decision in the simulator flows through an Rng. Runs are a
+/// pure function of the master seed: the engine derives one independent
+/// stream per node (see derive_stream), so results do not depend on node
+/// iteration order and sweeps parallelize trivially.
+///
+/// Satisfies std::uniform_random_bit_generator so it can also drive
+/// <random> distributions in tests.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 from `seed` (any value is a
+  /// valid seed, including 0).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 uniformly random bits.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// nearly-divisionless rejection method, so the result is exactly uniform.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Bernoulli trial with success probability 2^-k for integer k >= 0,
+  /// computed exactly from random bits (no floating-point rounding). This is
+  /// the workhorse for the paper's beeping probabilities p = 2^-level.
+  /// k >= 64 always fails (probability < 2^-63 is below resolution; the
+  /// paper caps levels at O(log n) well under this).
+  bool bernoulli_pow2(unsigned k) noexcept;
+
+  /// A new Rng whose stream is statistically independent of this one's,
+  /// keyed by `key`. Used to derive per-node streams from a master seed.
+  Rng derive_stream(std::uint64_t key) const noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;  // retained so derive_stream is order-independent
+};
+
+}  // namespace beepmis::support

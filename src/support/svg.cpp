@@ -1,0 +1,170 @@
+#include "src/support/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::support {
+
+namespace {
+
+constexpr const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                    "#ff7f0e", "#9467bd", "#8c564b",
+                                    "#e377c2", "#7f7f7f"};
+
+std::string fmt(double v) {
+  char buf[48];
+  if (v == 0.0) return "0";
+  const double a = std::abs(v);
+  if (a >= 1e5 || a < 1e-3)
+    std::snprintf(buf, sizeof buf, "%.2g", v);
+  else if (a >= 100 || std::floor(v) == v)
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  else
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvgChart::SvgChart(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void SvgChart::add_series(const std::string& name,
+                          std::vector<std::pair<double, double>> points) {
+  BEEPMIS_CHECK(!points.empty(), "series needs at least one point");
+  std::sort(points.begin(), points.end());
+  series_.push_back(Series{name, std::move(points)});
+}
+
+std::string SvgChart::render(unsigned width, unsigned height) const {
+  BEEPMIS_CHECK(!series_.empty(), "chart needs at least one series");
+  const double ml = 70, mr = 20, mt = 44, mb = 52;  // margins
+  const double pw = width - ml - mr, ph = height - mt - mb;
+
+  auto tx = [&](double x) { return log_x_ ? std::log10(x) : x; };
+
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      if (log_x_) BEEPMIS_CHECK(x > 0, "log-x chart needs positive x");
+      xmin = std::min(xmin, tx(x));
+      xmax = std::max(xmax, tx(x));
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+  // Pad y range 5% and include 0 when close.
+  const double ypad = 0.05 * (ymax - ymin);
+  ymin -= ypad;
+  ymax += ypad;
+
+  auto px = [&](double x) { return ml + (tx(x) - xmin) / (xmax - xmin) * pw; };
+  auto py = [&](double y) { return mt + (ymax - y) / (ymax - ymin) * ph; };
+
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%u\" "
+                "height=\"%u\" font-family=\"sans-serif\" font-size=\"12\">\n",
+                width, height);
+  out += buf;
+  out += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Title and axis labels.
+  std::snprintf(buf, sizeof buf,
+                "<text x=\"%.0f\" y=\"22\" font-size=\"15\" "
+                "text-anchor=\"middle\">%s</text>\n",
+                ml + pw / 2, escape(title_).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "<text x=\"%.0f\" y=\"%.0f\" text-anchor=\"middle\">%s"
+                "</text>\n",
+                ml + pw / 2, height - 10.0, escape(x_label_).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "<text x=\"16\" y=\"%.0f\" text-anchor=\"middle\" "
+                "transform=\"rotate(-90 16 %.0f)\">%s</text>\n",
+                mt + ph / 2, mt + ph / 2, escape(y_label_).c_str());
+  out += buf;
+
+  // Axes box + ticks (5 per axis).
+  std::snprintf(buf, sizeof buf,
+                "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+                "fill=\"none\" stroke=\"#333\"/>\n",
+                ml, mt, pw, ph);
+  out += buf;
+  for (int i = 0; i <= 4; ++i) {
+    const double fx = xmin + (xmax - xmin) * i / 4.0;
+    const double gx = ml + pw * i / 4.0;
+    const double label = log_x_ ? std::pow(10.0, fx) : fx;
+    std::snprintf(buf, sizeof buf,
+                  "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                  "stroke=\"#ccc\"/>\n<text x=\"%.1f\" y=\"%.1f\" "
+                  "text-anchor=\"middle\">%s</text>\n",
+                  gx, mt, gx, mt + ph, gx, mt + ph + 16,
+                  fmt(label).c_str());
+    out += buf;
+    const double fy = ymin + (ymax - ymin) * i / 4.0;
+    const double gy = py(fy);
+    std::snprintf(buf, sizeof buf,
+                  "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                  "stroke=\"#ccc\"/>\n<text x=\"%.1f\" y=\"%.1f\" "
+                  "text-anchor=\"end\">%s</text>\n",
+                  ml, gy, ml + pw, gy, ml - 6, gy + 4, fmt(fy).c_str());
+    out += buf;
+  }
+
+  // Series polylines + legend.
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const char* color = kPalette[i % (sizeof kPalette / sizeof *kPalette)];
+    out += "<polyline fill=\"none\" stroke=\"";
+    out += color;
+    out += "\" stroke-width=\"1.8\" points=\"";
+    for (const auto& [x, y] : series_[i].points) {
+      std::snprintf(buf, sizeof buf, "%.1f,%.1f ", px(x), py(y));
+      out += buf;
+    }
+    out += "\"/>\n";
+    for (const auto& [x, y] : series_[i].points) {
+      std::snprintf(buf, sizeof buf,
+                    "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.4\" fill=\"%s\"/>\n",
+                    px(x), py(y), color);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "<rect x=\"%.1f\" y=\"%.1f\" width=\"12\" height=\"12\" "
+                  "fill=\"%s\"/>\n<text x=\"%.1f\" y=\"%.1f\">%s</text>\n",
+                  ml + 10, mt + 8 + 18.0 * static_cast<double>(i), color,
+                  ml + 27, mt + 18 + 18.0 * static_cast<double>(i),
+                  escape(series_[i].name).c_str());
+    out += buf;
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+void SvgChart::write(std::ostream& os, unsigned width, unsigned height) const {
+  os << render(width, height);
+}
+
+}  // namespace beepmis::support

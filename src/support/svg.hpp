@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace beepmis::support {
+
+/// Minimal dependency-free SVG line/scatter chart writer, used to render
+/// convergence logs and scaling sweeps as standalone .svg figures (CLI
+/// --svg, examples). Deliberately tiny: linear or log-x axes, multiple
+/// named series, autoscaled ticks, a legend — nothing else.
+class SvgChart {
+ public:
+  SvgChart(std::string title, std::string x_label, std::string y_label);
+
+  /// Adds a named series; points are (x, y) pairs. Series are drawn as
+  /// polylines with per-series colors from a fixed palette, in insertion
+  /// order.
+  void add_series(const std::string& name,
+                  std::vector<std::pair<double, double>> points);
+
+  /// Use a log₁₀ scale on the x axis (all x must be > 0).
+  void set_log_x(bool log_x) { log_x_ = log_x; }
+
+  std::size_t series_count() const noexcept { return series_.size(); }
+
+  /// Renders the complete SVG document.
+  std::string render(unsigned width = 720, unsigned height = 440) const;
+  void write(std::ostream& os, unsigned width = 720,
+             unsigned height = 440) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+  };
+  std::string title_, x_label_, y_label_;
+  std::vector<Series> series_;
+  bool log_x_ = false;
+};
+
+}  // namespace beepmis::support

@@ -1,0 +1,83 @@
+#include "src/support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  BEEPMIS_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  BEEPMIS_CHECK(!rows_.empty(), "cell() before row()");
+  BEEPMIS_CHECK(rows_.back().size() < headers_.size(), "too many cells in row");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+
+Table& Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(int v) { return cell(std::to_string(v)); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& r, std::string& out) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string{};
+      out += "| ";
+      out += v;
+      out.append(widths[c] - v.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& r : rows_) emit_row(r, out);
+  return out;
+}
+
+std::string Table::csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) out += ',';
+      out += r[c];
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << str(); }
+
+}  // namespace beepmis::support

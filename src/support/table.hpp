@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace beepmis::support {
+
+/// Column-aligned plain-text table for bench output, with optional CSV dump.
+/// All bench binaries print their paper-reproduction rows through this so
+/// output formatting is uniform and machine-scrapable.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& v);
+  Table& cell(const char* v);
+  Table& cell(double v, int precision = 2);
+  Table& cell(std::int64_t v);
+  Table& cell(std::uint64_t v);
+  Table& cell(int v);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render aligned text (headers, separator, rows).
+  std::string str() const;
+  /// Render as CSV (no quoting needed — cells never contain commas).
+  std::string csv() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace beepmis::support

@@ -1,0 +1,120 @@
+#include "src/baselines/afek.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/beep/fault.hpp"
+#include "src/beep/network.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::baselines {
+namespace {
+
+std::unique_ptr<beep::Simulation> sim_on(const graph::Graph& g,
+                                         std::uint64_t seed,
+                                         std::size_t upper_n = 0) {
+  auto algo = std::make_unique<AfekStyleMis>(
+      g, upper_n ? upper_n : g.vertex_count());
+  return std::make_unique<beep::Simulation>(g, std::move(algo), seed);
+}
+
+AfekStyleMis& algo_of(beep::Simulation& sim) {
+  return dynamic_cast<AfekStyleMis&>(sim.algorithm());
+}
+
+TEST(Afek, SlotsDerivedFromUpperBound) {
+  const auto g = graph::make_path(4);
+  EXPECT_EQ(AfekStyleMis(g, 4).slots_per_phase(), 3u);     // ceil_log2(4)+1
+  EXPECT_EQ(AfekStyleMis(g, 1000).slots_per_phase(), 11u); // ceil_log2(1000)+1
+}
+
+TEST(AfekDeath, UpperBoundBelowNAborts) {
+  const auto g = graph::make_path(10);
+  EXPECT_DEATH(AfekStyleMis(g, 5), "upper-bound");
+}
+
+TEST(Afek, CleanStartConvergesToValidMis) {
+  support::Rng grng(2);
+  const auto graphs = {
+      graph::make_path(24),   graph::make_cycle(25),
+      graph::make_star(24),   graph::make_complete(12),
+      graph::make_erdos_renyi(48, 0.1, grng),
+  };
+  for (const auto& g : graphs) {
+    auto sim = sim_on(g, g.vertex_count());
+    auto& a = algo_of(*sim);
+    sim->run_until(
+        [&](const beep::Simulation&) { return a.is_stabilized(); }, 50000);
+    ASSERT_TRUE(a.is_stabilized()) << g.name();
+    EXPECT_TRUE(mis::is_mis(g, a.mis_members())) << g.name();
+  }
+}
+
+TEST(Afek, RecoversFromFullCorruption) {
+  support::Rng rng(3);
+  const auto g = graph::make_grid(5, 5);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto sim = sim_on(g, seed);
+    auto& a = algo_of(*sim);
+    support::Rng crng(seed + 100);
+    beep::FaultInjector::corrupt_all(*sim, crng);
+    sim->run_until(
+        [&](const beep::Simulation&) { return a.is_stabilized(); }, 50000);
+    ASSERT_TRUE(a.is_stabilized()) << "seed " << seed;
+    EXPECT_TRUE(mis::is_mis(g, a.mis_members()));
+  }
+}
+
+TEST(Afek, RecoversFromAdjacentFakeMembers) {
+  // Two adjacent InMis nodes hear each other's notify beeps and resolve the
+  // conflict — the failure JSX cannot repair.
+  const auto g = graph::make_path(2);
+  auto sim = sim_on(g, 11);
+  auto& a = algo_of(*sim);
+  support::Rng rng(1);
+  // Force the corrupt adjacent-members state.
+  while (!(a.status(0) == AfekStyleMis::Status::InMis &&
+           a.status(1) == AfekStyleMis::Status::InMis)) {
+    a.corrupt_node(0, rng);
+    a.corrupt_node(1, rng);
+  }
+  sim->run_until(
+      [&](const beep::Simulation&) { return a.is_stabilized(); }, 20000);
+  ASSERT_TRUE(a.is_stabilized());
+  EXPECT_TRUE(mis::is_mis(g, a.mis_members()));
+}
+
+TEST(Afek, RecoversFromAllOutSilence) {
+  // Everyone out with no member: silence detection re-activates competitors
+  // within one phase.
+  const auto g = graph::make_cycle(10);
+  auto sim = sim_on(g, 13);
+  auto& a = algo_of(*sim);
+  support::Rng rng(2);
+  for (graph::VertexId v = 0; v < 10; ++v) {
+    // Deterministically force Out status with a zero counter.
+    while (a.status(v) != AfekStyleMis::Status::Out) a.corrupt_node(v, rng);
+  }
+  sim->run_until(
+      [&](const beep::Simulation&) { return a.is_stabilized(); }, 20000);
+  ASSERT_TRUE(a.is_stabilized());
+  EXPECT_TRUE(mis::is_mis(g, a.mis_members()));
+}
+
+TEST(Afek, StableStateIsSteady) {
+  const auto g = graph::make_star(12);
+  auto sim = sim_on(g, 17);
+  auto& a = algo_of(*sim);
+  sim->run_until(
+      [&](const beep::Simulation&) { return a.is_stabilized(); }, 50000);
+  ASSERT_TRUE(a.is_stabilized());
+  const auto members = a.mis_members();
+  sim->run(1000);
+  EXPECT_TRUE(a.is_stabilized());
+  EXPECT_EQ(a.mis_members(), members);
+}
+
+}  // namespace
+}  // namespace beepmis::baselines

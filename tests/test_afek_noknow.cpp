@@ -1,0 +1,96 @@
+#include "src/baselines/afek_noknow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/beep/network.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::baselines {
+namespace {
+
+TEST(AfekNoKnow, SlotPositionTriangularStructure) {
+  using SP = AfekNoKnowledgeMis::SlotPosition;
+  // Phase 1 has 1 slot (rounds 0-1), phase 2 has 2 slots (rounds 2-5), ...
+  const SP p0 = AfekNoKnowledgeMis::slot_position(0);
+  EXPECT_EQ(p0.phase, 1u);
+  EXPECT_EQ(p0.slot, 0u);
+  EXPECT_TRUE(p0.compete_round);
+  const SP p1 = AfekNoKnowledgeMis::slot_position(1);
+  EXPECT_EQ(p1.phase, 1u);
+  EXPECT_FALSE(p1.compete_round);
+  const SP p2 = AfekNoKnowledgeMis::slot_position(2);
+  EXPECT_EQ(p2.phase, 2u);
+  EXPECT_EQ(p2.slot, 0u);
+  const SP p5 = AfekNoKnowledgeMis::slot_position(5);
+  EXPECT_EQ(p5.phase, 2u);
+  EXPECT_EQ(p5.slot, 1u);
+  const SP p6 = AfekNoKnowledgeMis::slot_position(6);
+  EXPECT_EQ(p6.phase, 3u);
+  EXPECT_EQ(p6.slot, 0u);
+}
+
+TEST(AfekNoKnow, SlotPositionIsMonotoneAndContiguous) {
+  auto prev = AfekNoKnowledgeMis::slot_position(0);
+  for (beep::Round r = 1; r < 20000; ++r) {
+    const auto cur = AfekNoKnowledgeMis::slot_position(r);
+    EXPECT_GE(cur.phase, prev.phase);
+    if (cur.phase == prev.phase) {
+      EXPECT_GE(cur.slot, prev.slot);
+    }
+    EXPECT_LT(cur.slot, cur.phase);  // slot index bounded by phase length
+    prev = cur;
+  }
+}
+
+TEST(AfekNoKnow, ConvergesToValidMisWithoutAnyKnowledge) {
+  support::Rng grng(3);
+  const auto graphs = {
+      graph::make_path(40),   graph::make_cycle(41),
+      graph::make_star(40),   graph::make_complete(20),
+      graph::make_erdos_renyi(80, 0.08, grng),
+      graph::make_barabasi_albert(80, 3, grng),
+  };
+  for (const auto& g : graphs) {
+    auto algo = std::make_unique<AfekNoKnowledgeMis>(g);
+    auto* a = algo.get();
+    beep::Simulation sim(g, std::move(algo), g.vertex_count() + 5);
+    sim.run_until(
+        [&](const beep::Simulation&) { return a->terminated(); }, 50000);
+    ASSERT_TRUE(a->terminated()) << g.name();
+    EXPECT_TRUE(mis::is_mis(g, a->mis_members())) << g.name();
+  }
+}
+
+TEST(AfekNoKnow, RoundCountIsPolylogOnRandomGraphs) {
+  support::Rng grng(4);
+  const auto g = graph::make_erdos_renyi_avg_degree(2048, 8.0, grng);
+  auto algo = std::make_unique<AfekNoKnowledgeMis>(g);
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 5);
+  sim.run_until([&](const beep::Simulation&) { return a->terminated(); },
+                100000);
+  ASSERT_TRUE(a->terminated());
+  // O(log^2 n): for n=2048, log2 = 11, so ~(11^2)·2 slots·2 ≈ 500; allow 4x.
+  EXPECT_LT(sim.round(), 2000u);
+}
+
+TEST(AfekNoKnow, SlowerThanJsxButNeedsNothing) {
+  // Positioning sanity: JSX needs no knowledge either but relies on the
+  // clean p=1/2 start; the Afek ramp starts each phase from scratch, so it
+  // should take visibly more rounds on the same instance.
+  support::Rng grng(5);
+  const auto g = graph::make_erdos_renyi_avg_degree(512, 8.0, grng);
+  auto algo = std::make_unique<AfekNoKnowledgeMis>(g);
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 9);
+  sim.run_until([&](const beep::Simulation&) { return a->terminated(); },
+                100000);
+  ASSERT_TRUE(a->terminated());
+  EXPECT_GT(sim.round(), 40u);  // JSX finishes ~25-35 rounds here
+}
+
+}  // namespace
+}  // namespace beepmis::baselines

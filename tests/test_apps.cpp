@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/coloring.hpp"
+#include "src/apps/ruling_set.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/properties.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::apps {
+namespace {
+
+// --- conflict graph structure -----------------------------------------------
+
+TEST(ColoringReduction, ConflictGraphShape) {
+  const auto g = graph::make_path(3);  // Δ = 2, palette size 3
+  const auto cg = make_coloring_conflict_graph(g);
+  EXPECT_EQ(cg.vertex_count(), 9u);
+  // Edges: 3 vertices × C(3,2) clique edges + 2 graph edges × 3 colors.
+  EXPECT_EQ(cg.edge_count(), 3u * 3 + 2u * 3);
+  // (v=0,c=0) conflicts with (v=1,c=0) but not (v=1,c=1).
+  EXPECT_TRUE(cg.has_edge(0, 3));
+  EXPECT_FALSE(cg.has_edge(0, 4));
+  // Color-slot clique of vertex 0: ids 0,1,2.
+  EXPECT_TRUE(cg.has_edge(0, 1));
+  EXPECT_TRUE(cg.has_edge(1, 2));
+}
+
+TEST(ColoringReduction, AnyMisOfConflictGraphIsAProperColoring) {
+  // Structural theorem behind the reduction, independent of the beeping
+  // algorithm: greedy MISes in random orders always decode to colorings.
+  support::Rng grng(1);
+  const auto g = graph::make_erdos_renyi(40, 0.1, grng);
+  const auto cg = make_coloring_conflict_graph(g);
+  const std::size_t k = g.max_degree() + 1;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    support::Rng rng(s);
+    const auto m = mis::random_greedy_mis(cg, rng);
+    std::vector<std::uint32_t> colors(g.vertex_count(), 0);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      std::size_t picks = 0;
+      for (std::size_t c = 0; c < k; ++c)
+        if (m[v * k + c]) {
+          colors[v] = static_cast<std::uint32_t>(c);
+          ++picks;
+        }
+      ASSERT_EQ(picks, 1u);
+    }
+    EXPECT_TRUE(is_proper_coloring(g, colors,
+                                   static_cast<std::uint32_t>(k)));
+  }
+}
+
+class ColoringOnFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringOnFamilies, SelfStabColoringIsProper) {
+  support::Rng grng(GetParam());
+  graph::Graph g;
+  switch (GetParam()) {
+    case 0: g = graph::make_cycle(21); break;
+    case 1: g = graph::make_grid(5, 6); break;
+    case 2: g = graph::make_erdos_renyi(48, 0.08, grng); break;
+    case 3: g = graph::make_binary_tree(31); break;
+    default: g = graph::make_complete(7); break;
+  }
+  const auto result = color_via_selfstab_mis(g, /*seed=*/99, 200000);
+  ASSERT_TRUE(result.has_value()) << g.name();
+  const auto k = static_cast<std::uint32_t>(g.max_degree() + 1);
+  EXPECT_TRUE(is_proper_coloring(g, result->colors, k)) << g.name();
+  EXPECT_LE(result->colors_used, k);
+  EXPECT_GT(result->rounds, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ColoringOnFamilies,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(Coloring, CompleteGraphNeedsAllColors) {
+  const auto g = graph::make_complete(6);
+  const auto result = color_via_selfstab_mis(g, 7, 200000);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->colors_used, 6u);
+}
+
+TEST(Coloring, EmptyAndEdgelessGraphs) {
+  const auto g0 = graph::GraphBuilder(0).build();
+  EXPECT_TRUE(color_via_selfstab_mis(g0, 1, 100).has_value());
+  const auto g5 = graph::GraphBuilder(5).build();
+  const auto r = color_via_selfstab_mis(g5, 1, 10000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->colors_used, 1u);  // palette size Δ+1 = 1
+}
+
+TEST(Coloring, ProperColoringValidatorNegativeCases) {
+  const auto g = graph::make_path(3);
+  EXPECT_FALSE(is_proper_coloring(g, {0, 0, 1}, 3));  // adjacent clash
+  EXPECT_FALSE(is_proper_coloring(g, {0, 5, 0}, 3));  // color out of range
+  EXPECT_TRUE(is_proper_coloring(g, {0, 1, 0}, 3));
+}
+
+// --- graph power + ruling sets ----------------------------------------------
+
+TEST(GraphPower, SquareOfPath) {
+  const auto g2 = graph::graph_power(graph::make_path(5), 2);
+  EXPECT_TRUE(g2.has_edge(0, 1));
+  EXPECT_TRUE(g2.has_edge(0, 2));
+  EXPECT_FALSE(g2.has_edge(0, 3));
+  EXPECT_EQ(g2.edge_count(), 4u + 3u);
+}
+
+TEST(GraphPower, DiameterPowerIsComplete) {
+  const auto g = graph::make_cycle(7);
+  const auto gk = graph::graph_power(g, 3);  // diameter of C7 is 3
+  EXPECT_EQ(gk.edge_count(), 21u);
+}
+
+TEST(RulingSet, MisIsATwoOneRulingSet) {
+  support::Rng grng(3);
+  const auto g = graph::make_erdos_renyi(60, 0.07, grng);
+  const auto r = ruling_set_via_selfstab_mis(g, 2, 5, 200000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(is_ruling_set(g, r->members, 2, 1));
+  EXPECT_TRUE(mis::is_mis(g, r->members));
+}
+
+class RulingAlpha : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RulingAlpha, PowerReductionGivesAlphaRulingSet) {
+  const std::size_t alpha = GetParam();
+  const auto g = graph::make_grid(8, 8);
+  const auto r = ruling_set_via_selfstab_mis(g, alpha, 11, 200000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(is_ruling_set(g, r->members, alpha, alpha - 1))
+      << "alpha=" << alpha;
+  EXPECT_GT(mis::member_count(r->members), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, RulingAlpha, ::testing::Values(2u, 3u, 4u));
+
+TEST(RulingSet, ValidatorNegativeCases) {
+  const auto g = graph::make_path(6);
+  // Adjacent members violate alpha=2.
+  EXPECT_FALSE(is_ruling_set(g, {true, true, false, false, false, true}, 2, 1));
+  // Vertex 5 not covered within beta=1 by {0}.
+  EXPECT_FALSE(
+      is_ruling_set(g, {true, false, false, false, false, false}, 2, 1));
+  // {0, 3, 5}: distances 3 and 2 apart... 3-5 distance 2 ok for alpha 2;
+  // everyone within 1.
+  EXPECT_TRUE(is_ruling_set(g, {true, false, false, true, false, true}, 2, 1));
+  // Larger beta relaxes coverage.
+  EXPECT_TRUE(is_ruling_set(g, {false, false, true, false, false, false}, 2, 3));
+}
+
+}  // namespace
+}  // namespace beepmis::apps

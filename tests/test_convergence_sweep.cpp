@@ -1,0 +1,97 @@
+/// Statistical convergence properties across the full (variant × family)
+/// matrix at moderate size: stabilization times concentrate (p95 within a
+/// small factor of the median), MIS sizes are sane relative to greedy, and
+/// repeated runs with different seeds all succeed. These are the "does the
+/// distribution look like the theory says" checks, complementing the
+/// per-run correctness tests.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/exp/families.hpp"
+#include "src/exp/runner.hpp"
+#include "src/mis/verifier.hpp"
+#include "src/support/stats.hpp"
+
+namespace beepmis::exp {
+namespace {
+
+using Param = std::tuple<Variant, Family>;
+
+class ConvergenceStats : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ConvergenceStats, TimesConcentrateAndSetsAreSane) {
+  const auto [variant, family] = GetParam();
+  constexpr std::size_t kN = 256;
+  constexpr std::uint64_t kSeeds = 12;
+
+  support::SampleSet rounds;
+  support::RunningStats mis_ratio;
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    support::Rng grng(1000 + s);
+    const graph::Graph g = make_family(family, kN, grng);
+    const RunResult r =
+        run_variant(g, variant, core::InitPolicy::UniformRandom, 2000 + s,
+                    default_round_budget(kN));
+    ASSERT_TRUE(r.stabilized) << variant_name(variant) << "/"
+                              << family_name(family) << " seed " << s;
+    ASSERT_TRUE(r.valid_mis);
+    rounds.add(static_cast<double>(r.rounds));
+
+    support::Rng mrng(3000 + s);
+    const auto greedy = mis::random_greedy_mis(g, mrng);
+    mis_ratio.add(static_cast<double>(r.mis_size) /
+                  static_cast<double>(mis::member_count(greedy)));
+  }
+
+  // Concentration: the w.h.p. bound implies a light upper tail.
+  EXPECT_LT(rounds.quantile(0.95), 3.0 * rounds.median() + 20.0);
+  // Any two maximal independent sets of a graph differ in size by at most
+  // a Δ factor; on these bounded-ish-degree families they are close.
+  EXPECT_GT(mis_ratio.mean(), 0.4);
+  EXPECT_LT(mis_ratio.mean(), 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConvergenceStats,
+    ::testing::Combine(
+        ::testing::Values(Variant::GlobalDelta, Variant::OwnDegree,
+                          Variant::TwoChannel),
+        ::testing::Values(Family::ErdosRenyiAvg8, Family::Random4Regular,
+                          Family::Torus, Family::BarabasiAlbert3,
+                          Family::GeometricAvg8, Family::RandomTree)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      auto clean = [](std::string s) {
+        for (char& c : s)
+          if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+        return s;
+      };
+      return clean(variant_name(std::get<0>(info.param))) + "_" +
+             clean(family_name(std::get<1>(info.param)));
+    });
+
+TEST(ConvergenceStats, LargerGraphsTakeOnlyLogarithmicallyLonger) {
+  // Direct shape check used by the scaling benches, as a regression test:
+  // median T(4096) / median T(64) must be far below the 64x a linear bound
+  // would give — the theorems say the ratio is ~ log(4096)/log(64) = 2.
+  auto median_rounds = [](std::size_t n) {
+    support::SampleSet rounds;
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      support::Rng grng(s);
+      const graph::Graph g = make_family(Family::Random4Regular, n, grng);
+      const RunResult r =
+          run_variant(g, Variant::GlobalDelta, core::InitPolicy::UniformRandom,
+                      s, default_round_budget(n));
+      EXPECT_TRUE(r.stabilized);
+      rounds.add(static_cast<double>(r.rounds));
+    }
+    return rounds.median();
+  };
+  const double t64 = median_rounds(64);
+  const double t4096 = median_rounds(4096);
+  EXPECT_LT(t4096 / t64, 4.0);
+}
+
+}  // namespace
+}  // namespace beepmis::exp

@@ -1,0 +1,74 @@
+#include "src/exp/convlog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/exp/runner.hpp"
+#include "src/graph/generators.hpp"
+
+namespace beepmis::exp {
+namespace {
+
+TEST(ConvergenceLog, StableCountIsNonDecreasingAndReachesN) {
+  const auto g = graph::make_grid(6, 6);
+  auto sim = make_selfstab_sim(g, Variant::GlobalDelta, 5);
+  support::Rng irng(3);
+  apply_init(*sim, core::InitPolicy::UniformRandom, irng);
+
+  ConvergenceLog log;
+  while (!selfstab_stabilized(*sim) && sim->round() < 5000) {
+    sim->step();
+    log.observe(*sim);
+  }
+  ASSERT_TRUE(selfstab_stabilized(*sim));
+  ASSERT_FALSE(log.points().empty());
+  std::size_t prev = 0;
+  for (const auto& p : log.points()) {
+    EXPECT_GE(p.stable, prev);
+    EXPECT_LE(p.mis, p.stable);
+    prev = p.stable;
+  }
+  EXPECT_EQ(log.points().back().stable, g.vertex_count());
+}
+
+TEST(ConvergenceLog, WorksForTwoChannelAlgorithm) {
+  const auto g = graph::make_cycle(16);
+  auto sim = make_selfstab_sim(g, Variant::TwoChannel, 5);
+  sim->step();
+  ConvergenceLog log;
+  log.observe(*sim);
+  EXPECT_EQ(log.points().size(), 1u);
+  EXPECT_EQ(log.points()[0].round, 1u);
+}
+
+TEST(ConvergenceLog, CsvFormat) {
+  const auto g = graph::make_cycle(8);
+  auto sim = make_selfstab_sim(g, Variant::GlobalDelta, 1);
+  ConvergenceLog log;
+  sim->step();
+  log.observe(*sim);
+  sim->step();
+  log.observe(*sim);
+  std::stringstream ss;
+  log.write_csv(ss);
+  std::string line;
+  ASSERT_TRUE(std::getline(ss, line));
+  EXPECT_EQ(line, "round,prominent,stable,mis,beeps_ch1,beeps_ch2");
+  int rows = 0;
+  while (std::getline(ss, line)) ++rows;
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(ConvergenceLog, ClearEmptiesPoints) {
+  const auto g = graph::make_cycle(8);
+  auto sim = make_selfstab_sim(g, Variant::GlobalDelta, 1);
+  ConvergenceLog log;
+  sim->step();
+  log.observe(*sim);
+  log.clear();
+  EXPECT_TRUE(log.points().empty());
+}
+
+}  // namespace
+}  // namespace beepmis::exp

@@ -1,0 +1,137 @@
+/// Degenerate-input coverage across the whole stack: empty and single-node
+/// graphs, isolated vertices, minimal lmax, zero-round runs. These inputs
+/// appear naturally at recursion floors and in generated workloads; each
+/// once held a latent divide-by-zero or empty-span hazard somewhere in a
+/// library like this.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "src/beep/network.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+#include "src/exp/runner.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/io.hpp"
+#include "src/graph/perturb.hpp"
+#include "src/graph/properties.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis {
+namespace {
+
+TEST(EdgeCases, EmptyGraphThroughTheWholeStack) {
+  const graph::Graph g = graph::GraphBuilder(0).build();
+  EXPECT_EQ(graph::degree_stats(g).mean, 0.0);
+  EXPECT_EQ(graph::connected_component_count(g), 0u);
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_TRUE(mis::is_mis(g, {}));
+
+  auto algo = std::make_unique<core::SelfStabMis>(g, core::LmaxVector{});
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 1);
+  EXPECT_TRUE(a->is_stabilized());  // vacuously legal
+  sim.run(10);
+  EXPECT_TRUE(a->is_stabilized());
+
+  std::stringstream ss;
+  graph::write_edge_list(g, ss);
+  EXPECT_EQ(graph::read_edge_list(ss).vertex_count(), 0u);
+}
+
+TEST(EdgeCases, SingleVertexAllVariants) {
+  const graph::Graph g = graph::GraphBuilder(1).build();
+  for (exp::Variant v :
+       {exp::Variant::GlobalDelta, exp::Variant::OwnDegree,
+        exp::Variant::TwoChannel}) {
+    const auto r = exp::run_variant(g, v, core::InitPolicy::UniformRandom,
+                                    7, 10000);
+    EXPECT_TRUE(r.stabilized) << exp::variant_name(v);
+    EXPECT_EQ(r.mis_size, 1u);
+    EXPECT_TRUE(r.valid_mis);
+  }
+}
+
+TEST(EdgeCases, AllIsolatedVertices) {
+  const graph::Graph g = graph::GraphBuilder(50).build();
+  const auto r = exp::run_variant(g, exp::Variant::GlobalDelta,
+                                  core::InitPolicy::UniformRandom, 3, 10000);
+  ASSERT_TRUE(r.stabilized);
+  EXPECT_EQ(r.mis_size, 50u);  // every isolated vertex must join
+}
+
+TEST(EdgeCasesDeath, LmaxOneIsRejectedAsNonLive) {
+  // With lmax = 1 the decay floor max(l-1, 1) equals the cap, so a silent
+  // vertex can never re-enter the competition: silence is absorbing and the
+  // process deadlocks (found by this very test before the guard existed).
+  const graph::Graph g = graph::make_path(6);
+  EXPECT_DEATH(core::SelfStabMis(g, core::LmaxVector(6, 1)), "at least 2");
+  EXPECT_DEATH(core::SelfStabMisTwoChannel(g, core::LmaxVector(6, 1)),
+               "at least 2");
+}
+
+TEST(EdgeCases, MinimalLmaxStillConverges) {
+  // lmax = 2 per vertex is the liveness minimum; the dynamics still
+  // self-stabilize.
+  const graph::Graph g = graph::make_path(6);
+  auto algo = std::make_unique<core::SelfStabMis>(g, core::LmaxVector(6, 2));
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 5);
+  sim.run_until(
+      [&](const beep::Simulation&) { return a->is_stabilized(); }, 100000);
+  ASSERT_TRUE(a->is_stabilized());
+  EXPECT_TRUE(mis::is_mis(g, a->mis_members()));
+}
+
+TEST(EdgeCases, ZeroRoundRunIsWellDefined) {
+  const graph::Graph g = graph::make_cycle(8);
+  auto sim = exp::make_selfstab_sim(g, exp::Variant::GlobalDelta, 1);
+  EXPECT_EQ(sim->round(), 0u);
+  EXPECT_TRUE(sim->last_sent().empty() ||
+              sim->last_sent().size() == g.vertex_count());
+  EXPECT_EQ(sim->total_beeps(0), 0u);
+}
+
+TEST(EdgeCases, TwoVertexGraphBothVariants) {
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const graph::Graph g = std::move(b).build();
+  for (exp::Variant v : {exp::Variant::GlobalDelta, exp::Variant::TwoChannel}) {
+    const auto r = exp::run_variant(g, v, core::InitPolicy::AllMin, 9, 10000);
+    ASSERT_TRUE(r.stabilized) << exp::variant_name(v);
+    EXPECT_EQ(r.mis_size, 1u);
+  }
+}
+
+TEST(EdgeCases, PerturbEmptyAndEdgelessGraphs) {
+  support::Rng rng(1);
+  const graph::Graph g0 = graph::GraphBuilder(0).build();
+  EXPECT_EQ(graph::perturb_edges(g0, 5, 5, rng).vertex_count(), 0u);
+  const graph::Graph g5 = graph::GraphBuilder(5).build();
+  const auto h = graph::perturb_edges(g5, 3, 3, rng);
+  EXPECT_EQ(h.edge_count(), 3u);  // nothing to remove, three added
+}
+
+TEST(EdgeCases, HugeLevelsRejectedBySimulatorChecks) {
+  // bernoulli_pow2 must behave for k near and beyond 64 — levels larger
+  // than 63 occur only with absurd lmax, but the RNG contract covers them.
+  support::Rng rng(2);
+  EXPECT_FALSE(rng.bernoulli_pow2(63) && rng.bernoulli_pow2(63) &&
+               rng.bernoulli_pow2(63));  // astronomically unlikely triple
+  EXPECT_FALSE(rng.bernoulli_pow2(100));
+}
+
+TEST(EdgeCases, StarWithOneLeaf) {
+  const graph::Graph g = graph::make_star(2);  // just an edge
+  EXPECT_EQ(g.edge_count(), 1u);
+  const auto r = exp::run_variant(g, exp::Variant::OwnDegree,
+                                  core::InitPolicy::FakeMis, 11, 10000);
+  EXPECT_TRUE(r.stabilized);
+  EXPECT_TRUE(r.valid_mis);
+}
+
+}  // namespace
+}  // namespace beepmis

@@ -1,0 +1,149 @@
+/// Exhaustive state-space verification on tiny graphs: for EVERY possible
+/// level configuration we check the structural properties the paper's
+/// analysis rests on —
+///   * the stabilization predicate S_t = V implies the encoded set is a
+///     verifier-valid MIS (legality of the legal states);
+///   * stable configurations are fixed points of fault-free execution
+///     (closure), for both Algorithm 1 and Algorithm 2;
+///   * I_t is always independent, in every configuration;
+///   * the stable set never shrinks in one step (monotonicity), checked
+///     across several random coin outcomes per configuration.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/beep/network.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::core {
+namespace {
+
+std::vector<graph::Graph> tiny_graphs() {
+  std::vector<graph::Graph> gs;
+  gs.push_back(graph::make_path(3));
+  gs.push_back(graph::make_complete(3));
+  gs.push_back(graph::GraphBuilder(3).build());  // edgeless
+  {
+    graph::GraphBuilder b(3, "edge+isolated");
+    b.add_edge(0, 1);
+    gs.push_back(std::move(b).build());
+  }
+  gs.push_back(graph::make_path(4));
+  gs.push_back(graph::make_star(4));
+  gs.push_back(graph::make_cycle(4));
+  return gs;
+}
+
+/// Calls fn for every level assignment in [lo, hi]^n.
+void for_all_configs(std::size_t n, std::int32_t lo, std::int32_t hi,
+                     const std::function<void(const std::vector<std::int32_t>&)>& fn) {
+  std::vector<std::int32_t> levels(n, lo);
+  while (true) {
+    fn(levels);
+    std::size_t i = 0;
+    while (i < n && levels[i] == hi) levels[i++] = lo;
+    if (i == n) break;
+    ++levels[i];
+  }
+}
+
+constexpr std::int32_t kLmax = 4;
+
+TEST(ExhaustiveAlgo1, StabilizedImpliesValidMisAndFrozen) {
+  for (const auto& g : tiny_graphs()) {
+    const std::size_t n = g.vertex_count();
+    std::size_t stable_configs = 0;
+    for_all_configs(n, -kLmax, kLmax, [&](const std::vector<std::int32_t>& ls) {
+      auto algo = std::make_unique<SelfStabMis>(g, LmaxVector(n, kLmax));
+      auto* a = algo.get();
+      for (graph::VertexId v = 0; v < n; ++v) a->set_level(v, ls[v]);
+
+      // I_t independent in EVERY configuration.
+      ASSERT_TRUE(mis::is_independent(g, a->mis_members()));
+
+      if (!a->is_stabilized()) return;
+      ++stable_configs;
+      // Legality.
+      ASSERT_TRUE(mis::is_mis(g, a->mis_members())) << g.name();
+      // Closure: a stable configuration is a fixed point (stable states
+      // have deterministic behavior: p(v) ∈ {0, 1} everywhere).
+      beep::Simulation sim(g, std::move(algo), 1);
+      sim.run(3);
+      for (graph::VertexId v = 0; v < n; ++v)
+        ASSERT_EQ(a->level(v), ls[v]) << g.name();
+    });
+    EXPECT_GT(stable_configs, 0u) << g.name();
+  }
+}
+
+TEST(ExhaustiveAlgo1, StableSetMonotoneUnderAnyCoins) {
+  for (const auto& g : tiny_graphs()) {
+    const std::size_t n = g.vertex_count();
+    for_all_configs(n, -kLmax, kLmax, [&](const std::vector<std::int32_t>& ls) {
+      for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        auto algo = std::make_unique<SelfStabMis>(g, LmaxVector(n, kLmax));
+        auto* a = algo.get();
+        for (graph::VertexId v = 0; v < n; ++v) a->set_level(v, ls[v]);
+        const auto before = a->stable_vertices();
+        beep::Simulation sim(g, std::move(algo), seed);
+        sim.step();
+        const auto after = a->stable_vertices();
+        for (graph::VertexId v = 0; v < n; ++v)
+          ASSERT_LE(before[v], after[v])
+              << g.name() << " seed=" << seed << " vertex " << v;
+      }
+    });
+  }
+}
+
+TEST(ExhaustiveAlgo2, StabilizedImpliesValidMisAndFrozen) {
+  for (const auto& g : tiny_graphs()) {
+    const std::size_t n = g.vertex_count();
+    std::size_t stable_configs = 0;
+    for_all_configs(n, 0, kLmax, [&](const std::vector<std::int32_t>& ls) {
+      auto algo = std::make_unique<SelfStabMisTwoChannel>(
+          g, LmaxVector(n, kLmax));
+      auto* a = algo.get();
+      for (graph::VertexId v = 0; v < n; ++v) a->set_level(v, ls[v]);
+      ASSERT_TRUE(mis::is_independent(g, a->mis_members()));
+      if (!a->is_stabilized()) return;
+      ++stable_configs;
+      ASSERT_TRUE(mis::is_mis(g, a->mis_members())) << g.name();
+      beep::Simulation sim(g, std::move(algo), 1);
+      sim.run(3);
+      for (graph::VertexId v = 0; v < n; ++v)
+        ASSERT_EQ(a->level(v), ls[v]) << g.name();
+    });
+    EXPECT_GT(stable_configs, 0u) << g.name();
+  }
+}
+
+TEST(ExhaustiveAlgo1, EveryConfigurationEventuallyStabilizes) {
+  // Convergence from literally every start state on P3 and K3 (many seeds
+  // would be overkill: one seed per config, bounded budget, all must land).
+  for (const auto& g : {graph::make_path(3), graph::make_complete(3)}) {
+    const std::size_t n = g.vertex_count();
+    for_all_configs(n, -kLmax, kLmax, [&](const std::vector<std::int32_t>& ls) {
+      auto algo = std::make_unique<SelfStabMis>(g, LmaxVector(n, kLmax));
+      auto* a = algo.get();
+      for (graph::VertexId v = 0; v < n; ++v) a->set_level(v, ls[v]);
+      beep::Simulation sim(g, std::move(algo), 12345);
+      sim.run_until(
+          [&](const beep::Simulation&) { return a->is_stabilized(); }, 5000);
+      ASSERT_TRUE(a->is_stabilized())
+          << g.name() << " from (" << ls[0] << "," << ls[1] << "," << ls[2]
+          << ")";
+      ASSERT_TRUE(mis::is_mis(g, a->mis_members()));
+    });
+  }
+}
+
+}  // namespace
+}  // namespace beepmis::core

@@ -1,0 +1,91 @@
+#include "src/exp/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/properties.hpp"
+
+namespace beepmis::exp {
+namespace {
+
+const std::vector<Family> kAll = {
+    Family::ErdosRenyiAvg8, Family::Random4Regular, Family::Torus,
+    Family::BarabasiAlbert3, Family::GeometricAvg8, Family::RandomTree,
+    Family::Cycle,           Family::Star,
+};
+
+TEST(Families, NamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (Family f : kAll) names.insert(family_name(f));
+  EXPECT_EQ(names.size(), kAll.size());
+  // These names are CLI/EXPERIMENTS.md API — changing them breaks scripts.
+  EXPECT_EQ(family_name(Family::ErdosRenyiAvg8), "er-avg8");
+  EXPECT_EQ(family_name(Family::Torus), "torus");
+  EXPECT_EQ(family_name(Family::Star), "star");
+}
+
+TEST(Families, ScalingFamiliesAreASubset) {
+  for (Family f : scaling_families())
+    EXPECT_NE(std::find(kAll.begin(), kAll.end(), f), kAll.end());
+  EXPECT_GE(scaling_families().size(), 4u);
+}
+
+class FamilyShape : public ::testing::TestWithParam<Family> {};
+
+TEST_P(FamilyShape, InstancesAreWellFormedAcrossSizes) {
+  const Family f = GetParam();
+  for (std::size_t n : {16u, 100u, 400u}) {
+    support::Rng rng(n);
+    const graph::Graph g = make_family(f, n, rng);
+    // Square-rounding families (torus) and even-n families (4-regular) may
+    // adjust n slightly; it must stay within 20%.
+    EXPECT_GE(g.vertex_count(), n * 8 / 10) << family_name(f);
+    EXPECT_LE(g.vertex_count(), n * 12 / 10) << family_name(f);
+    // No self-loops / duplicates by construction; degree sums match.
+    std::size_t degsum = 0;
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      degsum += g.degree(v);
+    EXPECT_EQ(degsum, 2 * g.edge_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, FamilyShape, ::testing::ValuesIn(kAll),
+    [](const ::testing::TestParamInfo<Family>& info) {
+      std::string s = family_name(info.param);
+      for (char& c : s)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return s;
+    });
+
+TEST(Families, ExpectedStructuralProperties) {
+  support::Rng rng(5);
+  EXPECT_TRUE(graph::is_regular(make_family(Family::Random4Regular, 200, rng),
+                                4));
+  EXPECT_TRUE(graph::is_regular(make_family(Family::Torus, 225, rng), 4));
+  const auto tree = make_family(Family::RandomTree, 300, rng);
+  EXPECT_EQ(tree.edge_count(), tree.vertex_count() - 1);
+  EXPECT_TRUE(graph::is_connected(tree));
+  EXPECT_EQ(make_family(Family::Star, 100, rng).max_degree(), 99u);
+  const auto er = make_family(Family::ErdosRenyiAvg8, 2000, rng);
+  EXPECT_NEAR(graph::degree_stats(er).mean, 8.0, 0.7);
+}
+
+TEST(Families, RandomFamiliesVaryWithRng) {
+  support::Rng a(1), b(2);
+  const auto ga = make_family(Family::ErdosRenyiAvg8, 300, a);
+  const auto gb = make_family(Family::ErdosRenyiAvg8, 300, b);
+  bool differ = ga.edge_count() != gb.edge_count();
+  for (graph::VertexId v = 0; !differ && v < 300; ++v)
+    differ = ga.degree(v) != gb.degree(v);
+  EXPECT_TRUE(differ);
+}
+
+TEST(FamiliesDeath, TinyNRejected) {
+  support::Rng rng(1);
+  EXPECT_DEATH(make_family(Family::Cycle, 8, rng), "n >= 16");
+}
+
+}  // namespace
+}  // namespace beepmis::exp

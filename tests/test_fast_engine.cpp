@@ -1,0 +1,190 @@
+#include "src/core/fast_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+#include "src/exp/families.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::core {
+namespace {
+
+/// Reference pair: the generic simulator running SelfStabMis.
+struct Reference {
+  std::unique_ptr<beep::Simulation> sim;
+  SelfStabMis* algo;
+};
+
+Reference make_reference(const graph::Graph& g, const LmaxVector& lmax,
+                         std::uint64_t seed) {
+  auto a = std::make_unique<SelfStabMis>(g, lmax);
+  auto* raw = a.get();
+  return {std::make_unique<beep::Simulation>(g, std::move(a), seed), raw};
+}
+
+TEST(FastEngine, RoundForRoundIdenticalToReferenceSimulator) {
+  // The headline equivalence: same seed, same initial levels → identical
+  // level vectors after EVERY round, on assorted graphs.
+  support::Rng grng(4);
+  const auto graphs = {
+      graph::make_path(24),   graph::make_star(24),
+      graph::make_grid(5, 5), graph::make_erdos_renyi(64, 0.08, grng),
+      graph::make_barabasi_albert(64, 3, grng),
+  };
+  for (const auto& g : graphs) {
+    const auto lmax = lmax_global_delta(g);
+    auto ref = make_reference(g, lmax, 99);
+    FastMisEngine fast(g, lmax, 99);
+    // Identical arbitrary starting levels via identical corrupt draws.
+    support::Rng c1(7);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      ref.algo->corrupt_node(v, c1);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      fast.set_level(v, ref.algo->level(v));
+
+    for (int r = 0; r < 400; ++r) {
+      ref.sim->step();
+      fast.step();
+      for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+        ASSERT_EQ(fast.level(v), ref.algo->level(v))
+            << g.name() << " round " << r << " vertex " << v;
+    }
+    EXPECT_EQ(fast.is_stabilized(), ref.algo->is_stabilized()) << g.name();
+    EXPECT_EQ(fast.mis_members(), ref.algo->mis_members()) << g.name();
+  }
+}
+
+TEST(FastEngine, StabilizationRoundCountsMatchReference) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    support::Rng grng(40 + seed);
+    const auto g = graph::make_erdos_renyi_avg_degree(128, 8.0, grng);
+    const auto lmax = lmax_global_delta(g);
+    auto ref = make_reference(g, lmax, seed);
+    FastMisEngine fast(g, lmax, seed);
+    support::Rng c(seed + 100);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      ref.algo->corrupt_node(v, c);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      fast.set_level(v, ref.algo->level(v));
+
+    beep::Round ref_rounds = 0;
+    while (!ref.algo->is_stabilized() && ref_rounds < 100000) {
+      ref.sim->step();
+      ++ref_rounds;
+    }
+    const auto fast_rounds = fast.run_to_stabilization(100000);
+    EXPECT_EQ(fast_rounds, ref_rounds) << "seed " << seed;
+    EXPECT_TRUE(fast.is_stabilized());
+    EXPECT_TRUE(mis::is_mis(g, fast.mis_members()));
+  }
+}
+
+TEST(FastEngine, ActiveCountShrinksMonotonicallyToZero) {
+  support::Rng grng(5);
+  const auto g = graph::make_erdos_renyi_avg_degree(256, 8.0, grng);
+  FastMisEngine fast(g, lmax_global_delta(g), 3);
+  std::size_t prev = fast.active_count();
+  EXPECT_EQ(prev, g.vertex_count());
+  while (!fast.is_stabilized() && fast.round() < 100000) {
+    fast.step();
+    EXPECT_LE(fast.active_count(), prev);
+    prev = fast.active_count();
+  }
+  EXPECT_TRUE(fast.is_stabilized());
+  EXPECT_EQ(fast.active_count(), 0u);
+}
+
+TEST(FastEngine, DetectsPreStabilizedConfigurations) {
+  const auto g = graph::make_star(8);
+  const auto lmax = lmax_global_delta(g);
+  FastMisEngine fast(g, lmax, 1);
+  fast.set_level(0, -fast.lmax(0));
+  for (graph::VertexId v = 1; v < 8; ++v) fast.set_level(v, fast.lmax(v));
+  EXPECT_TRUE(fast.is_stabilized());
+  EXPECT_EQ(fast.run_to_stabilization(100), 0u);
+  EXPECT_EQ(mis::member_count(fast.mis_members()), 1u);
+}
+
+TEST(FastEngine, SettlesVertexReturningToCapNextToOldMember) {
+  // Regression for the late-settlement case: stabilize a star, then knock
+  // one leaf off its cap; it must re-settle and is_stabilized() recover.
+  const auto g = graph::make_star(6);
+  const auto lmax = lmax_global_delta(g);
+  FastMisEngine fast(g, lmax, 2);
+  fast.set_level(0, -fast.lmax(0));
+  for (graph::VertexId v = 1; v < 6; ++v) fast.set_level(v, fast.lmax(v));
+  ASSERT_TRUE(fast.is_stabilized());
+  fast.set_level(3, 2);  // transient fault on one leaf
+  EXPECT_FALSE(fast.is_stabilized());
+  const auto rounds = fast.run_to_stabilization(1000);
+  EXPECT_TRUE(fast.is_stabilized());
+  // The member keeps beeping; the leaf climbs back: lmax - 2 rounds.
+  EXPECT_EQ(rounds, static_cast<std::uint64_t>(fast.lmax(3) - 2));
+}
+
+TEST(FastEngineDeath, BadLmaxRejected) {
+  const auto g = graph::make_path(3);
+  EXPECT_DEATH(FastMisEngine(g, LmaxVector(3, 1), 1), "at least 2");
+  EXPECT_DEATH(FastMisEngine(g, LmaxVector(2, 5), 1), "wrong graph");
+}
+
+
+// --- Algorithm 2 fast engine ---------------------------------------------------
+
+TEST(FastEngine2, RoundForRoundIdenticalToReferenceSimulator) {
+  support::Rng grng(9);
+  const auto graphs = {
+      graph::make_path(24),   graph::make_star(24),
+      graph::make_grid(5, 5), graph::make_erdos_renyi(64, 0.08, grng),
+  };
+  for (const auto& g : graphs) {
+    const auto lmax = lmax_one_hop(g);
+    auto ref_algo = std::make_unique<SelfStabMisTwoChannel>(g, lmax);
+    auto* ref = ref_algo.get();
+    beep::Simulation ref_sim(g, std::move(ref_algo), 77);
+    FastMisEngine2 fast(g, lmax, 77);
+    support::Rng c1(3);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      ref->corrupt_node(v, c1);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      fast.set_level(v, ref->level(v));
+
+    for (int r = 0; r < 300; ++r) {
+      ref_sim.step();
+      fast.step();
+      for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+        ASSERT_EQ(fast.level(v), ref->level(v))
+            << g.name() << " round " << r << " vertex " << v;
+    }
+    EXPECT_EQ(fast.is_stabilized(), ref->is_stabilized()) << g.name();
+    EXPECT_EQ(fast.mis_members(), ref->mis_members()) << g.name();
+  }
+}
+
+TEST(FastEngine2, StabilizesToValidMis) {
+  support::Rng grng(10);
+  const auto g = graph::make_barabasi_albert(200, 3, grng);
+  FastMisEngine2 fast(g, lmax_one_hop(g), 5);
+  support::Rng irng(6);
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+    fast.set_level(v, static_cast<std::int32_t>(
+                          irng.below(static_cast<std::uint64_t>(fast.lmax(v)) + 1)));
+  fast.run_to_stabilization(100000);
+  ASSERT_TRUE(fast.is_stabilized());
+  EXPECT_TRUE(mis::is_mis(g, fast.mis_members()));
+}
+
+TEST(FastEngine2Death, NegativeLevelRejected) {
+  const auto g = graph::make_path(3);
+  FastMisEngine2 fast(g, LmaxVector(3, 4), 1);
+  EXPECT_DEATH(fast.set_level(0, -1), "outside");
+}
+
+}  // namespace
+}  // namespace beepmis::core

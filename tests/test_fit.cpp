@@ -1,0 +1,95 @@
+#include "src/support/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/support/rng.hpp"
+
+namespace beepmis::support {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.5 * i);
+  }
+  const FitResult f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.5, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+  EXPECT_NEAR(f.rmse, 0.0, 1e-9);
+}
+
+TEST(LinearFit, NoisyLineStillClose) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(i);
+    ys.push_back(10.0 - 0.5 * i + (rng.uniform01() - 0.5));
+  }
+  const FitResult f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, -0.5, 0.01);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(LinearFit, ConstantYGivesZeroSlope) {
+  std::vector<double> xs = {1, 2, 3, 4}, ys = {7, 7, 7, 7};
+  const FitResult f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.r2, 1.0);  // defined as 1 when there is no variance
+}
+
+TEST(GrowthModels, RegressorValues) {
+  EXPECT_NEAR(growth_regressor(GrowthModel::LogN, std::exp(2.0)), 2.0, 1e-12);
+  EXPECT_NEAR(growth_regressor(GrowthModel::Linear, 17.0), 17.0, 1e-12);
+  EXPECT_NEAR(growth_regressor(GrowthModel::Sqrt, 16.0), 4.0, 1e-12);
+  const double n = 1000.0;
+  EXPECT_NEAR(growth_regressor(GrowthModel::LogNLogLogN, n),
+              std::log(n) * std::log(std::log(n)), 1e-12);
+}
+
+TEST(GrowthModels, NamesAreDistinct) {
+  EXPECT_NE(growth_model_name(GrowthModel::LogN),
+            growth_model_name(GrowthModel::LogNLogLogN));
+  EXPECT_NE(growth_model_name(GrowthModel::Linear),
+            growth_model_name(GrowthModel::Sqrt));
+}
+
+/// Synthetic data generated from each model should be best-fit by it.
+TEST(RankGrowthModels, IdentifiesLogN) {
+  std::vector<double> ns, ys;
+  for (double n = 64; n <= 1 << 20; n *= 2) {
+    ns.push_back(n);
+    ys.push_back(5.0 + 12.0 * std::log(n));
+  }
+  const auto ranked = rank_growth_models(ns, ys);
+  EXPECT_EQ(ranked.front().first, GrowthModel::LogN);
+  EXPECT_NEAR(ranked.front().second.r2, 1.0, 1e-9);
+}
+
+TEST(RankGrowthModels, IdentifiesLinear) {
+  std::vector<double> ns, ys;
+  for (double n = 64; n <= 1 << 20; n *= 2) {
+    ns.push_back(n);
+    ys.push_back(1.0 + 0.25 * n);
+  }
+  const auto ranked = rank_growth_models(ns, ys);
+  EXPECT_EQ(ranked.front().first, GrowthModel::Linear);
+}
+
+TEST(RankGrowthModels, IdentifiesLogNLogLogN) {
+  std::vector<double> ns, ys;
+  for (double n = 64; n <= 1 << 22; n *= 2) {
+    ns.push_back(n);
+    ys.push_back(2.0 + 7.0 * std::log(n) * std::log(std::log(n)));
+  }
+  const auto ranked = rank_growth_models(ns, ys);
+  EXPECT_EQ(ranked.front().first, GrowthModel::LogNLogLogN);
+}
+
+}  // namespace
+}  // namespace beepmis::support

@@ -1,0 +1,95 @@
+#include "src/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace beepmis::graph {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  Graph g = GraphBuilder(0).build();
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(GraphBuilder, SingleVertexNoEdges) {
+  Graph g = GraphBuilder(1).build();
+  EXPECT_EQ(g.vertex_count(), 1u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(GraphBuilder, Triangle) {
+  GraphBuilder b(3, "tri");
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.name(), "tri");
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphBuilder, NeighborhoodsAreSorted) {
+  GraphBuilder b(6);
+  b.add_edge(3, 5);
+  b.add_edge(3, 1);
+  b.add_edge(3, 4);
+  b.add_edge(3, 0);
+  Graph g = std::move(b).build();
+  const auto nb = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+}
+
+TEST(Graph, HasEdgeNegativeCases) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  Graph g = std::move(b).build();
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(GraphBuilderDeath, SelfLoopAborts) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.add_edge(1, 1), "Self-loops|self-loops");
+}
+
+TEST(GraphBuilderDeath, OutOfRangeEndpointAborts) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.add_edge(0, 3), "out of range");
+}
+
+TEST(Graph, DegreeSumEqualsTwiceEdges) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  Graph g = std::move(b).build();
+  std::size_t total = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) total += g.degree(v);
+  EXPECT_EQ(total, 2 * g.edge_count());
+}
+
+}  // namespace
+}  // namespace beepmis::graph

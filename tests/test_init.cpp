@@ -1,0 +1,106 @@
+#include "src/core/init.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/lmax.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::core {
+namespace {
+
+TEST(InitPolicies, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (InitPolicy p : all_init_policies()) names.insert(init_policy_name(p));
+  EXPECT_EQ(names.size(), all_init_policies().size());
+}
+
+TEST(InitPolicies, DefaultSetsAllOnes) {
+  const auto g = graph::make_cycle(8);
+  SelfStabMis a(g, lmax_global_delta(g, 15));
+  support::Rng rng(1);
+  apply_init(a, InitPolicy::Default, rng);
+  for (graph::VertexId v = 0; v < 8; ++v) EXPECT_EQ(a.level(v), 1);
+}
+
+TEST(InitPolicies, AllMinClaimsEverything) {
+  const auto g = graph::make_cycle(8);
+  SelfStabMis a(g, lmax_global_delta(g, 15));
+  support::Rng rng(1);
+  apply_init(a, InitPolicy::AllMin, rng);
+  for (graph::VertexId v = 0; v < 8; ++v)
+    EXPECT_EQ(a.level(v), -a.lmax(v));
+  // A cycle where everyone claims MIS is maximally corrupt: I_t is empty
+  // because no vertex has all-capped neighbors.
+  EXPECT_EQ(mis::member_count(a.mis_members()), 0u);
+}
+
+TEST(InitPolicies, AllMinTwoChannelUsesZero) {
+  const auto g = graph::make_cycle(8);
+  SelfStabMisTwoChannel a(g, lmax_one_hop(g, 15));
+  support::Rng rng(1);
+  apply_init(a, InitPolicy::AllMin, rng);
+  for (graph::VertexId v = 0; v < 8; ++v) EXPECT_EQ(a.level(v), 0);
+}
+
+TEST(InitPolicies, AllMaxSilencesEverything) {
+  const auto g = graph::make_star(8);
+  SelfStabMis a(g, lmax_global_delta(g, 15));
+  support::Rng rng(1);
+  apply_init(a, InitPolicy::AllMax, rng);
+  for (graph::VertexId v = 0; v < 8; ++v)
+    EXPECT_DOUBLE_EQ(a.beep_probability(v), 0.0);
+}
+
+TEST(InitPolicies, UniformRandomCoversRange) {
+  const auto g = graph::GraphBuilder(2000).build();
+  SelfStabMis a(g, LmaxVector(2000, 5));
+  support::Rng rng(2);
+  apply_init(a, InitPolicy::UniformRandom, rng);
+  std::set<std::int32_t> seen;
+  for (graph::VertexId v = 0; v < 2000; ++v) {
+    EXPECT_GE(a.level(v), -5);
+    EXPECT_LE(a.level(v), 5);
+    seen.insert(a.level(v));
+  }
+  EXPECT_EQ(seen.size(), 11u);  // all of -5..5 hit w.h.p. at n=2000
+}
+
+TEST(InitPolicies, FakeMisEncodesInvalidStableLookingState) {
+  support::Rng rng(3);
+  const auto g = graph::make_erdos_renyi(200, 0.03, rng);
+  SelfStabMis a(g, lmax_global_delta(g, 15));
+  apply_init(a, InitPolicy::FakeMis, rng);
+  const auto members = a.mis_members();
+  // The encoded set is independent (levels say so) but NOT maximal: the
+  // point of this adversarial state.
+  EXPECT_TRUE(mis::is_independent(g, members));
+  EXPECT_FALSE(mis::is_maximal(g, members));
+  EXPECT_FALSE(a.is_stabilized());
+}
+
+TEST(InitPolicies, HalfCorruptLeavesRoughlyHalfAtDefault) {
+  const auto g = graph::GraphBuilder(4000).build();
+  SelfStabMis a(g, LmaxVector(4000, 20));
+  support::Rng rng(4);
+  apply_init(a, InitPolicy::HalfCorrupt, rng);
+  int at_one = 0;
+  for (graph::VertexId v = 0; v < 4000; ++v) at_one += a.level(v) == 1;
+  // ~50% untouched plus ~1/41 of corrupted ones landing on 1.
+  EXPECT_GT(at_one, 1700);
+  EXPECT_LT(at_one, 2500);
+}
+
+TEST(InitPolicies, DeterministicGivenRngState) {
+  const auto g = graph::make_cycle(32);
+  SelfStabMis a(g, lmax_global_delta(g, 15));
+  SelfStabMis b(g, lmax_global_delta(g, 15));
+  support::Rng r1(5), r2(5);
+  apply_init(a, InitPolicy::UniformRandom, r1);
+  apply_init(b, InitPolicy::UniformRandom, r2);
+  for (graph::VertexId v = 0; v < 32; ++v)
+    EXPECT_EQ(a.level(v), b.level(v));
+}
+
+}  // namespace
+}  // namespace beepmis::core

@@ -1,0 +1,167 @@
+/// End-to-end property tests: every algorithm variant, on every experiment
+/// family, from adversarial initial states, must stabilize to a
+/// verifier-valid MIS; and stabilization must survive transient faults.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/beep/fault.hpp"
+#include "src/exp/families.hpp"
+#include "src/exp/runner.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::exp {
+namespace {
+
+using Param = std::tuple<Variant, Family, core::InitPolicy>;
+
+class VariantFamilyInit : public ::testing::TestWithParam<Param> {};
+
+TEST_P(VariantFamilyInit, StabilizesToValidMis) {
+  const auto [variant, family, init] = GetParam();
+  support::Rng grng(0x5eed);
+  const graph::Graph g = make_family(family, 128, grng);
+  const RunResult r = run_variant(g, variant, init, /*seed=*/2024,
+                                  default_round_budget(g.vertex_count()));
+  ASSERT_TRUE(r.stabilized) << variant_name(variant) << " on "
+                            << family_name(family) << " init "
+                            << core::init_policy_name(init);
+  EXPECT_TRUE(r.valid_mis);
+  EXPECT_GT(r.mis_size, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, VariantFamilyInit,
+    ::testing::Combine(
+        ::testing::Values(Variant::GlobalDelta, Variant::OwnDegree,
+                          Variant::TwoChannel),
+        ::testing::Values(Family::ErdosRenyiAvg8, Family::Random4Regular,
+                          Family::Torus, Family::BarabasiAlbert3,
+                          Family::RandomTree, Family::Star),
+        ::testing::Values(core::InitPolicy::UniformRandom,
+                          core::InitPolicy::AllMin, core::InitPolicy::FakeMis)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      auto clean = [](std::string s) {
+        for (char& c : s)
+          if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+        return s;
+      };
+      return clean(variant_name(std::get<0>(info.param))) + "_" +
+             clean(family_name(std::get<1>(info.param))) + "_" +
+             clean(core::init_policy_name(std::get<2>(info.param)));
+    });
+
+class FaultRecovery : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(FaultRecovery, RecoversFromRepeatedTransientFaults) {
+  const Variant variant = GetParam();
+  support::Rng grng(7);
+  const graph::Graph g = make_family(Family::ErdosRenyiAvg8, 96, grng);
+  auto sim = make_selfstab_sim(g, variant, 31);
+  support::Rng frng(13);
+
+  RunResult r = run_to_stabilization(*sim, default_round_budget(96));
+  ASSERT_TRUE(r.stabilized);
+
+  for (int wave = 0; wave < 5; ++wave) {
+    const std::size_t k = 1 + static_cast<std::size_t>(frng.below(48));
+    beep::FaultInjector::corrupt_random(*sim, k, frng);
+    r = run_to_stabilization(*sim, default_round_budget(96));
+    ASSERT_TRUE(r.stabilized) << "wave " << wave << " k=" << k;
+    EXPECT_TRUE(r.valid_mis);
+  }
+}
+
+TEST_P(FaultRecovery, RecoversFromTotalCorruption) {
+  const Variant variant = GetParam();
+  support::Rng grng(8);
+  const graph::Graph g = make_family(Family::Torus, 100, grng);
+  auto sim = make_selfstab_sim(g, variant, 32);
+  support::Rng frng(14);
+  ASSERT_TRUE(run_to_stabilization(*sim, default_round_budget(100)).stabilized);
+  beep::FaultInjector::corrupt_all(*sim, frng);
+  const RunResult r = run_to_stabilization(*sim, default_round_budget(100));
+  ASSERT_TRUE(r.stabilized);
+  EXPECT_TRUE(r.valid_mis);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, FaultRecovery,
+    ::testing::Values(Variant::GlobalDelta, Variant::OwnDegree,
+                      Variant::TwoChannel),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      std::string s = variant_name(info.param);
+      for (char& c : s)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return s;
+    });
+
+TEST(Integration, SurvivesSustainedFaultBarrage) {
+  // A periodic adversary corrupts nodes every few rounds for a long window;
+  // once it stops, the system must stabilize as if nothing happened (the
+  // barrage only ever produces more arbitrary states). Also checks the
+  // availability story: DURING the barrage with period >> stabilization
+  // time, the system is valid most of the time.
+  support::Rng grng(17);
+  const graph::Graph g = make_family(Family::Torus, 144, grng);
+  auto sim = make_selfstab_sim(g, Variant::GlobalDelta, 41);
+  support::Rng frng(19);
+
+  // Dense barrage: 4 corruptions every 3 rounds, for 600 rounds.
+  for (int t = 0; t < 600; ++t) {
+    if (t % 3 == 0) beep::FaultInjector::corrupt_random(*sim, 4, frng);
+    sim->step();
+  }
+  const RunResult r = run_to_stabilization(*sim, default_round_budget(144));
+  ASSERT_TRUE(r.stabilized);
+  EXPECT_TRUE(r.valid_mis);
+
+  // Sparse barrage: 1 corruption every 200 rounds; measure availability.
+  std::size_t valid_rounds = 0;
+  const int window = 2000;
+  for (int t = 0; t < window; ++t) {
+    if (t % 200 == 0) beep::FaultInjector::corrupt_random(*sim, 1, frng);
+    sim->step();
+    valid_rounds += mis::is_mis(g, selfstab_mis_members(*sim));
+  }
+  EXPECT_GT(valid_rounds, window * 3 / 4);
+}
+
+TEST(Integration, DisconnectedGraphStabilizesComponentwise) {
+  // Two disjoint cliques plus isolated vertices: each component resolves
+  // independently; isolated vertices all join the MIS.
+  graph::GraphBuilder b(14);
+  for (graph::VertexId i = 0; i < 5; ++i)
+    for (graph::VertexId j = i + 1; j < 5; ++j) b.add_edge(i, j);
+  for (graph::VertexId i = 5; i < 10; ++i)
+    for (graph::VertexId j = i + 1; j < 10; ++j) b.add_edge(i, j);
+  const graph::Graph g = std::move(b).build();  // vertices 10..13 isolated
+
+  const RunResult r =
+      run_variant(g, Variant::GlobalDelta, core::InitPolicy::UniformRandom,
+                  /*seed=*/5, 20000);
+  ASSERT_TRUE(r.stabilized);
+  EXPECT_TRUE(r.valid_mis);
+  EXPECT_EQ(r.mis_size, 2u + 4u);  // one per clique + all isolated
+}
+
+TEST(Integration, MisSizeComparableToGreedy) {
+  // Sanity: the beeping MIS should land in the same ballpark as greedy on a
+  // sparse random graph (both are maximal independent sets).
+  support::Rng grng(21);
+  const graph::Graph g = make_family(Family::ErdosRenyiAvg8, 256, grng);
+  const RunResult r =
+      run_variant(g, Variant::GlobalDelta, core::InitPolicy::Default,
+                  /*seed=*/6, 20000);
+  ASSERT_TRUE(r.stabilized);
+  support::Rng mrng(4);
+  const auto greedy = mis::random_greedy_mis(g, mrng);
+  const double ratio = static_cast<double>(r.mis_size) /
+                       static_cast<double>(mis::member_count(greedy));
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+}  // namespace
+}  // namespace beepmis::exp

@@ -1,0 +1,104 @@
+#include "src/graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/graph/generators.hpp"
+
+namespace beepmis::graph {
+namespace {
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  support::Rng rng(1);
+  const Graph g = make_erdos_renyi(100, 0.05, rng);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  const Graph h = read_edge_list(ss, "reloaded");
+  ASSERT_EQ(h.vertex_count(), g.vertex_count());
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  EXPECT_EQ(h.name(), "reloaded");
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto a = g.neighbors(v), b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GraphIo, EmptyGraphRoundTrip) {
+  std::stringstream ss;
+  write_edge_list(GraphBuilder(3).build(), ss);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.vertex_count(), 3u);
+  EXPECT_EQ(h.edge_count(), 0u);
+}
+
+TEST(GraphIoDeath, TruncatedInputAborts) {
+  std::stringstream ss("5 3\n0 1\n");
+  EXPECT_DEATH(read_edge_list(ss), "truncated");
+}
+
+TEST(GraphIoDeath, BadHeaderAborts) {
+  std::stringstream ss("not-a-number");
+  EXPECT_DEATH(read_edge_list(ss), "bad header");
+}
+
+TEST(GraphIo, DotOutputContainsAllEdges) {
+  const Graph g = make_cycle(4);
+  std::stringstream ss;
+  write_dot(g, ss);
+  const std::string s = ss.str();
+  EXPECT_NE(s.find("graph"), std::string::npos);
+  EXPECT_NE(s.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(s.find("0 -- 3"), std::string::npos);
+  // Each edge appears exactly once.
+  EXPECT_EQ(s.find("1 -- 0"), std::string::npos);
+}
+
+
+TEST(GraphIo, DimacsRoundTrip) {
+  support::Rng rng(3);
+  const Graph g = make_erdos_renyi(80, 0.06, rng);
+  std::stringstream ss;
+  write_dimacs(g, ss);
+  const Graph h = read_dimacs(ss, "rt");
+  ASSERT_EQ(h.vertex_count(), g.vertex_count());
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto a = g.neighbors(v), b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GraphIo, DimacsToleratesCommentsAndColKind) {
+  std::stringstream ss(
+      "c a comment\np col 3 2\nc another\ne 1 2\ne 2 3\n");
+  const Graph g = read_dimacs(ss);
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(GraphIoDeath, DimacsMalformedInputsAbort) {
+  {
+    std::stringstream ss("e 1 2\n");
+    EXPECT_DEATH(read_dimacs(ss), "before p line");
+  }
+  {
+    std::stringstream ss("p edge 2 1\ne 1 3\n");
+    EXPECT_DEATH(read_dimacs(ss), "out of range");
+  }
+  {
+    std::stringstream ss("p edge 2 2\ne 1 2\n");
+    EXPECT_DEATH(read_dimacs(ss), "edge count mismatch");
+  }
+  {
+    std::stringstream ss("q what 1 1\n");
+    EXPECT_DEATH(read_dimacs(ss), "unknown record");
+  }
+}
+
+}  // namespace
+}  // namespace beepmis::graph

@@ -1,0 +1,111 @@
+#include "src/apps/iterated_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/coloring.hpp"
+#include "src/beep/network.hpp"
+#include "src/graph/generators.hpp"
+
+namespace beepmis::apps {
+namespace {
+
+std::pair<std::unique_ptr<beep::Simulation>, IteratedJsxColoring*> sim_on(
+    const graph::Graph& g, std::uint32_t epoch_length, std::uint64_t seed) {
+  auto algo = std::make_unique<IteratedJsxColoring>(g, epoch_length);
+  auto* raw = algo.get();
+  return {std::make_unique<beep::Simulation>(g, std::move(algo), seed), raw};
+}
+
+TEST(IteratedColoring, ProperColoringOnManyGraphs) {
+  support::Rng grng(1);
+  const auto graphs = {
+      graph::make_path(40),   graph::make_cycle(41),
+      graph::make_star(40),   graph::make_complete(12),
+      graph::make_grid(6, 6), graph::make_erdos_renyi(80, 0.08, grng),
+  };
+  for (const auto& g : graphs) {
+    auto [sim, a] = sim_on(g, /*epoch_length=*/64, g.vertex_count());
+    sim->run_until(
+        [&](const beep::Simulation&) { return a->complete(); }, 100000);
+    ASSERT_TRUE(a->complete()) << g.name();
+    const auto colors = a->colors();
+    const auto k = a->colors_used();
+    // Proper with respect to the *used* palette (colors are epoch indices,
+    // not necessarily contiguous — normalize by max+1).
+    std::uint32_t max_color = 0;
+    for (auto c : colors) max_color = std::max(max_color, c);
+    EXPECT_TRUE(is_proper_coloring(g, colors, max_color + 1)) << g.name();
+    EXPECT_GE(k, 1u);
+  }
+}
+
+TEST(IteratedColoring, ColorsAreIndependentSetsPerEpoch) {
+  support::Rng grng(2);
+  const auto g = graph::make_erdos_renyi(60, 0.1, grng);
+  auto [sim, a] = sim_on(g, 64, 5);
+  sim->run_until([&](const beep::Simulation&) { return a->complete(); },
+                 100000);
+  ASSERT_TRUE(a->complete());
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+    for (graph::VertexId u : g.neighbors(v))
+      EXPECT_NE(a->color(v), a->color(u)) << v << "-" << u;
+}
+
+TEST(IteratedColoring, CompleteGraphUsesOneColorPerVertex) {
+  const auto g = graph::make_complete(8);
+  auto [sim, a] = sim_on(g, 64, 9);
+  sim->run_until([&](const beep::Simulation&) { return a->complete(); },
+                 100000);
+  ASSERT_TRUE(a->complete());
+  EXPECT_EQ(a->colors_used(), 8u);
+}
+
+TEST(IteratedColoring, PathNeedsFewColors) {
+  const auto g = graph::make_path(60);
+  auto [sim, a] = sim_on(g, 64, 13);
+  sim->run_until([&](const beep::Simulation&) { return a->complete(); },
+                 100000);
+  ASSERT_TRUE(a->complete());
+  // Greedy-by-epochs on a path: a handful of colors (χ = 2, greedy ≤ 3-4).
+  EXPECT_LE(a->colors_used(), 6u);
+}
+
+TEST(IteratedColoring, PartialProgressIsAlwaysProper) {
+  // Even before completion, assigned colors never conflict (safety is
+  // invariant, liveness needs time).
+  support::Rng grng(3);
+  const auto g = graph::make_barabasi_albert(70, 3, grng);
+  auto [sim, a] = sim_on(g, 32, 17);
+  for (int r = 0; r < 500; ++r) {
+    sim->step();
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      if (!a->colored(v)) continue;
+      for (graph::VertexId u : g.neighbors(v))
+        if (a->colored(u)) {
+          ASSERT_NE(a->color(v), a->color(u));
+        }
+    }
+  }
+}
+
+TEST(IteratedColoringDeath, OddEpochLengthRejected) {
+  const auto g = graph::make_path(4);
+  EXPECT_DEATH(IteratedJsxColoring(g, 63), "even");
+  EXPECT_DEATH(IteratedJsxColoring(g, 2), ">= 4");
+}
+
+TEST(IteratedColoring, TooShortEpochsStillSafeJustSlower) {
+  // Pathologically short epochs can fail to color anyone in an epoch but
+  // must never produce conflicts; with enough epochs completion arrives.
+  const auto g = graph::make_complete(6);
+  auto [sim, a] = sim_on(g, 4, 21);
+  sim->run_until([&](const beep::Simulation&) { return a->complete(); },
+                 200000);
+  ASSERT_TRUE(a->complete());
+  EXPECT_EQ(a->colors_used(), 6u);
+}
+
+}  // namespace
+}  // namespace beepmis::apps

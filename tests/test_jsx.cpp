@@ -1,0 +1,135 @@
+#include "src/baselines/jsx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/beep/network.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::baselines {
+namespace {
+
+std::unique_ptr<beep::Simulation> sim_on(const graph::Graph& g,
+                                         std::uint64_t seed) {
+  return std::make_unique<beep::Simulation>(
+      g, std::make_unique<JsxMis>(g), seed);
+}
+
+JsxMis& algo_of(beep::Simulation& sim) {
+  return dynamic_cast<JsxMis&>(sim.algorithm());
+}
+
+TEST(Jsx, CleanStartConvergesToValidMis) {
+  support::Rng grng(1);
+  const auto graphs = {
+      graph::make_path(32),          graph::make_cycle(33),
+      graph::make_star(32),          graph::make_complete(16),
+      graph::make_grid(6, 6),        graph::make_erdos_renyi(64, 0.1, grng),
+  };
+  for (const auto& g : graphs) {
+    auto sim = sim_on(g, g.vertex_count() + 3);
+    auto& a = algo_of(*sim);
+    sim->run_until(
+        [&](const beep::Simulation&) { return a.terminated(); }, 5000);
+    ASSERT_TRUE(a.terminated()) << g.name();
+    EXPECT_TRUE(mis::is_mis(g, a.mis_members())) << g.name();
+  }
+}
+
+TEST(Jsx, CleanConvergenceIsFastOnCompleteGraph) {
+  // O(log n) phases: a K64 should finish well inside 400 rounds.
+  const auto g = graph::make_complete(64);
+  auto sim = sim_on(g, 5);
+  auto& a = algo_of(*sim);
+  sim->run_until([&](const beep::Simulation&) { return a.terminated(); },
+                 400);
+  EXPECT_TRUE(a.terminated());
+  EXPECT_EQ(mis::member_count(a.mis_members()), 1u);
+}
+
+TEST(Jsx, CorruptedAdjacentMisStateIsNeverRepaired) {
+  // The motivating failure: two adjacent vertices both believe they are in
+  // the MIS. Both are silent forever (in_mis nodes only beep in the joining
+  // phase), so the invalid state persists — JSX is not self-stabilizing.
+  const auto g = graph::make_path(2);
+  auto sim = sim_on(g, 7);
+  auto& a = algo_of(*sim);
+  a.set_status(0, JsxMis::Status::InMis);
+  a.set_status(1, JsxMis::Status::InMis);
+  sim->run(2000);
+  EXPECT_FALSE(mis::is_mis(g, a.mis_members()));
+  EXPECT_EQ(a.status(0), JsxMis::Status::InMis);
+  EXPECT_EQ(a.status(1), JsxMis::Status::InMis);
+}
+
+TEST(Jsx, CorruptedAllOutStateStallsForever) {
+  // Everyone "out" with no MIS neighbor: all silent, nothing ever changes,
+  // and the empty set is not maximal.
+  const auto g = graph::make_cycle(8);
+  auto sim = sim_on(g, 7);
+  auto& a = algo_of(*sim);
+  for (graph::VertexId v = 0; v < 8; ++v)
+    a.set_status(v, JsxMis::Status::Out);
+  sim->run(2000);
+  EXPECT_TRUE(a.terminated());
+  EXPECT_FALSE(mis::is_mis(g, a.mis_members()));
+}
+
+TEST(Jsx, PhaseDesyncCanProduceInvalidResults) {
+  // Phase-offset corruption (the "synchronized modulo two" assumption the
+  // paper highlights): with half the vertices desynchronized, a compete beep
+  // is mistaken for a notify beep. On a star this lets the center join while
+  // a desynced leaf joins too. We check over many seeds that at least one
+  // run terminates on an invalid set or fails to terminate — i.e. the
+  // algorithm is not correct under desync (while with offsets 0 it always
+  // is, per CleanStartConvergesToValidMis).
+  int bad_runs = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto g = graph::make_star(8);
+    auto sim = sim_on(g, seed);
+    auto& a = algo_of(*sim);
+    for (graph::VertexId v = 0; v < 8; ++v)
+      a.set_phase_offset(v, v % 2 == 1);
+    sim->run_until(
+        [&](const beep::Simulation&) { return a.terminated(); }, 1000);
+    if (!a.terminated() || !mis::is_mis(g, a.mis_members())) ++bad_runs;
+  }
+  EXPECT_GT(bad_runs, 0);
+}
+
+TEST(Jsx, ResetCleanRestoresInitialState) {
+  const auto g = graph::make_cycle(6);
+  JsxMis a(g);
+  support::Rng rng(3);
+  for (graph::VertexId v = 0; v < 6; ++v) a.corrupt_node(v, rng);
+  a.reset_clean();
+  for (graph::VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(a.status(v), JsxMis::Status::Active);
+    EXPECT_EQ(a.exponent(v), 1u);
+  }
+  EXPECT_FALSE(a.terminated());
+}
+
+TEST(Jsx, ExponentClampedInRange) {
+  const auto g = graph::make_path(2);
+  JsxMis a(g);
+  EXPECT_DEATH(a.set_exponent(0, 0), "outside");
+  a.set_exponent(0, 62);
+  EXPECT_EQ(a.exponent(0), 62u);
+}
+
+TEST(Jsx, TerminatedRequiresNoActiveNodes) {
+  const auto g = graph::make_path(3);
+  JsxMis a(g);
+  EXPECT_FALSE(a.terminated());
+  a.set_status(0, JsxMis::Status::InMis);
+  a.set_status(1, JsxMis::Status::Out);
+  EXPECT_FALSE(a.terminated());
+  a.set_status(2, JsxMis::Status::Out);
+  EXPECT_TRUE(a.terminated());
+}
+
+}  // namespace
+}  // namespace beepmis::baselines

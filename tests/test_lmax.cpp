@@ -1,0 +1,100 @@
+#include "src/core/lmax.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/properties.hpp"
+
+namespace beepmis::core {
+namespace {
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(0), 0);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(8), 3);
+  EXPECT_EQ(ceil_log2(9), 4);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Lmax, GlobalDeltaIsUniform) {
+  const auto g = graph::make_star(17);  // Δ = 16
+  const auto lm = lmax_global_delta(g, 15);
+  ASSERT_EQ(lm.size(), 17u);
+  for (auto v : lm) EXPECT_EQ(v, 4 + 15);
+  EXPECT_TRUE(std::all_of(lm.begin(), lm.end(),
+                          [&](auto x) { return x == lm[0]; }));
+}
+
+TEST(Lmax, GlobalDeltaOnEdgelessGraph) {
+  const auto g = graph::GraphBuilder(5).build();
+  const auto lm = lmax_global_delta(g, 15);
+  for (auto v : lm) EXPECT_EQ(v, 15);
+}
+
+TEST(Lmax, OwnDegreeFollowsTheorem22Formula) {
+  const auto g = graph::make_star(17);
+  const auto lm = lmax_own_degree(g, 30);
+  EXPECT_EQ(lm[0], 2 * 4 + 30);           // center: deg 16
+  for (std::size_t v = 1; v < 17; ++v) {  // leaves: deg 1
+    EXPECT_EQ(lm[v], 30);
+  }
+}
+
+TEST(Lmax, OneHopFollowsCorollary23Formula) {
+  const auto g = graph::make_star(17);
+  const auto lm = lmax_one_hop(g, 15);
+  // Everyone's deg₂ is 16 on a star.
+  for (auto v : lm) EXPECT_EQ(v, 2 * 4 + 15);
+}
+
+TEST(Lmax, OneHopOnPathInterior) {
+  const auto g = graph::make_path(6);
+  const auto lm = lmax_one_hop(g, 15);
+  // deg₂ = 2 everywhere on P6 (every vertex sees a degree-2 vertex).
+  for (auto v : lm) EXPECT_EQ(v, 2 * 1 + 15);
+}
+
+TEST(Lmax, PaperConstantsSatisfyLemmaPreconditions) {
+  // Lemma 3.5 requires ℓmax(w) >= log2 deg(w) + 4 for all w; all three
+  // default policies must satisfy it on a heterogeneous graph.
+  support::Rng rng(3);
+  const auto g = graph::make_barabasi_albert(300, 3, rng);
+  for (const auto& lm :
+       {lmax_global_delta(g), lmax_own_degree(g), lmax_one_hop(g)}) {
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      EXPECT_GE(lm[v], ceil_log2(g.degree(v)) + 4);
+  }
+}
+
+TEST(Lmax, GlobalDeltaIsLargestOnHubsSmallestPolicyOnLeaves) {
+  // On a star, own-degree gives leaves a much smaller cap than global-Δ —
+  // the heterogeneity Thm 2.2 exploits.
+  const auto g = graph::make_star(1025);  // Δ = 1024
+  const auto global = lmax_global_delta(g, 15);
+  const auto own = lmax_own_degree(g, 15);
+  EXPECT_EQ(global[1], 10 + 15);
+  EXPECT_EQ(own[1], 15);
+  EXPECT_LT(own[1], global[1]);
+}
+
+TEST(LmaxDeath, NonPositiveConstantAborts) {
+  const auto g = graph::make_path(4);
+  EXPECT_DEATH(lmax_global_delta(g, 0), "positive");
+}
+
+TEST(Lmax, KnowledgeNamesDistinct) {
+  EXPECT_NE(knowledge_name(Knowledge::GlobalMaxDegree),
+            knowledge_name(Knowledge::OwnDegree));
+  EXPECT_NE(knowledge_name(Knowledge::OneHopMaxDegree),
+            knowledge_name(Knowledge::Custom));
+}
+
+}  // namespace
+}  // namespace beepmis::core

@@ -1,0 +1,80 @@
+#include "src/baselines/luby.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::baselines {
+namespace {
+
+std::pair<std::unique_ptr<local::LocalSimulation>, LubyMis*> sim_on(
+    const graph::Graph& g, std::uint64_t seed) {
+  auto algo = std::make_unique<LubyMis>(g);
+  auto* raw = algo.get();
+  return {std::make_unique<local::LocalSimulation>(g, std::move(algo), seed),
+          raw};
+}
+
+TEST(Luby, ConvergesToValidMisOnManyGraphs) {
+  support::Rng grng(4);
+  const auto graphs = {
+      graph::make_path(50),    graph::make_cycle(51),
+      graph::make_star(50),    graph::make_complete(25),
+      graph::make_grid(7, 7),  graph::make_erdos_renyi(100, 0.05, grng),
+      graph::make_barabasi_albert(100, 3, grng),
+  };
+  for (const auto& g : graphs) {
+    auto [sim, a] = sim_on(g, g.vertex_count() + 1);
+    while (!a->terminated() && sim->round() < 1000) sim->step();
+    ASSERT_TRUE(a->terminated()) << g.name();
+    EXPECT_TRUE(mis::is_mis(g, a->mis_members())) << g.name();
+  }
+}
+
+TEST(Luby, CompleteGraphNeedsOnePhase) {
+  // On K_n some vertex is the unique minimum: one phase (2 rounds) decides
+  // membership, a second notify settles everyone.
+  const auto g = graph::make_complete(32);
+  auto [sim, a] = sim_on(g, 9);
+  sim->step();  // draw
+  EXPECT_EQ(mis::member_count(a->mis_members()), 1u);
+  sim->step();  // notify
+  EXPECT_TRUE(a->terminated());
+}
+
+TEST(Luby, LogarithmicPhaseCountOnRandomGraphs) {
+  support::Rng grng(5);
+  const auto g = graph::make_erdos_renyi(2000, 0.005, grng);
+  auto [sim, a] = sim_on(g, 3);
+  while (!a->terminated() && sim->round() < 200) sim->step();
+  ASSERT_TRUE(a->terminated());
+  // Luby: O(log n) phases w.h.p.; 2000 vertices should need well under
+  // 40 phases (80 LOCAL rounds).
+  EXPECT_LT(sim->round(), 80u);
+}
+
+TEST(Luby, IsolatedVerticesJoinImmediately) {
+  const auto g = graph::GraphBuilder(5).build();
+  auto [sim, a] = sim_on(g, 1);
+  sim->step();
+  for (graph::VertexId v = 0; v < 5; ++v)
+    EXPECT_EQ(a->status(v), LubyMis::Status::InMis);
+}
+
+TEST(Luby, DeterministicGivenSeed) {
+  const auto g = graph::make_cycle(40);
+  auto [s1, a1] = sim_on(g, 77);
+  auto [s2, a2] = sim_on(g, 77);
+  for (int i = 0; i < 30; ++i) {
+    s1->step();
+    s2->step();
+  }
+  for (graph::VertexId v = 0; v < 40; ++v)
+    EXPECT_EQ(a1->status(v), a2->status(v));
+}
+
+}  // namespace
+}  // namespace beepmis::baselines

@@ -1,0 +1,314 @@
+#include "src/exact/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/beep/network.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+#include "src/graph/generators.hpp"
+#include "src/support/stats.hpp"
+
+namespace beepmis::exact {
+namespace {
+
+TEST(Markov, StateEncodingRoundTrip) {
+  const auto g = graph::make_path(3);
+  MarkovAnalysis m(g, core::LmaxVector{2, 3, 2});
+  EXPECT_EQ(m.state_count(), 5u * 7u * 5u);
+  for (std::size_t s = 0; s < m.state_count(); ++s)
+    EXPECT_EQ(m.encode(m.decode(s)), s);
+}
+
+TEST(Markov, AbsorbingStatesMatchStabilityPredicate) {
+  const auto g = graph::make_path(2);
+  MarkovAnalysis m(g, core::LmaxVector{2, 2});
+  std::size_t absorbing = 0;
+  for (std::size_t s = 0; s < m.state_count(); ++s) {
+    const auto levels = m.decode(s);
+    core::SelfStabMis a(g, core::LmaxVector{2, 2});
+    a.set_level(0, levels[0]);
+    a.set_level(1, levels[1]);
+    EXPECT_EQ(m.is_absorbing(s), a.is_stabilized()) << s;
+    absorbing += m.is_absorbing(s);
+  }
+  // P2's stable configurations: (-2, 2) and (2, -2).
+  EXPECT_EQ(absorbing, 2u);
+}
+
+TEST(Markov, TransitionProbabilitiesSumToOne) {
+  const auto g = graph::make_complete(3);
+  MarkovAnalysis m(g, core::LmaxVector{2, 2, 2});
+  for (std::size_t s = 0; s < m.state_count(); ++s) {
+    const auto dist = m.distribution_after(s, 1);
+    double total = 0.0;
+    for (double p : dist) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Markov, AbsorptionReachableFromEveryState) {
+  // Exhaustive qualitative self-stabilization on several tiny graphs.
+  for (const auto& g : {graph::make_path(2), graph::make_path(3),
+                        graph::make_complete(3), graph::make_star(4)}) {
+    MarkovAnalysis m(g, core::LmaxVector(g.vertex_count(), 2));
+    EXPECT_TRUE(m.absorption_reachable_from_everywhere()) << g.name();
+  }
+}
+
+TEST(Markov, AbsorbingStatesAreFixedPoints) {
+  const auto g = graph::make_star(3);
+  MarkovAnalysis m(g, core::LmaxVector{2, 2, 2});
+  for (std::size_t s = 0; s < m.state_count(); ++s) {
+    if (!m.is_absorbing(s)) continue;
+    const auto dist = m.distribution_after(s, 5);
+    EXPECT_NEAR(dist[s], 1.0, 1e-12);
+  }
+}
+
+TEST(Markov, SingleVertexHittingTimeClosedForm) {
+  // Isolated vertex, lmax = 2. From ℓ=1 it beeps w.p. 1/2 (→ absorbed at
+  // -2 next round via beep-alone) else decays to max(0,1)=1... wait: silent
+  // and hears nothing → max(ℓ-1, 1) = 1 — stays. So h(1) satisfies
+  // h = 1 + (1/2)·0 + (1/2)·h  ⇒  h = 2.
+  const auto g = graph::GraphBuilder(1).build();
+  MarkovAnalysis m(g, core::LmaxVector{2});
+  auto& h = m.expected_absorption_rounds();
+  EXPECT_NEAR(h[m.encode({1})], 2.0, 1e-9);
+  // From ℓ=0 (beeps with certainty): absorbed in exactly 1 round.
+  EXPECT_NEAR(h[m.encode({0})], 1.0, 1e-9);
+  // From ℓ=2 = lmax (silent): decays to 1, then as above: 1 + 2 = 3.
+  EXPECT_NEAR(h[m.encode({2})], 3.0, 1e-9);
+  // From ℓ=-2: already absorbed.
+  EXPECT_NEAR(h[m.encode({-2})], 0.0, 1e-9);
+}
+
+TEST(Markov, SimulatorMatchesExactHittingTimes) {
+  // The headline cross-validation: Monte-Carlo mean stabilization times
+  // from the REAL simulator must match the chain's closed-form expectation
+  // within sampling error, for several graphs and start states.
+  struct Case {
+    graph::Graph g;
+    std::vector<std::int32_t> start;
+  };
+  std::vector<Case> cases;
+  cases.push_back({graph::make_path(2), {1, 1}});
+  cases.push_back({graph::make_path(2), {-2, -2}});
+  cases.push_back({graph::make_complete(3), {1, 1, 1}});
+  cases.push_back({graph::make_path(3), {2, 2, 2}});
+
+  for (const auto& c : cases) {
+    MarkovAnalysis m(c.g, core::LmaxVector(c.g.vertex_count(), 2));
+    auto& h = m.expected_absorption_rounds();
+    const double exact = h[m.encode(c.start)];
+
+    support::RunningStats sim_rounds;
+    constexpr int kTrials = 4000;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      auto algo = std::make_unique<core::SelfStabMis>(
+          c.g, core::LmaxVector(c.g.vertex_count(), 2));
+      auto* a = algo.get();
+      beep::Simulation sim(c.g, std::move(algo),
+                           static_cast<std::uint64_t>(trial) * 7919 + 13);
+      for (graph::VertexId v = 0; v < c.g.vertex_count(); ++v)
+        a->set_level(v, c.start[v]);
+      sim.run_until(
+          [&](const beep::Simulation&) { return a->is_stabilized(); }, 100000);
+      sim_rounds.add(static_cast<double>(sim.round()));
+    }
+    // 5-sigma band around the exact expectation.
+    const double sigma = sim_rounds.stddev() / std::sqrt(double(kTrials));
+    EXPECT_NEAR(sim_rounds.mean(), exact, 5.0 * sigma + 1e-6)
+        << c.g.name() << " exact=" << exact << " sim=" << sim_rounds.mean();
+  }
+}
+
+TEST(Markov, DistributionMassFlowsToAbsorbing) {
+  const auto g = graph::make_path(2);
+  MarkovAnalysis m(g, core::LmaxVector{2, 2});
+  const auto start = m.encode({1, 1});
+  double absorbed_prev = 0.0;
+  for (std::uint64_t r : {1ull, 3ull, 6ull, 12ull, 25ull}) {
+    const auto dist = m.distribution_after(start, r);
+    double absorbed = 0.0;
+    for (std::size_t s = 0; s < m.state_count(); ++s)
+      if (m.is_absorbing(s)) absorbed += dist[s];
+    EXPECT_GE(absorbed, absorbed_prev);
+    absorbed_prev = absorbed;
+  }
+  EXPECT_GT(absorbed_prev, 0.99);  // w.h.p. absorbed after 25 rounds
+}
+
+TEST(Markov, SingleVertexVarianceClosedForm) {
+  // Isolated vertex, lmax = 2, start l=1: T is geometric(1/2), so
+  // E[T] = 2, E[T^2] = E[T(T+... )] — for geometric(p): Var = (1-p)/p^2 = 2,
+  // E[T^2] = Var + E[T]^2 = 6.
+  const auto g = graph::GraphBuilder(1).build();
+  MarkovAnalysis m(g, core::LmaxVector{2});
+  auto& h2 = m.expected_absorption_rounds_squared();
+  EXPECT_NEAR(h2[m.encode({1})], 6.0, 1e-6);
+  EXPECT_NEAR(h2[m.encode({0})], 1.0, 1e-6);   // deterministic 1 round
+  EXPECT_NEAR(h2[m.encode({-2})], 0.0, 1e-9);  // absorbed
+  // l=2: T = 1 + T(1) deterministically shifted: E=3, Var unchanged = 2,
+  // E[T^2] = 2 + 9 = 11.
+  EXPECT_NEAR(h2[m.encode({2})], 11.0, 1e-6);
+}
+
+TEST(Markov, SimulatedStdMatchesExactStd) {
+  const auto g = graph::make_complete(3);
+  MarkovAnalysis m(g, core::LmaxVector{2, 2, 2});
+  const auto start = m.encode({1, 1, 1});
+  auto& h = m.expected_absorption_rounds();
+  auto& h2 = m.expected_absorption_rounds_squared();
+  const double exact_std = std::sqrt(h2[start] - h[start] * h[start]);
+
+  support::RunningStats stats;
+  constexpr int kTrials = 6000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto algo = std::make_unique<core::SelfStabMis>(g, core::LmaxVector{2, 2, 2});
+    auto* a = algo.get();
+    beep::Simulation sim(g, std::move(algo),
+                         static_cast<std::uint64_t>(trial) * 3671 + 11);
+    sim.run_until(
+        [&](const beep::Simulation&) { return a->is_stabilized(); }, 100000);
+    stats.add(static_cast<double>(sim.round()));
+  }
+  // Sample std of ~6000 draws is within a few percent of the truth.
+  EXPECT_NEAR(stats.stddev(), exact_std, 0.1 * exact_std + 0.05);
+}
+
+TEST(Markov, AbsorptionProbabilitiesSumToOneAndConcentrateOnAbsorbing) {
+  const auto g = graph::make_path(3);
+  MarkovAnalysis m(g, core::LmaxVector{2, 2, 2});
+  for (std::size_t s = 0; s < m.state_count(); s += 17) {
+    const auto probs = m.absorption_probabilities(s);
+    double total = 0.0;
+    for (std::size_t t = 0; t < m.state_count(); ++t) {
+      if (!m.is_absorbing(t)) {
+        EXPECT_EQ(probs[t], 0.0);
+      }
+      total += probs[t];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Markov, SymmetricStartSplitsEvenlyOnP2) {
+  // P2 from (1,1) is symmetric under vertex swap: the two absorbing states
+  // (-2,2) and (2,-2) must be hit with probability 1/2 each.
+  const auto g = graph::make_path(2);
+  MarkovAnalysis m(g, core::LmaxVector{2, 2});
+  const auto probs = m.absorption_probabilities(m.encode({1, 1}));
+  EXPECT_NEAR(probs[m.encode({-2, 2})], 0.5, 1e-9);
+  EXPECT_NEAR(probs[m.encode({2, -2})], 0.5, 1e-9);
+}
+
+TEST(Markov, WhichMisSelectedMatchesSimulationOnP3) {
+  // P3 has two MISes: {middle} and {both ends}. Compare the exact selection
+  // probability from (1,1,1) with simulated frequencies.
+  const auto g = graph::make_path(3);
+  MarkovAnalysis m(g, core::LmaxVector{2, 2, 2});
+  const auto probs = m.absorption_probabilities(m.encode({1, 1, 1}));
+  const double exact_middle = probs[m.encode({2, -2, 2})];
+  EXPECT_GT(exact_middle, 0.05);
+  EXPECT_LT(exact_middle, 0.95);
+
+  int middle_wins = 0;
+  constexpr int kTrials = 8000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto algo = std::make_unique<core::SelfStabMis>(g, core::LmaxVector{2, 2, 2});
+    auto* a = algo.get();
+    beep::Simulation sim(g, std::move(algo),
+                         static_cast<std::uint64_t>(trial) * 2713 + 5);
+    sim.run_until(
+        [&](const beep::Simulation&) { return a->is_stabilized(); }, 100000);
+    middle_wins += a->mis_members()[1];
+  }
+  const double p = exact_middle;
+  const double sigma = std::sqrt(kTrials * p * (1 - p));
+  EXPECT_NEAR(middle_wins, kTrials * p, 5 * sigma);
+}
+
+TEST(Markov, AbsorptionProbabilityOfAbsorbingStateIsItself) {
+  const auto g = graph::make_path(2);
+  MarkovAnalysis m(g, core::LmaxVector{2, 2});
+  const auto a = m.encode({-2, 2});
+  const auto probs = m.absorption_probabilities(a);
+  EXPECT_NEAR(probs[a], 1.0, 1e-12);
+}
+
+// --- Algorithm 2 chain -------------------------------------------------------
+
+TEST(MarkovAlgo2, StateSpaceUsesNonNegativeLevels) {
+  const auto g = graph::make_path(2);
+  MarkovAnalysis m(g, core::LmaxVector{3, 3}, Chain::Algorithm2);
+  EXPECT_EQ(m.state_count(), 4u * 4u);
+  for (std::size_t s = 0; s < m.state_count(); ++s) {
+    const auto levels = m.decode(s);
+    for (auto l : levels) {
+      EXPECT_GE(l, 0);
+      EXPECT_LE(l, 3);
+    }
+    EXPECT_EQ(m.encode(levels), s);
+  }
+}
+
+TEST(MarkovAlgo2, AbsorbingStatesMatchAlgorithm2Predicate) {
+  const auto g = graph::make_path(2);
+  MarkovAnalysis m(g, core::LmaxVector{3, 3}, Chain::Algorithm2);
+  std::size_t absorbing = 0;
+  for (std::size_t s = 0; s < m.state_count(); ++s) {
+    const auto levels = m.decode(s);
+    core::SelfStabMisTwoChannel a(g, core::LmaxVector{3, 3});
+    a.set_level(0, levels[0]);
+    a.set_level(1, levels[1]);
+    EXPECT_EQ(m.is_absorbing(s), a.is_stabilized()) << s;
+    absorbing += m.is_absorbing(s);
+  }
+  EXPECT_EQ(absorbing, 2u);  // (0, 3) and (3, 0)
+}
+
+TEST(MarkovAlgo2, AbsorptionReachableFromEveryState) {
+  for (const auto& g : {graph::make_path(3), graph::make_complete(3),
+                        graph::make_star(4)}) {
+    MarkovAnalysis m(g, core::LmaxVector(g.vertex_count(), 2),
+                     Chain::Algorithm2);
+    EXPECT_TRUE(m.absorption_reachable_from_everywhere()) << g.name();
+  }
+}
+
+TEST(MarkovAlgo2, SimulatorMatchesExactHittingTimes) {
+  const auto g = graph::make_path(2);
+  MarkovAnalysis m(g, core::LmaxVector{2, 2}, Chain::Algorithm2);
+  auto& h = m.expected_absorption_rounds();
+  const std::vector<std::int32_t> start = {1, 1};
+  const double exact = h[m.encode(start)];
+
+  support::RunningStats sim_rounds;
+  constexpr int kTrials = 4000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto algo = std::make_unique<core::SelfStabMisTwoChannel>(
+        g, core::LmaxVector{2, 2});
+    auto* a = algo.get();
+    beep::Simulation sim(g, std::move(algo),
+                         static_cast<std::uint64_t>(trial) * 6151 + 3);
+    a->set_level(0, 1);
+    a->set_level(1, 1);
+    sim.run_until(
+        [&](const beep::Simulation&) { return a->is_stabilized(); }, 100000);
+    sim_rounds.add(static_cast<double>(sim.round()));
+  }
+  const double sigma = sim_rounds.stddev() / std::sqrt(double(kTrials));
+  EXPECT_NEAR(sim_rounds.mean(), exact, 5.0 * sigma + 1e-6)
+      << "exact=" << exact;
+}
+
+TEST(MarkovDeath, TooLargeInstanceRejected) {
+  const auto g = graph::make_cycle(12);
+  EXPECT_DEATH(MarkovAnalysis(g, core::LmaxVector(12, 2)), "tiny graphs");
+}
+
+}  // namespace
+}  // namespace beepmis::exact

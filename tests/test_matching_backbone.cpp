@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/backbone.hpp"
+#include "src/apps/matching.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/properties.hpp"
+
+namespace beepmis::apps {
+namespace {
+
+// --- line graph ---------------------------------------------------------------
+
+TEST(LineGraph, PathLineGraphIsShorterPath) {
+  const auto lg = graph::line_graph(graph::make_path(5));
+  EXPECT_EQ(lg.vertex_count(), 4u);  // one per edge
+  EXPECT_EQ(lg.edge_count(), 3u);    // consecutive edges share a vertex
+}
+
+TEST(LineGraph, StarLineGraphIsComplete) {
+  const auto lg = graph::line_graph(graph::make_star(6));
+  EXPECT_EQ(lg.vertex_count(), 5u);
+  EXPECT_EQ(lg.edge_count(), 10u);  // K5: all edges share the center
+}
+
+TEST(LineGraph, TriangleIsSelfLineGraph) {
+  const auto lg = graph::line_graph(graph::make_complete(3));
+  EXPECT_EQ(lg.vertex_count(), 3u);
+  EXPECT_EQ(lg.edge_count(), 3u);
+}
+
+TEST(LineGraph, EdgeListOrderMatchesNumbering) {
+  const auto g = graph::make_cycle(4);
+  const auto edges = graph::edge_list(g);
+  ASSERT_EQ(edges.size(), 4u);
+  for (const auto& [u, v] : edges) {
+    EXPECT_LT(u, v);
+    EXPECT_TRUE(g.has_edge(u, v));
+  }
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+}
+
+// --- maximal matching ---------------------------------------------------------
+
+TEST(Matching, ValidOnManyGraphs) {
+  support::Rng grng(1);
+  const auto graphs = {
+      graph::make_path(30),    graph::make_cycle(31),
+      graph::make_star(30),    graph::make_complete(10),
+      graph::make_grid(5, 6),  graph::make_erdos_renyi(60, 0.08, grng),
+  };
+  for (const auto& g : graphs) {
+    const auto m = matching_via_selfstab_mis(g, 7, 500000);
+    ASSERT_TRUE(m.has_value()) << g.name();
+    EXPECT_TRUE(is_maximal_matching(g, m->edges)) << g.name();
+  }
+}
+
+TEST(Matching, StarMatchesExactlyOneEdge) {
+  const auto g = graph::make_star(12);
+  const auto m = matching_via_selfstab_mis(g, 3, 500000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->edges.size(), 1u);
+}
+
+TEST(Matching, PerfectMatchingOnEvenPath) {
+  const auto g = graph::make_path(10);
+  const auto m = matching_via_selfstab_mis(g, 5, 500000);
+  ASSERT_TRUE(m.has_value());
+  // Maximal matchings of P10 have 3..5 edges; must be at least half of
+  // maximum (general maximal-matching guarantee).
+  EXPECT_GE(m->edges.size(), 3u);
+  EXPECT_LE(m->edges.size(), 5u);
+}
+
+TEST(Matching, EmptyGraphHasEmptyMatching) {
+  const auto g = graph::GraphBuilder(5).build();
+  const auto m = matching_via_selfstab_mis(g, 1, 100);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->edges.empty());
+  EXPECT_TRUE(is_maximal_matching(g, m->edges));
+}
+
+TEST(Matching, ValidatorNegativeCases) {
+  const auto g = graph::make_path(4);  // edges (0,1),(1,2),(2,3)
+  EXPECT_FALSE(is_maximal_matching(g, {{0, 1}, {1, 2}}));  // share vertex 1
+  EXPECT_FALSE(is_maximal_matching(g, {{1, 2}, {0, 1}}));
+  EXPECT_FALSE(is_maximal_matching(g, {}));            // (2,3) uncovered
+  EXPECT_TRUE(is_maximal_matching(g, {{1, 2}}));       // maximal
+  EXPECT_TRUE(is_maximal_matching(g, {{0, 1}, {2, 3}}));
+}
+
+// --- connected dominating set ---------------------------------------------------
+
+TEST(Backbone, ValidOnConnectedGraphs) {
+  support::Rng grng(2);
+  const auto graphs = {
+      graph::make_path(30),         graph::make_cycle(31),
+      graph::make_star(30),         graph::make_grid(6, 6),
+      graph::make_random_geometric(150, 0.14, grng),
+  };
+  for (const auto& g : graphs) {
+    if (!graph::is_connected(g)) continue;  // rgg can disconnect
+    const auto b = backbone_via_selfstab_mis(g, 9, 500000);
+    ASSERT_TRUE(b.has_value()) << g.name();
+    EXPECT_TRUE(is_connected_dominating_set(g, b->members)) << g.name();
+    EXPECT_GT(b->dominators, 0u);
+  }
+}
+
+TEST(Backbone, StarBackboneIsJustTheCenterOrSmall) {
+  const auto g = graph::make_star(20);
+  const auto b = backbone_via_selfstab_mis(g, 11, 500000);
+  ASSERT_TRUE(b.has_value());
+  ASSERT_TRUE(is_connected_dominating_set(g, b->members));
+  std::size_t size = 0;
+  for (bool m : b->members) size += m;
+  // Either {center} (1) or {all leaves + center connector}; the MIS decides.
+  EXPECT_TRUE(size == 1 || size == 20u) << size;
+}
+
+TEST(Backbone, ConnectorCountIsModest) {
+  // Classic CDS bound: connectors = O(dominators).
+  support::Rng grng(3);
+  const auto g = graph::make_grid(10, 10);
+  const auto b = backbone_via_selfstab_mis(g, 13, 500000);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(is_connected_dominating_set(g, b->members));
+  EXPECT_LE(b->connectors, 3 * b->dominators);
+}
+
+TEST(BackboneDeath, DisconnectedGraphRejected) {
+  graph::GraphBuilder bld(4);
+  bld.add_edge(0, 1);
+  bld.add_edge(2, 3);
+  const auto g = std::move(bld).build();
+  EXPECT_DEATH(backbone_via_selfstab_mis(g, 1, 1000), "connected");
+}
+
+TEST(Backbone, ValidatorNegativeCases) {
+  const auto g = graph::make_path(5);
+  // {1, 3}: dominating but induced subgraph disconnected.
+  EXPECT_FALSE(is_connected_dominating_set(g, {false, true, false, true,
+                                               false}));
+  // {1, 2, 3}: dominating and connected.
+  EXPECT_TRUE(is_connected_dominating_set(g, {false, true, true, true,
+                                              false}));
+  // {0, 1}: vertex 3, 4 undominated.
+  EXPECT_FALSE(is_connected_dominating_set(g, {true, true, false, false,
+                                               false}));
+  // Empty set never a CDS on non-empty graphs.
+  EXPECT_FALSE(is_connected_dominating_set(g, std::vector<bool>(5, false)));
+}
+
+}  // namespace
+}  // namespace beepmis::apps

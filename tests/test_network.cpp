@@ -1,0 +1,168 @@
+#include "src/beep/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+
+namespace beepmis::beep {
+namespace {
+
+/// Scripted algorithm: node v beeps channel mask script[round][v]; records
+/// everything it hears. Lets the tests pin down the engine's semantics
+/// independently of any real algorithm.
+class ScriptedAlgo : public BeepingAlgorithm {
+ public:
+  ScriptedAlgo(std::size_t n, unsigned channels,
+               std::vector<std::vector<ChannelMask>> script)
+      : n_(n), channels_(channels), script_(std::move(script)) {}
+
+  std::string name() const override { return "scripted"; }
+  unsigned channels() const override { return channels_; }
+  std::size_t node_count() const override { return n_; }
+
+  void decide_beeps(Round round, std::span<support::Rng> /*rngs*/,
+                    std::span<ChannelMask> send) override {
+    for (std::size_t v = 0; v < n_; ++v)
+      send[v] = round < script_.size() ? script_[round][v] : 0;
+  }
+
+  void receive_feedback(Round /*round*/, std::span<const ChannelMask> sent,
+                        std::span<const ChannelMask> heard) override {
+    sent_log.emplace_back(sent.begin(), sent.end());
+    heard_log.emplace_back(heard.begin(), heard.end());
+  }
+
+  void corrupt_node(graph::VertexId /*v*/, support::Rng& /*rng*/) override {}
+
+  std::vector<std::vector<ChannelMask>> sent_log, heard_log;
+
+ private:
+  std::size_t n_;
+  unsigned channels_;
+  std::vector<std::vector<ChannelMask>> script_;
+};
+
+TEST(Simulation, HeardIsOrOfNeighbors) {
+  // Path 0-1-2-3; only node 0 beeps.
+  const graph::Graph g = graph::make_path(4);
+  auto algo = std::make_unique<ScriptedAlgo>(
+      4, 1, std::vector<std::vector<ChannelMask>>{{1, 0, 0, 0}});
+  auto* raw = algo.get();
+  Simulation sim(g, std::move(algo), 1);
+  sim.step();
+  EXPECT_EQ(raw->heard_log[0], (std::vector<ChannelMask>{0, 1, 0, 0}));
+}
+
+TEST(Simulation, FullDuplexOwnBeepNotEchoed) {
+  // Isolated beeper must hear nothing.
+  const graph::Graph g = graph::GraphBuilder(1).build();
+  auto algo = std::make_unique<ScriptedAlgo>(
+      1, 1, std::vector<std::vector<ChannelMask>>{{1}});
+  auto* raw = algo.get();
+  Simulation sim(g, std::move(algo), 1);
+  sim.step();
+  EXPECT_EQ(raw->heard_log[0][0], 0);
+}
+
+TEST(Simulation, CollisionIsIndistinguishableFromSingleBeep) {
+  // Star center hears the same mask whether 1 or 3 leaves beep.
+  const graph::Graph g = graph::make_star(4);
+  auto a1 = std::make_unique<ScriptedAlgo>(
+      4, 1, std::vector<std::vector<ChannelMask>>{{0, 1, 0, 0}});
+  auto* r1 = a1.get();
+  Simulation s1(g, std::move(a1), 1);
+  s1.step();
+
+  auto a2 = std::make_unique<ScriptedAlgo>(
+      4, 1, std::vector<std::vector<ChannelMask>>{{0, 1, 1, 1}});
+  auto* r2 = a2.get();
+  Simulation s2(g, std::move(a2), 1);
+  s2.step();
+
+  EXPECT_EQ(r1->heard_log[0][0], r2->heard_log[0][0]);
+  EXPECT_EQ(r1->heard_log[0][0], kChannel1);
+}
+
+TEST(Simulation, TwoChannelsAreIndependent) {
+  // Triangle: node 0 beeps ch1, node 1 beeps ch2, node 2 silent.
+  const graph::Graph g = graph::make_complete(3);
+  auto algo = std::make_unique<ScriptedAlgo>(
+      3, 2,
+      std::vector<std::vector<ChannelMask>>{{kChannel1, kChannel2, 0}});
+  auto* raw = algo.get();
+  Simulation sim(g, std::move(algo), 1);
+  sim.step();
+  EXPECT_EQ(raw->heard_log[0][0], kChannel2);             // hears 1's ch2
+  EXPECT_EQ(raw->heard_log[0][1], kChannel1);             // hears 0's ch1
+  EXPECT_EQ(raw->heard_log[0][2], kChannel1 | kChannel2); // hears both
+}
+
+TEST(Simulation, RoundCounterAdvances) {
+  const graph::Graph g = graph::make_cycle(3);
+  Simulation sim(g, std::make_unique<ScriptedAlgo>(
+                        3, 1, std::vector<std::vector<ChannelMask>>{}),
+                 1);
+  EXPECT_EQ(sim.round(), 0u);
+  sim.run(5);
+  EXPECT_EQ(sim.round(), 5u);
+}
+
+TEST(Simulation, RunUntilStopsAtPredicate) {
+  const graph::Graph g = graph::make_cycle(3);
+  Simulation sim(g, std::make_unique<ScriptedAlgo>(
+                        3, 1, std::vector<std::vector<ChannelMask>>{}),
+                 1);
+  const Round r = sim.run_until(
+      [](const Simulation& s) { return s.round() >= 7; }, 100);
+  EXPECT_EQ(r, 7u);
+}
+
+TEST(Simulation, RunUntilRespectsBudget) {
+  const graph::Graph g = graph::make_cycle(3);
+  Simulation sim(g, std::make_unique<ScriptedAlgo>(
+                        3, 1, std::vector<std::vector<ChannelMask>>{}),
+                 1);
+  const Round r = sim.run_until([](const Simulation&) { return false; }, 12);
+  EXPECT_EQ(r, 12u);
+}
+
+TEST(Simulation, TotalBeepsAccumulate) {
+  const graph::Graph g = graph::make_path(3);
+  std::vector<std::vector<ChannelMask>> script = {{1, 1, 0}, {0, 1, 0}};
+  Simulation sim(g, std::make_unique<ScriptedAlgo>(3, 1, script), 1);
+  sim.run(2);
+  EXPECT_EQ(sim.total_beeps(0), 3u);
+}
+
+TEST(SimulationDeath, BeepOnMissingChannelAborts) {
+  const graph::Graph g = graph::make_path(2);
+  auto algo = std::make_unique<ScriptedAlgo>(
+      2, 1, std::vector<std::vector<ChannelMask>>{{kChannel2, 0}});
+  Simulation sim(g, std::move(algo), 1);
+  EXPECT_DEATH(sim.step(), "channel it does not have");
+}
+
+TEST(SimulationDeath, WrongSizeAlgorithmAborts) {
+  const graph::Graph g = graph::make_path(3);
+  auto algo = std::make_unique<ScriptedAlgo>(
+      2, 1, std::vector<std::vector<ChannelMask>>{});
+  EXPECT_DEATH(Simulation(g, std::move(algo), 1), "different graph");
+}
+
+TEST(Simulation, LastSentAndHeardExposed) {
+  const graph::Graph g = graph::make_path(2);
+  auto algo = std::make_unique<ScriptedAlgo>(
+      2, 1, std::vector<std::vector<ChannelMask>>{{1, 0}});
+  Simulation sim(g, std::move(algo), 1);
+  sim.step();
+  EXPECT_EQ(sim.last_sent()[0], 1);
+  EXPECT_EQ(sim.last_sent()[1], 0);
+  EXPECT_EQ(sim.last_heard()[0], 0);
+  EXPECT_EQ(sim.last_heard()[1], 1);
+}
+
+}  // namespace
+}  // namespace beepmis::beep

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::beep {
+namespace {
+
+/// Silent algorithm that records heard masks — isolates the noise layer.
+class Listener : public BeepingAlgorithm {
+ public:
+  explicit Listener(std::size_t n) : n_(n) {}
+  std::string name() const override { return "listener"; }
+  unsigned channels() const override { return 1; }
+  std::size_t node_count() const override { return n_; }
+  void decide_beeps(Round, std::span<support::Rng>,
+                    std::span<ChannelMask> send) override {
+    for (auto& s : send) s = 0;
+  }
+  void receive_feedback(Round, std::span<const ChannelMask>,
+                        std::span<const ChannelMask> heard) override {
+    last_heard.assign(heard.begin(), heard.end());
+  }
+  void corrupt_node(graph::VertexId, support::Rng&) override {}
+  std::vector<ChannelMask> last_heard;
+
+ private:
+  std::size_t n_;
+};
+
+/// Always-beeping algorithm on channel 1.
+class Beeper : public BeepingAlgorithm {
+ public:
+  explicit Beeper(std::size_t n) : n_(n) {}
+  std::string name() const override { return "beeper"; }
+  unsigned channels() const override { return 1; }
+  std::size_t node_count() const override { return n_; }
+  void decide_beeps(Round, std::span<support::Rng>,
+                    std::span<ChannelMask> send) override {
+    for (auto& s : send) s = kChannel1;
+  }
+  void receive_feedback(Round, std::span<const ChannelMask>,
+                        std::span<const ChannelMask> heard) override {
+    last_heard.assign(heard.begin(), heard.end());
+  }
+  void corrupt_node(graph::VertexId, support::Rng&) override {}
+  std::vector<ChannelMask> last_heard;
+
+ private:
+  std::size_t n_;
+};
+
+TEST(ChannelNoise, DisabledByDefault) {
+  EXPECT_FALSE(ChannelNoise{}.enabled());
+  EXPECT_TRUE((ChannelNoise{0.1, 0.0}).enabled());
+  EXPECT_TRUE((ChannelNoise{0.0, 0.1}).enabled());
+}
+
+TEST(ChannelNoise, CertainFalsePositiveInjectsPhantomBeeps) {
+  const graph::Graph g = graph::make_path(3);
+  auto algo = std::make_unique<Listener>(3);
+  auto* raw = algo.get();
+  Simulation sim(g, std::move(algo), 1, ChannelNoise{1.0, 0.0});
+  sim.step();
+  // Nobody beeps, yet everyone hears (phantom) beeps.
+  for (ChannelMask h : raw->last_heard) EXPECT_EQ(h, kChannel1);
+}
+
+TEST(ChannelNoise, CertainFalseNegativeDropsEverything) {
+  const graph::Graph g = graph::make_complete(4);
+  auto algo = std::make_unique<Beeper>(4);
+  auto* raw = algo.get();
+  Simulation sim(g, std::move(algo), 1, ChannelNoise{0.0, 1.0});
+  sim.step();
+  for (ChannelMask h : raw->last_heard) EXPECT_EQ(h, 0);
+}
+
+TEST(ChannelNoise, ZeroNoiseIdenticalToNoiselessRun) {
+  const graph::Graph g = graph::make_cycle(16);
+  auto mk = [&](ChannelNoise n) {
+    auto algo = std::make_unique<core::SelfStabMis>(
+        g, core::lmax_global_delta(g));
+    auto* a = algo.get();
+    auto sim = std::make_unique<Simulation>(g, std::move(algo), 5, n);
+    return std::pair{std::move(sim), a};
+  };
+  auto [s1, a1] = mk(ChannelNoise{});
+  auto [s2, a2] = mk(ChannelNoise{0.0, 0.0});
+  s1->run(200);
+  s2->run(200);
+  for (graph::VertexId v = 0; v < 16; ++v)
+    EXPECT_EQ(a1->level(v), a2->level(v));
+}
+
+TEST(ChannelNoise, FalseNegativesCanBreakAStableConfiguration) {
+  // Under receiver noise the paper's stability guarantee no longer holds: a
+  // missed member beep makes a dominated neighbor decay. This is why noise
+  // is an extension, not part of the theorems.
+  const graph::Graph g = graph::make_star(4);
+  auto algo = std::make_unique<core::SelfStabMis>(
+      g, core::lmax_global_delta(g));
+  auto* a = algo.get();
+  Simulation sim(g, std::move(algo), 5, ChannelNoise{0.0, 0.5});
+  a->set_level(0, -a->lmax(0));
+  for (graph::VertexId v = 1; v < 4; ++v) a->set_level(v, a->lmax(v));
+  ASSERT_TRUE(a->is_stabilized());
+  bool ever_unstable = false;
+  for (int t = 0; t < 200 && !ever_unstable; ++t) {
+    sim.step();
+    ever_unstable = !a->is_stabilized();
+  }
+  EXPECT_TRUE(ever_unstable);
+}
+
+TEST(ChannelNoise, AlgorithmStillReachesValidMisUnderMildNoise) {
+  // With mild noise the process keeps finding valid-MIS configurations even
+  // though it cannot freeze in them; measure time to *first* valid MIS.
+  support::Rng grng(7);
+  const graph::Graph g = graph::make_erdos_renyi_avg_degree(96, 6.0, grng);
+  auto algo = std::make_unique<core::SelfStabMis>(
+      g, core::lmax_global_delta(g));
+  auto* a = algo.get();
+  Simulation sim(g, std::move(algo), 11, ChannelNoise{0.0005, 0.005});
+  support::Rng irng(3);
+  core::apply_init(*a, core::InitPolicy::UniformRandom, irng);
+  bool found = false;
+  for (int t = 0; t < 20000 && !found; ++t) {
+    sim.step();
+    found = mis::is_mis(g, a->mis_members());
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChannelNoiseDeath, RatesOutsideUnitIntervalAbort) {
+  const graph::Graph g = graph::make_path(2);
+  auto mk = [&](ChannelNoise n) {
+    Simulation sim(g, std::make_unique<Listener>(2), 1, n);
+  };
+  EXPECT_DEATH(mk(ChannelNoise{-0.1, 0.0}), "false-positive");
+  EXPECT_DEATH(mk(ChannelNoise{0.0, 1.5}), "false-negative");
+}
+
+}  // namespace
+}  // namespace beepmis::beep

@@ -1,0 +1,139 @@
+#include "src/core/observers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/graph/generators.hpp"
+
+namespace beepmis::core {
+namespace {
+
+TEST(Observers, MuOfIsolatedVertexIsOne) {
+  const auto g = graph::GraphBuilder(1).build();
+  SelfStabMis a(g, LmaxVector{4});
+  EXPECT_DOUBLE_EQ(mu(a, 0), 1.0);
+}
+
+TEST(Observers, MuIsMinOverNeighbors) {
+  const auto g = graph::make_path(3);
+  SelfStabMis a(g, LmaxVector{4, 4, 4});
+  a.set_level(0, 2);   // 0.5
+  a.set_level(2, -4);  // -1
+  EXPECT_DOUBLE_EQ(mu(a, 1), -1.0);
+  a.set_level(2, 4);
+  EXPECT_DOUBLE_EQ(mu(a, 1), 0.5);
+}
+
+TEST(Observers, ExpectedBeepingNeighborsSumsProbabilities) {
+  const auto g = graph::make_star(4);
+  SelfStabMis a(g, LmaxVector{4, 4, 4, 4});
+  a.set_level(1, 1);  // p = 1/2
+  a.set_level(2, 2);  // p = 1/4
+  a.set_level(3, 4);  // p = 0
+  EXPECT_DOUBLE_EQ(expected_beeping_neighbors(a, 0), 0.75);
+  a.set_level(0, 0);  // p = 1 — but 0 is not its own neighbor
+  EXPECT_DOUBLE_EQ(expected_beeping_neighbors(a, 1), 1.0);
+}
+
+TEST(Observers, ProminentCountMatchesDefinition) {
+  const auto g = graph::make_path(4);
+  SelfStabMis a(g, LmaxVector{4, 4, 4, 4});
+  a.set_level(0, 0);
+  a.set_level(1, -2);
+  a.set_level(2, 1);
+  a.set_level(3, 4);
+  EXPECT_EQ(prominent_count(a), 2u);
+}
+
+TEST(Observers, PlatinumFlagsCoverClosedNeighborhood) {
+  const auto g = graph::make_path(5);
+  SelfStabMis a(g, LmaxVector(5, 4));
+  for (graph::VertexId v = 0; v < 5; ++v) a.set_level(v, 2);
+  a.set_level(0, 0);  // prominent
+  const auto p = platinum_flags(a);
+  EXPECT_TRUE(p[0]);
+  EXPECT_TRUE(p[1]);   // neighbor of prominent 0
+  EXPECT_FALSE(p[2]);
+  EXPECT_FALSE(p[3]);
+  EXPECT_FALSE(p[4]);
+}
+
+TEST(Observers, EtaUsesUnstableNeighborsOnly) {
+  const auto g = graph::make_path(3);
+  SelfStabMis a(g, LmaxVector{4, 4, 4});
+  const std::vector<bool> nobody_stable(3, false);
+  EXPECT_DOUBLE_EQ(eta(a, 1, nobody_stable), 2.0 / 16.0);
+  const std::vector<bool> zero_stable = {true, false, false};
+  EXPECT_DOUBLE_EQ(eta(a, 1, zero_stable), 1.0 / 16.0);
+}
+
+TEST(Observers, EtaPrimeCountsHigherLmaxNeighbors) {
+  const auto g = graph::make_path(3);
+  SelfStabMis a(g, LmaxVector{4, 3, 4});  // middle has smaller lmax
+  const std::vector<bool> nobody(3, false);
+  // Both neighbors of 1 have lmax 4 > 3, each contributes 2^-3.
+  EXPECT_DOUBLE_EQ(eta_prime(a, 1, nobody), 2.0 / 8.0);
+  // Vertex 0's neighbor (1) has smaller lmax: no contribution.
+  EXPECT_DOUBLE_EQ(eta_prime(a, 0, nobody), 0.0);
+}
+
+TEST(Observers, GoldenConditionA) {
+  // ℓ ≤ 1 and d ≤ 0.02: vertex with silent neighbors.
+  const auto g = graph::make_path(2);
+  SelfStabMis a(g, LmaxVector{6, 6});
+  a.set_level(0, 1);
+  a.set_level(1, 6);  // p = 0
+  EXPECT_TRUE(golden_flags(a)[0]);
+  a.set_level(0, 2);  // condition (a) needs ℓ ≤ 1, and (b) needs light beepers
+  EXPECT_FALSE(golden_flags(a)[0]);
+}
+
+TEST(Observers, GoldenConditionBLightNeighbor) {
+  // A light neighbor with non-trivial beep probability makes the round
+  // golden via condition (b).
+  const auto g = graph::make_path(3);
+  SelfStabMis a(g, LmaxVector{6, 6, 6});
+  a.set_level(0, 3);
+  a.set_level(1, 1);  // light (d ≤ 10, μ > 0), p = 1/2
+  a.set_level(2, 3);
+  EXPECT_TRUE(golden_flags(a)[0]);
+}
+
+TEST(Observers, Lemma31HoldsAfterLmaxRounds) {
+  // From an adversarial all-minus start, the Lemma 3.1 invariant must hold
+  // for every vertex after max_w lmax(w) rounds and stay true forever.
+  const auto g = graph::make_cycle(12);
+  auto algo = std::make_unique<SelfStabMis>(g, lmax_global_delta(g, 15));
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 17);
+  for (graph::VertexId v = 0; v < 12; ++v) a->set_level(v, -a->lmax(v));
+  const int horizon = a->lmax(0) + 1;
+  sim.run(horizon);
+  for (int extra = 0; extra < 200; ++extra) {
+    for (graph::VertexId v = 0; v < 12; ++v)
+      ASSERT_TRUE(lemma31_holds(*a, v)) << "round " << sim.round();
+    sim.step();
+  }
+}
+
+TEST(Observers, SnapshotAggregatesConsistently) {
+  support::Rng rng(21);
+  const auto g = graph::make_erdos_renyi(100, 0.05, rng);
+  SelfStabMis a(g, lmax_global_delta(g, 15));
+  support::Rng init_rng(3);
+  apply_init(a, InitPolicy::UniformRandom, init_rng);
+  const auto snap = analysis_snapshot(a);
+  EXPECT_EQ(snap.prominent, prominent_count(a));
+  std::size_t plat = 0;
+  for (bool b : platinum_flags(a)) plat += b;
+  EXPECT_EQ(snap.platinum, plat);
+  EXPECT_LE(snap.mis, snap.stable);
+  EXPECT_GE(snap.max_d, snap.mean_d);
+}
+
+}  // namespace
+}  // namespace beepmis::core

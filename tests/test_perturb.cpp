@@ -1,0 +1,128 @@
+#include "src/graph/perturb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/properties.hpp"
+
+namespace beepmis::graph {
+namespace {
+
+TEST(Perturb, RemoveOnlyDecreasesEdgeCount) {
+  support::Rng rng(1);
+  const Graph g = make_cycle(50);
+  const Graph h = perturb_edges(g, 0, 10, rng);
+  EXPECT_EQ(h.vertex_count(), 50u);
+  EXPECT_EQ(h.edge_count(), 40u);
+  // Every surviving edge was an original edge.
+  for (VertexId v = 0; v < 50; ++v)
+    for (VertexId u : h.neighbors(v)) EXPECT_TRUE(g.has_edge(v, u));
+}
+
+TEST(Perturb, AddOnlyIncreasesEdgeCount) {
+  support::Rng rng(2);
+  const Graph g = make_path(40);
+  const Graph h = perturb_edges(g, 15, 0, rng);
+  EXPECT_EQ(h.edge_count(), 39u + 15u);
+  // All original edges survive.
+  for (VertexId v = 0; v + 1 < 40; ++v) EXPECT_TRUE(h.has_edge(v, v + 1));
+}
+
+TEST(Perturb, AddAndRemoveTogether) {
+  support::Rng rng(3);
+  const Graph g = make_grid(8, 8);
+  const std::size_t m = g.edge_count();
+  const Graph h = perturb_edges(g, 7, 5, rng);
+  EXPECT_EQ(h.edge_count(), m + 7 - 5);
+}
+
+TEST(Perturb, RemoveMoreThanExistsClamps) {
+  support::Rng rng(4);
+  const Graph g = make_path(5);
+  const Graph h = perturb_edges(g, 0, 100, rng);
+  EXPECT_EQ(h.edge_count(), 0u);
+}
+
+TEST(Perturb, AddOnCompleteGraphClamps) {
+  support::Rng rng(5);
+  const Graph g = make_complete(6);
+  const Graph h = perturb_edges(g, 100, 0, rng);
+  EXPECT_EQ(h.edge_count(), 15u);
+}
+
+TEST(Perturb, IsolateVerticesRemovesAllIncidentEdges) {
+  support::Rng rng(6);
+  const Graph g = make_complete(10);
+  const Graph h = isolate_vertices(g, 3, rng);
+  EXPECT_EQ(h.vertex_count(), 10u);  // ids stay stable
+  std::size_t isolated = 0;
+  for (VertexId v = 0; v < 10; ++v) isolated += h.degree(v) == 0;
+  EXPECT_EQ(isolated, 3u);
+  // The survivors still form K7.
+  EXPECT_EQ(h.edge_count(), 21u);
+}
+
+TEST(Perturb, IsolateAllAndNone) {
+  support::Rng rng(7);
+  const Graph g = make_cycle(8);
+  EXPECT_EQ(isolate_vertices(g, 0, rng).edge_count(), 8u);
+  EXPECT_EQ(isolate_vertices(g, 8, rng).edge_count(), 0u);
+}
+
+TEST(PerturbDeath, IsolateTooManyAborts) {
+  support::Rng rng(8);
+  const Graph g = make_path(4);
+  EXPECT_DEATH(isolate_vertices(g, 5, rng), "more vertices");
+}
+
+TEST(Perturb, DeterministicGivenSeed) {
+  const Graph g = make_grid(6, 6);
+  support::Rng a(9), b(9);
+  const Graph ha = perturb_edges(g, 5, 5, a);
+  const Graph hb = perturb_edges(g, 5, 5, b);
+  ASSERT_EQ(ha.edge_count(), hb.edge_count());
+  for (VertexId v = 0; v < 36; ++v) {
+    const auto na = ha.neighbors(v), nb = hb.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(Generators, WattsStrogatzShape) {
+  support::Rng rng(10);
+  const Graph g = make_watts_strogatz(200, 6, 0.1, rng);
+  EXPECT_EQ(g.vertex_count(), 200u);
+  // Rewiring preserves the edge count (each rewire replaces one edge).
+  EXPECT_EQ(g.edge_count(), 200u * 3);
+  // beta=0 is the pure ring lattice: 2k-regular.
+  support::Rng rng0(11);
+  const Graph lattice = make_watts_strogatz(50, 4, 0.0, rng0);
+  EXPECT_TRUE(is_regular(lattice, 4));
+}
+
+TEST(Generators, WattsStrogatzHighBetaShortensDiameter) {
+  support::Rng r1(12), r2(12);
+  const Graph lattice = make_watts_strogatz(256, 4, 0.0, r1);
+  const Graph small_world = make_watts_strogatz(256, 4, 0.3, r2);
+  if (is_connected(small_world)) {
+    EXPECT_LT(diameter(small_world), diameter(lattice));
+  }
+}
+
+TEST(Generators, PlantedPartitionDensities) {
+  support::Rng rng(13);
+  const Graph g = make_planted_partition(400, 4, 0.2, 0.005, rng);
+  // Count intra vs inter edges.
+  std::size_t intra = 0, inter = 0;
+  for (VertexId v = 0; v < 400; ++v)
+    for (VertexId u : g.neighbors(v)) {
+      if (u < v) continue;
+      (v / 100 == u / 100 ? intra : inter) += 1;
+    }
+  // Expected: intra ≈ 4 * C(100,2) * 0.2 = 3960; inter ≈ 30000*0.005*...
+  // just check the ratio is strongly assortative.
+  EXPECT_GT(intra, inter * 5);
+}
+
+}  // namespace
+}  // namespace beepmis::graph

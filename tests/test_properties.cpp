@@ -1,0 +1,89 @@
+#include "src/graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+
+namespace beepmis::graph {
+namespace {
+
+TEST(Properties, DegreeStatsOfStar) {
+  const auto s = degree_stats(make_star(10));
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 9u);
+  EXPECT_DOUBLE_EQ(s.mean, 18.0 / 10.0);
+  EXPECT_EQ(s.isolated, 0u);
+}
+
+TEST(Properties, DegreeStatsCountsIsolated) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  const auto s = degree_stats(std::move(b).build());
+  EXPECT_EQ(s.isolated, 3u);
+  EXPECT_EQ(s.min, 0u);
+}
+
+TEST(Properties, TwoHopMaxDegreeOnStar) {
+  const Graph g = make_star(8);
+  const auto d2 = two_hop_max_degree(g);
+  // Every vertex sees the center's degree 7.
+  for (std::size_t v = 0; v < 8; ++v) EXPECT_EQ(d2[v], 7u);
+}
+
+TEST(Properties, TwoHopMaxDegreeOnPath) {
+  const Graph g = make_path(5);
+  const auto d2 = two_hop_max_degree(g);
+  EXPECT_EQ(d2[0], 2u);  // neighbor 1 has degree 2
+  EXPECT_EQ(d2[2], 2u);
+  EXPECT_EQ(d2[4], 2u);
+}
+
+TEST(Properties, ConnectedComponents) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = std::move(b).build();  // {0,1,2}, {3,4}, {5}, {6}
+  EXPECT_EQ(connected_component_count(g), 4u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Properties, ConnectivityOfGenerators) {
+  EXPECT_TRUE(is_connected(make_cycle(20)));
+  EXPECT_TRUE(is_connected(make_complete(9)));
+  EXPECT_TRUE(is_connected(make_grid(5, 5)));
+  EXPECT_TRUE(is_connected(make_hypercube(5)));
+}
+
+TEST(Properties, TriangleFree) {
+  EXPECT_TRUE(is_triangle_free(make_cycle(10)));
+  EXPECT_TRUE(is_triangle_free(make_grid(4, 4)));
+  EXPECT_TRUE(is_triangle_free(make_complete_bipartite(3, 3)));
+  EXPECT_FALSE(is_triangle_free(make_complete(3)));
+  EXPECT_FALSE(is_triangle_free(make_complete(10)));
+  EXPECT_FALSE(is_triangle_free(make_cycle(3)));
+}
+
+TEST(Properties, Diameter) {
+  EXPECT_EQ(diameter(make_path(10)), 9u);
+  EXPECT_EQ(diameter(make_cycle(10)), 5u);
+  EXPECT_EQ(diameter(make_complete(6)), 1u);
+  EXPECT_EQ(diameter(make_star(20)), 2u);
+  EXPECT_EQ(diameter(GraphBuilder(1).build()), 0u);
+}
+
+TEST(PropertiesDeath, DiameterOfDisconnectedAborts) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_DEATH(diameter(g), "disconnected");
+}
+
+TEST(Properties, IsRegular) {
+  EXPECT_TRUE(is_regular(make_cycle(8), 2));
+  EXPECT_FALSE(is_regular(make_path(8), 2));
+  EXPECT_TRUE(is_regular(make_complete(5), 4));
+}
+
+}  // namespace
+}  // namespace beepmis::graph

@@ -1,0 +1,159 @@
+#include "src/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace beepmis::support {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  // xoshiro must not be seeded all-zero; SplitMix seeding prevents it.
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 16; ++i) acc |= r();
+  EXPECT_NE(acc, 0u);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(11);
+  constexpr int kBuckets = 8, kSamples = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[r.below(kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) EXPECT_NEAR(c, expected, 5 * std::sqrt(expected));
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-1.0));
+    EXPECT_TRUE(r.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliPow2ZeroAlwaysTrue) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(r.bernoulli_pow2(0));
+}
+
+TEST(Rng, BernoulliPow2HugeAlwaysFalse) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(r.bernoulli_pow2(64));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(r.bernoulli_pow2(200));
+}
+
+TEST(Rng, BernoulliPow2MatchesRate) {
+  // Empirical rate of 2^-k coins within 5 sigma.
+  for (unsigned k : {1u, 2u, 3u, 5u}) {
+    Rng r(23 + k);
+    const int samples = 200000;
+    int hits = 0;
+    for (int i = 0; i < samples; ++i) hits += r.bernoulli_pow2(k);
+    const double p = std::ldexp(1.0, -static_cast<int>(k));
+    const double sigma = std::sqrt(samples * p * (1 - p));
+    EXPECT_NEAR(hits, samples * p, 5 * sigma) << "k=" << k;
+  }
+}
+
+TEST(Rng, DeriveStreamIsDeterministic) {
+  const Rng base(99);
+  Rng a = base.derive_stream(5);
+  Rng b = base.derive_stream(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DeriveStreamDistinctKeysDiffer) {
+  const Rng base(99);
+  Rng a = base.derive_stream(1);
+  Rng b = base.derive_stream(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, DeriveStreamIndependentOfDraws) {
+  // Stream derivation must depend on the seed, not on how many values were
+  // drawn — this is what makes runs order-independent.
+  Rng a(123), b(123);
+  (void)a();
+  (void)a();
+  Rng sa = a.derive_stream(7), sb = b.derive_stream(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sa(), sb());
+}
+
+TEST(Rng, ManyStreamsNoObviousCollisions) {
+  const Rng base(7);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t k = 0; k < 4096; ++k)
+    firsts.insert(base.derive_stream(k)());
+  EXPECT_EQ(firsts.size(), 4096u);
+}
+
+TEST(Rng, GoldenValuesPinTheReproducibilityContract) {
+  // Every experiment table in EXPERIMENTS.md is keyed to seeds; if these
+  // golden values ever change, all published numbers silently shift. Any
+  // intentional RNG change must bump them AND regenerate bench_output.txt.
+  Rng r(42);
+  EXPECT_EQ(r(), 0x15780b2e0c2ec716ULL);
+  EXPECT_EQ(r(), 0x6104d9866d113a7eULL);
+  EXPECT_EQ(r(), 0xae17533239e499a1ULL);
+  EXPECT_EQ(r(), 0xecb8ad4703b360a1ULL);
+  Rng d = Rng(42).derive_stream(7);
+  EXPECT_EQ(d(), 0xec9d13d22a3473ddULL);
+  std::uint64_t s = 1234567;
+  EXPECT_EQ(splitmix64(s), 0x599ed017fb08fc85ULL);
+  EXPECT_EQ(splitmix64(s), 0x2c73f08458540fa5ULL);
+}
+
+TEST(Splitmix64, KnownGoldenValues) {
+  // Reference values for seed 1234567 from the public-domain reference code.
+  std::uint64_t s = 1234567;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  // Determinism across calls with the same starting state:
+  std::uint64_t s2 = 1234567;
+  EXPECT_EQ(splitmix64(s2), a);
+  EXPECT_EQ(splitmix64(s2), b);
+}
+
+}  // namespace
+}  // namespace beepmis::support

@@ -1,0 +1,146 @@
+#include "src/exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/exp/families.hpp"
+#include "src/exp/sweep.hpp"
+#include "src/graph/generators.hpp"
+
+namespace beepmis::exp {
+namespace {
+
+TEST(Runner, VariantNamesDistinct) {
+  EXPECT_NE(variant_name(Variant::GlobalDelta), variant_name(Variant::OwnDegree));
+  EXPECT_NE(variant_name(Variant::OwnDegree), variant_name(Variant::TwoChannel));
+}
+
+TEST(Runner, RunVariantStabilizesAllThreeVariants) {
+  support::Rng grng(1);
+  const auto g = graph::make_erdos_renyi(64, 0.08, grng);
+  for (Variant v :
+       {Variant::GlobalDelta, Variant::OwnDegree, Variant::TwoChannel}) {
+    const RunResult r = run_variant(g, v, core::InitPolicy::UniformRandom,
+                                    /*seed=*/5, /*max_rounds=*/30000);
+    EXPECT_TRUE(r.stabilized) << variant_name(v);
+    EXPECT_TRUE(r.valid_mis) << variant_name(v);
+    EXPECT_GT(r.mis_size, 0u);
+    EXPECT_GT(r.rounds, 0u);
+  }
+}
+
+TEST(Runner, AlreadyStableStateCostsZeroRounds) {
+  const auto g = graph::make_star(8);
+  auto sim = make_selfstab_sim(g, Variant::GlobalDelta, 1);
+  auto& a = dynamic_cast<core::SelfStabMis&>(sim->algorithm());
+  a.set_level(0, -a.lmax(0));
+  for (graph::VertexId v = 1; v < 8; ++v) a.set_level(v, a.lmax(v));
+  const RunResult r = run_to_stabilization(*sim, 100);
+  EXPECT_TRUE(r.stabilized);
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_EQ(r.mis_size, 1u);
+}
+
+TEST(Runner, BudgetExhaustionReportsFailure) {
+  // Max-rounds 0 with an unstable start cannot stabilize.
+  const auto g = graph::make_cycle(16);
+  auto sim = make_selfstab_sim(g, Variant::GlobalDelta, 1);
+  const RunResult r = run_to_stabilization(*sim, 0);
+  EXPECT_FALSE(r.stabilized);
+  EXPECT_EQ(r.rounds, 0u);
+}
+
+TEST(Runner, MeasuresReStabilizationAfterMidRunRounds) {
+  const auto g = graph::make_cycle(16);
+  auto sim = make_selfstab_sim(g, Variant::GlobalDelta, 3);
+  const RunResult first = run_to_stabilization(*sim, 10000);
+  ASSERT_TRUE(first.stabilized);
+  // Already stable: measuring again from the current round is free.
+  const RunResult again = run_to_stabilization(*sim, 10000);
+  EXPECT_EQ(again.rounds, 0u);
+}
+
+TEST(Runner, CustomC1Respected) {
+  const auto g = graph::make_cycle(16);
+  auto sim = make_selfstab_sim(g, Variant::GlobalDelta, 1, /*c1=*/7);
+  auto& a = dynamic_cast<core::SelfStabMis&>(sim->algorithm());
+  EXPECT_EQ(a.lmax(0), core::ceil_log2(2) + 7);
+}
+
+TEST(Runner, DefaultRoundBudgetGrowsSlowly) {
+  EXPECT_LT(default_round_budget(1 << 10), default_round_budget(1 << 20));
+  EXPECT_LT(default_round_budget(1 << 20), 12000u);
+}
+
+TEST(Families, NamesAndConstruction) {
+  support::Rng rng(2);
+  for (Family f : scaling_families()) {
+    const auto g = make_family(f, 128, rng);
+    EXPECT_GE(g.vertex_count(), 100u) << family_name(f);
+    EXPECT_GT(g.edge_count(), 0u) << family_name(f);
+  }
+  EXPECT_EQ(make_family(Family::Star, 64, rng).max_degree(), 63u);
+  EXPECT_EQ(make_family(Family::Cycle, 64, rng).edge_count(), 64u);
+}
+
+TEST(Sweep, SmallSweepProducesTableAndFits) {
+  SweepConfig cfg;
+  cfg.variant = Variant::GlobalDelta;
+  cfg.init = core::InitPolicy::UniformRandom;
+  cfg.sizes = {64, 128, 256};
+  cfg.seeds = 3;
+  const auto points = run_scaling_sweep(Family::Random4Regular, cfg);
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& pt : points) {
+    EXPECT_EQ(pt.rounds.count(), 3u);
+    EXPECT_EQ(pt.failures, 0u);
+    EXPECT_EQ(pt.invalid, 0u);
+  }
+  const auto table = sweep_table(points);
+  EXPECT_EQ(table.row_count(), 3u);
+  const auto ranked = rank_sweep_growth(points);
+  EXPECT_EQ(ranked.size(), 4u);
+}
+
+TEST(Sweep, FastEngineSweepAgreesWithGenericInDistribution) {
+  // Same sweep via both engines: identical seeds give identical graphs; the
+  // runs differ only in which engine executes, and the engines are proven
+  // round-equivalent, so the resulting medians must agree exactly.
+  SweepConfig generic;
+  generic.variant = Variant::GlobalDelta;
+  generic.init = core::InitPolicy::UniformRandom;
+  generic.sizes = {64, 128};
+  generic.seeds = 5;
+  SweepConfig fast = generic;
+  fast.use_fast_engine = true;
+  const auto a = run_scaling_sweep(Family::Random4Regular, generic);
+  const auto b = run_scaling_sweep(Family::Random4Regular, fast);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].failures, 0u);
+    EXPECT_EQ(b[i].failures, 0u);
+    EXPECT_DOUBLE_EQ(a[i].rounds.median(), b[i].rounds.median()) << i;
+  }
+}
+
+TEST(Sweep, FastEngineTwoChannelAgreesWithGeneric) {
+  SweepConfig generic;
+  generic.variant = Variant::TwoChannel;
+  generic.init = core::InitPolicy::UniformRandom;
+  generic.sizes = {64, 128};
+  generic.seeds = 5;
+  SweepConfig fast = generic;
+  fast.use_fast_engine = true;
+  const auto a = run_scaling_sweep(Family::Torus, generic);
+  const auto b = run_scaling_sweep(Family::Torus, fast);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].rounds.median(), b[i].rounds.median()) << i;
+}
+
+TEST(Sweep, Pow2Sizes) {
+  const auto sizes = pow2_sizes(6, 9);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{64, 128, 256, 512}));
+}
+
+}  // namespace
+}  // namespace beepmis::exp

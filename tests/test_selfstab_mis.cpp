@@ -1,0 +1,273 @@
+#include "src/core/selfstab_mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::core {
+namespace {
+
+std::unique_ptr<beep::Simulation> sim_on(const graph::Graph& g,
+                                         std::uint64_t seed = 1,
+                                         std::int32_t c1 = 15) {
+  auto algo = std::make_unique<SelfStabMis>(g, lmax_global_delta(g, c1),
+                                            Knowledge::GlobalMaxDegree);
+  return std::make_unique<beep::Simulation>(g, std::move(algo), seed);
+}
+
+SelfStabMis& algo_of(beep::Simulation& sim) {
+  return dynamic_cast<SelfStabMis&>(sim.algorithm());
+}
+
+// --- Figure 1: the level → probability activation function -----------------
+
+TEST(SelfStabMis, BeepProbabilityActivationFunction) {
+  const auto g = graph::make_path(2);
+  SelfStabMis a(g, LmaxVector{8, 8});
+  a.set_level(0, -8);
+  EXPECT_DOUBLE_EQ(a.beep_probability(0), 1.0);
+  a.set_level(0, -1);
+  EXPECT_DOUBLE_EQ(a.beep_probability(0), 1.0);
+  a.set_level(0, 0);
+  EXPECT_DOUBLE_EQ(a.beep_probability(0), 1.0);
+  a.set_level(0, 1);
+  EXPECT_DOUBLE_EQ(a.beep_probability(0), 0.5);
+  a.set_level(0, 2);
+  EXPECT_DOUBLE_EQ(a.beep_probability(0), 0.25);
+  a.set_level(0, 7);
+  EXPECT_DOUBLE_EQ(a.beep_probability(0), 1.0 / 128.0);
+  a.set_level(0, 8);
+  EXPECT_DOUBLE_EQ(a.beep_probability(0), 0.0);
+}
+
+// --- Deterministic single-step transitions ---------------------------------
+
+TEST(SelfStabMis, LoneBeeperDropsToMinusLmax) {
+  // Isolated vertex at ℓ = 0 beeps with certainty, hears nothing → -ℓmax.
+  const auto g = graph::GraphBuilder(1).build();
+  auto algo = std::make_unique<SelfStabMis>(g, LmaxVector{5});
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 3);
+  a->set_level(0, 0);
+  sim.step();
+  EXPECT_EQ(a->level(0), -5);
+}
+
+TEST(SelfStabMis, HearingABeepIncrementsLevel) {
+  // u at ℓ=0 beeps with certainty; v hears → v increments, no matter what
+  // v's own coin did.
+  const auto g = graph::make_path(2);
+  auto algo = std::make_unique<SelfStabMis>(g, LmaxVector{6, 6});
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 3);
+  a->set_level(0, 0);
+  a->set_level(1, 3);
+  sim.step();
+  EXPECT_EQ(a->level(1), 4);
+}
+
+TEST(SelfStabMis, TwoAdjacentProminentBothIncrement) {
+  // Both beep with certainty, both hear → both go up (mutual suppression).
+  const auto g = graph::make_path(2);
+  auto algo = std::make_unique<SelfStabMis>(g, LmaxVector{6, 6});
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 3);
+  a->set_level(0, -2);
+  a->set_level(1, 0);
+  sim.step();
+  EXPECT_EQ(a->level(0), -1);
+  EXPECT_EQ(a->level(1), 1);
+}
+
+TEST(SelfStabMis, LevelCapsAtLmaxOnHear) {
+  const auto g = graph::make_path(2);
+  auto algo = std::make_unique<SelfStabMis>(g, LmaxVector{4, 4});
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 3);
+  a->set_level(0, 0);  // certain beeper
+  a->set_level(1, 4);  // already at cap
+  sim.step();
+  EXPECT_EQ(a->level(1), 4);
+}
+
+TEST(SelfStabMis, SilentNodeDecaysTowardOneNotZero) {
+  // All nodes at ℓmax: nobody beeps; everyone decays by 1 per round but
+  // never below 1 — this is the fault-detection decay.
+  const auto g = graph::make_cycle(4);
+  auto algo = std::make_unique<SelfStabMis>(g, LmaxVector{3, 3, 3, 3});
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 3);
+  for (graph::VertexId v = 0; v < 4; ++v) a->set_level(v, 3);
+  sim.step();
+  for (graph::VertexId v = 0; v < 4; ++v) EXPECT_EQ(a->level(v), 2);
+  // Caveat: at ℓ=2 nodes beep with probability 1/4, so further rounds are
+  // random; the single deterministic step above is the meaningful check.
+}
+
+TEST(SelfStabMis, StableMisConfigurationIsFrozenForever) {
+  // Star: center in MIS at -ℓmax, leaves at ℓmax. Exactly the paper's
+  // stable state; must be a fixed point of fault-free execution.
+  const auto g = graph::make_star(6);
+  auto algo = std::make_unique<SelfStabMis>(g, lmax_global_delta(g, 15));
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 3);
+  a->set_level(0, -a->lmax(0));
+  for (graph::VertexId v = 1; v < 6; ++v) a->set_level(v, a->lmax(v));
+  ASSERT_TRUE(a->is_stabilized());
+  std::vector<std::int32_t> before;
+  for (graph::VertexId v = 0; v < 6; ++v) before.push_back(a->level(v));
+  sim.run(200);
+  for (graph::VertexId v = 0; v < 6; ++v) EXPECT_EQ(a->level(v), before[v]);
+  EXPECT_TRUE(a->is_stabilized());
+}
+
+// --- I_t / S_t semantics -----------------------------------------------------
+
+TEST(SelfStabMis, MisMembershipRequiresAllNeighborsCapped) {
+  const auto g = graph::make_path(3);
+  SelfStabMis a(g, LmaxVector{4, 4, 4});
+  a.set_level(1, -4);
+  a.set_level(0, 4);
+  a.set_level(2, 3);  // not capped
+  EXPECT_FALSE(a.mis_members()[1]);
+  a.set_level(2, 4);
+  EXPECT_TRUE(a.mis_members()[1]);
+}
+
+TEST(SelfStabMis, IsolatedVertexAtMinusLmaxIsMember) {
+  const auto g = graph::GraphBuilder(1).build();
+  SelfStabMis a(g, LmaxVector{3});
+  a.set_level(0, -3);
+  EXPECT_TRUE(a.mis_members()[0]);
+  EXPECT_TRUE(a.is_stabilized());
+}
+
+TEST(SelfStabMis, StableSetIsClosedNeighborhoodOfMis) {
+  const auto g = graph::make_path(5);
+  SelfStabMis a(g, LmaxVector(5, 4));
+  a.set_level(0, -4);
+  a.set_level(1, 4);
+  a.set_level(2, 2);
+  a.set_level(3, 2);
+  a.set_level(4, 2);
+  const auto stable = a.stable_vertices();
+  EXPECT_TRUE(stable[0]);
+  EXPECT_TRUE(stable[1]);
+  EXPECT_FALSE(stable[2]);
+  EXPECT_FALSE(stable[3]);
+  EXPECT_FALSE(a.is_stabilized());
+}
+
+// --- Convergence -------------------------------------------------------------
+
+class ConvergenceFromEveryInit
+    : public ::testing::TestWithParam<InitPolicy> {};
+
+TEST_P(ConvergenceFromEveryInit, SmallGraphsStabilizeToValidMis) {
+  support::Rng init_rng(99);
+  const auto graphs = {
+      graph::make_path(16),      graph::make_cycle(17),
+      graph::make_star(16),      graph::make_complete(8),
+      graph::make_grid(4, 5),    graph::make_binary_tree(15),
+  };
+  for (const auto& g : graphs) {
+    auto sim = sim_on(g, /*seed=*/g.vertex_count());
+    auto& a = algo_of(*sim);
+    apply_init(a, GetParam(), init_rng);
+    sim->run_until(
+        [&](const beep::Simulation&) { return a.is_stabilized(); }, 20000);
+    ASSERT_TRUE(a.is_stabilized())
+        << g.name() << " init=" << init_policy_name(GetParam());
+    EXPECT_TRUE(mis::is_mis(g, a.mis_members())) << g.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ConvergenceFromEveryInit,
+    ::testing::ValuesIn(all_init_policies()),
+    [](const ::testing::TestParamInfo<InitPolicy>& info) {
+      std::string n = init_policy_name(info.param);
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST(SelfStabMis, OwnDegreePolicyAlsoConverges) {
+  support::Rng init_rng(5);
+  const auto g = graph::make_star(64);
+  auto algo = std::make_unique<SelfStabMis>(g, lmax_own_degree(g, 30),
+                                            Knowledge::OwnDegree);
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 11);
+  apply_init(*a, InitPolicy::UniformRandom, init_rng);
+  sim.run_until([&](const beep::Simulation&) { return a->is_stabilized(); },
+                50000);
+  ASSERT_TRUE(a->is_stabilized());
+  EXPECT_TRUE(mis::is_mis(g, a->mis_members()));
+}
+
+TEST(SelfStabMis, DeterministicGivenSeed) {
+  const auto g = graph::make_cycle(20);
+  auto s1 = sim_on(g, 1234), s2 = sim_on(g, 1234);
+  s1->run(100);
+  s2->run(100);
+  for (graph::VertexId v = 0; v < 20; ++v)
+    EXPECT_EQ(algo_of(*s1).level(v), algo_of(*s2).level(v));
+}
+
+TEST(SelfStabMis, DifferentSeedsDiverge) {
+  const auto g = graph::make_cycle(20);
+  auto s1 = sim_on(g, 1), s2 = sim_on(g, 2);
+  s1->run(50);
+  s2->run(50);
+  int same = 0;
+  for (graph::VertexId v = 0; v < 20; ++v)
+    same += algo_of(*s1).level(v) == algo_of(*s2).level(v);
+  EXPECT_LT(same, 20);
+}
+
+TEST(SelfStabMis, StableSetMonotoneInFaultFreeExecution) {
+  // S_t ⊆ S_{t+1}: the paper's monotonicity observation.
+  support::Rng init_rng(77);
+  const auto g = graph::make_grid(6, 6);
+  auto sim = sim_on(g, 8);
+  auto& a = algo_of(*sim);
+  apply_init(a, InitPolicy::UniformRandom, init_rng);
+  auto prev = a.stable_vertices();
+  for (int t = 0; t < 3000 && !a.is_stabilized(); ++t) {
+    sim->step();
+    const auto cur = a.stable_vertices();
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      ASSERT_LE(prev[v], cur[v]) << "S_t shrank at round " << t;
+    prev = cur;
+  }
+  EXPECT_TRUE(a.is_stabilized());
+}
+
+TEST(SelfStabMisDeath, SetLevelOutOfRangeAborts) {
+  const auto g = graph::make_path(2);
+  SelfStabMis a(g, LmaxVector{4, 4});
+  EXPECT_DEATH(a.set_level(0, 5), "outside");
+  EXPECT_DEATH(a.set_level(0, -5), "outside");
+}
+
+TEST(SelfStabMisDeath, LmaxBelowLivenessMinimumAborts) {
+  const auto g = graph::make_path(2);
+  EXPECT_DEATH(SelfStabMis(g, LmaxVector{0, 4}), "at least 2");
+  EXPECT_DEATH(SelfStabMis(g, LmaxVector{1, 4}), "at least 2");
+}
+
+TEST(SelfStabMis, NameReflectsKnowledge) {
+  const auto g = graph::make_path(2);
+  SelfStabMis a(g, LmaxVector{4, 4}, Knowledge::GlobalMaxDegree);
+  EXPECT_NE(a.name().find("global-max-degree"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace beepmis::core

@@ -1,0 +1,172 @@
+#include "src/core/selfstab_mis2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::core {
+namespace {
+
+std::unique_ptr<beep::Simulation> sim_on(const graph::Graph& g,
+                                         std::uint64_t seed = 1) {
+  auto algo = std::make_unique<SelfStabMisTwoChannel>(g, lmax_one_hop(g, 15));
+  return std::make_unique<beep::Simulation>(g, std::move(algo), seed);
+}
+
+SelfStabMisTwoChannel& algo_of(beep::Simulation& sim) {
+  return dynamic_cast<SelfStabMisTwoChannel&>(sim.algorithm());
+}
+
+TEST(SelfStabMis2, UsesTwoChannels) {
+  const auto g = graph::make_path(2);
+  SelfStabMisTwoChannel a(g, LmaxVector{4, 4});
+  EXPECT_EQ(a.channels(), 2u);
+}
+
+TEST(SelfStabMis2, Channel2BeepedExactlyByMisMembers) {
+  // ℓ=0 node must beep channel 2 and nothing else; others never beep ch2.
+  const auto g = graph::make_path(3);
+  auto algo = std::make_unique<SelfStabMisTwoChannel>(g, LmaxVector{4, 4, 4});
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 5);
+  a->set_level(0, 0);
+  a->set_level(1, 4);
+  a->set_level(2, 2);
+  sim.step();
+  EXPECT_EQ(sim.last_sent()[0], beep::kChannel2);
+  EXPECT_NE(sim.last_sent()[1] & beep::kChannel2, beep::kChannel2);
+  EXPECT_NE(sim.last_sent()[2] & beep::kChannel2, beep::kChannel2);
+}
+
+TEST(SelfStabMis2, HearingChannel2ForcesLmax) {
+  const auto g = graph::make_path(2);
+  auto algo = std::make_unique<SelfStabMisTwoChannel>(g, LmaxVector{5, 5});
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 5);
+  a->set_level(0, 0);  // member: beeps ch2
+  a->set_level(1, 2);
+  sim.step();
+  EXPECT_EQ(a->level(1), 5);
+  EXPECT_EQ(a->level(0), 0);  // member heard nothing, stays
+}
+
+TEST(SelfStabMis2, WinnerDropsToZero) {
+  // Isolated vertex at ℓ=1 < ℓmax: it beeps ch1 with probability 1/2; on a
+  // round it does beep and hears nothing → 0. Deterministic alternative: use
+  // a 1-vertex graph and run until the coin lands.
+  const auto g = graph::GraphBuilder(1).build();
+  auto algo = std::make_unique<SelfStabMisTwoChannel>(g, LmaxVector{4});
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 5);
+  a->set_level(0, 1);
+  sim.run_until(
+      [&](const beep::Simulation&) { return a->level(0) == 0; }, 200);
+  EXPECT_EQ(a->level(0), 0);
+  // And once at 0, it stays (beeps ch2, hears nothing).
+  sim.run(50);
+  EXPECT_EQ(a->level(0), 0);
+  EXPECT_TRUE(a->is_stabilized());
+}
+
+TEST(SelfStabMis2, TwoAdjacentMembersEliminateEachOther) {
+  // Corrupted state: adjacent ℓ=0,0. Both beep ch2, both hear ch2 → both
+  // jump to ℓmax in one round. (Self-correction of an invalid MIS.)
+  const auto g = graph::make_path(2);
+  auto algo = std::make_unique<SelfStabMisTwoChannel>(g, LmaxVector{4, 4});
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 5);
+  a->set_level(0, 0);
+  a->set_level(1, 0);
+  sim.step();
+  EXPECT_EQ(a->level(0), 4);
+  EXPECT_EQ(a->level(1), 4);
+}
+
+TEST(SelfStabMis2, SilentDecayStopsAtOne) {
+  const auto g = graph::make_cycle(4);
+  auto algo = std::make_unique<SelfStabMisTwoChannel>(
+      g, LmaxVector{3, 3, 3, 3});
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 5);
+  for (graph::VertexId v = 0; v < 4; ++v) a->set_level(v, 3);
+  sim.step();
+  for (graph::VertexId v = 0; v < 4; ++v) EXPECT_EQ(a->level(v), 2);
+}
+
+TEST(SelfStabMis2, StableConfigurationIsFrozen) {
+  const auto g = graph::make_star(5);
+  auto algo = std::make_unique<SelfStabMisTwoChannel>(g, lmax_one_hop(g, 15));
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 5);
+  a->set_level(0, 0);
+  for (graph::VertexId v = 1; v < 5; ++v) a->set_level(v, a->lmax(v));
+  ASSERT_TRUE(a->is_stabilized());
+  sim.run(200);
+  EXPECT_EQ(a->level(0), 0);
+  for (graph::VertexId v = 1; v < 5; ++v) EXPECT_EQ(a->level(v), a->lmax(v));
+}
+
+class Convergence2Ch : public ::testing::TestWithParam<InitPolicy> {};
+
+TEST_P(Convergence2Ch, SmallGraphsStabilizeToValidMis) {
+  support::Rng init_rng(3);
+  const auto graphs = {
+      graph::make_path(16),   graph::make_cycle(17),
+      graph::make_star(16),   graph::make_complete(8),
+      graph::make_grid(4, 5),
+  };
+  for (const auto& g : graphs) {
+    auto sim = sim_on(g, g.vertex_count() + 7);
+    auto& a = algo_of(*sim);
+    apply_init(a, GetParam(), init_rng);
+    sim->run_until(
+        [&](const beep::Simulation&) { return a.is_stabilized(); }, 20000);
+    ASSERT_TRUE(a.is_stabilized())
+        << g.name() << " init=" << init_policy_name(GetParam());
+    EXPECT_TRUE(mis::is_mis(g, a.mis_members())) << g.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, Convergence2Ch, ::testing::ValuesIn(all_init_policies()),
+    [](const ::testing::TestParamInfo<InitPolicy>& info) {
+      std::string n = init_policy_name(info.param);
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST(SelfStabMis2, DeterministicGivenSeed) {
+  const auto g = graph::make_cycle(16);
+  auto s1 = sim_on(g, 42), s2 = sim_on(g, 42);
+  s1->run(80);
+  s2->run(80);
+  for (graph::VertexId v = 0; v < 16; ++v)
+    EXPECT_EQ(algo_of(*s1).level(v), algo_of(*s2).level(v));
+}
+
+TEST(SelfStabMis2Death, NegativeLevelRejected) {
+  const auto g = graph::make_path(2);
+  SelfStabMisTwoChannel a(g, LmaxVector{4, 4});
+  EXPECT_DEATH(a.set_level(0, -1), "outside");
+}
+
+TEST(SelfStabMis2, CorruptionStaysInRange) {
+  const auto g = graph::make_star(10);
+  SelfStabMisTwoChannel a(g, lmax_one_hop(g, 15));
+  support::Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    a.corrupt_node(0, rng);
+    EXPECT_GE(a.level(0), 0);
+    EXPECT_LE(a.level(0), a.lmax(0));
+  }
+}
+
+}  // namespace
+}  // namespace beepmis::core

@@ -1,0 +1,93 @@
+#include "src/core/state_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/graph/generators.hpp"
+
+namespace beepmis::core {
+namespace {
+
+TEST(StateIo, RoundTripAlgo1) {
+  const auto g = graph::make_cycle(20);
+  SelfStabMis a(g, lmax_global_delta(g, 15));
+  support::Rng rng(1);
+  apply_init(a, InitPolicy::UniformRandom, rng);
+  std::stringstream ss;
+  save_levels(a, ss);
+
+  SelfStabMis b(g, lmax_global_delta(g, 15));
+  ASSERT_TRUE(load_levels(b, ss));
+  for (graph::VertexId v = 0; v < 20; ++v)
+    EXPECT_EQ(b.level(v), a.level(v));
+}
+
+TEST(StateIo, RoundTripAlgo2) {
+  const auto g = graph::make_star(10);
+  SelfStabMisTwoChannel a(g, lmax_one_hop(g, 15));
+  support::Rng rng(2);
+  apply_init(a, InitPolicy::UniformRandom, rng);
+  std::stringstream ss;
+  save_levels(a, ss);
+  SelfStabMisTwoChannel b(g, lmax_one_hop(g, 15));
+  ASSERT_TRUE(load_levels(b, ss));
+  for (graph::VertexId v = 0; v < 10; ++v)
+    EXPECT_EQ(b.level(v), a.level(v));
+}
+
+TEST(StateIo, RejectsBadMagic) {
+  const auto g = graph::make_path(3);
+  SelfStabMis a(g, LmaxVector(3, 5));
+  std::stringstream ss("wrong-magic 1\n3\n1\n1\n1\n");
+  EXPECT_FALSE(load_levels(a, ss));
+}
+
+TEST(StateIo, RejectsWrongVertexCount) {
+  const auto g4 = graph::make_path(4);
+  SelfStabMis a(g4, LmaxVector(4, 5));
+  std::stringstream ss("beepmis-levels 1\n3\n1\n1\n1\n");
+  EXPECT_FALSE(load_levels(a, ss));
+}
+
+TEST(StateIo, RejectsOutOfRangeLevelsWithoutMutating) {
+  const auto g = graph::make_path(3);
+  SelfStabMis a(g, LmaxVector(3, 5));
+  a.set_level(0, 2);
+  a.set_level(1, 2);
+  a.set_level(2, 2);
+  std::stringstream ss("beepmis-levels 1\n3\n1\n99\n1\n");
+  EXPECT_FALSE(load_levels(a, ss));
+  for (graph::VertexId v = 0; v < 3; ++v) EXPECT_EQ(a.level(v), 2);
+}
+
+TEST(StateIo, RejectsNegativeLevelsForTwoChannel) {
+  const auto g = graph::make_path(3);
+  SelfStabMisTwoChannel a(g, LmaxVector(3, 5));
+  std::stringstream ss("beepmis-levels 1\n3\n1\n-1\n1\n");
+  EXPECT_FALSE(load_levels(a, ss));
+  // The same stream is valid for Algorithm 1, whose range is symmetric.
+  SelfStabMis b(g, LmaxVector(3, 5));
+  std::stringstream ss2("beepmis-levels 1\n3\n1\n-1\n1\n");
+  EXPECT_TRUE(load_levels(b, ss2));
+  EXPECT_EQ(b.level(1), -1);
+}
+
+TEST(StateIo, RejectsTruncatedStream) {
+  const auto g = graph::make_path(3);
+  SelfStabMis a(g, LmaxVector(3, 5));
+  std::stringstream ss("beepmis-levels 1\n3\n1\n");
+  EXPECT_FALSE(load_levels(a, ss));
+}
+
+TEST(StateIo, RejectsFutureVersion) {
+  const auto g = graph::make_path(3);
+  SelfStabMis a(g, LmaxVector(3, 5));
+  std::stringstream ss("beepmis-levels 2\n3\n1\n1\n1\n");
+  EXPECT_FALSE(load_levels(a, ss));
+}
+
+}  // namespace
+}  // namespace beepmis::core

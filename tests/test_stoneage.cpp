@@ -1,0 +1,158 @@
+#include "src/stoneage/stoneage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/beep/network.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+#include "src/stoneage/beep_embedding.hpp"
+
+namespace beepmis::stoneage {
+namespace {
+
+/// Scripted Stone Age machine: displays fixed letters, records counts.
+class ScriptedMachine : public StoneAgeAlgorithm {
+ public:
+  ScriptedMachine(std::size_t n, unsigned sigma, unsigned bound,
+                  std::vector<Letter> display)
+      : n_(n), sigma_(sigma), bound_(bound), display_(std::move(display)) {}
+  std::string name() const override { return "scripted"; }
+  std::size_t node_count() const override { return n_; }
+  unsigned alphabet_size() const override { return sigma_; }
+  unsigned counting_bound() const override { return bound_; }
+  void decide(std::uint64_t, std::span<support::Rng>,
+              std::span<Letter> shown) override {
+    for (std::size_t v = 0; v < n_; ++v) shown[v] = display_[v];
+  }
+  void receive(std::uint64_t, std::span<const Letter>,
+               std::span<const std::uint8_t> counts) override {
+    last_counts.assign(counts.begin(), counts.end());
+  }
+  void corrupt_node(graph::VertexId, support::Rng&) override {}
+  std::vector<std::uint8_t> last_counts;
+
+ private:
+  std::size_t n_;
+  unsigned sigma_, bound_;
+  std::vector<Letter> display_;
+};
+
+TEST(StoneAge, CountsAreSaturatedAtBound) {
+  // Star center with 5 leaves all displaying letter 1; bound b = 2.
+  const auto g = graph::make_star(6);
+  auto algo = std::make_unique<ScriptedMachine>(
+      6, 3, 2, std::vector<Letter>{0, 1, 1, 1, 1, 1});
+  auto* raw = algo.get();
+  StoneAgeSimulation sim(g, std::move(algo), 1);
+  sim.step();
+  // Center (v=0): 5 neighbors display 1 → saturates at 2; letter 0 count 0.
+  EXPECT_EQ(raw->last_counts[0 * 3 + 1], 2);
+  EXPECT_EQ(raw->last_counts[0 * 3 + 0], 0);
+  EXPECT_EQ(raw->last_counts[0 * 3 + 2], 0);
+  // Leaves see exactly one neighbor (the center, displaying 0).
+  EXPECT_EQ(raw->last_counts[1 * 3 + 0], 1);
+  EXPECT_EQ(raw->last_counts[1 * 3 + 1], 0);
+}
+
+TEST(StoneAge, BoundTwoDistinguishesOneFromMany) {
+  // The extra power over beeping: with b = 2, the center of a star can tell
+  // one displaying leaf from two — a beeping node cannot.
+  const auto g = graph::make_star(3);
+  for (int leaves_displaying : {1, 2}) {
+    std::vector<Letter> disp = {0, 0, 0};
+    for (int i = 1; i <= leaves_displaying; ++i)
+      disp[static_cast<std::size_t>(i)] = 1;
+    auto algo = std::make_unique<ScriptedMachine>(3, 2, 2, disp);
+    auto* raw = algo.get();
+    StoneAgeSimulation sim(g, std::move(algo), 1);
+    sim.step();
+    EXPECT_EQ(raw->last_counts[0 * 2 + 1], leaves_displaying);
+  }
+}
+
+TEST(StoneAgeDeath, InvalidLetterAborts) {
+  const auto g = graph::make_path(2);
+  auto algo = std::make_unique<ScriptedMachine>(2, 2, 1,
+                                                std::vector<Letter>{0, 5});
+  StoneAgeSimulation sim(g, std::move(algo), 1);
+  EXPECT_DEATH(sim.step(), "invalid letter");
+}
+
+// --- the beeping embedding ---------------------------------------------------
+
+TEST(BeepEmbedding, Algorithm1RunsIdenticallyInStoneAge) {
+  // Headline theorem-as-test: the same algorithm with the same seed runs
+  // ROUND-FOR-ROUND IDENTICALLY under the native beeping engine and under
+  // the Stone Age embedding (Σ = masks, b = 1).
+  support::Rng grng(5);
+  const auto g = graph::make_erdos_renyi(64, 0.08, grng);
+
+  auto native_algo = std::make_unique<core::SelfStabMis>(
+      g, core::lmax_global_delta(g));
+  auto* native = native_algo.get();
+  beep::Simulation native_sim(g, std::move(native_algo), 42);
+
+  auto embedded_inner = std::make_unique<core::SelfStabMis>(
+      g, core::lmax_global_delta(g));
+  auto* embedded = embedded_inner.get();
+  StoneAgeSimulation stone_sim(
+      g, std::make_unique<BeepingInStoneAge>(std::move(embedded_inner)), 42);
+
+  for (int r = 0; r < 300; ++r) {
+    native_sim.step();
+    stone_sim.step();
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      ASSERT_EQ(native->level(v), embedded->level(v))
+          << "round " << r << " vertex " << v;
+  }
+  EXPECT_TRUE(native->is_stabilized());
+  EXPECT_TRUE(embedded->is_stabilized());
+}
+
+TEST(BeepEmbedding, TwoChannelAlgorithmAlsoEmbeds) {
+  support::Rng grng(6);
+  const auto g = graph::make_grid(5, 5);
+
+  auto native_algo = std::make_unique<core::SelfStabMisTwoChannel>(
+      g, core::lmax_one_hop(g));
+  auto* native = native_algo.get();
+  beep::Simulation native_sim(g, std::move(native_algo), 7);
+
+  auto inner = std::make_unique<core::SelfStabMisTwoChannel>(
+      g, core::lmax_one_hop(g));
+  auto* embedded = inner.get();
+  auto wrapper = std::make_unique<BeepingInStoneAge>(std::move(inner));
+  EXPECT_EQ(wrapper->alphabet_size(), 4u);  // 2 channels → 4 masks
+  StoneAgeSimulation stone_sim(g, std::move(wrapper), 7);
+
+  for (int r = 0; r < 200; ++r) {
+    native_sim.step();
+    stone_sim.step();
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      ASSERT_EQ(native->level(v), embedded->level(v)) << "round " << r;
+  }
+}
+
+TEST(BeepEmbedding, StabilizesToValidMisThroughTheEmbedding) {
+  support::Rng grng(8);
+  const auto g = graph::make_barabasi_albert(96, 3, grng);
+  auto inner = std::make_unique<core::SelfStabMis>(
+      g, core::lmax_own_degree(g), core::Knowledge::OwnDegree);
+  auto* a = inner.get();
+  StoneAgeSimulation sim(
+      g, std::make_unique<BeepingInStoneAge>(std::move(inner)), 3);
+  support::Rng crng(4);
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+    sim.algorithm().corrupt_node(v, crng);
+  while (!a->is_stabilized() && sim.round() < 100000) sim.step();
+  ASSERT_TRUE(a->is_stabilized());
+  EXPECT_TRUE(mis::is_mis(g, a->mis_members()));
+}
+
+}  // namespace
+}  // namespace beepmis::stoneage

@@ -1,0 +1,96 @@
+#include "src/support/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace beepmis::support {
+namespace {
+
+SvgChart simple_chart() {
+  SvgChart c("Title & Stuff", "rounds", "stable <nodes>");
+  c.add_series("series-a", {{0, 1}, {1, 2}, {2, 4}});
+  return c;
+}
+
+TEST(SvgChart, RendersWellFormedDocument) {
+  const std::string svg = simple_chart().render();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One polyline + legend entry per series.
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("series-a"), std::string::npos);
+}
+
+TEST(SvgChart, EscapesXmlSpecialCharacters) {
+  const std::string svg = simple_chart().render();
+  EXPECT_NE(svg.find("Title &amp; Stuff"), std::string::npos);
+  EXPECT_NE(svg.find("stable &lt;nodes&gt;"), std::string::npos);
+  // No raw unescaped ampersand outside entities.
+  EXPECT_EQ(svg.find("& Stuff"), std::string::npos);
+}
+
+TEST(SvgChart, MultipleSeriesGetDistinctColors) {
+  SvgChart c("t", "x", "y");
+  c.add_series("a", {{0, 0}, {1, 1}});
+  c.add_series("b", {{0, 1}, {1, 0}});
+  const std::string svg = c.render();
+  EXPECT_NE(svg.find("#1f77b4"), std::string::npos);
+  EXPECT_NE(svg.find("#d62728"), std::string::npos);
+  EXPECT_EQ(c.series_count(), 2u);
+}
+
+TEST(SvgChart, SortsPointsByX) {
+  SvgChart c("t", "x", "y");
+  c.add_series("a", {{3, 1}, {1, 1}, {2, 1}});
+  // Rendering must not throw/abort and the polyline x coordinates ascend.
+  const std::string svg = c.render();
+  const auto p = svg.find("points=\"");
+  ASSERT_NE(p, std::string::npos);
+  double prev = -1;
+  const char* s = svg.c_str() + p + 8;
+  for (int i = 0; i < 3; ++i) {
+    double x = 0, y = 0;
+    ASSERT_EQ(std::sscanf(s, "%lf,%lf", &x, &y), 2);
+    EXPECT_GT(x, prev);
+    prev = x;
+    s = std::strchr(s, ' ') + 1;
+  }
+}
+
+TEST(SvgChart, LogXScale) {
+  SvgChart c("t", "n", "T");
+  c.set_log_x(true);
+  c.add_series("a", {{64, 10}, {1024, 20}, {16384, 30}});
+  const std::string svg = c.render();
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgChartDeath, LogXRejectsNonPositive) {
+  SvgChart c("t", "x", "y");
+  c.set_log_x(true);
+  c.add_series("a", {{0, 1}, {1, 2}});
+  EXPECT_DEATH(c.render(), "positive");
+}
+
+TEST(SvgChartDeath, EmptyChartAborts) {
+  SvgChart c("t", "x", "y");
+  EXPECT_DEATH(c.render(), "at least one series");
+}
+
+TEST(SvgChartDeath, EmptySeriesAborts) {
+  SvgChart c("t", "x", "y");
+  EXPECT_DEATH(c.add_series("a", {}), "at least one point");
+}
+
+TEST(SvgChart, DegenerateRangesHandled) {
+  SvgChart c("t", "x", "y");
+  c.add_series("flat", {{1, 5}, {2, 5}, {3, 5}});  // constant y
+  EXPECT_NE(c.render().find("</svg>"), std::string::npos);
+  SvgChart c2("t", "x", "y");
+  c2.add_series("point", {{1, 1}});  // single point
+  EXPECT_NE(c2.render().find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace beepmis::support

@@ -1,0 +1,62 @@
+#include "src/support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace beepmis::support {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("a").cell(std::int64_t{1});
+  t.row().cell("longer-name").cell(std::int64_t{12345});
+  const std::string s = t.str();
+  // Every line must have the same length when columns are aligned.
+  std::stringstream ss(s);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(ss, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+}
+
+TEST(Table, DoubleFormattingPrecision) {
+  Table t({"x"});
+  t.row().cell(3.14159, 3);
+  EXPECT_NE(t.str().find("3.142"), std::string::npos);
+  Table t0({"x"});
+  t0.row().cell(2.71828, 0);
+  EXPECT_NE(t0.str().find("3"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell(std::int64_t{1}).cell(std::int64_t{2});
+  t.row().cell(std::int64_t{3}).cell(std::int64_t{4});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell("x");
+  t.row().cell("y");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableDeath, TooManyCellsAborts) {
+  Table t({"only"});
+  t.row().cell("ok");
+  EXPECT_DEATH(t.cell("overflow"), "too many cells");
+}
+
+TEST(TableDeath, CellBeforeRowAborts) {
+  Table t({"a"});
+  EXPECT_DEATH(t.cell("x"), "before row");
+}
+
+}  // namespace
+}  // namespace beepmis::support

@@ -1,0 +1,91 @@
+#include "src/core/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/beep/network.hpp"
+#include "src/core/init.hpp"
+#include "src/core/lmax.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/perturb.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::core {
+namespace {
+
+TEST(Transfer, CopiesLevelsVerbatimWhenRangesMatch) {
+  const auto g = graph::make_cycle(10);
+  SelfStabMis a(g, lmax_global_delta(g, 15));
+  SelfStabMis b(g, lmax_global_delta(g, 15));
+  support::Rng rng(1);
+  apply_init(a, InitPolicy::UniformRandom, rng);
+  carry_levels(a, b);
+  for (graph::VertexId v = 0; v < 10; ++v)
+    EXPECT_EQ(b.level(v), a.level(v));
+}
+
+TEST(Transfer, ClampsIntoSmallerRange) {
+  const auto g = graph::make_path(4);
+  SelfStabMis a(g, LmaxVector(4, 20));
+  SelfStabMis b(g, LmaxVector(4, 5));
+  a.set_level(0, -20);
+  a.set_level(1, 20);
+  a.set_level(2, 3);
+  a.set_level(3, -7);
+  carry_levels(a, b);
+  EXPECT_EQ(b.level(0), -5);
+  EXPECT_EQ(b.level(1), 5);
+  EXPECT_EQ(b.level(2), 3);
+  EXPECT_EQ(b.level(3), -5);
+}
+
+TEST(Transfer, TwoChannelClampsToNonNegative) {
+  const auto g = graph::make_path(3);
+  SelfStabMisTwoChannel a(g, LmaxVector(3, 9));
+  SelfStabMisTwoChannel b(g, LmaxVector(3, 4));
+  a.set_level(0, 0);
+  a.set_level(1, 9);
+  a.set_level(2, 2);
+  carry_levels(a, b);
+  EXPECT_EQ(b.level(0), 0);
+  EXPECT_EQ(b.level(1), 4);
+  EXPECT_EQ(b.level(2), 2);
+}
+
+TEST(TransferDeath, SizeMismatchAborts) {
+  const auto g3 = graph::make_path(3);
+  const auto g4 = graph::make_path(4);
+  SelfStabMis a(g3, LmaxVector(3, 5));
+  SelfStabMis b(g4, LmaxVector(4, 5));
+  EXPECT_DEATH(carry_levels(a, b), "identical vertex sets");
+}
+
+TEST(Transfer, ChurnedTopologyRestabilizes) {
+  // End-to-end dynamic-network flow: stabilize, churn edges, carry levels
+  // onto the new topology, re-stabilize to a valid MIS of the NEW graph.
+  support::Rng grng(5);
+  const auto g0 = graph::make_erdos_renyi_avg_degree(128, 8.0, grng);
+  auto algo0 = std::make_unique<SelfStabMis>(g0, lmax_global_delta(g0),
+                                             Knowledge::GlobalMaxDegree);
+  auto* a0 = algo0.get();
+  beep::Simulation sim0(g0, std::move(algo0), 3);
+  support::Rng irng(4);
+  apply_init(*a0, InitPolicy::UniformRandom, irng);
+  sim0.run_until(
+      [&](const beep::Simulation&) { return a0->is_stabilized(); }, 20000);
+  ASSERT_TRUE(a0->is_stabilized());
+
+  support::Rng crng(6);
+  const auto g1 = graph::perturb_edges(g0, 40, 40, crng);
+  auto algo1 = std::make_unique<SelfStabMis>(g1, lmax_global_delta(g1),
+                                             Knowledge::GlobalMaxDegree);
+  auto* a1 = algo1.get();
+  carry_levels(*a0, *a1);
+  beep::Simulation sim1(g1, std::move(algo1), 7);
+  sim1.run_until(
+      [&](const beep::Simulation&) { return a1->is_stabilized(); }, 20000);
+  ASSERT_TRUE(a1->is_stabilized());
+  EXPECT_TRUE(mis::is_mis(g1, a1->mis_members()));
+}
+
+}  // namespace
+}  // namespace beepmis::core

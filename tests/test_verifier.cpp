@@ -1,0 +1,106 @@
+#include "src/mis/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+
+namespace beepmis::mis {
+namespace {
+
+using graph::Graph;
+using graph::make_complete;
+using graph::make_cycle;
+using graph::make_path;
+using graph::make_star;
+
+TEST(Verifier, IndependenceOnPath) {
+  const Graph g = make_path(5);
+  EXPECT_TRUE(is_independent(g, {true, false, true, false, true}));
+  EXPECT_FALSE(is_independent(g, {true, true, false, false, false}));
+  EXPECT_TRUE(is_independent(g, {false, false, false, false, false}));
+}
+
+TEST(Verifier, MaximalityOnPath) {
+  const Graph g = make_path(5);
+  EXPECT_TRUE(is_maximal(g, {true, false, true, false, true}));
+  // {0, 3}: vertex 1 dominated by 0, vertex 2 dominated by 3, 4 by 3 — maximal.
+  EXPECT_TRUE(is_maximal(g, {true, false, false, true, false}));
+  // {0}: vertices 2,3,4 undominated.
+  EXPECT_FALSE(is_maximal(g, {true, false, false, false, false}));
+  // Empty set on a non-empty graph is never maximal.
+  EXPECT_FALSE(is_maximal(g, {false, false, false, false, false}));
+}
+
+TEST(Verifier, MisOnCompleteGraphIsSingleton) {
+  const Graph g = make_complete(6);
+  std::vector<bool> one(6, false);
+  one[3] = true;
+  EXPECT_TRUE(is_mis(g, one));
+  std::vector<bool> two(6, false);
+  two[0] = two[5] = true;
+  EXPECT_FALSE(is_mis(g, two));
+  EXPECT_FALSE(is_mis(g, std::vector<bool>(6, false)));
+}
+
+TEST(Verifier, StarMisEitherCenterOrAllLeaves) {
+  const Graph g = make_star(6);
+  std::vector<bool> center(6, false);
+  center[0] = true;
+  EXPECT_TRUE(is_mis(g, center));
+  std::vector<bool> leaves(6, true);
+  leaves[0] = false;
+  EXPECT_TRUE(is_mis(g, leaves));
+  // Center plus one leaf is dependent.
+  std::vector<bool> both(6, false);
+  both[0] = both[1] = true;
+  EXPECT_FALSE(is_mis(g, both));
+}
+
+TEST(Verifier, EmptyGraphEdgeCases) {
+  const Graph g = graph::GraphBuilder(0).build();
+  EXPECT_TRUE(is_mis(g, {}));
+}
+
+TEST(Verifier, IsolatedVerticesMustBeMembers) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_FALSE(is_mis(g, {true, false, false}));  // isolated 2 undominated
+  EXPECT_TRUE(is_mis(g, {true, false, true}));
+}
+
+TEST(Verifier, MemberCount) {
+  EXPECT_EQ(member_count({true, false, true, true}), 3u);
+  EXPECT_EQ(member_count({}), 0u);
+}
+
+TEST(Verifier, GreedyMisIsAlwaysValid) {
+  support::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const Graph g = graph::make_erdos_renyi(120, 0.05, rng);
+    const auto mis = greedy_mis(g);
+    EXPECT_TRUE(is_mis(g, mis));
+  }
+}
+
+TEST(Verifier, GreedyIdentityOrderOnPath) {
+  const auto mis = greedy_mis(make_path(5));
+  EXPECT_EQ(mis, (std::vector<bool>{true, false, true, false, true}));
+}
+
+TEST(Verifier, RandomGreedyMisValidAcrossSeeds) {
+  support::Rng graph_rng(2);
+  const Graph g = graph::make_barabasi_albert(200, 3, graph_rng);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    support::Rng rng(s);
+    EXPECT_TRUE(is_mis(g, random_greedy_mis(g, rng)));
+  }
+}
+
+TEST(VerifierDeath, SizeMismatchAborts) {
+  const Graph g = make_path(3);
+  EXPECT_DEATH(is_independent(g, {true}), "size mismatch");
+}
+
+}  // namespace
+}  // namespace beepmis::mis

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/beep/network.hpp"
+#include "src/beep/wakeup.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/graph/generators.hpp"
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::beep {
+namespace {
+
+/// Always-beeping recorder (channel 1).
+class BeepRecorder : public BeepingAlgorithm {
+ public:
+  explicit BeepRecorder(std::size_t n) : n_(n) {}
+  std::string name() const override { return "recorder"; }
+  unsigned channels() const override { return 1; }
+  std::size_t node_count() const override { return n_; }
+  void decide_beeps(Round, std::span<support::Rng>,
+                    std::span<ChannelMask> send) override {
+    for (auto& s : send) s = kChannel1;
+  }
+  void receive_feedback(Round, std::span<const ChannelMask>,
+                        std::span<const ChannelMask> heard) override {
+    last_heard.assign(heard.begin(), heard.end());
+  }
+  void corrupt_node(graph::VertexId, support::Rng&) override {}
+  std::vector<ChannelMask> last_heard;
+
+ private:
+  std::size_t n_;
+};
+
+// --- half-duplex --------------------------------------------------------------
+
+TEST(HalfDuplex, BeepersHearNothing) {
+  const auto g = graph::make_complete(4);
+  auto algo = std::make_unique<BeepRecorder>(4);
+  auto* raw = algo.get();
+  Simulation sim(g, std::move(algo), 1, ChannelNoise{}, Duplex::Half);
+  sim.step();
+  for (ChannelMask h : raw->last_heard) EXPECT_EQ(h, 0);
+}
+
+TEST(HalfDuplex, SilentNodesStillHear) {
+  // Path 0-1: scripted so only node 0 beeps — node 1 must still hear it.
+  const auto g = graph::make_path(2);
+  auto algo = std::make_unique<core::SelfStabMis>(g, core::LmaxVector{4, 4});
+  auto* a = algo.get();
+  Simulation sim(g, std::move(algo), 1, ChannelNoise{}, Duplex::Half);
+  a->set_level(0, 0);  // certain beeper
+  a->set_level(1, 4);  // silent (capped)
+  sim.step();
+  // Node 1 heard (silent listener) → stays capped. Node 0 beeped but could
+  // not listen → by the update rule, "no signal received ∧ beeped" → joins.
+  EXPECT_EQ(a->level(1), 4);
+  EXPECT_EQ(a->level(0), -4);
+}
+
+TEST(HalfDuplex, BreaksMutualSuppressionOfAlgorithm1) {
+  // Two adjacent certain beepers: in full duplex they suppress each other;
+  // in half duplex NEITHER hears the other, both "join", and the invalid
+  // double-claim persists — the model ablation the paper's full-duplex
+  // assumption prevents.
+  const auto g = graph::make_path(2);
+  auto algo = std::make_unique<core::SelfStabMis>(g, core::LmaxVector{4, 4});
+  auto* a = algo.get();
+  Simulation sim(g, std::move(algo), 1, ChannelNoise{}, Duplex::Half);
+  a->set_level(0, 0);
+  a->set_level(1, 0);
+  sim.step();
+  EXPECT_EQ(a->level(0), -4);
+  EXPECT_EQ(a->level(1), -4);
+  // And it never self-corrects: both beep forever, neither listens.
+  sim.run(100);
+  EXPECT_EQ(a->level(0), -4);
+  EXPECT_EQ(a->level(1), -4);
+  EXPECT_FALSE(mis::is_independent(g, {true, true}));
+}
+
+TEST(FullDuplexDefault, ConstructorDefaultsToFullDuplex) {
+  const auto g = graph::make_path(2);
+  Simulation sim(g, std::make_unique<BeepRecorder>(2), 1);
+  EXPECT_EQ(sim.duplex(), Duplex::Full);
+  sim.step();
+  // Full duplex: both beeped AND both heard.
+  auto* raw = dynamic_cast<BeepRecorder*>(&sim.algorithm());
+  EXPECT_EQ(raw->last_heard[0], kChannel1);
+}
+
+// --- staggered wake-up ---------------------------------------------------------
+
+TEST(StaggeredWakeup, SleepingNodesAreSilent) {
+  const auto g = graph::make_complete(3);
+  auto inner = std::make_unique<BeepRecorder>(3);
+  auto wrapped = std::make_unique<StaggeredWakeup>(
+      std::move(inner), std::vector<Round>{0, 5, 10});
+  auto* w = wrapped.get();
+  Simulation sim(g, std::move(wrapped), 2);
+  sim.step();  // round 0: only node 0 awake
+  EXPECT_NE(sim.last_sent()[0], 0);
+  EXPECT_EQ(sim.last_sent()[1], 0);
+  EXPECT_EQ(sim.last_sent()[2], 0);
+  EXPECT_EQ(w->last_wake_round(), 10u);
+  sim.run(5);  // rounds 1..5: node 1 wakes at 5
+  EXPECT_NE(sim.last_sent()[1], 0);
+  EXPECT_EQ(sim.last_sent()[2], 0);
+}
+
+TEST(StaggeredWakeup, SleepersHearNothing) {
+  const auto g = graph::make_path(2);
+  auto inner = std::make_unique<BeepRecorder>(2);
+  auto* raw = inner.get();
+  Simulation sim(g,
+                 std::make_unique<StaggeredWakeup>(
+                     std::move(inner), std::vector<Round>{0, 100}),
+                 2);
+  sim.step();
+  EXPECT_EQ(raw->last_heard[1], 0);  // sleeping node 1 heard nothing
+  EXPECT_EQ(raw->last_heard[0], 0);  // and node 0 heard nothing (1 silent)
+}
+
+TEST(StaggeredWakeup, SelfStabMisStabilizesAfterLastWakeup) {
+  support::Rng grng(3);
+  const auto g = graph::make_erdos_renyi_avg_degree(96, 6.0, grng);
+  auto inner = std::make_unique<core::SelfStabMis>(
+      g, core::lmax_global_delta(g));
+  auto* a = inner.get();
+  // Adversarial staggering over [0, 200).
+  std::vector<Round> wakes(g.vertex_count());
+  support::Rng wrng(4);
+  for (auto& w : wakes) w = wrng.below(200);
+  auto wrapped =
+      std::make_unique<StaggeredWakeup>(std::move(inner), std::move(wakes));
+  auto* wrap = wrapped.get();
+  Simulation sim(g, std::move(wrapped), 5);
+  const Round last = wrap->last_wake_round();
+  sim.run_until(
+      [&](const Simulation& s) {
+        return s.round() > last && a->is_stabilized();
+      },
+      100000);
+  ASSERT_TRUE(a->is_stabilized());
+  EXPECT_TRUE(mis::is_mis(g, a->mis_members()));
+}
+
+TEST(StaggeredWakeupDeath, WrongWakeVectorAborts) {
+  auto inner = std::make_unique<BeepRecorder>(3);
+  EXPECT_DEATH(StaggeredWakeup(std::move(inner), std::vector<Round>{0, 1}),
+               "one wake round per node");
+}
+
+}  // namespace
+}  // namespace beepmis::beep

@@ -1,0 +1,292 @@
+/// beepmis_cli — run any algorithm of the library on a generated or loaded
+/// graph, with fault injection, channel noise and per-round tracing.
+///
+///   beepmis_cli --family er-avg8 --n 1024 --algorithm v1 --init uniform-random
+///   beepmis_cli --graph-file topo.edges --algorithm v3 --trace
+///   beepmis_cli --family torus --n 4096 --algorithm v2 --faults 64 --waves 3
+
+#include <fstream>
+#include <iostream>
+
+#include "src/apps/coloring.hpp"
+#include "src/apps/ruling_set.hpp"
+#include "src/baselines/afek.hpp"
+#include "src/baselines/afek_noknow.hpp"
+#include "src/baselines/jsx.hpp"
+#include "src/baselines/luby.hpp"
+#include "src/beep/fault.hpp"
+#include "src/beep/trace.hpp"
+#include "src/exp/convlog.hpp"
+#include "src/exp/families.hpp"
+#include "src/exp/runner.hpp"
+#include "src/graph/io.hpp"
+#include "src/mis/verifier.hpp"
+#include "src/support/args.hpp"
+#include "src/support/svg.hpp"
+
+namespace {
+
+using namespace beepmis;
+
+graph::Graph load_graph(const support::ArgParser& args, support::Rng& rng) {
+  if (const std::string& path = args.get("graph-file"); !path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open graph file: " << path << "\n";
+      std::exit(2);
+    }
+    // Auto-detect: DIMACS files start with 'c' or 'p'; edge lists with n m.
+    const int first = in.peek();
+    if (first == 'c' || first == 'p') return graph::read_dimacs(in, path);
+    return graph::read_edge_list(in, path);
+  }
+  const std::string fam = args.get("family");
+  const auto n = static_cast<std::size_t>(args.get_int("n"));
+  for (exp::Family f :
+       {exp::Family::ErdosRenyiAvg8, exp::Family::Random4Regular,
+        exp::Family::Torus, exp::Family::BarabasiAlbert3,
+        exp::Family::GeometricAvg8, exp::Family::RandomTree,
+        exp::Family::Cycle, exp::Family::Star}) {
+    if (exp::family_name(f) == fam) return exp::make_family(f, n, rng);
+  }
+  std::cerr << "unknown family: " << fam << " (try er-avg8, 4-regular, "
+            << "torus, ba-m3, rgg-avg8, rand-tree, cycle, star)\n";
+  std::exit(2);
+}
+
+core::InitPolicy parse_init(const std::string& name) {
+  for (core::InitPolicy p : core::all_init_policies())
+    if (core::init_policy_name(p) == name) return p;
+  std::cerr << "unknown init policy: " << name << "\n";
+  std::exit(2);
+}
+
+int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
+                 exp::Variant variant) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  beep::ChannelNoise noise{args.get_double("noise-fp"),
+                           args.get_double("noise-fn")};
+
+  std::unique_ptr<beep::BeepingAlgorithm> algo;
+  const auto c1 = static_cast<std::int32_t>(args.get_int("c1"));
+  switch (variant) {
+    case exp::Variant::GlobalDelta:
+      algo = std::make_unique<core::SelfStabMis>(
+          g, core::lmax_global_delta(g, c1 ? c1 : core::kC1GlobalDelta),
+          core::Knowledge::GlobalMaxDegree);
+      break;
+    case exp::Variant::OwnDegree:
+      algo = std::make_unique<core::SelfStabMis>(
+          g, core::lmax_own_degree(g, c1 ? c1 : core::kC1OwnDegree),
+          core::Knowledge::OwnDegree);
+      break;
+    case exp::Variant::TwoChannel:
+      algo = std::make_unique<core::SelfStabMisTwoChannel>(
+          g, core::lmax_one_hop(g, c1 ? c1 : core::kC1TwoChannel),
+          core::Knowledge::OneHopMaxDegree);
+      break;
+  }
+  beep::Simulation sim(g, std::move(algo), seed, noise);
+
+  support::Rng init_rng = support::Rng(seed).derive_stream(0xfadedcafe);
+  exp::apply_init(sim, parse_init(args.get("init")), init_rng);
+
+  const auto budget = static_cast<beep::Round>(args.get_int("max-rounds"));
+  beep::Trace trace;
+  exp::ConvergenceLog convlog;
+  const bool tracing = args.flag("trace");
+  const bool charting = !args.get("svg").empty();
+
+  auto run_once = [&](const char* label) {
+    const auto start = sim.round();
+    while (!exp::selfstab_stabilized(sim) && sim.round() - start < budget) {
+      sim.step();
+      if (tracing) trace.observe(sim);
+      if (charting) convlog.observe(sim);
+    }
+    const auto members = exp::selfstab_mis_members(sim);
+    const bool ok = exp::selfstab_stabilized(sim);
+    std::printf("%-12s rounds=%llu stabilized=%s mis=%zu valid=%s\n", label,
+                static_cast<unsigned long long>(sim.round() - start),
+                ok ? "yes" : "NO", mis::member_count(members),
+                mis::is_mis(g, members) ? "yes" : "NO");
+    return ok;
+  };
+
+  bool ok = run_once("run");
+  support::Rng frng = support::Rng(seed).derive_stream(0xfa17);
+  const auto faults = static_cast<std::size_t>(args.get_int("faults"));
+  for (std::int64_t w = 0; w < args.get_int("waves") && faults; ++w) {
+    beep::FaultInjector::corrupt_random(sim, faults, frng);
+    char label[32];
+    std::snprintf(label, sizeof label, "wave %lld", static_cast<long long>(w + 1));
+    ok = run_once(label) && ok;
+  }
+
+  if (charting) {
+    support::SvgChart chart("beepmis convergence (" + g.name() + ")",
+                            "round", "vertices");
+    std::vector<std::pair<double, double>> stable, mis, prominent;
+    for (const auto& p : convlog.points()) {
+      stable.emplace_back(static_cast<double>(p.round),
+                          static_cast<double>(p.stable));
+      mis.emplace_back(static_cast<double>(p.round),
+                       static_cast<double>(p.mis));
+      prominent.emplace_back(static_cast<double>(p.round),
+                             static_cast<double>(p.prominent));
+    }
+    if (!stable.empty()) {
+      chart.add_series("stable |S_t|", std::move(stable));
+      chart.add_series("MIS |I_t|", std::move(mis));
+      chart.add_series("prominent |PM_t|", std::move(prominent));
+      std::ofstream svg(args.get("svg"));
+      chart.write(svg);
+      std::printf("wrote %s\n", args.get("svg").c_str());
+    }
+  }
+
+  if (tracing) {
+    std::printf("\nround, beeps_ch1, beeps_ch2, heard_any\n");
+    for (const auto& r : trace.records())
+      std::printf("%llu, %u, %u, %u\n",
+                  static_cast<unsigned long long>(r.round), r.beeps_ch1,
+                  r.beeps_ch2, r.heard_any);
+  }
+  return ok ? 0 : 1;
+}
+
+int run_baseline(const support::ArgParser& args, const graph::Graph& g,
+                 const std::string& name) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const auto budget = static_cast<beep::Round>(args.get_int("max-rounds"));
+  if (name == "luby") {
+    auto algo = std::make_unique<baselines::LubyMis>(g);
+    auto* a = algo.get();
+    local::LocalSimulation sim(g, std::move(algo), seed);
+    while (!a->terminated() && sim.round() < budget) sim.step();
+    const auto members = a->mis_members();
+    std::printf("luby rounds=%llu terminated=%s mis=%zu valid=%s\n",
+                static_cast<unsigned long long>(sim.round()),
+                a->terminated() ? "yes" : "NO", mis::member_count(members),
+                mis::is_mis(g, members) ? "yes" : "NO");
+    return a->terminated() ? 0 : 1;
+  }
+  std::unique_ptr<beep::BeepingAlgorithm> algo;
+  if (name == "jsx") {
+    algo = std::make_unique<baselines::JsxMis>(g);
+  } else if (name == "afek-noknow") {
+    algo = std::make_unique<baselines::AfekNoKnowledgeMis>(g);
+  } else {  // afek
+    algo = std::make_unique<baselines::AfekStyleMis>(g, g.vertex_count());
+  }
+  beep::Simulation sim(g, std::move(algo), seed);
+  auto done_now = [&]() {
+    if (auto* j = dynamic_cast<baselines::JsxMis*>(&sim.algorithm()))
+      return j->terminated();
+    if (auto* a = dynamic_cast<baselines::AfekNoKnowledgeMis*>(&sim.algorithm()))
+      return a->terminated();
+    return dynamic_cast<baselines::AfekStyleMis&>(sim.algorithm())
+        .is_stabilized();
+  };
+  bool done = false;
+  while (!done && sim.round() < budget) {
+    sim.step();
+    done = done_now();
+  }
+  std::vector<bool> members;
+  if (auto* j = dynamic_cast<baselines::JsxMis*>(&sim.algorithm()))
+    members = j->mis_members();
+  else if (auto* a = dynamic_cast<baselines::AfekNoKnowledgeMis*>(&sim.algorithm()))
+    members = a->mis_members();
+  else
+    members = dynamic_cast<baselines::AfekStyleMis&>(sim.algorithm())
+                  .mis_members();
+  std::printf("%s rounds=%llu done=%s mis=%zu valid=%s\n", name.c_str(),
+              static_cast<unsigned long long>(sim.round()),
+              done ? "yes" : "NO", mis::member_count(members),
+              mis::is_mis(g, members) ? "yes" : "NO");
+  return done ? 0 : 1;
+}
+
+int run_app(const support::ArgParser& args, const graph::Graph& g,
+            const std::string& name) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const auto budget = static_cast<beep::Round>(args.get_int("max-rounds"));
+  if (name == "coloring") {
+    const auto r = apps::color_via_selfstab_mis(g, seed, budget);
+    if (!r) {
+      std::printf("coloring did not stabilize within the budget\n");
+      return 1;
+    }
+    const auto k = static_cast<std::uint32_t>(g.max_degree() + 1);
+    std::printf("coloring rounds=%llu colors=%u/%u proper=%s\n",
+                static_cast<unsigned long long>(r->rounds), r->colors_used, k,
+                apps::is_proper_coloring(g, r->colors, k) ? "yes" : "NO");
+    return 0;
+  }
+  // ruling set
+  const auto alpha = static_cast<std::size_t>(args.get_int("alpha"));
+  const auto r = apps::ruling_set_via_selfstab_mis(g, alpha, seed, budget);
+  if (!r) {
+    std::printf("ruling set did not stabilize within the budget\n");
+    return 1;
+  }
+  std::printf("ruling-set rounds=%llu members=%zu (%zu,%zu)-ruling=%s\n",
+              static_cast<unsigned long long>(r->rounds),
+              mis::member_count(r->members), alpha, alpha - 1,
+              apps::is_ruling_set(g, r->members, alpha, alpha - 1) ? "yes"
+                                                                   : "NO");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "beepmis_cli — self-stabilizing MIS in the beeping model "
+      "(Giakkoupis, Turau, Ziccardi; PODC'24)");
+  args.add_option("family", "er-avg8",
+                  "graph family: er-avg8 | 4-regular | torus | ba-m3 | "
+                  "rgg-avg8 | rand-tree | cycle | star");
+  args.add_option("n", "1024", "number of vertices for generated graphs");
+  args.add_option("graph-file", "",
+                  "edge-list file to load instead of generating");
+  args.add_option("algorithm", "v1",
+                  "v1 (Thm 2.1) | v2 (Thm 2.2) | v3 (Cor 2.3) | jsx | afek | "
+                  "afek-noknow | luby | coloring | ruling");
+  args.add_option("init", "uniform-random",
+                  "initial configuration policy (self-stab variants)");
+  args.add_option("seed", "1", "master RNG seed");
+  args.add_option("c1", "0", "lmax constant override (0 = paper default)");
+  args.add_option("max-rounds", "100000", "round budget per run");
+  args.add_option("faults", "0", "nodes to corrupt per fault wave");
+  args.add_option("waves", "0", "number of fault waves after stabilization");
+  args.add_option("noise-fp", "0", "receiver false-positive rate (extension)");
+  args.add_option("noise-fn", "0", "receiver false-negative rate (extension)");
+  args.add_option("alpha", "3", "ruling-set separation (algorithm=ruling)");
+  args.add_option("svg", "", "write a convergence chart to this SVG file");
+  args.add_flag("trace", "print per-round beep statistics after the run");
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::cerr << error << "\n";
+    return error.rfind("beepmis_cli", 0) == 0 ? 0 : 2;  // --help exits 0
+  }
+
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  support::Rng graph_rng = support::Rng(seed).derive_stream(0x6ea9);
+  const graph::Graph g = load_graph(args, graph_rng);
+  std::printf("graph %s: n=%zu m=%zu max-degree=%zu\n", g.name().c_str(),
+              g.vertex_count(), g.edge_count(), g.max_degree());
+
+  const std::string algo = args.get("algorithm");
+  if (algo == "v1") return run_selfstab(args, g, exp::Variant::GlobalDelta);
+  if (algo == "v2") return run_selfstab(args, g, exp::Variant::OwnDegree);
+  if (algo == "v3") return run_selfstab(args, g, exp::Variant::TwoChannel);
+  if (algo == "jsx" || algo == "afek" || algo == "afek-noknow" ||
+      algo == "luby")
+    return run_baseline(args, g, algo);
+  if (algo == "coloring" || algo == "ruling") return run_app(args, g, algo);
+  std::cerr << "unknown algorithm: " << algo << "\n";
+  return 2;
+}
