@@ -2,10 +2,23 @@
 /// throughput (node·rounds/s), per-component costs (decide, feedback, OR
 /// aggregation, stabilization detector), and graph construction. These are
 /// engineering numbers for the simulator substrate, not paper claims.
+///
+/// Unlike the other benches this one has a custom main: every reported run
+/// is also captured into an obs::MetricsRegistry and written as a
+/// "beepmis.run.v1" document (default BENCH_micro.json, --bench-out=FILE),
+/// so the numbers are machine-readable alongside the console table.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/beep/network.hpp"
 #include "src/core/fast_engine.hpp"
@@ -16,6 +29,9 @@
 #include "src/core/selfstab_mis2.hpp"
 #include "src/exp/families.hpp"
 #include "src/graph/generators.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/sink.hpp"
 
 namespace {
 
@@ -118,6 +134,68 @@ void BM_FullStabilizationRun_FastEngine(benchmark::State& state) {
 }
 BENCHMARK(BM_FullStabilizationRun_FastEngine)->Arg(1 << 10)->Arg(1 << 13);
 
+/// Swallows everything — lets the sink-overhead pair measure event
+/// formatting without mixing in filesystem throughput.
+class NullBuf final : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+};
+
+/// Baseline for the telemetry-overhead claim: full fast-engine
+/// stabilization runs at n ≈ 10k with no observer attached.
+void BM_FastEngineRun_NoSink(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  const auto lmax = core::lmax_global_delta(g);
+  std::uint64_t seed = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    core::FastMisEngine fast(g, lmax, ++seed);
+    support::Rng irng(seed);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto span = static_cast<std::uint64_t>(2 * lmax[v] + 1);
+      fast.set_level(v,
+                     static_cast<std::int32_t>(irng.below(span)) - lmax[v]);
+    }
+    rounds += fast.run_to_stabilization(100000);
+    benchmark::DoNotOptimize(fast.round());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FastEngineRun_NoSink)->Arg(10240);
+
+/// Same workload with a JsonlSink (analysis off) attached — the ratio of
+/// this to BM_FastEngineRun_NoSink is the sink's wall-clock overhead.
+void BM_FastEngineRun_JsonlSink(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  const auto lmax = core::lmax_global_delta(g);
+  NullBuf nullbuf;
+  std::ostream devnull(&nullbuf);
+  std::uint64_t seed = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    core::FastMisEngine fast(g, lmax, ++seed);
+    obs::JsonlSink sink(devnull, /*with_analysis=*/false);
+    fast.set_observer(&sink);
+    support::Rng irng(seed);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto span = static_cast<std::uint64_t>(2 * lmax[v] + 1);
+      fast.set_level(v,
+                     static_cast<std::int32_t>(irng.below(span)) - lmax[v]);
+    }
+    rounds += fast.run_to_stabilization(100000);
+    benchmark::DoNotOptimize(fast.round());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FastEngineRun_JsonlSink)->Arg(10240);
+
 void BM_GraphGeneration_ER(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   support::Rng rng(2);
@@ -136,4 +214,75 @@ void BM_RngBernoulliPow2(benchmark::State& state) {
 }
 BENCHMARK(BM_RngBernoulliPow2);
 
+/// Console output as usual, plus every per-iteration run captured as four
+/// gauges ("<name>.real_ns", ".cpu_ns", ".iterations", ".items_per_second")
+/// for the machine-readable dump.
+class RecordingReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(obs::MetricsRegistry& metrics)
+      : metrics_(&metrics) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      const std::string name = run.benchmark_name();
+      metrics_->gauge(name + ".real_ns").set(run.GetAdjustedRealTime());
+      metrics_->gauge(name + ".cpu_ns").set(run.GetAdjustedCPUTime());
+      metrics_->gauge(name + ".iterations")
+          .set(static_cast<double>(run.iterations));
+      if (auto it = run.counters.find("items_per_second");
+          it != run.counters.end())
+        metrics_->gauge(name + ".items_per_second").set(it->second);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::MetricsRegistry* metrics_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Our one extra flag is stripped before google-benchmark sees the args.
+  std::string bench_out = "BENCH_micro.json";
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (constexpr std::string_view kFlag = "--bench-out=";
+        arg.rfind(kFlag, 0) == 0) {
+      bench_out = std::string(arg.substr(kFlag.size()));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data()))
+    return 1;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  beepmis::obs::MetricsRegistry metrics;
+  RecordingReporter reporter(metrics);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!bench_out.empty()) {
+    beepmis::obs::RunManifest man;
+    man.tool = "bench_e11_micro";
+    man.graph_name = "er-avg8 (per-benchmark sizes)";
+    man.family = "er-avg8";
+    man.algorithm = "micro-benchmarks";
+    man.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+    std::ofstream out(bench_out);
+    if (!out) {
+      std::cerr << "cannot open " << bench_out << "\n";
+      return 1;
+    }
+    beepmis::obs::write_run_json(out, man, &metrics);
+    std::cout << "wrote " << bench_out << "\n";
+  }
+  return 0;
+}

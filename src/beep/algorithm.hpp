@@ -6,6 +6,7 @@
 
 #include "src/beep/types.hpp"
 #include "src/graph/graph.hpp"
+#include "src/obs/sink.hpp"
 #include "src/support/rng.hpp"
 
 namespace beepmis::beep {
@@ -50,6 +51,17 @@ class BeepingAlgorithm {
   /// random, in-representable-range) values. Self-stabilization must hold
   /// from any reachable-by-corruption state.
   virtual void corrupt_node(graph::VertexId v, support::Rng& rng) = 0;
+
+  /// Telemetry hook: fill the algorithm-level fields of a per-round event
+  /// (prominent/stable/mis/active and — when `with_analysis` — the paper's
+  /// analysis quantities). Called by the simulation after each round when
+  /// observers are attached; the communication fields are already set.
+  /// Default: leave everything zero (baselines without these notions).
+  virtual void fill_round_event(obs::RoundEvent& event,
+                                bool with_analysis) const {
+    (void)event;
+    (void)with_analysis;
+  }
 };
 
 }  // namespace beepmis::beep

@@ -76,6 +76,31 @@ void Simulation::step() {
 
   algo_->receive_feedback(round_, send_, heard_);
   ++round_;
+  if (!observers_.empty()) notify_observers();
+}
+
+void Simulation::add_observer(obs::RoundObserver* observer) {
+  BEEPMIS_CHECK(observer != nullptr, "null observer");
+  observers_.push_back(observer);
+}
+
+void Simulation::notify_observers() {
+  obs::RoundEvent ev;
+  ev.round = round_;
+  for (ChannelMask m : send_) {
+    ev.beeps_ch1 += (m & kChannel1) ? 1 : 0;
+    ev.beeps_ch2 += (m & kChannel2) ? 1 : 0;
+  }
+  for (ChannelMask m : heard_) {
+    ev.heard_ch1 += (m & kChannel1) ? 1 : 0;
+    ev.heard_ch2 += (m & kChannel2) ? 1 : 0;
+    ev.heard_any += m ? 1 : 0;
+  }
+  bool analysis = false;
+  for (const obs::RoundObserver* o : observers_)
+    analysis = analysis || o->wants_analysis();
+  algo_->fill_round_event(ev, analysis);
+  for (obs::RoundObserver* o : observers_) o->on_round(ev);
 }
 
 Round Simulation::run_until(const std::function<bool(const Simulation&)>& stop,

@@ -8,6 +8,7 @@
 #include "src/beep/algorithm.hpp"
 #include "src/beep/types.hpp"
 #include "src/graph/graph.hpp"
+#include "src/obs/sink.hpp"
 #include "src/support/rng.hpp"
 
 namespace beepmis::beep {
@@ -88,7 +89,17 @@ class Simulation {
   const ChannelNoise& noise() const noexcept { return noise_; }
   Duplex duplex() const noexcept { return duplex_; }
 
+  /// Attaches a non-owning per-round telemetry observer; it receives one
+  /// obs::RoundEvent after every step(), with the communication census
+  /// filled by the simulation and the state census filled by the algorithm
+  /// (BeepingAlgorithm::fill_round_event). Multiple observers are allowed;
+  /// the O(n + m) analysis fields are computed iff any of them asks
+  /// (wants_analysis()). The no-observer hot path is untouched.
+  void add_observer(obs::RoundObserver* observer);
+
  private:
+  void notify_observers();
+
   const graph::Graph* graph_;
   std::unique_ptr<BeepingAlgorithm> algo_;
   std::vector<support::Rng> rngs_;
@@ -98,6 +109,7 @@ class Simulation {
   Duplex duplex_ = Duplex::Full;
   support::Rng noise_rng_{0};
   Round round_ = 0;
+  std::vector<obs::RoundObserver*> observers_;
 };
 
 }  // namespace beepmis::beep

@@ -9,7 +9,11 @@ void Trace::observe(const Simulation& sim) {
     rec.beeps_ch1 += m & kChannel1 ? 1 : 0;
     rec.beeps_ch2 += m & kChannel2 ? 1 : 0;
   }
-  for (ChannelMask m : sim.last_heard()) rec.heard_any += m ? 1 : 0;
+  for (ChannelMask m : sim.last_heard()) {
+    rec.heard_ch1 += m & kChannel1 ? 1 : 0;
+    rec.heard_ch2 += m & kChannel2 ? 1 : 0;
+    rec.heard_any += m ? 1 : 0;
+  }
   records_.push_back(rec);
 }
 

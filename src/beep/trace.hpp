@@ -13,12 +13,16 @@ struct RoundRecord {
   Round round = 0;
   std::uint32_t beeps_ch1 = 0;  ///< nodes that beeped on channel 1
   std::uint32_t beeps_ch2 = 0;  ///< nodes that beeped on channel 2
-  std::uint32_t heard_any = 0;  ///< nodes that heard at least one beep
+  std::uint32_t heard_ch1 = 0;  ///< nodes that heard a beep on channel 1
+  std::uint32_t heard_ch2 = 0;  ///< nodes that heard a beep on channel 2
+  std::uint32_t heard_any = 0;  ///< nodes that heard on at least one channel
 };
 
 /// Opt-in per-round telemetry. Call observe(sim) after each Simulation::step.
 /// Costs O(n) per observation; big sweeps skip it, lemma/communication
-/// experiments use it.
+/// experiments use it. For streaming/structured output, prefer attaching an
+/// obs::JsonlSink via Simulation::add_observer — this class remains for
+/// in-memory inspection.
 class Trace {
  public:
   void observe(const Simulation& sim);
@@ -26,7 +30,9 @@ class Trace {
   const std::vector<RoundRecord>& records() const noexcept { return records_; }
   void clear() { records_.clear(); }
 
-  /// Sum of ch1+ch2 beeps over all recorded rounds.
+  /// Total beeps over all recorded rounds, summed across BOTH channels
+  /// (ch1 + ch2) — the model's energy measure. On a two-channel run this
+  /// therefore exceeds the channel-1 count alone.
   std::uint64_t total_beeps() const noexcept;
 
  private:

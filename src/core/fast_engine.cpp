@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/timing.hpp"
 #include "src/support/check.hpp"
 
 namespace beepmis::core {
@@ -32,11 +33,16 @@ bool FastMisEngine::member_settled(graph::VertexId v) const {
 }
 
 void FastMisEngine::refresh_settlement() const {
+  obs::ScopedTimer timer(refresh_timer_);
   dirty_ = false;
   const std::size_t n = levels_.size();
   std::fill(settled_.begin(), settled_.end(), 0);
+  mis_count_ = 0;
   for (graph::VertexId v = 0; v < n; ++v)
-    if (member_settled(v)) settled_[v] = 1;
+    if (member_settled(v)) {
+      settled_[v] = 1;
+      ++mis_count_;
+    }
   for (graph::VertexId v = 0; v < n; ++v) {
     if (settled_[v] || levels_[v] != lmax_[v]) continue;
     for (graph::VertexId u : graph_->neighbors(v))
@@ -61,6 +67,17 @@ void FastMisEngine::set_level(graph::VertexId v, std::int32_t level) {
 
 void FastMisEngine::step() {
   if (dirty_) refresh_settlement();
+  // Telemetry: the pre-round settled census feeds the event's beep/heard
+  // counts (settled members beep ch1 with certainty, settled dominated
+  // vertices hear their member every round, settled members hear nothing
+  // because all their neighbors sit silent at their caps).
+  const bool observing = observer_ != nullptr;
+  const std::size_t n = levels_.size();
+  const auto members_before = static_cast<std::uint32_t>(mis_count_);
+  const auto dominated_before =
+      static_cast<std::uint32_t>(n - active_count_ - mis_count_);
+  std::uint32_t active_beeps = 0, active_heard = 0;
+
   // Phase 1: beep decisions for active vertices (settled members beep too,
   // but their contribution is looked up from settled_ instead of stored).
   for (graph::VertexId v : active_) {
@@ -69,6 +86,7 @@ void FastMisEngine::step() {
     if (l < lmax_[v])
       beep = l <= 0 || rngs_[v].bernoulli_pow2(static_cast<unsigned>(l));
     beep_[v] = beep ? 1 : 0;
+    active_beeps += beep_[v];
   }
 
   // Phase 2: feedback + update, active vertices only. A neighbor beeps iff
@@ -82,6 +100,7 @@ void FastMisEngine::step() {
         break;
       }
     }
+    active_heard += heard ? 1 : 0;
     std::int32_t& l = levels_[v];
     if (heard)
       l = std::min(l + 1, lmax_[v]);
@@ -89,6 +108,14 @@ void FastMisEngine::step() {
       l = -lmax_[v];
     else
       l = std::max(l - 1, 1);
+  }
+
+  // Post-update level census over old settled + still-listed active covers
+  // every vertex exactly once (phase 3 has not pruned yet).
+  std::uint32_t prominent = 0;
+  if (observing) {
+    prominent = members_before;
+    for (graph::VertexId v : active_) prominent += levels_[v] <= 0 ? 1 : 0;
   }
 
   // Phase 3: settle newly frozen vertices. Members first (their neighbors
@@ -99,6 +126,7 @@ void FastMisEngine::step() {
   for (graph::VertexId v : active_) {
     if (levels_[v] == -lmax_[v] && member_settled(v)) {
       settled_[v] = 1;
+      ++mis_count_;
       any_settled = true;
     }
   }
@@ -121,6 +149,43 @@ void FastMisEngine::step() {
     active_count_ = active_.size();
   }
   ++round_;
+  if (observing)
+    emit_event(members_before, dominated_before, active_beeps, active_heard,
+               prominent);
+}
+
+void FastMisEngine::emit_event(std::uint32_t members_before,
+                               std::uint32_t dominated_before,
+                               std::uint32_t active_beeps,
+                               std::uint32_t active_heard,
+                               std::uint32_t prominent) const {
+  const std::size_t n = levels_.size();
+  obs::RoundEvent ev;
+  ev.round = round_;
+  ev.beeps_ch1 = members_before + active_beeps;
+  ev.heard_ch1 = dominated_before + active_heard;
+  ev.heard_any = ev.heard_ch1;
+  ev.prominent = prominent;
+  ev.mis = static_cast<std::uint32_t>(mis_count_);
+  ev.stable = static_cast<std::uint32_t>(n - active_count_);
+  ev.active = static_cast<std::uint32_t>(active_count_);
+  if (observer_->wants_analysis()) {
+    // Same Lemma 3.1 census as SelfStabMis::fill_round_event: a violation is
+    // a vertex with ℓ ≤ 0 that has a neighbor with ℓ ≤ 0.
+    std::uint32_t violations = 0;
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (levels_[v] > 0) continue;
+      for (graph::VertexId u : graph_->neighbors(v)) {
+        if (levels_[u] <= 0) {
+          ++violations;
+          break;
+        }
+      }
+    }
+    ev.lemma31_violations = violations;
+    ev.has_analysis = true;
+  }
+  observer_->on_round(ev);
 }
 
 std::uint64_t FastMisEngine::run_to_stabilization(std::uint64_t max_rounds) {
@@ -165,11 +230,16 @@ bool FastMisEngine2::member_settled(graph::VertexId v) const {
 }
 
 void FastMisEngine2::refresh_settlement() const {
+  obs::ScopedTimer timer(refresh_timer_);
   dirty_ = false;
   const std::size_t n = levels_.size();
   std::fill(settled_.begin(), settled_.end(), 0);
+  mis_count_ = 0;
   for (graph::VertexId v = 0; v < n; ++v)
-    if (member_settled(v)) settled_[v] = 1;
+    if (member_settled(v)) {
+      settled_[v] = 1;
+      ++mis_count_;
+    }
   for (graph::VertexId v = 0; v < n; ++v) {
     if (settled_[v] || levels_[v] != lmax_[v]) continue;
     for (graph::VertexId u : graph_->neighbors(v))
@@ -193,6 +263,17 @@ void FastMisEngine2::set_level(graph::VertexId v, std::int32_t level) {
 
 void FastMisEngine2::step() {
   if (dirty_) refresh_settlement();
+  // Telemetry bookkeeping mirrors FastMisEngine::step: settled members beep
+  // channel 2 every round, settled dominated vertices hear them every round,
+  // settled members themselves hear nothing (all neighbors capped, silent).
+  const bool observing = observer_ != nullptr;
+  const std::size_t n = levels_.size();
+  const auto members_before = static_cast<std::uint32_t>(mis_count_);
+  const auto dominated_before =
+      static_cast<std::uint32_t>(n - active_count_ - mis_count_);
+  std::uint32_t active_beeps1 = 0, active_beeps2 = 0;
+  std::uint32_t active_heard1 = 0, active_heard2 = 0, active_heard_any = 0;
+
   // Phase 1: decisions for active vertices. ℓ = 0 beeps channel 2 with
   // certainty (no coin); 0 < ℓ < ℓmax draws the channel-1 coin; ℓmax silent.
   for (graph::VertexId v : active_) {
@@ -205,10 +286,16 @@ void FastMisEngine2::step() {
       b = 1;
     }
     beep_[v] = b;
+    active_beeps1 += b == 1 ? 1 : 0;
+    active_beeps2 += b == 2 ? 1 : 0;
   }
 
   // Phase 2: feedback + Algorithm 2's update. Settled members count as
-  // channel-2 beepers; settled dominated vertices are silent.
+  // channel-2 beepers; settled dominated vertices are silent. The early
+  // break once channel 2 is heard is sound for the state update (channel-2
+  // feedback dominates); while observing, the scan continues until the
+  // channel-1 bit is also resolved so heard counts match the reference
+  // simulator bit-for-bit.
   for (graph::VertexId v : active_) {
     bool heard1 = false, heard2 = false;
     for (graph::VertexId u : graph_->neighbors(v)) {
@@ -220,8 +307,11 @@ void FastMisEngine2::step() {
         else if (beep_[u] == 1)
           heard1 = true;
       }
-      if (heard2) break;
+      if (heard2 && (heard1 || !observing)) break;
     }
+    active_heard1 += heard1 ? 1 : 0;
+    active_heard2 += heard2 ? 1 : 0;
+    active_heard_any += (heard1 || heard2) ? 1 : 0;
     std::int32_t& l = levels_[v];
     if (heard2)
       l = lmax_[v];
@@ -234,11 +324,30 @@ void FastMisEngine2::step() {
     // else: member that heard nothing — stays 0.
   }
 
+  // Settled dominated vertices always hear channel 2 (their member); their
+  // channel-1 bit depends on active neighbors and needs an explicit sweep.
+  // Post-update prominent census as in FastMisEngine::step.
+  std::uint32_t dom_heard1 = 0, prominent = 0;
+  if (observing) {
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (settled_[v] != 2) continue;
+      for (graph::VertexId u : graph_->neighbors(v)) {
+        if (settled_[u] == 0 && beep_[u] == 1) {
+          ++dom_heard1;
+          break;
+        }
+      }
+    }
+    prominent = members_before;
+    for (graph::VertexId v : active_) prominent += levels_[v] == 0 ? 1 : 0;
+  }
+
   // Phase 3: settlement sweeps (members, then dominated — every round).
   bool any_settled = false;
   for (graph::VertexId v : active_) {
     if (levels_[v] == 0 && member_settled(v)) {
       settled_[v] = 1;
+      ++mis_count_;
       any_settled = true;
     }
   }
@@ -261,6 +370,25 @@ void FastMisEngine2::step() {
     active_count_ = active_.size();
   }
   ++round_;
+
+  if (observing) {
+    obs::RoundEvent ev;
+    ev.round = round_;
+    ev.beeps_ch1 = active_beeps1;
+    ev.beeps_ch2 = members_before + active_beeps2;
+    ev.heard_ch1 = active_heard1 + dom_heard1;
+    ev.heard_ch2 = dominated_before + active_heard2;
+    ev.heard_any = dominated_before + active_heard_any;
+    ev.prominent = prominent;
+    ev.mis = static_cast<std::uint32_t>(mis_count_);
+    ev.stable = static_cast<std::uint32_t>(n - active_count_);
+    ev.active = static_cast<std::uint32_t>(active_count_);
+    if (observer_->wants_analysis()) {
+      ev.lemma31_violations = 0;  // Algorithm 1 analysis quantity; see sink.hpp
+      ev.has_analysis = true;
+    }
+    observer_->on_round(ev);
+  }
 }
 
 std::uint64_t FastMisEngine2::run_to_stabilization(std::uint64_t max_rounds) {

@@ -5,6 +5,8 @@
 
 #include "src/core/lmax.hpp"
 #include "src/graph/graph.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/sink.hpp"
 #include "src/support/rng.hpp"
 
 namespace beepmis::core {
@@ -49,11 +51,28 @@ class FastMisEngine {
   /// Number of currently unsettled vertices (for instrumentation).
   std::size_t active_count() const noexcept { return active_count_; }
 
+  /// Attaches a non-owning per-round observer (same obs::RoundEvent shape
+  /// and semantics as beep::Simulation's — proven stream-identical in
+  /// test_obs.cpp). Event assembly costs O(active) per round, except the
+  /// analysis fields (wants_analysis()) which cost O(n + m). Null detaches.
+  void set_observer(obs::RoundObserver* observer) noexcept {
+    observer_ = observer;
+  }
+  /// Routes internal timers (refresh_settlement) into `registry` (may be
+  /// null to detach). The TimerStat is resolved once here, not per call.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    refresh_timer_ =
+        registry ? &registry->timer("fast_engine.refresh_settlement") : nullptr;
+  }
+
  private:
   // The settlement bookkeeping is a cache over levels_ (rebuilt lazily
   // after set_level), hence mutable + const refresh.
   void refresh_settlement() const;
   bool member_settled(graph::VertexId v) const;
+  void emit_event(std::uint32_t members_before, std::uint32_t dominated_before,
+                  std::uint32_t active_beeps, std::uint32_t active_heard,
+                  std::uint32_t prominent) const;
 
   const graph::Graph* graph_;
   LmaxVector lmax_;
@@ -63,8 +82,11 @@ class FastMisEngine {
   mutable std::vector<graph::VertexId> active_;
   std::vector<std::uint8_t> beep_;  // scratch, indexed by vertex
   mutable std::size_t active_count_ = 0;
+  mutable std::size_t mis_count_ = 0;  // settled members (== |I_t| post-round)
   std::uint64_t round_ = 0;
   mutable bool dirty_ = false;
+  obs::RoundObserver* observer_ = nullptr;
+  obs::TimerStat* refresh_timer_ = nullptr;
 };
 
 /// The Algorithm 2 counterpart of FastMisEngine: settled vertices are
@@ -89,6 +111,17 @@ class FastMisEngine2 {
   std::vector<bool> mis_members() const;
   std::size_t active_count() const noexcept { return active_count_; }
 
+  /// Per-round observer / timer routing; see FastMisEngine. The two-channel
+  /// event additionally needs an O(Σ deg(dominated)) sweep per round to get
+  /// exact channel-1 heard counts, still paid only while observing.
+  void set_observer(obs::RoundObserver* observer) noexcept {
+    observer_ = observer;
+  }
+  void set_metrics(obs::MetricsRegistry* registry) {
+    refresh_timer_ =
+        registry ? &registry->timer("fast_engine.refresh_settlement") : nullptr;
+  }
+
  private:
   void refresh_settlement() const;
   bool member_settled(graph::VertexId v) const;
@@ -101,8 +134,11 @@ class FastMisEngine2 {
   mutable std::vector<graph::VertexId> active_;
   std::vector<std::uint8_t> beep_;  // 0 none, 1 ch1, 2 ch2 (active only)
   mutable std::size_t active_count_ = 0;
+  mutable std::size_t mis_count_ = 0;  // settled members (== |I_t| post-round)
   std::uint64_t round_ = 0;
   mutable bool dirty_ = false;
+  obs::RoundObserver* observer_ = nullptr;
+  obs::TimerStat* refresh_timer_ = nullptr;
 };
 
 }  // namespace beepmis::core

@@ -109,4 +109,38 @@ bool SelfStabMis::is_stabilized() const {
   return std::all_of(stable.begin(), stable.end(), [](bool b) { return b; });
 }
 
+void SelfStabMis::fill_round_event(obs::RoundEvent& ev,
+                                   bool with_analysis) const {
+  const std::size_t n = levels_.size();
+  const auto stable = stable_vertices();
+  const auto in_mis = mis_members();
+  std::uint32_t prominent = 0, stable_cnt = 0, mis_cnt = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    prominent += levels_[v] <= 0 ? 1 : 0;
+    stable_cnt += stable[v] ? 1 : 0;
+    mis_cnt += in_mis[v] ? 1 : 0;
+  }
+  ev.prominent = prominent;
+  ev.stable = stable_cnt;
+  ev.mis = mis_cnt;
+  ev.active = static_cast<std::uint32_t>(n) - stable_cnt;
+  if (with_analysis) {
+    // Lemma 3.1 predicate: ℓ(v) > 0 ∨ μ(v) > 0. μ(v) > 0 iff every neighbor
+    // has ℓ > 0 (isolated vertices: μ = +1, never a violation), so a
+    // violation is a non-positive vertex with a non-positive neighbor.
+    std::uint32_t violations = 0;
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (levels_[v] > 0) continue;
+      for (graph::VertexId u : graph_->neighbors(v)) {
+        if (levels_[u] <= 0) {
+          ++violations;
+          break;
+        }
+      }
+    }
+    ev.lemma31_violations = violations;
+    ev.has_analysis = true;
+  }
+}
+
 }  // namespace beepmis::core

@@ -48,6 +48,8 @@ class SelfStabMis : public beep::BeepingAlgorithm {
                         std::span<const beep::ChannelMask> sent,
                         std::span<const beep::ChannelMask> heard) override;
   void corrupt_node(graph::VertexId v, support::Rng& rng) override;
+  void fill_round_event(obs::RoundEvent& event,
+                        bool with_analysis) const override;
 
   // --- State access (simulation/verification side) ---------------------
   std::int32_t level(graph::VertexId v) const { return levels_[v]; }

@@ -110,4 +110,27 @@ bool SelfStabMisTwoChannel::is_stabilized() const {
   return std::all_of(stable.begin(), stable.end(), [](bool b) { return b; });
 }
 
+void SelfStabMisTwoChannel::fill_round_event(obs::RoundEvent& ev,
+                                             bool with_analysis) const {
+  const std::size_t n = levels_.size();
+  const auto stable = stable_vertices();
+  const auto in_mis = mis_members();
+  std::uint32_t prominent = 0, stable_cnt = 0, mis_cnt = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    prominent += levels_[v] == 0 ? 1 : 0;  // Algorithm 2's PM_t: ℓ = 0
+    stable_cnt += stable[v] ? 1 : 0;
+    mis_cnt += in_mis[v] ? 1 : 0;
+  }
+  ev.prominent = prominent;
+  ev.stable = stable_cnt;
+  ev.mis = mis_cnt;
+  ev.active = static_cast<std::uint32_t>(n) - stable_cnt;
+  if (with_analysis) {
+    // Lemma 3.1 is an Algorithm 1 statement; defined as 0 here so two-channel
+    // event streams keep the unified schema.
+    ev.lemma31_violations = 0;
+    ev.has_analysis = true;
+  }
+}
+
 }  // namespace beepmis::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/mis/verifier.hpp"
+#include "src/obs/timing.hpp"
 #include "src/support/check.hpp"
 
 namespace beepmis::exp {
@@ -73,29 +74,43 @@ std::vector<bool> selfstab_mis_members(const beep::Simulation& sim) {
   return {};
 }
 
-RunResult run_to_stabilization(beep::Simulation& sim, beep::Round max_rounds) {
-  const beep::Round start = sim.round();
-  const beep::Round budget = start + max_rounds;
-  while (!selfstab_stabilized(sim) && sim.round() < budget) sim.step();
-
+RunResult run_to_stabilization(beep::Simulation& sim, beep::Round max_rounds,
+                               obs::MetricsRegistry* metrics) {
   RunResult r;
-  r.stabilized = selfstab_stabilized(sim);
-  r.rounds = sim.round() - start;
-  const auto members = selfstab_mis_members(sim);
-  r.mis_size = mis::member_count(members);
-  r.valid_mis = mis::is_mis(sim.graph(), members);
+  {
+    obs::ScopedTimer timer(metrics, "runner.run_to_stabilization");
+    const beep::Round start = sim.round();
+    const beep::Round budget = start + max_rounds;
+    while (!selfstab_stabilized(sim) && sim.round() < budget) sim.step();
+
+    r.stabilized = selfstab_stabilized(sim);
+    r.rounds = sim.round() - start;
+    const auto members = selfstab_mis_members(sim);
+    r.mis_size = mis::member_count(members);
+    r.valid_mis = mis::is_mis(sim.graph(), members);
+  }
+  if (metrics != nullptr) {
+    metrics->counter("runner.runs_total").inc();
+    metrics->counter("runner.rounds_total").inc(r.rounds);
+    metrics->histogram("runner.rounds_to_stabilize").record(r.rounds);
+    if (!r.stabilized) metrics->counter("runner.budget_exhausted").inc();
+    if (!r.valid_mis) metrics->counter("runner.invalid_mis").inc();
+  }
   return r;
 }
 
 RunResult run_variant(const graph::Graph& g, Variant variant,
                       core::InitPolicy init, std::uint64_t seed,
-                      beep::Round max_rounds, std::int32_t c1) {
+                      beep::Round max_rounds, std::int32_t c1,
+                      obs::MetricsRegistry* metrics,
+                      obs::RoundObserver* observer) {
   auto sim = make_selfstab_sim(g, variant, seed, c1);
+  if (observer != nullptr) sim->add_observer(observer);
   // The init policy's randomness is keyed off the same seed but a distinct
   // stream, so (seed → run) stays a pure function.
   support::Rng init_rng = support::Rng(seed).derive_stream(0xfadedcafe);
   apply_init(*sim, init, init_rng);
-  return run_to_stabilization(*sim, max_rounds);
+  return run_to_stabilization(*sim, max_rounds, metrics);
 }
 
 beep::Round default_round_budget(std::size_t n) {

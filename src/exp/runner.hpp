@@ -10,6 +10,8 @@
 #include "src/core/selfstab_mis.hpp"
 #include "src/core/selfstab_mis2.hpp"
 #include "src/graph/graph.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/sink.hpp"
 
 namespace beepmis::exp {
 
@@ -50,13 +52,20 @@ std::vector<bool> selfstab_mis_members(const beep::Simulation& sim);
 
 /// Runs until stabilization or `max_rounds`, verifying the final MIS.
 /// Counts rounds from the simulation's *current* round, so it also measures
-/// re-stabilization after mid-run fault injection.
-RunResult run_to_stabilization(beep::Simulation& sim, beep::Round max_rounds);
+/// re-stabilization after mid-run fault injection. When `metrics` is given,
+/// the run is timed ("runner.run_to_stabilization") and its outcome lands in
+/// the runner.* counters and the "runner.rounds_to_stabilize" histogram.
+RunResult run_to_stabilization(beep::Simulation& sim, beep::Round max_rounds,
+                               obs::MetricsRegistry* metrics = nullptr);
 
 /// One-shot: build, initialize, run. The workhorse of the sweeps.
+/// `observer`, if given, is attached to the simulation and receives one
+/// obs::RoundEvent per round.
 RunResult run_variant(const graph::Graph& g, Variant variant,
                       core::InitPolicy init, std::uint64_t seed,
-                      beep::Round max_rounds, std::int32_t c1 = 0);
+                      beep::Round max_rounds, std::int32_t c1 = 0,
+                      obs::MetricsRegistry* metrics = nullptr,
+                      obs::RoundObserver* observer = nullptr);
 
 /// A generous default budget: stabilization is Θ(log n), so this failing
 /// indicates a real bug rather than bad luck.

@@ -2,6 +2,7 @@
 
 #include "src/core/fast_engine.hpp"
 #include "src/mis/verifier.hpp"
+#include "src/obs/timing.hpp"
 #include "src/support/check.hpp"
 
 namespace beepmis::exp {
@@ -23,11 +24,15 @@ RunResult run_fast_engine(Engine& engine, const graph::Graph& g,
 }
 
 RunResult run_fast(const graph::Graph& g, Variant variant, std::uint64_t seed,
-                   beep::Round max_rounds, std::int32_t c1) {
+                   beep::Round max_rounds, std::int32_t c1,
+                   obs::MetricsRegistry* metrics,
+                   obs::RoundObserver* observer) {
   support::Rng init_rng = support::Rng(seed).derive_stream(0xfadedcafe);
   if (variant == Variant::TwoChannel) {
     core::FastMisEngine2 engine(
         g, core::lmax_one_hop(g, c1 ? c1 : core::kC1TwoChannel), seed);
+    engine.set_observer(observer);
+    engine.set_metrics(metrics);
     // Mirrors SelfStabMisTwoChannel::corrupt_node draw-for-draw.
     for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
       engine.set_level(
@@ -40,6 +45,8 @@ RunResult run_fast(const graph::Graph& g, Variant variant, std::uint64_t seed,
           ? core::lmax_global_delta(g, c1 ? c1 : core::kC1GlobalDelta)
           : core::lmax_own_degree(g, c1 ? c1 : core::kC1OwnDegree);
   core::FastMisEngine engine(g, std::move(lmax), seed);
+  engine.set_observer(observer);
+  engine.set_metrics(metrics);
   for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
     const auto span = static_cast<std::uint64_t>(2 * engine.lmax(v) + 1);
     engine.set_level(
@@ -69,12 +76,23 @@ std::vector<SweepPoint> run_scaling_sweep(Family family,
       pt.n = g.vertex_count();
       const bool fast = config.use_fast_engine &&
                         config.init == core::InitPolicy::UniformRandom;
-      const RunResult r =
-          fast ? run_fast(g, config.variant, seed,
-                          default_round_budget(g.vertex_count()), config.c1)
-               : run_variant(g, config.variant, config.init, seed,
-                             default_round_budget(g.vertex_count()),
-                             config.c1);
+      RunResult r;
+      {
+        obs::ScopedTimer run_timer(config.metrics, "sweep.run");
+        r = fast ? run_fast(g, config.variant, seed,
+                            default_round_budget(g.vertex_count()), config.c1,
+                            config.metrics, config.observer)
+                 : run_variant(g, config.variant, config.init, seed,
+                               default_round_budget(g.vertex_count()),
+                               config.c1, config.metrics, config.observer);
+      }
+      if (config.metrics != nullptr) {
+        config.metrics->counter("sweep.runs_total").inc();
+        config.metrics->histogram("sweep.rounds_to_stabilize")
+            .record(r.rounds);
+        if (!r.stabilized) config.metrics->counter("sweep.failures").inc();
+        if (!r.valid_mis) config.metrics->counter("sweep.invalid_mis").inc();
+      }
       if (!r.stabilized) ++pt.failures;
       if (!r.valid_mis) ++pt.invalid;
       pt.rounds.add(static_cast<double>(r.rounds));

@@ -5,6 +5,8 @@
 
 #include "src/exp/families.hpp"
 #include "src/exp/runner.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/sink.hpp"
 #include "src/support/fit.hpp"
 #include "src/support/stats.hpp"
 #include "src/support/table.hpp"
@@ -32,6 +34,13 @@ struct SweepConfig {
   /// simulator; see test_fast_engine.cpp) — enables larger n ladders.
   /// Requires init == UniformRandom.
   bool use_fast_engine = false;
+  /// Optional telemetry: per-run wall time ("sweep.run" timer), the
+  /// "sweep.rounds_to_stabilize" histogram and sweep.* counters land here;
+  /// the fast engines also route their internal timers into it.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional per-round event observer, attached to every run regardless of
+  /// the engine (simulation or fast path). One obs::RoundEvent per round.
+  obs::RoundObserver* observer = nullptr;
 };
 
 /// Runs the sweep for one family. Each run gets an independent seed; the

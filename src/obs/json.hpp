@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace beepmis::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes). Control characters become \u00XX.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal streaming JSON writer with automatic comma placement. The caller
+/// is responsible for balanced begin/end calls; the writer tracks only
+/// whether a separator is due at the current nesting level. All the obs
+/// emitters (metrics dump, manifests) go through this so their output is
+/// well-formed by construction.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) { comma_.push_back(false); }
+
+  JsonWriter& begin_object() {
+    separate();
+    *os_ << '{';
+    comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    comma_.pop_back();
+    *os_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separate();
+    *os_ << '[';
+    comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    comma_.pop_back();
+    *os_ << ']';
+    return *this;
+  }
+
+  /// Object key; the next value/begin call emits the member's value.
+  JsonWriter& key(std::string_view k) {
+    separate();
+    *os_ << '"' << json_escape(k) << "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    separate();
+    *os_ << '"' << json_escape(s) << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) {
+    separate();
+    *os_ << (b ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separate();
+    *os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separate();
+    *os_ << v;
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      *os_ << "null";  // inf/nan are not representable in JSON
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      *os_ << buf;
+    }
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& field(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;  // value directly after a key: no comma
+      return;
+    }
+    if (comma_.back()) *os_ << ',';
+    comma_.back() = true;
+  }
+
+  std::ostream* os_;
+  std::vector<bool> comma_;
+  bool pending_value_ = false;
+};
+
+}  // namespace beepmis::obs

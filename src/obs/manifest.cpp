@@ -1,0 +1,93 @@
+#include "src/obs/manifest.hpp"
+
+#include <ctime>
+#include <ostream>
+
+#include "src/obs/json.hpp"
+
+namespace beepmis::obs {
+
+std::string build_compiler() {
+#if defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_type() {
+#ifdef BEEPMIS_BUILD_TYPE
+  return BEEPMIS_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+bool build_assertions_enabled() {
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::string timestamp_utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+void write_run_json(std::ostream& os, const RunManifest& m,
+                    const MetricsRegistry* metrics) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "beepmis.run.v1");
+  w.field("tool", m.tool);
+  w.field("timestamp", timestamp_utc());
+  w.field("seed", m.seed);
+
+  w.key("graph").begin_object();
+  w.field("name", m.graph_name);
+  w.field("family", m.family);
+  w.field("n", m.n);
+  w.field("m", m.m);
+  w.field("max_degree", m.max_degree);
+  w.end_object();
+
+  w.key("algorithm").begin_object();
+  w.field("name", m.algorithm);
+  w.field("init", m.init_policy);
+  w.field("c1", m.c1);
+  w.end_object();
+
+  w.key("build").begin_object();
+  w.field("compiler", build_compiler());
+  w.field("build_type", build_type());
+  w.field("assertions", build_assertions_enabled());
+  w.end_object();
+
+  w.key("timing").begin_object();
+  w.field("wall_ms", m.wall_ms);
+  w.end_object();
+
+  w.key("extra").begin_object();
+  for (const auto& [k, v] : m.extra) w.field(k, v);
+  w.end_object();
+
+  w.key("metrics");
+  if (metrics != nullptr) {
+    metrics->write_json(os);  // nested document, emitted in place
+  } else {
+    w.begin_object().end_object();
+  }
+
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace beepmis::obs

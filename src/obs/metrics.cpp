@@ -1,0 +1,67 @@
+#include "src/obs/metrics.hpp"
+
+#include <ostream>
+
+#include "src/obs/json.hpp"
+
+namespace beepmis::obs {
+
+namespace {
+
+void write_histogram(JsonWriter& w, const Histogram& h) {
+  w.begin_object();
+  w.field("count", h.count());
+  w.field("sum", h.sum());
+  w.field("mean", h.mean());
+  w.key("buckets").begin_array();
+  for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+    if (h.buckets()[i] == 0) continue;
+    w.begin_object();
+    w.field("le", Histogram::bucket_upper_bound(i));
+    w.field("count", h.buckets()[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c.value());
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.field(name, g.value());
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    write_histogram(w, h);
+  }
+  w.end_object();
+
+  w.key("timers").begin_object();
+  for (const auto& [name, t] : timers_) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", t.count());
+    w.field("total_ns", t.total_ns());
+    w.field("max_ns", t.max_ns());
+    w.field("mean_ns", t.count() == 0
+                           ? 0.0
+                           : static_cast<double>(t.total_ns()) /
+                                 static_cast<double>(t.count()));
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+}  // namespace beepmis::obs

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace beepmis::obs {
+
+/// Monotone event counter. O(1), no allocation after registration.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written scalar (sizes, rates, benchmark readings).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double v) noexcept { value_ += v; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-scale (power-of-two) histogram of non-negative integer samples:
+/// bucket 0 holds the value 0 and bucket i >= 1 holds [2^{i-1}, 2^i).
+/// 65 buckets cover the full uint64 range; record() is a bit_width plus
+/// three increments — cheap enough for per-round hot loops.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)] += 1;
+    ++count_;
+    sum_ += v;
+  }
+
+  /// Index of the bucket that holds `v` (== bit width of v).
+  static unsigned bucket_index(std::uint64_t v) noexcept {
+    return static_cast<unsigned>(std::bit_width(v));
+  }
+  /// Inclusive upper bound of bucket i: 0 for bucket 0, 2^i - 1 otherwise.
+  static std::uint64_t bucket_upper_bound(unsigned i) noexcept {
+    return i == 0 ? 0 : (i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Aggregate of a named code region's durations, fed by obs::ScopedTimer.
+/// Keeps O(1) summary stats plus a log-scale distribution of nanoseconds.
+class TimerStat {
+ public:
+  void record_ns(std::uint64_t ns) noexcept {
+    ++count_;
+    total_ns_ += ns;
+    if (ns > max_ns_) max_ns_ = ns;
+    hist_.record(ns);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t total_ns() const noexcept { return total_ns_; }
+  std::uint64_t max_ns() const noexcept { return max_ns_; }
+  double total_ms() const noexcept {
+    return static_cast<double>(total_ns_) / 1e6;
+  }
+  const Histogram& histogram() const noexcept { return hist_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+  Histogram hist_;
+};
+
+/// Central named-metric registry. Registration (the first lookup of a name)
+/// allocates the map node; the returned reference is stable for the
+/// registry's lifetime (std::map nodes never move), so hot loops register
+/// once and then touch plain integers. Not thread-safe by design — every
+/// runner in this codebase is single-threaded per registry.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  TimerStat& timer(const std::string& name) { return timers_[name]; }
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           timers_.empty();
+  }
+
+  const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+  const std::map<std::string, TimerStat>& timers() const noexcept {
+    return timers_;
+  }
+
+  /// Dumps the whole registry as one JSON object:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {name: {count, sum, buckets: [{le, count}, ...]}},
+  ///    "timers": {name: {count, total_ns, max_ns, mean_ns}}}
+  /// Empty histogram buckets are omitted; bucket `le` is the inclusive
+  /// upper bound of the bucket's value range.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimerStat> timers_;
+};
+
+}  // namespace beepmis::obs

@@ -1,0 +1,37 @@
+#include "src/obs/sink.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace beepmis::obs {
+
+void JsonlSink::on_round(const RoundEvent& e) {
+  char buf[384];
+  int len;
+  if (e.has_analysis) {
+    len = std::snprintf(
+        buf, sizeof buf,
+        "{\"round\":%llu,\"beeps_ch1\":%u,\"beeps_ch2\":%u,"
+        "\"heard_ch1\":%u,\"heard_ch2\":%u,\"heard_any\":%u,"
+        "\"prominent\":%u,\"stable\":%u,\"mis\":%u,\"active\":%u,"
+        "\"lemma31_violations\":%u}\n",
+        static_cast<unsigned long long>(e.round), e.beeps_ch1, e.beeps_ch2,
+        e.heard_ch1, e.heard_ch2, e.heard_any, e.prominent, e.stable, e.mis,
+        e.active, e.lemma31_violations);
+  } else {
+    len = std::snprintf(
+        buf, sizeof buf,
+        "{\"round\":%llu,\"beeps_ch1\":%u,\"beeps_ch2\":%u,"
+        "\"heard_ch1\":%u,\"heard_ch2\":%u,\"heard_any\":%u,"
+        "\"prominent\":%u,\"stable\":%u,\"mis\":%u,\"active\":%u}\n",
+        static_cast<unsigned long long>(e.round), e.beeps_ch1, e.beeps_ch2,
+        e.heard_ch1, e.heard_ch2, e.heard_any, e.prominent, e.stable, e.mis,
+        e.active);
+  }
+  if (len > 0) {
+    os_->write(buf, len);
+    ++lines_;
+  }
+}
+
+}  // namespace beepmis::obs

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/obs/metrics.hpp"
+
+namespace beepmis::obs {
+
+/// RAII region timer: records the scope's wall-clock duration into a
+/// TimerStat on destruction. A null target disarms the timer entirely
+/// (no clock reads), so instrumented code paths can take an optional
+/// registry and stay free when telemetry is off:
+///
+///   void Engine::refresh() {
+///     ScopedTimer t(refresh_timer_);   // TimerStat* cached at set_metrics
+///     ...
+///   }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat* stat) : stat_(stat) {
+    if (stat_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  /// Convenience: look the timer up by name; `registry` may be null.
+  ScopedTimer(MetricsRegistry* registry, const char* name)
+      : ScopedTimer(registry != nullptr ? &registry->timer(name) : nullptr) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (stat_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    stat_->record_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+ private:
+  TimerStat* stat_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace beepmis::obs

@@ -1,0 +1,616 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/beep/network.hpp"
+#include "src/beep/trace.hpp"
+#include "src/core/fast_engine.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+#include "src/graph/generators.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/sink.hpp"
+#include "src/obs/timing.hpp"
+
+namespace beepmis {
+namespace {
+
+// --- Minimal strict JSON parser (tests only) -------------------------------
+//
+// Recursive-descent over the full document; any syntax error fails the
+// parse. Numbers are kept as doubles (all values we emit fit exactly).
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Object, Array };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+  const JsonValue& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();  // no trailing garbage
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool literal(const char* lit) {
+    const std::size_t len = std::string(lit).size();
+    if (s_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool string(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) return false;
+            pos_ += 4;  // decoded value not needed by any test
+            c = '?';
+            break;
+          default: return false;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number(double* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && (std::isdigit(s_[pos_]) || s_[pos_] == '.' ||
+                                s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                                s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return false;
+    try {
+      *out = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+  bool value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::String;
+      return string(&out->str);
+    }
+    if (c == 't') {
+      out->type = JsonValue::Type::Bool;
+      out->boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out->type = JsonValue::Type::Bool;
+      out->boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out->type = JsonValue::Type::Null;
+      return literal("null");
+    }
+    out->type = JsonValue::Type::Number;
+    return number(&out->number);
+  }
+  bool object(JsonValue* out) {
+    out->type = JsonValue::Type::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->object.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array(JsonValue* out) {
+    out->type = JsonValue::Type::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->array.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_or_die(const std::string& text) {
+  JsonValue v;
+  JsonParser p(text);
+  EXPECT_TRUE(p.parse(&v)) << "unparseable JSON: " << text;
+  return v;
+}
+
+// --- Registry primitives ---------------------------------------------------
+
+TEST(Metrics, CounterGaugeBasics) {
+  obs::MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.counter("a").inc();
+  reg.counter("a").inc(41);
+  EXPECT_EQ(reg.counter("a").value(), 42u);
+  reg.gauge("g").set(2.5);
+  reg.gauge("g").add(0.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 3.0);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(Metrics, RegisteredReferencesAreStable) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("a");
+  // Registering many more names must not move the first node.
+  for (int i = 0; i < 100; ++i) reg.counter("x" + std::to_string(i));
+  a.inc();
+  EXPECT_EQ(reg.counter("a").value(), 1u);
+}
+
+TEST(Metrics, HistogramBucketsPartitionTheRange) {
+  using H = obs::Histogram;
+  EXPECT_EQ(H::bucket_index(0), 0u);
+  EXPECT_EQ(H::bucket_index(1), 1u);
+  EXPECT_EQ(H::bucket_index(2), 2u);
+  EXPECT_EQ(H::bucket_index(3), 2u);
+  EXPECT_EQ(H::bucket_index(4), 3u);
+  EXPECT_EQ(H::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(H::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(H::bucket_upper_bound(3), 7u);
+  // Every value lands in the bucket whose range covers it.
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 100ull, 65535ull, 1ull << 40}) {
+    const unsigned i = H::bucket_index(v);
+    EXPECT_LE(v, H::bucket_upper_bound(i));
+    if (i > 0) {
+      EXPECT_GT(v, H::bucket_upper_bound(i - 1));
+    }
+  }
+}
+
+TEST(Metrics, HistogramCountAndSum) {
+  obs::Histogram h;
+  std::uint64_t expect_sum = 0;
+  for (std::uint64_t v = 0; v < 1000; v += 7) {
+    h.record(v);
+    expect_sum += v;
+  }
+  EXPECT_EQ(h.count(), 143u);
+  EXPECT_EQ(h.sum(), expect_sum);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : h.buckets()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(Metrics, ScopedTimerRecords) {
+  obs::MetricsRegistry reg;
+  {
+    obs::ScopedTimer t(&reg, "work");
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  EXPECT_EQ(reg.timer("work").count(), 1u);
+  EXPECT_GT(reg.timer("work").total_ns(), 0u);
+  EXPECT_EQ(reg.timer("work").histogram().count(), 1u);
+  // Null registry disarms without crashing or recording.
+  { obs::ScopedTimer t(static_cast<obs::MetricsRegistry*>(nullptr), "work"); }
+  EXPECT_EQ(reg.timer("work").count(), 1u);
+}
+
+// --- JSON emitters round-trip ----------------------------------------------
+
+TEST(MetricsJson, RoundTripsThroughParser) {
+  obs::MetricsRegistry reg;
+  reg.counter("runs").inc(3);
+  reg.gauge("speed").set(1.5);
+  for (std::uint64_t v = 0; v < 100; ++v) reg.histogram("rounds").record(v);
+  reg.timer("step").record_ns(12345);
+  reg.timer("step").record_ns(67890);
+
+  std::ostringstream out;
+  reg.write_json(out);
+  const JsonValue doc = parse_or_die(out.str());
+  ASSERT_EQ(doc.type, JsonValue::Type::Object);
+  ASSERT_TRUE(doc.has("counters"));
+  ASSERT_TRUE(doc.has("gauges"));
+  ASSERT_TRUE(doc.has("histograms"));
+  ASSERT_TRUE(doc.has("timers"));
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("runs").number, 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("speed").number, 1.5);
+
+  // Histogram bucket counts must sum to the histogram's total count.
+  const JsonValue& hist = doc.at("histograms").at("rounds");
+  double bucket_sum = 0;
+  for (const JsonValue& b : hist.at("buckets").array)
+    bucket_sum += b.at("count").number;
+  EXPECT_DOUBLE_EQ(bucket_sum, hist.at("count").number);
+  EXPECT_DOUBLE_EQ(hist.at("count").number, 100.0);
+
+  const JsonValue& timer = doc.at("timers").at("step");
+  EXPECT_DOUBLE_EQ(timer.at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(timer.at("total_ns").number, 12345.0 + 67890.0);
+}
+
+TEST(MetricsJson, StringsAreEscaped) {
+  obs::MetricsRegistry reg;
+  reg.counter("weird \"name\"\n\\tab").inc();
+  std::ostringstream out;
+  reg.write_json(out);
+  const JsonValue doc = parse_or_die(out.str());
+  EXPECT_TRUE(doc.at("counters").has("weird \"name\"\n\\tab"));
+}
+
+TEST(Manifest, RoundTripsWithMetrics) {
+  obs::RunManifest man;
+  man.tool = "test_obs";
+  man.seed = 424242;
+  man.graph_name = "er-avg8(n=256)";
+  man.family = "er-avg8";
+  man.n = 256;
+  man.m = 1024;
+  man.max_degree = 17;
+  man.algorithm = "V1-global-delta";
+  man.init_policy = "uniform-random";
+  man.c1 = 2;
+  man.wall_ms = 12.5;
+  man.add_extra("stabilized", "yes");
+
+  obs::MetricsRegistry reg;
+  reg.counter("cli.runs_total").inc();
+  reg.histogram("cli.rounds_to_stabilize").record(321);
+
+  std::ostringstream out;
+  obs::write_run_json(out, man, &reg);
+  const JsonValue doc = parse_or_die(out.str());
+
+  EXPECT_EQ(doc.at("schema").str, "beepmis.run.v1");
+  EXPECT_EQ(doc.at("tool").str, "test_obs");
+  EXPECT_DOUBLE_EQ(doc.at("seed").number, 424242.0);
+  EXPECT_EQ(doc.at("graph").at("family").str, "er-avg8");
+  EXPECT_DOUBLE_EQ(doc.at("graph").at("n").number, 256.0);
+  EXPECT_DOUBLE_EQ(doc.at("graph").at("m").number, 1024.0);
+  EXPECT_EQ(doc.at("algorithm").at("name").str, "V1-global-delta");
+  EXPECT_DOUBLE_EQ(doc.at("algorithm").at("c1").number, 2.0);
+  EXPECT_FALSE(doc.at("build").at("compiler").str.empty());
+  ASSERT_TRUE(doc.at("timing").has("wall_ms"));
+  EXPECT_EQ(doc.at("extra").at("stabilized").str, "yes");
+  EXPECT_DOUBLE_EQ(
+      doc.at("metrics").at("counters").at("cli.runs_total").number, 1.0);
+}
+
+TEST(Manifest, NullMetricsYieldsEmptyObject) {
+  obs::RunManifest man;
+  man.tool = "t";
+  std::ostringstream out;
+  obs::write_run_json(out, man, nullptr);
+  const JsonValue doc = parse_or_die(out.str());
+  EXPECT_TRUE(doc.at("metrics").object.empty());
+}
+
+// --- Per-round event stream from the simulator -----------------------------
+
+std::unique_ptr<beep::Simulation> make_v1_sim(const graph::Graph& g,
+                                              std::uint64_t seed,
+                                              core::SelfStabMis** algo_out) {
+  auto algo = std::make_unique<core::SelfStabMis>(
+      g, core::lmax_global_delta(g));
+  *algo_out = algo.get();
+  return std::make_unique<beep::Simulation>(g, std::move(algo), seed);
+}
+
+TEST(EventStream, JsonlLinesParseIndependently) {
+  support::Rng grng(11);
+  const auto g = graph::make_erdos_renyi_avg_degree(64, 8.0, grng);
+  core::SelfStabMis* algo = nullptr;
+  auto sim = make_v1_sim(g, 21, &algo);
+  support::Rng crng(1);
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+    algo->corrupt_node(v, crng);
+
+  std::ostringstream out;
+  obs::JsonlSink sink(out, /*with_analysis=*/true);
+  sim->add_observer(&sink);
+  for (int r = 0; r < 50 && !algo->is_stabilized(); ++r) sim->step();
+  ASSERT_GT(sink.lines_written(), 0u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::uint64_t parsed = 0, expect_round = 1;
+  while (std::getline(lines, line)) {
+    const JsonValue doc = parse_or_die(line);
+    // Schema: every cheap field plus lemma31 (analysis was requested).
+    for (const char* key :
+         {"round", "beeps_ch1", "beeps_ch2", "heard_ch1", "heard_ch2",
+          "heard_any", "prominent", "stable", "mis", "active",
+          "lemma31_violations"})
+      EXPECT_TRUE(doc.has(key)) << key;
+    EXPECT_DOUBLE_EQ(doc.at("round").number,
+                     static_cast<double>(expect_round++));
+    // |S_t| + active = n, always.
+    EXPECT_DOUBLE_EQ(doc.at("stable").number + doc.at("active").number,
+                     static_cast<double>(g.vertex_count()));
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, sink.lines_written());
+}
+
+TEST(EventStream, AnalysisFieldOmittedWhenNotWanted) {
+  const auto g = graph::make_path(8);
+  core::SelfStabMis* algo = nullptr;
+  auto sim = make_v1_sim(g, 3, &algo);
+  std::ostringstream out;
+  obs::JsonlSink sink(out, /*with_analysis=*/false);
+  sim->add_observer(&sink);
+  sim->step();
+  const JsonValue doc = parse_or_die(out.str().substr(0, out.str().find('\n')));
+  EXPECT_FALSE(doc.has("lemma31_violations"));
+}
+
+TEST(EventStream, LemmaViolationsVanishOnceStabilized) {
+  support::Rng grng(14);
+  const auto g = graph::make_erdos_renyi_avg_degree(48, 6.0, grng);
+  core::SelfStabMis* algo = nullptr;
+  auto sim = make_v1_sim(g, 8, &algo);
+  support::Rng crng(2);
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+    algo->corrupt_node(v, crng);
+  obs::MemorySink sink(/*with_analysis=*/true);
+  sim->add_observer(&sink);
+  while (!algo->is_stabilized() && sim->round() < 100000) sim->step();
+  ASSERT_TRUE(algo->is_stabilized());
+  const auto& last = sink.events().back();
+  EXPECT_TRUE(last.has_analysis);
+  EXPECT_EQ(last.lemma31_violations, 0u);
+  EXPECT_EQ(last.active, 0u);
+  EXPECT_EQ(last.stable, g.vertex_count());
+}
+
+// --- Satellite: Trace per-channel heard counts (V3 regression) -------------
+
+TEST(Trace, PerChannelHeardCountsOnTwoChannelRun) {
+  support::Rng grng(12);
+  const auto g = graph::make_erdos_renyi_avg_degree(64, 8.0, grng);
+  auto algo = std::make_unique<core::SelfStabMisTwoChannel>(
+      g, core::lmax_one_hop(g));
+  auto* a = algo.get();
+  beep::Simulation sim(g, std::move(algo), 17);
+  support::Rng crng(4);
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+    a->corrupt_node(v, crng);
+
+  beep::Trace trace;
+  obs::MemorySink sink;
+  sim.add_observer(&sink);
+  while (!a->is_stabilized() && sim.round() < 100000) {
+    sim.step();
+    trace.observe(sim);
+  }
+  ASSERT_TRUE(a->is_stabilized());
+
+  // total_beeps() is documented as the ch1 + ch2 sum; the simulation keeps
+  // independent per-channel totals — they must agree.
+  std::uint64_t beeps1 = 0, beeps2 = 0, heard1 = 0, heard2 = 0;
+  for (const auto& r : trace.records()) {
+    beeps1 += r.beeps_ch1;
+    beeps2 += r.beeps_ch2;
+    heard1 += r.heard_ch1;
+    heard2 += r.heard_ch2;
+    EXPECT_LE(r.heard_ch1, static_cast<std::uint32_t>(g.vertex_count()));
+    EXPECT_LE(r.heard_any, r.heard_ch1 + r.heard_ch2);
+    EXPECT_GE(r.heard_any, std::max(r.heard_ch1, r.heard_ch2));
+  }
+  EXPECT_EQ(trace.total_beeps(), beeps1 + beeps2);
+  EXPECT_EQ(trace.total_beeps(), sim.total_beeps(0) + sim.total_beeps(1));
+  // Algorithm 2 genuinely uses both channels: each must have been heard.
+  EXPECT_GT(heard1, 0u);
+  EXPECT_GT(heard2, 0u);
+
+  // The observer stream saw the same per-round communication census.
+  ASSERT_EQ(sink.events().size(), trace.records().size());
+  for (std::size_t i = 0; i < sink.events().size(); ++i) {
+    EXPECT_EQ(sink.events()[i].beeps_ch1, trace.records()[i].beeps_ch1);
+    EXPECT_EQ(sink.events()[i].beeps_ch2, trace.records()[i].beeps_ch2);
+    EXPECT_EQ(sink.events()[i].heard_ch1, trace.records()[i].heard_ch1);
+    EXPECT_EQ(sink.events()[i].heard_ch2, trace.records()[i].heard_ch2);
+    EXPECT_EQ(sink.events()[i].heard_any, trace.records()[i].heard_any);
+  }
+}
+
+// --- Satellite: engine active-count time series ----------------------------
+
+TEST(FastEngineEvents, ActiveCountMonotoneNonIncreasingFaultFree) {
+  support::Rng grng(13);
+  const auto g = graph::make_erdos_renyi_avg_degree(256, 8.0, grng);
+  core::FastMisEngine fast(g, core::lmax_global_delta(g), 6);
+  support::Rng irng(7);
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto span = static_cast<std::uint64_t>(2 * fast.lmax(v) + 1);
+    fast.set_level(v,
+                   static_cast<std::int32_t>(irng.below(span)) - fast.lmax(v));
+  }
+  obs::MemorySink sink;
+  fast.set_observer(&sink);
+  fast.run_to_stabilization(100000);
+  ASSERT_TRUE(fast.is_stabilized());
+  ASSERT_FALSE(sink.events().empty());
+
+  // Fault-free (no set_level after the run started): once settled, always
+  // settled, so the active series never increases.
+  std::uint32_t prev = static_cast<std::uint32_t>(g.vertex_count());
+  for (const auto& e : sink.events()) {
+    EXPECT_LE(e.active, prev) << "round " << e.round;
+    EXPECT_EQ(e.active + e.stable, g.vertex_count());
+    prev = e.active;
+  }
+  EXPECT_EQ(sink.events().back().active, 0u);
+  const auto members = fast.mis_members();
+  EXPECT_EQ(sink.events().back().mis,
+            static_cast<std::uint32_t>(
+                std::count(members.begin(), members.end(), true)));
+}
+
+// --- Satellite: equivalence guard (simulator vs fast engine streams) -------
+
+TEST(FastEngineEvents, IdenticalEventStreamToReferenceSimulatorV1) {
+  support::Rng grng(15);
+  const auto graphs = {
+      graph::make_path(24),
+      graph::make_star(24),
+      graph::make_erdos_renyi(64, 0.08, grng),
+  };
+  for (const auto& g : graphs) {
+    const auto lmax = core::lmax_global_delta(g);
+    auto algo = std::make_unique<core::SelfStabMis>(g, lmax);
+    auto* a = algo.get();
+    beep::Simulation sim(g, std::move(algo), 99);
+    core::FastMisEngine fast(g, lmax, 99);
+    support::Rng crng(7);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      a->corrupt_node(v, crng);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      fast.set_level(v, a->level(v));
+
+    obs::MemorySink ref_sink(/*with_analysis=*/true);
+    obs::MemorySink fast_sink(/*with_analysis=*/true);
+    sim.add_observer(&ref_sink);
+    fast.set_observer(&fast_sink);
+    for (int r = 0; r < 300; ++r) {
+      sim.step();
+      fast.step();
+    }
+    ASSERT_EQ(ref_sink.events().size(), fast_sink.events().size());
+    for (std::size_t i = 0; i < ref_sink.events().size(); ++i)
+      ASSERT_EQ(ref_sink.events()[i], fast_sink.events()[i])
+          << g.name() << " event " << i;
+  }
+}
+
+TEST(FastEngineEvents, IdenticalEventStreamToReferenceSimulatorV3) {
+  support::Rng grng(16);
+  const auto graphs = {
+      graph::make_path(24),
+      graph::make_star(24),
+      graph::make_erdos_renyi(64, 0.08, grng),
+  };
+  for (const auto& g : graphs) {
+    const auto lmax = core::lmax_one_hop(g);
+    auto algo = std::make_unique<core::SelfStabMisTwoChannel>(g, lmax);
+    auto* a = algo.get();
+    beep::Simulation sim(g, std::move(algo), 77);
+    core::FastMisEngine2 fast(g, lmax, 77);
+    support::Rng crng(3);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      a->corrupt_node(v, crng);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      fast.set_level(v, a->level(v));
+
+    obs::MemorySink ref_sink(/*with_analysis=*/true);
+    obs::MemorySink fast_sink(/*with_analysis=*/true);
+    sim.add_observer(&ref_sink);
+    fast.set_observer(&fast_sink);
+    for (int r = 0; r < 300; ++r) {
+      sim.step();
+      fast.step();
+    }
+    ASSERT_EQ(ref_sink.events().size(), fast_sink.events().size());
+    for (std::size_t i = 0; i < ref_sink.events().size(); ++i)
+      ASSERT_EQ(ref_sink.events()[i], fast_sink.events()[i])
+          << g.name() << " event " << i;
+  }
+}
+
+TEST(FastEngineEvents, EngineTimersLandInRegistry) {
+  const auto g = graph::make_path(16);
+  core::FastMisEngine fast(g, core::lmax_global_delta(g), 2);
+  obs::MetricsRegistry reg;
+  fast.set_metrics(&reg);
+  fast.set_level(0, 1);  // dirty the settlement cache
+  fast.step();
+  EXPECT_GE(reg.timer("fast_engine.refresh_settlement").count(), 1u);
+}
+
+}  // namespace
+}  // namespace beepmis

@@ -5,8 +5,10 @@
 ///   beepmis_cli --graph-file topo.edges --algorithm v3 --trace
 ///   beepmis_cli --family torus --n 4096 --algorithm v2 --faults 64 --waves 3
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "src/apps/coloring.hpp"
 #include "src/apps/ruling_set.hpp"
@@ -21,6 +23,10 @@
 #include "src/exp/runner.hpp"
 #include "src/graph/io.hpp"
 #include "src/mis/verifier.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/sink.hpp"
+#include "src/obs/timing.hpp"
 #include "src/support/args.hpp"
 #include "src/support/svg.hpp"
 
@@ -54,6 +60,27 @@ graph::Graph load_graph(const support::ArgParser& args, support::Rng& rng) {
   std::exit(2);
 }
 
+/// Heartbeat observer for long runs: prints one status line to stderr every
+/// `every` rounds so a 10^6-round soak is visibly alive. Cheap fields only.
+class ProgressMeter final : public obs::RoundObserver {
+ public:
+  explicit ProgressMeter(std::uint64_t every) : every_(every) {}
+
+  std::uint64_t interval() const { return every_; }
+
+  void on_round(const obs::RoundEvent& e) override {
+    if (every_ == 0 || e.round % every_ != 0) return;
+    std::fprintf(stderr,
+                 "[beepmis] round=%llu active=%u mis=%u stable=%u "
+                 "beeps=%u heard=%u\n",
+                 static_cast<unsigned long long>(e.round), e.active, e.mis,
+                 e.stable, e.beeps_ch1 + e.beeps_ch2, e.heard_any);
+  }
+
+ private:
+  std::uint64_t every_;
+};
+
 core::InitPolicy parse_init(const std::string& name) {
   for (core::InitPolicy p : core::all_init_policies())
     if (core::init_policy_name(p) == name) return p;
@@ -63,6 +90,7 @@ core::InitPolicy parse_init(const std::string& name) {
 
 int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
                  exp::Variant variant) {
+  const auto wall_start = std::chrono::steady_clock::now();
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   beep::ChannelNoise noise{args.get_double("noise-fp"),
                            args.get_double("noise-fn")};
@@ -97,17 +125,44 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
   const bool tracing = args.flag("trace");
   const bool charting = !args.get("svg").empty();
 
+  // Telemetry: registry always exists (near-free when unused); the event
+  // sink and heartbeat are attached only when asked for.
+  obs::MetricsRegistry metrics;
+  std::ofstream events_file;
+  std::unique_ptr<obs::JsonlSink> events;
+  if (const std::string& path = args.get("events-out"); !path.empty()) {
+    events_file.open(path);
+    if (!events_file) {
+      std::cerr << "cannot open events file: " << path << "\n";
+      std::exit(2);
+    }
+    events = std::make_unique<obs::JsonlSink>(events_file,
+                                              /*with_analysis=*/true);
+    sim.add_observer(events.get());
+  }
+  ProgressMeter progress(
+      static_cast<std::uint64_t>(args.get_int("progress")));
+  if (progress.interval() > 0) sim.add_observer(&progress);
+
   auto run_once = [&](const char* label) {
     const auto start = sim.round();
-    while (!exp::selfstab_stabilized(sim) && sim.round() - start < budget) {
-      sim.step();
-      if (tracing) trace.observe(sim);
-      if (charting) convlog.observe(sim);
+    {
+      obs::ScopedTimer timer(&metrics, "cli.run");
+      while (!exp::selfstab_stabilized(sim) && sim.round() - start < budget) {
+        sim.step();
+        if (tracing) trace.observe(sim);
+        if (charting) convlog.observe(sim);
+      }
     }
     const auto members = exp::selfstab_mis_members(sim);
     const bool ok = exp::selfstab_stabilized(sim);
+    const auto rounds = sim.round() - start;
+    metrics.counter("cli.runs_total").inc();
+    metrics.counter("cli.rounds_total").inc(rounds);
+    metrics.histogram("cli.rounds_to_stabilize").record(rounds);
+    if (!ok) metrics.counter("cli.budget_exhausted").inc();
     std::printf("%-12s rounds=%llu stabilized=%s mis=%zu valid=%s\n", label,
-                static_cast<unsigned long long>(sim.round() - start),
+                static_cast<unsigned long long>(rounds),
                 ok ? "yes" : "NO", mis::member_count(members),
                 mis::is_mis(g, members) ? "yes" : "NO");
     return ok;
@@ -146,11 +201,51 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
   }
 
   if (tracing) {
-    std::printf("\nround, beeps_ch1, beeps_ch2, heard_any\n");
+    std::printf(
+        "\nround, beeps_ch1, beeps_ch2, heard_ch1, heard_ch2, heard_any\n");
     for (const auto& r : trace.records())
-      std::printf("%llu, %u, %u, %u\n",
+      std::printf("%llu, %u, %u, %u, %u, %u\n",
                   static_cast<unsigned long long>(r.round), r.beeps_ch1,
-                  r.beeps_ch2, r.heard_any);
+                  r.beeps_ch2, r.heard_ch1, r.heard_ch2, r.heard_any);
+  }
+
+  if (events) {
+    events_file.flush();
+    std::printf("wrote %s (%llu events)\n", args.get("events-out").c_str(),
+                static_cast<unsigned long long>(events->lines_written()));
+  }
+
+  if (const std::string& path = args.get("metrics-out"); !path.empty()) {
+    obs::RunManifest man;
+    man.tool = "beepmis_cli";
+    man.seed = seed;
+    man.graph_name = g.name();
+    man.family = args.get("graph-file").empty() ? args.get("family") : "file";
+    man.n = g.vertex_count();
+    man.m = g.edge_count();
+    man.max_degree = g.max_degree();
+    man.algorithm = exp::variant_name(variant);
+    man.init_policy = args.get("init");
+    man.c1 = c1 ? c1
+                : (variant == exp::Variant::GlobalDelta ? core::kC1GlobalDelta
+                   : variant == exp::Variant::OwnDegree ? core::kC1OwnDegree
+                                                        : core::kC1TwoChannel);
+    man.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+    man.add_extra("stabilized", ok ? "yes" : "no");
+    man.add_extra("rounds_total", std::to_string(sim.round()));
+    man.add_extra("faults_per_wave", args.get("faults"));
+    man.add_extra("waves", args.get("waves"));
+    man.add_extra("noise_fp", args.get("noise-fp"));
+    man.add_extra("noise_fn", args.get("noise-fn"));
+    std::ofstream mout(path);
+    if (!mout) {
+      std::cerr << "cannot open metrics file: " << path << "\n";
+      std::exit(2);
+    }
+    obs::write_run_json(mout, man, &metrics);
+    std::printf("wrote %s\n", path.c_str());
   }
   return ok ? 0 : 1;
 }
@@ -265,6 +360,12 @@ int main(int argc, char** argv) {
   args.add_option("noise-fn", "0", "receiver false-negative rate (extension)");
   args.add_option("alpha", "3", "ruling-set separation (algorithm=ruling)");
   args.add_option("svg", "", "write a convergence chart to this SVG file");
+  args.add_option("metrics-out", "",
+                  "write run manifest + metrics JSON to this file");
+  args.add_option("events-out", "",
+                  "stream per-round events (JSONL) to this file");
+  args.add_option("progress", "0",
+                  "print a heartbeat to stderr every K rounds (0 = off)");
   args.add_flag("trace", "print per-round beep statistics after the run");
 
   std::string error;

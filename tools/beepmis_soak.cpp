@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "src/beep/fault.hpp"
 #include "src/core/transfer.hpp"
@@ -14,6 +15,9 @@
 #include "src/exp/runner.hpp"
 #include "src/graph/perturb.hpp"
 #include "src/mis/verifier.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/timing.hpp"
 #include "src/support/args.hpp"
 
 namespace {
@@ -47,7 +51,9 @@ Scenario draw_scenario(support::Rng& rng) {
   return s;
 }
 
-bool run_scenario(const Scenario& s, std::uint64_t seed) {
+bool run_scenario(const Scenario& s, std::uint64_t seed,
+                  obs::MetricsRegistry& metrics) {
+  obs::ScopedTimer timer(&metrics, "soak.scenario");
   support::Rng grng = support::Rng(seed).derive_stream(1);
   graph::Graph g = exp::make_family(s.family, s.n, grng);
   auto sim = exp::make_selfstab_sim(g, s.variant, seed);
@@ -56,7 +62,7 @@ bool run_scenario(const Scenario& s, std::uint64_t seed) {
 
   auto check = [&](const char* stage) {
     const auto r = exp::run_to_stabilization(
-        *sim, exp::default_round_budget(g.vertex_count()) * 4);
+        *sim, exp::default_round_budget(g.vertex_count()) * 4, &metrics);
     if (!r.stabilized || !r.valid_mis) {
       std::fprintf(stderr,
                    "VIOLATION at %s: variant=%s family=%s init=%s n=%zu "
@@ -88,6 +94,11 @@ int main(int argc, char** argv) {
   support::ArgParser args("beepmis_soak — randomized stress qualification");
   args.add_option("seconds", "30", "wall-clock budget");
   args.add_option("seed", "1", "base seed for the scenario stream");
+  args.add_option("heartbeat", "0",
+                  "print scenario-count heartbeat to stderr every K seconds "
+                  "(0 = off)");
+  args.add_option("metrics-out", "",
+                  "write run manifest + metrics JSON to this file at exit");
   std::string error;
   if (!args.parse(argc, argv, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
@@ -95,20 +106,61 @@ int main(int argc, char** argv) {
   }
 
   const auto budget = std::chrono::seconds(args.get_int("seconds"));
+  const auto heartbeat = std::chrono::seconds(args.get_int("heartbeat"));
   const auto start = std::chrono::steady_clock::now();
+  auto next_beat = start + heartbeat;
   support::Rng scenario_rng(static_cast<std::uint64_t>(args.get_int("seed")));
+  obs::MetricsRegistry metrics;
   std::uint64_t runs = 0;
+  bool failed = false;
   while (std::chrono::steady_clock::now() - start < budget) {
     const std::uint64_t seed = scenario_rng();
     support::Rng srng(seed);
     const Scenario s = draw_scenario(srng);
-    if (!run_scenario(s, seed)) {
+    metrics.counter("soak.scenarios_total").inc();
+    if (!run_scenario(s, seed, metrics)) {
+      metrics.counter("soak.violations").inc();
       std::fprintf(stderr, "soak FAILED after %llu scenarios\n",
                    static_cast<unsigned long long>(runs));
-      return 1;
+      failed = true;
+      break;
     }
     ++runs;
+    if (heartbeat.count() > 0 &&
+        std::chrono::steady_clock::now() >= next_beat) {
+      const auto elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      std::fprintf(stderr,
+                   "[soak] t=%.0fs scenarios=%llu rounds=%llu violations=0\n",
+                   elapsed, static_cast<unsigned long long>(runs),
+                   static_cast<unsigned long long>(
+                       metrics.counter("runner.rounds_total").value()));
+      next_beat += heartbeat;
+    }
   }
+
+  if (const std::string& path = args.get("metrics-out"); !path.empty()) {
+    obs::RunManifest man;
+    man.tool = "beepmis_soak";
+    man.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    man.family = "randomized-mix";
+    man.algorithm = "randomized-mix";
+    man.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    man.add_extra("scenarios", std::to_string(runs));
+    man.add_extra("result", failed ? "FAILED" : "passed");
+    std::ofstream mout(path);
+    if (!mout) {
+      std::fprintf(stderr, "cannot open metrics file: %s\n", path.c_str());
+      return 2;
+    }
+    obs::write_run_json(mout, man, &metrics);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  if (failed) return 1;
   std::printf("soak passed: %llu randomized scenarios, 0 violations\n",
               static_cast<unsigned long long>(runs));
   return 0;
