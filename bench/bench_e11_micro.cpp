@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/beep/network.hpp"
+#include "src/core/engine.hpp"
 #include "src/core/fast_engine.hpp"
 #include "src/core/init.hpp"
 #include "src/core/lmax.hpp"
@@ -133,6 +134,49 @@ void BM_FullStabilizationRun_FastEngine(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullStabilizationRun_FastEngine)->Arg(1 << 10)->Arg(1 << 13);
+
+/// Fast-vs-reference pair per paper variant, both routed through the
+/// core::make_engine factory exactly as exp::run_variant builds them —
+/// measures what the fast path buys at the Engine-interface level (virtual
+/// step dispatch and all), not just in a hand-rolled loop.
+void BM_EngineRun(benchmark::State& state, core::Variant variant,
+                  core::EngineKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  std::uint64_t seed = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    core::EngineConfig config;
+    config.variant = variant;
+    config.kind = kind;
+    config.seed = ++seed;
+    auto engine = core::make_engine(g, config);
+    support::Rng irng = support::Rng(seed).derive_stream(0xfadedcafe);
+    core::apply_init(*engine, core::InitPolicy::UniformRandom, irng);
+    rounds += engine->run_to_stabilization(100000);
+    benchmark::DoNotOptimize(engine->round());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_EngineRun, v1_fast, core::Variant::GlobalDelta,
+                  core::EngineKind::Fast)
+    ->Arg(1 << 10);
+BENCHMARK_CAPTURE(BM_EngineRun, v1_reference, core::Variant::GlobalDelta,
+                  core::EngineKind::Reference)
+    ->Arg(1 << 10);
+BENCHMARK_CAPTURE(BM_EngineRun, v2_fast, core::Variant::OwnDegree,
+                  core::EngineKind::Fast)
+    ->Arg(1 << 10);
+BENCHMARK_CAPTURE(BM_EngineRun, v2_reference, core::Variant::OwnDegree,
+                  core::EngineKind::Reference)
+    ->Arg(1 << 10);
+BENCHMARK_CAPTURE(BM_EngineRun, v3_fast, core::Variant::TwoChannel,
+                  core::EngineKind::Fast)
+    ->Arg(1 << 10);
+BENCHMARK_CAPTURE(BM_EngineRun, v3_reference, core::Variant::TwoChannel,
+                  core::EngineKind::Reference)
+    ->Arg(1 << 10);
 
 /// Swallows everything — lets the sink-overhead pair measure event
 /// formatting without mixing in filesystem throughput.

@@ -27,7 +27,7 @@ int main() {
   cfg.seeds = 20;
   // Proven-equivalent sparse engine (test_fast_engine.cpp) extends the
   // ladder to n = 2^16 at the same wall-clock budget.
-  cfg.use_fast_engine = true;
+  cfg.engine = core::EngineKind::Fast;
 
   // Per-size medians across families: averaging removes the per-family
   // intercepts so the pooled fit reflects the common growth shape.

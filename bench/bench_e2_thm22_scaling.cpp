@@ -29,7 +29,7 @@ int main() {
   cfg.seeds = 20;
   // Proven-equivalent sparse engine (test_fast_engine.cpp) extends the
   // ladder to n = 2^16 at the same wall-clock budget.
-  cfg.use_fast_engine = true;
+  cfg.engine = core::EngineKind::Fast;
 
   std::vector<exp::Family> fams = exp::scaling_families();
   fams.push_back(exp::Family::Star);  // extreme degree heterogeneity

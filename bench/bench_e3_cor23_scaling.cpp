@@ -20,7 +20,7 @@ int main() {
   cfg.init = core::InitPolicy::UniformRandom;
   cfg.sizes = exp::pow2_sizes(6, 16);
   cfg.seeds = 20;
-  cfg.use_fast_engine = true;  // proven round-identical; extends the ladder
+  cfg.engine = core::EngineKind::Fast;  // round-identical; extends the ladder
 
   // Per-size medians across families: averaging removes the per-family
   // intercepts so the pooled fit reflects the common growth shape.

@@ -1,0 +1,194 @@
+#include "src/core/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/core/fast_engine.hpp"
+#include "src/core/lmax.hpp"
+#include "src/core/selfstab_mis.hpp"
+#include "src/core/selfstab_mis2.hpp"
+#include "src/support/check.hpp"
+
+namespace beepmis::core {
+
+std::string variant_name(Variant v) {
+  switch (v) {
+    case Variant::GlobalDelta: return "V1-global-delta";
+    case Variant::OwnDegree: return "V2-own-degree";
+    case Variant::TwoChannel: return "V3-two-channel";
+  }
+  return "?";
+}
+
+std::string engine_kind_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::Auto: return "auto";
+    case EngineKind::Fast: return "fast";
+    case EngineKind::Reference: return "reference";
+  }
+  return "?";
+}
+
+bool parse_engine_kind(const std::string& name, EngineKind* out) {
+  for (EngineKind k :
+       {EngineKind::Auto, EngineKind::Fast, EngineKind::Reference}) {
+    if (engine_kind_name(k) == name) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+LmaxVector make_lmax(const graph::Graph& g, Variant variant, std::int32_t c1) {
+  switch (variant) {
+    case Variant::GlobalDelta:
+      return lmax_global_delta(g, c1 ? c1 : kC1GlobalDelta);
+    case Variant::OwnDegree:
+      return lmax_own_degree(g, c1 ? c1 : kC1OwnDegree);
+    case Variant::TwoChannel:
+      return lmax_one_hop(g, c1 ? c1 : kC1TwoChannel);
+  }
+  BEEPMIS_CHECK(false, "unknown variant");
+  return {};
+}
+
+/// Engine adapter over the textbook path: the variant's reference algorithm
+/// driven by beep::Simulation. Exists for cross-checking (the fast engine is
+/// proven stream-identical against it) and as the anchor of the equivalence
+/// tests; Auto never selects it.
+class ReferenceEngine final : public Engine {
+ public:
+  ReferenceEngine(const graph::Graph& g, const EngineConfig& config) {
+    std::unique_ptr<beep::BeepingAlgorithm> algo;
+    switch (config.variant) {
+      case Variant::GlobalDelta: {
+        auto a = std::make_unique<SelfStabMis>(
+            g, make_lmax(g, config.variant, config.c1),
+            Knowledge::GlobalMaxDegree);
+        a1_ = a.get();
+        algo = std::move(a);
+        break;
+      }
+      case Variant::OwnDegree: {
+        auto a = std::make_unique<SelfStabMis>(
+            g, make_lmax(g, config.variant, config.c1), Knowledge::OwnDegree);
+        a1_ = a.get();
+        algo = std::move(a);
+        break;
+      }
+      case Variant::TwoChannel: {
+        auto a = std::make_unique<SelfStabMisTwoChannel>(
+            g, make_lmax(g, config.variant, config.c1),
+            Knowledge::OneHopMaxDegree);
+        a2_ = a.get();
+        algo = std::move(a);
+        break;
+      }
+    }
+    sim_ = std::make_unique<beep::Simulation>(g, std::move(algo), config.seed,
+                                              config.noise, config.duplex);
+  }
+
+  std::string name() const override {
+    return a1_ != nullptr ? "reference-alg1" : "reference-alg2";
+  }
+  const graph::Graph& graph() const noexcept override { return sim_->graph(); }
+  std::uint64_t round() const noexcept override { return sim_->round(); }
+  std::int32_t level(graph::VertexId v) const override {
+    return a1_ != nullptr ? a1_->level(v) : a2_->level(v);
+  }
+  std::int32_t lmax(graph::VertexId v) const override {
+    return a1_ != nullptr ? a1_->lmax(v) : a2_->lmax(v);
+  }
+  std::int32_t member_level(graph::VertexId v) const override {
+    return a1_ != nullptr ? -a1_->lmax(v) : 0;
+  }
+  void set_level(graph::VertexId v, std::int32_t level) override {
+    if (a1_ != nullptr)
+      a1_->set_level(v, level);
+    else
+      a2_->set_level(v, level);
+  }
+
+  void step() override { sim_->step(); }
+  std::uint64_t run_to_stabilization(std::uint64_t max_rounds) override {
+    const auto start = sim_->round();
+    while (!is_stabilized() && sim_->round() - start < max_rounds)
+      sim_->step();
+    return sim_->round() - start;
+  }
+  bool is_stabilized() const override {
+    return a1_ != nullptr ? a1_->is_stabilized() : a2_->is_stabilized();
+  }
+  std::vector<bool> mis_members() const override {
+    return a1_ != nullptr ? a1_->mis_members() : a2_->mis_members();
+  }
+
+  void corrupt(graph::VertexId v, support::Rng& rng) override {
+    sim_->algorithm().corrupt_node(v, rng);
+  }
+
+  void set_observer(obs::RoundObserver* observer) override {
+    if (observer != nullptr) sim_->add_observer(observer);
+  }
+  void set_metrics(obs::MetricsRegistry* /*registry*/) override {
+    // The reference path has no internal timers; runner/sweep-level timing
+    // still applies uniformly through the Engine interface.
+  }
+
+ private:
+  std::unique_ptr<beep::Simulation> sim_;
+  SelfStabMis* a1_ = nullptr;
+  SelfStabMisTwoChannel* a2_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> make_engine(const graph::Graph& g,
+                                    const EngineConfig& config) {
+  if (config.kind == EngineKind::Reference)
+    return std::make_unique<ReferenceEngine>(g, config);
+  // Auto resolves to the fast path: it covers faults, noise and duplex with
+  // proven stream equality, so there is no workload left for the slow path.
+  if (config.variant == Variant::TwoChannel)
+    return std::make_unique<FastEngine<Alg2Policy>>(
+        g, make_lmax(g, config.variant, config.c1), config.seed, config.noise,
+        config.duplex);
+  return std::make_unique<FastEngine<Alg1Policy>>(
+      g, make_lmax(g, config.variant, config.c1), config.seed, config.noise,
+      config.duplex);
+}
+
+std::vector<graph::VertexId> corrupt_random(Engine& engine, std::size_t count,
+                                            support::Rng& rng) {
+  const std::size_t n = engine.graph().vertex_count();
+  BEEPMIS_CHECK(count <= n, "cannot corrupt more nodes than exist");
+  // Floyd's algorithm for a uniform k-subset — identical draw sequence to
+  // beep::FaultInjector::corrupt_random.
+  std::vector<graph::VertexId> chosen;
+  chosen.reserve(count);
+  for (std::size_t j = n - count; j < n; ++j) {
+    const auto t = static_cast<graph::VertexId>(rng.below(j + 1));
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end())
+      chosen.push_back(t);
+    else
+      chosen.push_back(static_cast<graph::VertexId>(j));
+  }
+  corrupt_nodes(engine, chosen, rng);
+  return chosen;
+}
+
+void corrupt_nodes(Engine& engine, std::span<const graph::VertexId> nodes,
+                   support::Rng& rng) {
+  for (graph::VertexId v : nodes) engine.corrupt(v, rng);
+}
+
+void corrupt_all(Engine& engine, support::Rng& rng) {
+  const std::size_t n = engine.graph().vertex_count();
+  for (graph::VertexId v = 0; v < n; ++v) engine.corrupt(v, rng);
+}
+
+}  // namespace beepmis::core

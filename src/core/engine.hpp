@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/beep/network.hpp"
+#include "src/graph/graph.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/sink.hpp"
+#include "src/support/rng.hpp"
+
+namespace beepmis::core {
+
+/// Which of the paper's three algorithm variants to run. Lives in core (the
+/// engines dispatch on it); exp re-exports it as exp::Variant.
+enum class Variant {
+  GlobalDelta,  ///< Algorithm 1 + Thm 2.1 lmax policy
+  OwnDegree,    ///< Algorithm 1 + Thm 2.2 lmax policy
+  TwoChannel,   ///< Algorithm 2 + Cor 2.3 lmax policy
+};
+
+std::string variant_name(Variant v);
+
+/// Executor selection for make_engine. Fast and Reference are proven
+/// coin-for-coin identical under the same seed (test_fast_engine.cpp,
+/// test_engine.cpp), so Auto always picks the fast path; Reference exists
+/// for cross-checking and for the equivalence tests themselves.
+enum class EngineKind {
+  Auto,       ///< let the factory choose (currently: always Fast)
+  Fast,       ///< O(active)-per-round settled-state engine
+  Reference,  ///< beep::Simulation driving the textbook algorithm
+};
+
+std::string engine_kind_name(EngineKind k);
+/// Returns false (leaving `out` untouched) on an unknown name.
+bool parse_engine_kind(const std::string& name, EngineKind* out);
+
+/// Everything make_engine needs besides the graph. A run is a pure function
+/// of (graph, config): the seed fixes per-node streams, noise draws, and —
+/// via the caller's derived init/fault streams — the whole trajectory.
+struct EngineConfig {
+  Variant variant = Variant::GlobalDelta;
+  EngineKind kind = EngineKind::Auto;
+  std::uint64_t seed = 1;
+  std::int32_t c1 = 0;  ///< lmax constant override (0 = paper default)
+  beep::ChannelNoise noise = {};
+  beep::Duplex duplex = beep::Duplex::Full;
+};
+
+/// Uniform runtime interface over the self-stabilizing MIS executors: the
+/// policy-templated fast engine and the reference beep::Simulation adapter.
+/// Everything above core (exp::runner, exp::sweep, the CLI tools, the
+/// benches) drives runs through this surface, so engine selection is a
+/// config knob instead of a compile-time fork.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Executor identity for manifests/logs, e.g. "fast-alg1".
+  virtual std::string name() const = 0;
+  virtual const graph::Graph& graph() const noexcept = 0;
+  /// Rounds executed so far.
+  virtual std::uint64_t round() const noexcept = 0;
+  virtual std::int32_t level(graph::VertexId v) const = 0;
+  virtual std::int32_t lmax(graph::VertexId v) const = 0;
+  /// The level encoding MIS membership (-lmax(v) for Algorithm 1, 0 for
+  /// Algorithm 2) — what initial-configuration policies need to plant
+  /// members without knowing the variant.
+  virtual std::int32_t member_level(graph::VertexId v) const = 0;
+  /// Sets ℓ(v) (initial-configuration setup); checked against the variant's
+  /// admissible range.
+  virtual void set_level(graph::VertexId v, std::int32_t level) = 0;
+
+  /// Executes one synchronous round.
+  virtual void step() = 0;
+  /// Runs until stabilization or `max_rounds` additional rounds; returns the
+  /// number of rounds executed.
+  virtual std::uint64_t run_to_stabilization(std::uint64_t max_rounds) = 0;
+  /// True iff S_t = V (every vertex is an MIS member or dominated by one).
+  virtual bool is_stabilized() const = 0;
+  /// Current I_t.
+  virtual std::vector<bool> mis_members() const = 0;
+
+  /// Overwrites v's RAM with an arbitrary in-range value drawn from `rng` —
+  /// the paper's transient-fault model, mid-run. Draw-for-draw identical
+  /// across engines.
+  virtual void corrupt(graph::VertexId v, support::Rng& rng) = 0;
+
+  /// Attaches a non-owning per-round observer (one obs::RoundEvent per
+  /// step(), identical streams across engines). Use obs::TeeObserver to fan
+  /// out to several. Null detaches where supported.
+  virtual void set_observer(obs::RoundObserver* observer) = 0;
+  /// Routes internal timers into `registry` (may be null to detach; a no-op
+  /// for engines without internal instrumentation).
+  virtual void set_metrics(obs::MetricsRegistry* registry) = 0;
+};
+
+/// Builds the requested executor for `config.variant` on `g`. EngineKind::
+/// Auto resolves to the fast engine — it covers the full model surface
+/// (faults, noise, duplex), so nothing ever needs the slow path implicitly.
+std::unique_ptr<Engine> make_engine(const graph::Graph& g,
+                                    const EngineConfig& config);
+
+/// Fault-injection helpers mirroring beep::FaultInjector draw-for-draw
+/// (same Floyd k-subset selection, same per-node corruption draws), so
+/// engine-routed runs reproduce Simulation-routed ones exactly.
+std::vector<graph::VertexId> corrupt_random(Engine& engine, std::size_t count,
+                                            support::Rng& rng);
+void corrupt_nodes(Engine& engine, std::span<const graph::VertexId> nodes,
+                   support::Rng& rng);
+void corrupt_all(Engine& engine, support::Rng& rng);
+
+}  // namespace beepmis::core

@@ -1,38 +1,52 @@
 #include "src/core/fast_engine.hpp"
 
-#include <algorithm>
+#include <utility>
 
 #include "src/obs/timing.hpp"
 #include "src/support/check.hpp"
 
 namespace beepmis::core {
 
-FastMisEngine::FastMisEngine(const graph::Graph& g, LmaxVector lmax,
-                             std::uint64_t seed)
-    : graph_(&g), lmax_(std::move(lmax)) {
+template <typename Policy>
+FastEngine<Policy>::FastEngine(const graph::Graph& g, LmaxVector lmax,
+                               std::uint64_t seed, beep::ChannelNoise noise,
+                               beep::Duplex duplex)
+    : graph_(&g),
+      lmax_(std::move(lmax)),
+      noise_(noise),
+      duplex_(duplex),
+      dense_(noise.enabled()) {
   BEEPMIS_CHECK(lmax_.size() == g.vertex_count(), "lmax sized for wrong graph");
   for (std::int32_t m : lmax_)
     BEEPMIS_CHECK(m >= 2, "lmax must be at least 2 for every vertex");
+  BEEPMIS_CHECK(noise_.false_positive >= 0.0 && noise_.false_positive <= 1.0,
+                "false-positive rate outside [0,1]");
+  BEEPMIS_CHECK(noise_.false_negative >= 0.0 && noise_.false_negative <= 1.0,
+                "false-negative rate outside [0,1]");
   const std::size_t n = g.vertex_count();
   levels_.assign(n, 1);
   // Identical stream derivation to beep::Simulation — this is what makes
-  // the engines coin-for-coin compatible.
+  // the engines coin-for-coin compatible (including the noise stream).
   const support::Rng master(seed);
   rngs_.reserve(n);
   for (std::size_t v = 0; v < n; ++v) rngs_.push_back(master.derive_stream(v));
+  noise_rng_ = master.derive_stream(0x401533);
   settled_.assign(n, 0);
-  beep_.assign(n, 0);
+  send_.assign(n, 0);
+  heard_.assign(n, 0);
   refresh_settlement();
 }
 
-bool FastMisEngine::member_settled(graph::VertexId v) const {
-  if (levels_[v] != -lmax_[v]) return false;
+template <typename Policy>
+bool FastEngine<Policy>::member_settled(graph::VertexId v) const {
+  if (levels_[v] != Policy::member_level(lmax_[v])) return false;
   for (graph::VertexId u : graph_->neighbors(v))
     if (levels_[u] != lmax_[u]) return false;
   return true;
 }
 
-void FastMisEngine::refresh_settlement() const {
+template <typename Policy>
+void FastEngine<Policy>::refresh_settlement() const {
   obs::ScopedTimer timer(refresh_timer_);
   dirty_ = false;
   const std::size_t n = levels_.size();
@@ -57,352 +71,360 @@ void FastMisEngine::refresh_settlement() const {
   active_count_ = active_.size();
 }
 
-void FastMisEngine::set_level(graph::VertexId v, std::int32_t level) {
+template <typename Policy>
+void FastEngine<Policy>::set_level(graph::VertexId v, std::int32_t level) {
   BEEPMIS_CHECK(v < levels_.size(), "vertex out of range");
-  BEEPMIS_CHECK(level >= -lmax_[v] && level <= lmax_[v],
-                "level outside [-lmax, lmax]");
+  BEEPMIS_CHECK(level >= Policy::min_level(lmax_[v]) && level <= lmax_[v],
+                "level outside the variant's admissible range");
   levels_[v] = level;
   dirty_ = true;
 }
 
-void FastMisEngine::step() {
+template <typename Policy>
+void FastEngine<Policy>::corrupt(graph::VertexId v, support::Rng& rng) {
+  BEEPMIS_CHECK(v < levels_.size(), "vertex out of range");
+  levels_[v] = Policy::corrupt_level(lmax_[v], rng);
+  // Under noise nothing is permanently settled anyway; with a refresh
+  // already pending the cache is stale regardless; and with nothing settled
+  // yet (e.g. the n corruption draws of a uniform-random init) one lazy
+  // refresh beats n local patches. Otherwise patch the cache locally: a
+  // single level change can only move settlement inside the corrupted
+  // vertex's 2-hop neighborhood.
+  if (dense_ || dirty_ || active_count_ == levels_.size()) {
+    dirty_ = true;
+    return;
+  }
+  resettle_neighborhood(v);
+}
+
+template <typename Policy>
+void FastEngine<Policy>::resettle_neighborhood(graph::VertexId v) {
+  // Membership can only change inside N[v] (it depends on a vertex's own
+  // level and its neighbors' caps, and only v's level changed); domination
+  // only inside {v} ∪ N(members that flipped). Each touched status is
+  // snapshotted once so the active list can be patched, not rebuilt.
+  std::vector<std::pair<graph::VertexId, std::uint8_t>> snapshot;
+  auto remember = [&](graph::VertexId u) {
+    for (const auto& [w, s] : snapshot)
+      if (w == u) return;
+    snapshot.emplace_back(u, settled_[u]);
+  };
+
+  std::vector<graph::VertexId> flipped;
+  auto recompute_member = [&](graph::VertexId u) {
+    const bool was = settled_[u] == 1;
+    const bool now = member_settled(u);
+    if (was == now) return;
+    remember(u);
+    flipped.push_back(u);
+    if (now) {
+      settled_[u] = 1;
+      ++mis_count_;
+    } else {
+      // An ex-member's level is not the cap (member and cap levels are
+      // disjoint for lmax ≥ 2), so it cannot be dominated; it re-activates.
+      settled_[u] = 0;
+      --mis_count_;
+    }
+  };
+  recompute_member(v);
+  for (graph::VertexId u : graph_->neighbors(v)) recompute_member(u);
+
+  auto recompute_dominated = [&](graph::VertexId w) {
+    if (settled_[w] == 1) return;  // membership (just recomputed) wins
+    bool dom = false;
+    if (levels_[w] == lmax_[w]) {
+      for (graph::VertexId u : graph_->neighbors(w))
+        if (settled_[u] == 1) {
+          dom = true;
+          break;
+        }
+    }
+    const auto s = static_cast<std::uint8_t>(dom ? 2 : 0);
+    if (settled_[w] == s) return;
+    remember(w);
+    settled_[w] = s;
+  };
+  recompute_dominated(v);
+  for (graph::VertexId u : flipped)
+    for (graph::VertexId w : graph_->neighbors(u)) recompute_dominated(w);
+
+  if (snapshot.empty()) return;
+  bool removed = false;
+  for (const auto& [u, old] : snapshot) {
+    if (old == 0 && settled_[u] != 0)
+      removed = true;
+    else if (old != 0 && settled_[u] == 0)
+      active_.push_back(u);
+  }
+  if (removed)
+    active_.erase(
+        std::remove_if(active_.begin(), active_.end(),
+                       [&](graph::VertexId u) { return settled_[u] != 0; }),
+        active_.end());
+  active_count_ = active_.size();
+}
+
+template <typename Policy>
+void FastEngine<Policy>::step() {
+  if (dense_) {
+    step_dense();
+    return;
+  }
   if (dirty_) refresh_settlement();
+  step_sparse();
+}
+
+template <typename Policy>
+void FastEngine<Policy>::step_sparse() {
   // Telemetry: the pre-round settled census feeds the event's beep/heard
-  // counts (settled members beep ch1 with certainty, settled dominated
-  // vertices hear their member every round, settled members hear nothing
-  // because all their neighbors sit silent at their caps).
+  // counts (settled members beep their channel with certainty, settled
+  // dominated vertices hear their member every round, settled members
+  // themselves hear nothing because all their neighbors sit silent at
+  // their caps — and under half duplex they are transmitting anyway).
   const bool observing = observer_ != nullptr;
+  const bool half = duplex_ == beep::Duplex::Half;
   const std::size_t n = levels_.size();
   const auto members_before = static_cast<std::uint32_t>(mis_count_);
   const auto dominated_before =
       static_cast<std::uint32_t>(n - active_count_ - mis_count_);
-  std::uint32_t active_beeps = 0, active_heard = 0;
+  std::uint32_t active_beeps[2] = {0, 0};
+  std::uint32_t active_heard[2] = {0, 0};
+  [[maybe_unused]] std::uint32_t active_heard_any = 0;
 
   // Phase 1: beep decisions for active vertices (settled members beep too,
-  // but their contribution is looked up from settled_ instead of stored).
+  // but their contribution is looked up from settled_ instead of stored;
+  // settled dominated vertices are silent: p at the cap is 0).
   for (graph::VertexId v : active_) {
-    const std::int32_t l = levels_[v];
-    bool beep = false;
-    if (l < lmax_[v])
-      beep = l <= 0 || rngs_[v].bernoulli_pow2(static_cast<unsigned>(l));
-    beep_[v] = beep ? 1 : 0;
-    active_beeps += beep_[v];
+    const beep::ChannelMask m = Policy::decide(levels_[v], lmax_[v], rngs_[v]);
+    send_[v] = m;
+    active_beeps[0] += m & 1u;
+    if constexpr (Policy::kChannels > 1) active_beeps[1] += (m >> 1) & 1u;
   }
 
-  // Phase 2: feedback + update, active vertices only. A neighbor beeps iff
-  // it is an active beeper or a settled member (settled dominated vertices
-  // are silent: p(lmax) = 0).
+  // Phase 2: feedback + update, active vertices only. The scan may stop
+  // once the bits that determine the update (kDominantHeard) are resolved;
+  // while observing it continues until every channel bit is known so heard
+  // counts match the reference simulator bit-for-bit. A half-duplex beeper
+  // learns nothing: its feedback is zero and the scan is skipped entirely.
+  constexpr auto kFullMask =
+      static_cast<beep::ChannelMask>((1u << Policy::kChannels) - 1u);
+  [[maybe_unused]] const beep::ChannelMask stop =
+      observing ? kFullMask : Policy::kDominantHeard;
   for (graph::VertexId v : active_) {
-    bool heard = false;
-    for (graph::VertexId u : graph_->neighbors(v)) {
-      if (settled_[u] == 1 || (settled_[u] == 0 && beep_[u])) {
-        heard = true;
-        break;
+    beep::ChannelMask heard = 0;
+    if (!half || !send_[v]) {
+      if constexpr (Policy::kChannels == 1) {
+        // Single channel: the first audible beeper resolves the whole mask,
+        // so the scan keeps the cheap boolean early-exit shape.
+        for (graph::VertexId u : graph_->neighbors(v)) {
+          if (settled_[u] == 1 || (settled_[u] == 0 && send_[u])) {
+            heard = beep::kChannel1;
+            break;
+          }
+        }
+      } else {
+        for (graph::VertexId u : graph_->neighbors(v)) {
+          if (settled_[u] == 1)
+            heard |= Policy::kMemberBeep;
+          else if (settled_[u] == 0)
+            heard |= send_[u];
+          if ((heard & stop) == stop) break;
+        }
       }
     }
-    active_heard += heard ? 1 : 0;
-    std::int32_t& l = levels_[v];
-    if (heard)
-      l = std::min(l + 1, lmax_[v]);
-    else if (beep_[v])
-      l = -lmax_[v];
-    else
-      l = std::max(l - 1, 1);
+    active_heard[0] += heard & 1u;
+    if constexpr (Policy::kChannels > 1) {
+      active_heard[1] += (heard >> 1) & 1u;
+      active_heard_any += heard ? 1 : 0;
+    }
+    levels_[v] = Policy::update(levels_[v], lmax_[v], send_[v], heard);
   }
 
   // Post-update level census over old settled + still-listed active covers
-  // every vertex exactly once (phase 3 has not pruned yet).
-  std::uint32_t prominent = 0;
+  // every vertex exactly once (phase 3 has not pruned yet). Settled
+  // dominated vertices hear their member's channel every round; for a
+  // two-channel policy the other channel depends on active neighbors and
+  // needs an explicit sweep, still paid only while observing.
+  std::uint32_t prominent = 0, dom_heard_extra = 0;
   if (observing) {
     prominent = members_before;
-    for (graph::VertexId v : active_) prominent += levels_[v] <= 0 ? 1 : 0;
-  }
-
-  // Phase 3: settle newly frozen vertices. Members first (their neighbors
-  // are at their caps by definition), then a dominated sweep — run every
-  // round, because an active vertex can climb back to its cap next to an
-  // *old* settled member and must still leave the active set.
-  bool any_settled = false;
-  for (graph::VertexId v : active_) {
-    if (levels_[v] == -lmax_[v] && member_settled(v)) {
-      settled_[v] = 1;
-      ++mis_count_;
-      any_settled = true;
-    }
-  }
-  for (graph::VertexId v : active_) {
-    if (settled_[v] || levels_[v] != lmax_[v]) continue;
-    for (graph::VertexId u : graph_->neighbors(v)) {
-      if (settled_[u] == 1) {
-        settled_[v] = 2;
-        any_settled = true;
-        break;
-      }
-    }
-  }
-  if (any_settled) {
-    active_.erase(std::remove_if(active_.begin(), active_.end(),
-                                 [&](graph::VertexId v) {
-                                   return settled_[v] != 0;
-                                 }),
-                  active_.end());
-    active_count_ = active_.size();
-  }
-  ++round_;
-  if (observing)
-    emit_event(members_before, dominated_before, active_beeps, active_heard,
-               prominent);
-}
-
-void FastMisEngine::emit_event(std::uint32_t members_before,
-                               std::uint32_t dominated_before,
-                               std::uint32_t active_beeps,
-                               std::uint32_t active_heard,
-                               std::uint32_t prominent) const {
-  const std::size_t n = levels_.size();
-  obs::RoundEvent ev;
-  ev.round = round_;
-  ev.beeps_ch1 = members_before + active_beeps;
-  ev.heard_ch1 = dominated_before + active_heard;
-  ev.heard_any = ev.heard_ch1;
-  ev.prominent = prominent;
-  ev.mis = static_cast<std::uint32_t>(mis_count_);
-  ev.stable = static_cast<std::uint32_t>(n - active_count_);
-  ev.active = static_cast<std::uint32_t>(active_count_);
-  if (observer_->wants_analysis()) {
-    // Same Lemma 3.1 census as SelfStabMis::fill_round_event: a violation is
-    // a vertex with ℓ ≤ 0 that has a neighbor with ℓ ≤ 0.
-    std::uint32_t violations = 0;
-    for (graph::VertexId v = 0; v < n; ++v) {
-      if (levels_[v] > 0) continue;
-      for (graph::VertexId u : graph_->neighbors(v)) {
-        if (levels_[u] <= 0) {
-          ++violations;
-          break;
+    for (graph::VertexId v : active_)
+      prominent += Policy::is_prominent(levels_[v]) ? 1 : 0;
+    if constexpr (Policy::kChannels > 1) {
+      for (graph::VertexId v = 0; v < n; ++v) {
+        if (settled_[v] != 2) continue;
+        for (graph::VertexId u : graph_->neighbors(v)) {
+          if (settled_[u] == 0 && (send_[u] & beep::kChannel1)) {
+            ++dom_heard_extra;
+            break;
+          }
         }
       }
     }
-    ev.lemma31_violations = violations;
-    ev.has_analysis = true;
-  }
-  observer_->on_round(ev);
-}
-
-std::uint64_t FastMisEngine::run_to_stabilization(std::uint64_t max_rounds) {
-  if (dirty_) refresh_settlement();
-  const std::uint64_t start = round_;
-  while (active_count_ > 0 && round_ - start < max_rounds) step();
-  return round_ - start;
-}
-
-std::vector<bool> FastMisEngine::mis_members() const {
-  std::vector<bool> in(levels_.size(), false);
-  for (graph::VertexId v = 0; v < levels_.size(); ++v)
-    in[v] = member_settled(v);
-  return in;
-}
-
-}  // namespace beepmis::core
-
-namespace beepmis::core {
-
-FastMisEngine2::FastMisEngine2(const graph::Graph& g, LmaxVector lmax,
-                               std::uint64_t seed)
-    : graph_(&g), lmax_(std::move(lmax)) {
-  BEEPMIS_CHECK(lmax_.size() == g.vertex_count(), "lmax sized for wrong graph");
-  for (std::int32_t m : lmax_)
-    BEEPMIS_CHECK(m >= 2, "lmax must be at least 2 for every vertex");
-  const std::size_t n = g.vertex_count();
-  levels_.assign(n, 1);
-  const support::Rng master(seed);
-  rngs_.reserve(n);
-  for (std::size_t v = 0; v < n; ++v) rngs_.push_back(master.derive_stream(v));
-  settled_.assign(n, 0);
-  beep_.assign(n, 0);
-  refresh_settlement();
-}
-
-bool FastMisEngine2::member_settled(graph::VertexId v) const {
-  if (levels_[v] != 0) return false;
-  for (graph::VertexId u : graph_->neighbors(v))
-    if (levels_[u] != lmax_[u]) return false;
-  return true;
-}
-
-void FastMisEngine2::refresh_settlement() const {
-  obs::ScopedTimer timer(refresh_timer_);
-  dirty_ = false;
-  const std::size_t n = levels_.size();
-  std::fill(settled_.begin(), settled_.end(), 0);
-  mis_count_ = 0;
-  for (graph::VertexId v = 0; v < n; ++v)
-    if (member_settled(v)) {
-      settled_[v] = 1;
-      ++mis_count_;
-    }
-  for (graph::VertexId v = 0; v < n; ++v) {
-    if (settled_[v] || levels_[v] != lmax_[v]) continue;
-    for (graph::VertexId u : graph_->neighbors(v))
-      if (settled_[u] == 1) {
-        settled_[v] = 2;
-        break;
-      }
-  }
-  active_.clear();
-  for (graph::VertexId v = 0; v < n; ++v)
-    if (!settled_[v]) active_.push_back(v);
-  active_count_ = active_.size();
-}
-
-void FastMisEngine2::set_level(graph::VertexId v, std::int32_t level) {
-  BEEPMIS_CHECK(v < levels_.size(), "vertex out of range");
-  BEEPMIS_CHECK(level >= 0 && level <= lmax_[v], "level outside [0, lmax]");
-  levels_[v] = level;
-  dirty_ = true;
-}
-
-void FastMisEngine2::step() {
-  if (dirty_) refresh_settlement();
-  // Telemetry bookkeeping mirrors FastMisEngine::step: settled members beep
-  // channel 2 every round, settled dominated vertices hear them every round,
-  // settled members themselves hear nothing (all neighbors capped, silent).
-  const bool observing = observer_ != nullptr;
-  const std::size_t n = levels_.size();
-  const auto members_before = static_cast<std::uint32_t>(mis_count_);
-  const auto dominated_before =
-      static_cast<std::uint32_t>(n - active_count_ - mis_count_);
-  std::uint32_t active_beeps1 = 0, active_beeps2 = 0;
-  std::uint32_t active_heard1 = 0, active_heard2 = 0, active_heard_any = 0;
-
-  // Phase 1: decisions for active vertices. ℓ = 0 beeps channel 2 with
-  // certainty (no coin); 0 < ℓ < ℓmax draws the channel-1 coin; ℓmax silent.
-  for (graph::VertexId v : active_) {
-    const std::int32_t l = levels_[v];
-    std::uint8_t b = 0;
-    if (l == 0) {
-      b = 2;
-    } else if (l < lmax_[v] &&
-               rngs_[v].bernoulli_pow2(static_cast<unsigned>(l))) {
-      b = 1;
-    }
-    beep_[v] = b;
-    active_beeps1 += b == 1 ? 1 : 0;
-    active_beeps2 += b == 2 ? 1 : 0;
   }
 
-  // Phase 2: feedback + Algorithm 2's update. Settled members count as
-  // channel-2 beepers; settled dominated vertices are silent. The early
-  // break once channel 2 is heard is sound for the state update (channel-2
-  // feedback dominates); while observing, the scan continues until the
-  // channel-1 bit is also resolved so heard counts match the reference
-  // simulator bit-for-bit.
-  for (graph::VertexId v : active_) {
-    bool heard1 = false, heard2 = false;
-    for (graph::VertexId u : graph_->neighbors(v)) {
-      if (settled_[u] == 1) {
-        heard2 = true;
-      } else if (settled_[u] == 0) {
-        if (beep_[u] == 2)
-          heard2 = true;
-        else if (beep_[u] == 1)
-          heard1 = true;
-      }
-      if (heard2 && (heard1 || !observing)) break;
-    }
-    active_heard1 += heard1 ? 1 : 0;
-    active_heard2 += heard2 ? 1 : 0;
-    active_heard_any += (heard1 || heard2) ? 1 : 0;
-    std::int32_t& l = levels_[v];
-    if (heard2)
-      l = lmax_[v];
-    else if (heard1)
-      l = std::min(l + 1, lmax_[v]);
-    else if (beep_[v] == 1)
-      l = 0;
-    else if (beep_[v] != 2)
-      l = std::max(l - 1, 1);
-    // else: member that heard nothing — stays 0.
-  }
-
-  // Settled dominated vertices always hear channel 2 (their member); their
-  // channel-1 bit depends on active neighbors and needs an explicit sweep.
-  // Post-update prominent census as in FastMisEngine::step.
-  std::uint32_t dom_heard1 = 0, prominent = 0;
-  if (observing) {
-    for (graph::VertexId v = 0; v < n; ++v) {
-      if (settled_[v] != 2) continue;
-      for (graph::VertexId u : graph_->neighbors(v)) {
-        if (settled_[u] == 0 && beep_[u] == 1) {
-          ++dom_heard1;
-          break;
-        }
-      }
-    }
-    prominent = members_before;
-    for (graph::VertexId v : active_) prominent += levels_[v] == 0 ? 1 : 0;
-  }
-
-  // Phase 3: settlement sweeps (members, then dominated — every round).
-  bool any_settled = false;
-  for (graph::VertexId v : active_) {
-    if (levels_[v] == 0 && member_settled(v)) {
-      settled_[v] = 1;
-      ++mis_count_;
-      any_settled = true;
-    }
-  }
-  for (graph::VertexId v : active_) {
-    if (settled_[v] || levels_[v] != lmax_[v]) continue;
-    for (graph::VertexId u : graph_->neighbors(v)) {
-      if (settled_[u] == 1) {
-        settled_[v] = 2;
-        any_settled = true;
-        break;
-      }
-    }
-  }
-  if (any_settled) {
-    active_.erase(std::remove_if(active_.begin(), active_.end(),
-                                 [&](graph::VertexId v) {
-                                   return settled_[v] != 0;
-                                 }),
-                  active_.end());
-    active_count_ = active_.size();
-  }
+  settle_and_prune();
   ++round_;
 
   if (observing) {
     obs::RoundEvent ev;
     ev.round = round_;
-    ev.beeps_ch1 = active_beeps1;
-    ev.beeps_ch2 = members_before + active_beeps2;
-    ev.heard_ch1 = active_heard1 + dom_heard1;
-    ev.heard_ch2 = dominated_before + active_heard2;
-    ev.heard_any = dominated_before + active_heard_any;
-    ev.prominent = prominent;
-    ev.mis = static_cast<std::uint32_t>(mis_count_);
-    ev.stable = static_cast<std::uint32_t>(n - active_count_);
-    ev.active = static_cast<std::uint32_t>(active_count_);
-    if (observer_->wants_analysis()) {
-      ev.lemma31_violations = 0;  // Algorithm 1 analysis quantity; see sink.hpp
-      ev.has_analysis = true;
+    if constexpr (Policy::kChannels == 1) {
+      ev.beeps_ch1 = members_before + active_beeps[0];
+      ev.heard_ch1 = dominated_before + active_heard[0];
+      // Single channel: hearing anything == hearing channel 1.
+      ev.heard_any = ev.heard_ch1;
+    } else {
+      ev.beeps_ch1 = active_beeps[0];
+      ev.beeps_ch2 = members_before + active_beeps[1];
+      ev.heard_ch1 = active_heard[0] + dom_heard_extra;
+      ev.heard_ch2 = dominated_before + active_heard[1];
+      ev.heard_any = dominated_before + active_heard_any;
     }
-    observer_->on_round(ev);
+    ev.prominent = prominent;
+    finish_event(ev);
   }
 }
 
-std::uint64_t FastMisEngine2::run_to_stabilization(std::uint64_t max_rounds) {
-  if (dirty_) refresh_settlement();
+template <typename Policy>
+void FastEngine<Policy>::step_dense() {
+  // Noise mode: a false negative can decay a capped vertex and a false
+  // positive can evict a member, so nothing is permanently settled and the
+  // sparse invariants do not hold. Run the reference semantics as a full
+  // sweep, replaying the shared noise stream in beep::Simulation's exact
+  // (vertex, channel) order; per-node coin draws are order-independent.
+  const std::size_t n = levels_.size();
+  for (graph::VertexId v = 0; v < n; ++v)
+    send_[v] = Policy::decide(levels_[v], lmax_[v], rngs_[v]);
+
+  for (graph::VertexId v = 0; v < n; ++v) {
+    beep::ChannelMask h = 0;
+    for (graph::VertexId u : graph_->neighbors(v)) h |= send_[u];
+    heard_[v] = h;
+  }
+  if (duplex_ == beep::Duplex::Half) {
+    for (graph::VertexId v = 0; v < n; ++v)
+      if (send_[v]) heard_[v] = 0;
+  }
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (unsigned ch = 0; ch < Policy::kChannels; ++ch) {
+      const auto bit = static_cast<beep::ChannelMask>(1u << ch);
+      if (heard_[v] & bit) {
+        if (noise_rng_.bernoulli(noise_.false_negative)) heard_[v] &= ~bit;
+      } else {
+        if (noise_rng_.bernoulli(noise_.false_positive)) heard_[v] |= bit;
+      }
+    }
+  }
+  for (graph::VertexId v = 0; v < n; ++v)
+    levels_[v] = Policy::update(levels_[v], lmax_[v], send_[v], heard_[v]);
+  ++round_;
+  dirty_ = true;
+
+  if (observer_ != nullptr) {
+    obs::RoundEvent ev;
+    ev.round = round_;
+    for (beep::ChannelMask m : send_) {
+      ev.beeps_ch1 += (m & beep::kChannel1) ? 1 : 0;
+      ev.beeps_ch2 += (m & beep::kChannel2) ? 1 : 0;
+    }
+    for (beep::ChannelMask m : heard_) {
+      ev.heard_ch1 += (m & beep::kChannel1) ? 1 : 0;
+      ev.heard_ch2 += (m & beep::kChannel2) ? 1 : 0;
+      ev.heard_any += m ? 1 : 0;
+    }
+    std::uint32_t prominent = 0;
+    for (std::int32_t l : levels_) prominent += Policy::is_prominent(l) ? 1 : 0;
+    ev.prominent = prominent;
+    refresh_settlement();  // events report |I_t|, |S_t| from current levels
+    finish_event(ev);
+  }
+}
+
+template <typename Policy>
+void FastEngine<Policy>::settle_and_prune() {
+  // Settle newly frozen vertices. Members first (their neighbors are at
+  // their caps by definition), then a dominated sweep — run every round,
+  // because an active vertex can climb back to its cap next to an *old*
+  // settled member and must still leave the active set.
+  bool any_settled = false;
+  for (graph::VertexId v : active_) {
+    if (levels_[v] == Policy::member_level(lmax_[v]) && member_settled(v)) {
+      settled_[v] = 1;
+      ++mis_count_;
+      any_settled = true;
+    }
+  }
+  for (graph::VertexId v : active_) {
+    if (settled_[v] || levels_[v] != lmax_[v]) continue;
+    for (graph::VertexId u : graph_->neighbors(v)) {
+      if (settled_[u] == 1) {
+        settled_[v] = 2;
+        any_settled = true;
+        break;
+      }
+    }
+  }
+  if (any_settled) {
+    active_.erase(
+        std::remove_if(active_.begin(), active_.end(),
+                       [&](graph::VertexId v) { return settled_[v] != 0; }),
+        active_.end());
+    active_count_ = active_.size();
+  }
+}
+
+template <typename Policy>
+std::uint32_t FastEngine<Policy>::lemma31_census() const {
+  // Same Lemma 3.1 census as SelfStabMis::fill_round_event: a violation is
+  // a vertex with ℓ ≤ 0 that has a neighbor with ℓ ≤ 0. An Algorithm 1
+  // analysis quantity; defined as 0 for other policies (see sink.hpp).
+  if constexpr (!Policy::kHasLemma31) return 0;
+  const std::size_t n = levels_.size();
+  std::uint32_t violations = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (levels_[v] > 0) continue;
+    for (graph::VertexId u : graph_->neighbors(v)) {
+      if (levels_[u] <= 0) {
+        ++violations;
+        break;
+      }
+    }
+  }
+  return violations;
+}
+
+template <typename Policy>
+void FastEngine<Policy>::finish_event(obs::RoundEvent& ev) const {
+  const std::size_t n = levels_.size();
+  ev.mis = static_cast<std::uint32_t>(mis_count_);
+  ev.stable = static_cast<std::uint32_t>(n - active_count_);
+  ev.active = static_cast<std::uint32_t>(active_count_);
+  if (observer_->wants_analysis()) {
+    ev.lemma31_violations = lemma31_census();
+    ev.has_analysis = true;
+  }
+  observer_->on_round(ev);
+}
+
+template <typename Policy>
+std::uint64_t FastEngine<Policy>::run_to_stabilization(
+    std::uint64_t max_rounds) {
   const std::uint64_t start = round_;
-  while (active_count_ > 0 && round_ - start < max_rounds) step();
+  while (!is_stabilized() && round_ - start < max_rounds) step();
   return round_ - start;
 }
 
-std::vector<bool> FastMisEngine2::mis_members() const {
+template <typename Policy>
+std::vector<bool> FastEngine<Policy>::mis_members() const {
   std::vector<bool> in(levels_.size(), false);
   for (graph::VertexId v = 0; v < levels_.size(); ++v)
     in[v] = member_settled(v);
   return in;
 }
+
+template class FastEngine<Alg1Policy>;
+template class FastEngine<Alg2Policy>;
 
 }  // namespace beepmis::core

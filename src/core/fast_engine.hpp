@@ -1,8 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "src/beep/types.hpp"
+#include "src/core/engine.hpp"
 #include "src/core/lmax.hpp"
 #include "src/graph/graph.hpp"
 #include "src/obs/metrics.hpp"
@@ -11,58 +15,186 @@
 
 namespace beepmis::core {
 
-/// Optimized executor for Algorithm 1 that exploits the key structural fact
-/// of the stable states: a *settled* vertex — an MIS member with all
-/// neighbors capped, or a capped vertex dominated by such a member — never
-/// changes again and never consumes randomness (its beep probability is 0
-/// or 1). The engine keeps an active set and processes only unsettled
-/// vertices and their audible members, so late rounds (when most of the
-/// graph has locked in) cost O(active) instead of O(n + m).
+/// Variant policy consumed by FastEngine<Policy>. A policy is a stateless
+/// bundle of the per-algorithm pieces — channel count, beep decision, level
+/// update, membership encoding, corruption range — while the engine owns
+/// everything the algorithms share: levels, per-node RNG streams, the lazy
+/// settlement cache, active-set maintenance, noise/duplex handling, and
+/// event emission. Adding a future variant (e.g. the few-states algorithms
+/// of Giakkoupis–Ziccardi) means writing one such policy, not a new engine.
 ///
-/// Guaranteed equivalent to running SelfStabMis under beep::Simulation with
-/// the same seed: per-node RNG streams are derived identically and coins
-/// are drawn in exactly the same cases, so levels agree round-for-round
-/// (tested exhaustively in test_fast_engine.cpp). Use the generic pair for
-/// anything involving faults mid-run or observers; use this for bulk
-/// sweeps.
-class FastMisEngine {
- public:
-  FastMisEngine(const graph::Graph& g, LmaxVector lmax, std::uint64_t seed);
+/// Contract (all static; see docs/architecture.md):
+///   kChannels      number of beep channels (1 or 2)
+///   kMemberBeep    mask a settled MIS member implicitly beeps every round
+///   kDominantHeard mask whose receipt fully determines the level update —
+///                  neighbor scans may stop once it is heard
+///   kHasLemma31    whether the Lemma 3.1 analysis census applies
+///   kTag           short id for metric keys and engine names
+///   min_level / member_level / is_prominent   level-encoding facts
+///   decide(l, lmax, rng)      beep decision; draws a coin exactly when the
+///                             reference algorithm does (coin-for-coin)
+///   update(l, lmax, sent, heard)  the level transition
+///   corrupt_level(lmax, rng)  uniform in-range RAM value (fault model)
+struct Alg1Policy {
+  static constexpr unsigned kChannels = 1;
+  static constexpr beep::ChannelMask kMemberBeep = beep::kChannel1;
+  static constexpr beep::ChannelMask kDominantHeard = beep::kChannel1;
+  static constexpr bool kHasLemma31 = true;
+  static constexpr const char* kTag = "alg1";
 
-  std::uint64_t round() const noexcept { return round_; }
-  std::int32_t level(graph::VertexId v) const { return levels_[v]; }
-  std::int32_t lmax(graph::VertexId v) const { return lmax_[v]; }
+  static constexpr std::int32_t min_level(std::int32_t lmax) noexcept {
+    return -lmax;
+  }
+  static constexpr std::int32_t member_level(std::int32_t lmax) noexcept {
+    return -lmax;
+  }
+  static constexpr bool is_prominent(std::int32_t l) noexcept { return l <= 0; }
+
+  static beep::ChannelMask decide(std::int32_t l, std::int32_t lmax,
+                                  support::Rng& rng) {
+    if (l >= lmax) return 0;
+    // p = min{2^-ℓ, 1}: certain for ℓ ≤ 0, exact power-of-two coin else.
+    const bool beep = l <= 0 || rng.bernoulli_pow2(static_cast<unsigned>(l));
+    return beep ? beep::kChannel1 : beep::ChannelMask{0};
+  }
+
+  static std::int32_t update(std::int32_t l, std::int32_t lmax,
+                             beep::ChannelMask sent,
+                             beep::ChannelMask heard) noexcept {
+    if (heard & beep::kChannel1) return std::min(l + 1, lmax);
+    if (sent & beep::kChannel1) return -lmax;
+    return std::max(l - 1, 1);
+  }
+
+  static std::int32_t corrupt_level(std::int32_t lmax, support::Rng& rng) {
+    const auto span = static_cast<std::uint64_t>(2 * lmax + 1);
+    return static_cast<std::int32_t>(rng.below(span)) - lmax;
+  }
+};
+
+/// Algorithm 2 (two channels): membership is ℓ = 0 and announced on channel
+/// 2 with certainty; channel 1 carries the competition coin for 0 < ℓ < ℓmax.
+struct Alg2Policy {
+  static constexpr unsigned kChannels = 2;
+  static constexpr beep::ChannelMask kMemberBeep = beep::kChannel2;
+  static constexpr beep::ChannelMask kDominantHeard = beep::kChannel2;
+  static constexpr bool kHasLemma31 = false;
+  static constexpr const char* kTag = "alg2";
+
+  static constexpr std::int32_t min_level(std::int32_t /*lmax*/) noexcept {
+    return 0;
+  }
+  static constexpr std::int32_t member_level(std::int32_t /*lmax*/) noexcept {
+    return 0;
+  }
+  static constexpr bool is_prominent(std::int32_t l) noexcept { return l == 0; }
+
+  static beep::ChannelMask decide(std::int32_t l, std::int32_t lmax,
+                                  support::Rng& rng) {
+    if (l == 0) return beep::kChannel2;  // certain, no coin
+    if (l < lmax && rng.bernoulli_pow2(static_cast<unsigned>(l)))
+      return beep::kChannel1;
+    return 0;
+  }
+
+  static std::int32_t update(std::int32_t l, std::int32_t lmax,
+                             beep::ChannelMask sent,
+                             beep::ChannelMask heard) noexcept {
+    if (heard & beep::kChannel2) return lmax;
+    if (heard & beep::kChannel1) return std::min(l + 1, lmax);
+    if (sent & beep::kChannel1) return 0;
+    if (!(sent & beep::kChannel2)) return std::max(l - 1, 1);
+    return l;  // member that heard nothing — stays 0
+  }
+
+  static std::int32_t corrupt_level(std::int32_t lmax, support::Rng& rng) {
+    return static_cast<std::int32_t>(
+        rng.below(static_cast<std::uint64_t>(lmax) + 1));
+  }
+};
+
+/// Optimized executor exploiting the key structural fact of the stable
+/// states: a *settled* vertex — an MIS member with all neighbors capped, or
+/// a capped vertex dominated by such a member — never changes again and
+/// never consumes randomness (its beep probability is 0 or 1). The engine
+/// keeps an active set and processes only unsettled vertices and their
+/// audible members, so late rounds (when most of the graph has locked in)
+/// cost O(active) instead of O(n + m).
+///
+/// Guaranteed equivalent to running the variant's reference algorithm under
+/// beep::Simulation with the same seed: per-node RNG streams are derived
+/// identically and coins are drawn in exactly the same cases, so levels
+/// agree round-for-round (tested exhaustively in test_fast_engine.cpp).
+/// The full model surface is covered:
+///  - corrupt() mid-run invalidates settlement locally (the 2-hop patch
+///    around the corrupted vertex), not globally;
+///  - Duplex::Half zeroes a beeping vertex's feedback, which preserves the
+///    settled-state structure, so the sparse path still applies;
+///  - ChannelNoise makes *nothing* permanently settled (a false negative
+///    can decay a capped vertex, a false positive can evict a member), so
+///    the engine switches to a dense full-sweep step that replays the
+///    reference simulator's noise draws in its exact (vertex, channel)
+///    order; settlement then only serves as a lazily refreshed
+///    stabilization-predicate cache.
+template <typename Policy>
+class FastEngine final : public Engine {
+ public:
+  FastEngine(const graph::Graph& g, LmaxVector lmax, std::uint64_t seed,
+             beep::ChannelNoise noise = {},
+             beep::Duplex duplex = beep::Duplex::Full);
+
+  std::string name() const override {
+    return std::string("fast-") + Policy::kTag;
+  }
+  const graph::Graph& graph() const noexcept override { return *graph_; }
+  std::uint64_t round() const noexcept override { return round_; }
+  std::int32_t level(graph::VertexId v) const override { return levels_[v]; }
+  std::int32_t lmax(graph::VertexId v) const override { return lmax_[v]; }
+  std::int32_t member_level(graph::VertexId v) const override {
+    return Policy::member_level(lmax_[v]);
+  }
 
   /// Sets ℓ(v) (initial-configuration setup). O(1); settlement tracking is
   /// lazily rebuilt before the next step()/is_stabilized().
-  void set_level(graph::VertexId v, std::int32_t level);
+  void set_level(graph::VertexId v, std::int32_t level) override;
 
-  void step();
+  void step() override;
 
   /// Runs until stabilization or `max_rounds` additional rounds; returns
   /// the number of rounds executed.
-  std::uint64_t run_to_stabilization(std::uint64_t max_rounds);
+  std::uint64_t run_to_stabilization(std::uint64_t max_rounds) override;
 
-  bool is_stabilized() const {
+  bool is_stabilized() const override {
     if (dirty_) refresh_settlement();
     return active_count_ == 0;
   }
-  std::vector<bool> mis_members() const;
+  std::vector<bool> mis_members() const override;
+
+  /// Mid-run transient fault (draw-identical to the reference algorithm's
+  /// corrupt_node). Under noise the settlement cache is merely marked dirty;
+  /// on the sparse path the cache is patched in the corrupted vertex's
+  /// 2-hop neighborhood so the next step stays O(active).
+  void corrupt(graph::VertexId v, support::Rng& rng) override;
+
   /// Number of currently unsettled vertices (for instrumentation).
   std::size_t active_count() const noexcept { return active_count_; }
 
   /// Attaches a non-owning per-round observer (same obs::RoundEvent shape
   /// and semantics as beep::Simulation's — proven stream-identical in
-  /// test_obs.cpp). Event assembly costs O(active) per round, except the
-  /// analysis fields (wants_analysis()) which cost O(n + m). Null detaches.
-  void set_observer(obs::RoundObserver* observer) noexcept {
+  /// test_obs.cpp). Event assembly costs O(active) per round on the sparse
+  /// path, except the analysis fields (wants_analysis()) which cost
+  /// O(n + m). Null detaches.
+  void set_observer(obs::RoundObserver* observer) override {
     observer_ = observer;
   }
-  /// Routes internal timers (refresh_settlement) into `registry` (may be
-  /// null to detach). The TimerStat is resolved once here, not per call.
-  void set_metrics(obs::MetricsRegistry* registry) {
+  /// Routes internal timers into `registry` (may be null to detach); keyed
+  /// by variant ("fast_engine.<tag>.refresh_settlement") so V1 and V2/V3
+  /// timings are not conflated. The TimerStat is resolved once here.
+  void set_metrics(obs::MetricsRegistry* registry) override {
     refresh_timer_ =
-        registry ? &registry->timer("fast_engine.refresh_settlement") : nullptr;
+        registry ? &registry->timer(std::string("fast_engine.") + Policy::kTag +
+                                    ".refresh_settlement")
+                 : nullptr;
   }
 
  private:
@@ -70,9 +202,12 @@ class FastMisEngine {
   // after set_level), hence mutable + const refresh.
   void refresh_settlement() const;
   bool member_settled(graph::VertexId v) const;
-  void emit_event(std::uint32_t members_before, std::uint32_t dominated_before,
-                  std::uint32_t active_beeps, std::uint32_t active_heard,
-                  std::uint32_t prominent) const;
+  void resettle_neighborhood(graph::VertexId v);
+  void step_sparse();
+  void step_dense();
+  void settle_and_prune();
+  std::uint32_t lemma31_census() const;
+  void finish_event(obs::RoundEvent& ev) const;
 
   const graph::Graph* graph_;
   LmaxVector lmax_;
@@ -80,65 +215,26 @@ class FastMisEngine {
   std::vector<support::Rng> rngs_;
   mutable std::vector<std::uint8_t> settled_;  // 0 active, 1 member, 2 dom.
   mutable std::vector<graph::VertexId> active_;
-  std::vector<std::uint8_t> beep_;  // scratch, indexed by vertex
+  std::vector<beep::ChannelMask> send_;   // scratch, indexed by vertex
+  std::vector<beep::ChannelMask> heard_;  // dense path only
   mutable std::size_t active_count_ = 0;
   mutable std::size_t mis_count_ = 0;  // settled members (== |I_t| post-round)
   std::uint64_t round_ = 0;
   mutable bool dirty_ = false;
+  beep::ChannelNoise noise_;
+  beep::Duplex duplex_ = beep::Duplex::Full;
+  support::Rng noise_rng_{0};
+  bool dense_ = false;  // noise breaks permanence; run full sweeps
   obs::RoundObserver* observer_ = nullptr;
   obs::TimerStat* refresh_timer_ = nullptr;
 };
 
-/// The Algorithm 2 counterpart of FastMisEngine: settled vertices are
-/// members at ℓ = 0 with all neighbors capped (their channel-2 beep is
-/// implied) and capped vertices adjacent to settled members. Same
-/// coin-for-coin equivalence guarantee with SelfStabMisTwoChannel under
-/// beep::Simulation (channel-1 coins are drawn exactly when 0 < ℓ < ℓmax).
-class FastMisEngine2 {
- public:
-  FastMisEngine2(const graph::Graph& g, LmaxVector lmax, std::uint64_t seed);
+extern template class FastEngine<Alg1Policy>;
+extern template class FastEngine<Alg2Policy>;
 
-  std::uint64_t round() const noexcept { return round_; }
-  std::int32_t level(graph::VertexId v) const { return levels_[v]; }
-  std::int32_t lmax(graph::VertexId v) const { return lmax_[v]; }
-  void set_level(graph::VertexId v, std::int32_t level);
-  void step();
-  std::uint64_t run_to_stabilization(std::uint64_t max_rounds);
-  bool is_stabilized() const {
-    if (dirty_) refresh_settlement();
-    return active_count_ == 0;
-  }
-  std::vector<bool> mis_members() const;
-  std::size_t active_count() const noexcept { return active_count_; }
-
-  /// Per-round observer / timer routing; see FastMisEngine. The two-channel
-  /// event additionally needs an O(Σ deg(dominated)) sweep per round to get
-  /// exact channel-1 heard counts, still paid only while observing.
-  void set_observer(obs::RoundObserver* observer) noexcept {
-    observer_ = observer;
-  }
-  void set_metrics(obs::MetricsRegistry* registry) {
-    refresh_timer_ =
-        registry ? &registry->timer("fast_engine.refresh_settlement") : nullptr;
-  }
-
- private:
-  void refresh_settlement() const;
-  bool member_settled(graph::VertexId v) const;
-
-  const graph::Graph* graph_;
-  LmaxVector lmax_;
-  std::vector<std::int32_t> levels_;
-  std::vector<support::Rng> rngs_;
-  mutable std::vector<std::uint8_t> settled_;  // 0 active, 1 member, 2 dom.
-  mutable std::vector<graph::VertexId> active_;
-  std::vector<std::uint8_t> beep_;  // 0 none, 1 ch1, 2 ch2 (active only)
-  mutable std::size_t active_count_ = 0;
-  mutable std::size_t mis_count_ = 0;  // settled members (== |I_t| post-round)
-  std::uint64_t round_ = 0;
-  mutable bool dirty_ = false;
-  obs::RoundObserver* observer_ = nullptr;
-  obs::TimerStat* refresh_timer_ = nullptr;
-};
+/// Back-compat names for the pre-unification engines (Algorithm 1 and the
+/// two-channel Algorithm 2); the equivalence tests construct these directly.
+using FastMisEngine = FastEngine<Alg1Policy>;
+using FastMisEngine2 = FastEngine<Alg2Policy>;
 
 }  // namespace beepmis::core

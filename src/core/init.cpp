@@ -107,4 +107,37 @@ void apply_init(SelfStabMisTwoChannel& algo, InitPolicy policy,
   apply_common(algo, policy, rng, /*mis_level=*/0);
 }
 
+void apply_init(Engine& engine, InitPolicy policy, support::Rng& rng) {
+  const auto n = static_cast<graph::VertexId>(engine.graph().vertex_count());
+  switch (policy) {
+    case InitPolicy::Default:
+    case InitPolicy::AllOne:
+      for (graph::VertexId v = 0; v < n; ++v) engine.set_level(v, 1);
+      break;
+    case InitPolicy::UniformRandom:
+      for (graph::VertexId v = 0; v < n; ++v) engine.corrupt(v, rng);
+      break;
+    case InitPolicy::AllMin:
+      for (graph::VertexId v = 0; v < n; ++v)
+        engine.set_level(v, engine.member_level(v));
+      break;
+    case InitPolicy::AllMax:
+      for (graph::VertexId v = 0; v < n; ++v)
+        engine.set_level(v, engine.lmax(v));
+      break;
+    case InitPolicy::FakeMis: {
+      const auto fake = non_maximal_independent_set(engine.graph(), rng);
+      for (graph::VertexId v = 0; v < n; ++v)
+        engine.set_level(v, fake[v] ? engine.member_level(v) : engine.lmax(v));
+      break;
+    }
+    case InitPolicy::HalfCorrupt:
+      for (graph::VertexId v = 0; v < n; ++v) {
+        engine.set_level(v, 1);
+        if (rng.bernoulli(0.5)) engine.corrupt(v, rng);
+      }
+      break;
+  }
+}
+
 }  // namespace beepmis::core

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/engine.hpp"
 #include "src/core/selfstab_mis.hpp"
 #include "src/core/selfstab_mis2.hpp"
 #include "src/mis/verifier.hpp"
@@ -36,5 +37,11 @@ void apply_init(SelfStabMis& algo, InitPolicy policy, support::Rng& rng);
 /// Applies the policy to an Algorithm 2 instance (MIS level is 0, not -ℓmax).
 void apply_init(SelfStabMisTwoChannel& algo, InitPolicy policy,
                 support::Rng& rng);
+/// Applies the policy through the uniform Engine interface — draw-for-draw
+/// identical to the algorithm overloads (Engine::member_level supplies the
+/// variant's MIS encoding, Engine::corrupt the in-range uniform draw), so a
+/// fast-engine run initialized here reproduces a reference run exactly for
+/// every policy.
+void apply_init(Engine& engine, InitPolicy policy, support::Rng& rng);
 
 }  // namespace beepmis::core

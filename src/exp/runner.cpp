@@ -8,15 +8,6 @@
 
 namespace beepmis::exp {
 
-std::string variant_name(Variant v) {
-  switch (v) {
-    case Variant::GlobalDelta: return "V1-global-delta";
-    case Variant::OwnDegree: return "V2-own-degree";
-    case Variant::TwoChannel: return "V3-two-channel";
-  }
-  return "?";
-}
-
 std::unique_ptr<beep::Simulation> make_selfstab_sim(const graph::Graph& g,
                                                     Variant variant,
                                                     std::uint64_t seed,
@@ -99,18 +90,45 @@ RunResult run_to_stabilization(beep::Simulation& sim, beep::Round max_rounds,
   return r;
 }
 
+RunResult run_to_stabilization(core::Engine& engine, beep::Round max_rounds,
+                               obs::MetricsRegistry* metrics) {
+  RunResult r;
+  {
+    obs::ScopedTimer timer(metrics, "runner.run_to_stabilization");
+    r.rounds = engine.run_to_stabilization(max_rounds);
+    r.stabilized = engine.is_stabilized();
+    const auto members = engine.mis_members();
+    r.mis_size = mis::member_count(members);
+    r.valid_mis = mis::is_mis(engine.graph(), members);
+  }
+  if (metrics != nullptr) {
+    metrics->counter("runner.runs_total").inc();
+    metrics->counter("runner.rounds_total").inc(r.rounds);
+    metrics->histogram("runner.rounds_to_stabilize").record(r.rounds);
+    if (!r.stabilized) metrics->counter("runner.budget_exhausted").inc();
+    if (!r.valid_mis) metrics->counter("runner.invalid_mis").inc();
+  }
+  return r;
+}
+
 RunResult run_variant(const graph::Graph& g, Variant variant,
                       core::InitPolicy init, std::uint64_t seed,
                       beep::Round max_rounds, std::int32_t c1,
                       obs::MetricsRegistry* metrics,
-                      obs::RoundObserver* observer) {
-  auto sim = make_selfstab_sim(g, variant, seed, c1);
-  if (observer != nullptr) sim->add_observer(observer);
+                      obs::RoundObserver* observer, core::EngineKind kind) {
+  core::EngineConfig config;
+  config.variant = variant;
+  config.kind = kind;
+  config.seed = seed;
+  config.c1 = c1;
+  auto engine = core::make_engine(g, config);
+  engine->set_observer(observer);
+  engine->set_metrics(metrics);
   // The init policy's randomness is keyed off the same seed but a distinct
   // stream, so (seed → run) stays a pure function.
   support::Rng init_rng = support::Rng(seed).derive_stream(0xfadedcafe);
-  apply_init(*sim, init, init_rng);
-  return run_to_stabilization(*sim, max_rounds, metrics);
+  core::apply_init(*engine, init, init_rng);
+  return run_to_stabilization(*engine, max_rounds, metrics);
 }
 
 beep::Round default_round_budget(std::size_t n) {

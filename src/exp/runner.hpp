@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/beep/network.hpp"
+#include "src/core/engine.hpp"
 #include "src/core/init.hpp"
 #include "src/core/lmax.hpp"
 #include "src/core/selfstab_mis.hpp"
@@ -15,14 +16,11 @@
 
 namespace beepmis::exp {
 
-/// Which of the paper's three algorithm variants to run.
-enum class Variant {
-  GlobalDelta,  ///< Algorithm 1 + Thm 2.1 lmax policy
-  OwnDegree,    ///< Algorithm 1 + Thm 2.2 lmax policy
-  TwoChannel,   ///< Algorithm 2 + Cor 2.3 lmax policy
-};
-
-std::string variant_name(Variant v);
+/// Which of the paper's three algorithm variants to run. The enum lives in
+/// core (the engine factory dispatches on it); re-exported here because the
+/// whole experiment layer spells it exp::Variant.
+using Variant = core::Variant;
+using core::variant_name;
 
 /// Outcome of one run-to-stabilization.
 struct RunResult {
@@ -58,14 +56,22 @@ std::vector<bool> selfstab_mis_members(const beep::Simulation& sim);
 RunResult run_to_stabilization(beep::Simulation& sim, beep::Round max_rounds,
                                obs::MetricsRegistry* metrics = nullptr);
 
-/// One-shot: build, initialize, run. The workhorse of the sweeps.
-/// `observer`, if given, is attached to the simulation and receives one
-/// obs::RoundEvent per round.
+/// Engine-interface counterpart: same timer, counters and verification for
+/// a run driven through core::Engine (fast or reference).
+RunResult run_to_stabilization(core::Engine& engine, beep::Round max_rounds,
+                               obs::MetricsRegistry* metrics = nullptr);
+
+/// One-shot: build, initialize, run. The workhorse of the sweeps. Routed
+/// through core::make_engine — `kind` selects the executor (Auto = fast;
+/// results are engine-independent because the engines are stream-identical
+/// under the same seed). `observer`, if given, receives one obs::RoundEvent
+/// per round.
 RunResult run_variant(const graph::Graph& g, Variant variant,
                       core::InitPolicy init, std::uint64_t seed,
                       beep::Round max_rounds, std::int32_t c1 = 0,
                       obs::MetricsRegistry* metrics = nullptr,
-                      obs::RoundObserver* observer = nullptr);
+                      obs::RoundObserver* observer = nullptr,
+                      core::EngineKind kind = core::EngineKind::Auto);
 
 /// A generous default budget: stabilization is Θ(log n), so this failing
 /// indicates a real bug rather than bad luck.

@@ -1,61 +1,9 @@
 #include "src/exp/sweep.hpp"
 
-#include "src/core/fast_engine.hpp"
-#include "src/mis/verifier.hpp"
 #include "src/obs/timing.hpp"
 #include "src/support/check.hpp"
 
 namespace beepmis::exp {
-
-namespace {
-
-/// Fast-engine path (uniform-random init). Both engine classes share the
-/// same interface surface; run the appropriate one per variant.
-template <typename Engine>
-RunResult run_fast_engine(Engine& engine, const graph::Graph& g,
-                          beep::Round max_rounds) {
-  RunResult r;
-  r.rounds = engine.run_to_stabilization(max_rounds);
-  r.stabilized = engine.is_stabilized();
-  const auto members = engine.mis_members();
-  r.mis_size = mis::member_count(members);
-  r.valid_mis = mis::is_mis(g, members);
-  return r;
-}
-
-RunResult run_fast(const graph::Graph& g, Variant variant, std::uint64_t seed,
-                   beep::Round max_rounds, std::int32_t c1,
-                   obs::MetricsRegistry* metrics,
-                   obs::RoundObserver* observer) {
-  support::Rng init_rng = support::Rng(seed).derive_stream(0xfadedcafe);
-  if (variant == Variant::TwoChannel) {
-    core::FastMisEngine2 engine(
-        g, core::lmax_one_hop(g, c1 ? c1 : core::kC1TwoChannel), seed);
-    engine.set_observer(observer);
-    engine.set_metrics(metrics);
-    // Mirrors SelfStabMisTwoChannel::corrupt_node draw-for-draw.
-    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
-      engine.set_level(
-          v, static_cast<std::int32_t>(init_rng.below(
-                 static_cast<std::uint64_t>(engine.lmax(v)) + 1)));
-    return run_fast_engine(engine, g, max_rounds);
-  }
-  core::LmaxVector lmax =
-      variant == Variant::GlobalDelta
-          ? core::lmax_global_delta(g, c1 ? c1 : core::kC1GlobalDelta)
-          : core::lmax_own_degree(g, c1 ? c1 : core::kC1OwnDegree);
-  core::FastMisEngine engine(g, std::move(lmax), seed);
-  engine.set_observer(observer);
-  engine.set_metrics(metrics);
-  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
-    const auto span = static_cast<std::uint64_t>(2 * engine.lmax(v) + 1);
-    engine.set_level(
-        v, static_cast<std::int32_t>(init_rng.below(span)) - engine.lmax(v));
-  }
-  return run_fast_engine(engine, g, max_rounds);
-}
-
-}  // namespace
 
 std::vector<SweepPoint> run_scaling_sweep(Family family,
                                           const SweepConfig& config) {
@@ -74,17 +22,12 @@ std::vector<SweepPoint> run_scaling_sweep(Family family,
       support::Rng graph_rng = support::Rng(seed).derive_stream(0x6ea9);
       const graph::Graph g = make_family(family, n, graph_rng);
       pt.n = g.vertex_count();
-      const bool fast = config.use_fast_engine &&
-                        config.init == core::InitPolicy::UniformRandom;
       RunResult r;
       {
         obs::ScopedTimer run_timer(config.metrics, "sweep.run");
-        r = fast ? run_fast(g, config.variant, seed,
-                            default_round_budget(g.vertex_count()), config.c1,
-                            config.metrics, config.observer)
-                 : run_variant(g, config.variant, config.init, seed,
-                               default_round_budget(g.vertex_count()),
-                               config.c1, config.metrics, config.observer);
+        r = run_variant(g, config.variant, config.init, seed,
+                        default_round_budget(g.vertex_count()), config.c1,
+                        config.metrics, config.observer, config.engine);
       }
       if (config.metrics != nullptr) {
         config.metrics->counter("sweep.runs_total").inc();

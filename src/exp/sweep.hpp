@@ -30,10 +30,12 @@ struct SweepConfig {
   std::size_t seeds = 20;           ///< runs per (family, n)
   std::uint64_t base_seed = 1;
   std::int32_t c1 = 0;              ///< 0 = paper default for the variant
-  /// Run on the fast engines (proven round-identical to the reference
-  /// simulator; see test_fast_engine.cpp) — enables larger n ladders.
-  /// Requires init == UniformRandom.
-  bool use_fast_engine = false;
+  /// Executor selection, routed through core::make_engine. Auto resolves to
+  /// the fast engine for every variant and init policy (proven
+  /// round-identical to the reference simulator; see test_fast_engine.cpp),
+  /// so sweeps never fall back to the slow path; Reference exists for
+  /// cross-checks.
+  core::EngineKind engine = core::EngineKind::Auto;
   /// Optional telemetry: per-run wall time ("sweep.run" timer), the
   /// "sweep.rounds_to_stabilize" histogram and sweep.* counters land here;
   /// the fast engines also route their internal timers into it.

@@ -70,6 +70,29 @@ class JsonlSink final : public RoundObserver {
   std::uint64_t lines_ = 0;
 };
 
+/// Fans one event stream out to several observers. core::Engine exposes a
+/// single set_observer slot; compose with this when a run needs an event
+/// sink, a progress meter and a trace collector at once.
+class TeeObserver final : public RoundObserver {
+ public:
+  void add(RoundObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+  bool empty() const noexcept { return observers_.empty(); }
+
+  void on_round(const RoundEvent& event) override {
+    for (RoundObserver* o : observers_) o->on_round(event);
+  }
+  bool wants_analysis() const override {
+    for (const RoundObserver* o : observers_)
+      if (o->wants_analysis()) return true;
+    return false;
+  }
+
+ private:
+  std::vector<RoundObserver*> observers_;
+};
+
 /// Buffers events in memory — for tests and for post-run aggregation.
 class MemorySink final : public RoundObserver {
  public:

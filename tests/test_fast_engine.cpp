@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
+#include "src/beep/fault.hpp"
 #include "src/beep/network.hpp"
+#include "src/core/engine.hpp"
 #include "src/core/init.hpp"
 #include "src/core/selfstab_mis.hpp"
 #include "src/core/selfstab_mis2.hpp"
@@ -22,10 +26,81 @@ struct Reference {
 };
 
 Reference make_reference(const graph::Graph& g, const LmaxVector& lmax,
-                         std::uint64_t seed) {
+                         std::uint64_t seed, beep::ChannelNoise noise = {},
+                         beep::Duplex duplex = beep::Duplex::Full) {
   auto a = std::make_unique<SelfStabMis>(g, lmax);
   auto* raw = a.get();
-  return {std::make_unique<beep::Simulation>(g, std::move(a), seed), raw};
+  return {std::make_unique<beep::Simulation>(g, std::move(a), seed, noise,
+                                             duplex),
+          raw};
+}
+
+/// Same for Algorithm 2.
+struct Reference2 {
+  std::unique_ptr<beep::Simulation> sim;
+  SelfStabMisTwoChannel* algo;
+};
+
+Reference2 make_reference2(const graph::Graph& g, const LmaxVector& lmax,
+                           std::uint64_t seed, beep::ChannelNoise noise = {},
+                           beep::Duplex duplex = beep::Duplex::Full) {
+  auto a = std::make_unique<SelfStabMisTwoChannel>(g, lmax);
+  auto* raw = a.get();
+  return {std::make_unique<beep::Simulation>(g, std::move(a), seed, noise,
+                                             duplex),
+          raw};
+}
+
+/// Drives a (reference simulation, fast engine) pair in lockstep for
+/// `rounds` rounds, asserting level-for-level equality after every round
+/// and event-for-event equality at the end. At each round listed in
+/// `corrupt_at`, `corrupt_count` random nodes are corrupted on both sides
+/// with identically-seeded streams (FaultInjector on the simulation, the
+/// engine-level corrupt_random on the fast path).
+template <typename Algo, typename Fast>
+void run_lockstep(const graph::Graph& g, beep::Simulation& sim, Algo* ref,
+                  Fast& fast, int rounds,
+                  const std::vector<int>& corrupt_at = {},
+                  std::size_t corrupt_count = 0) {
+  obs::MemorySink ref_sink(/*with_analysis=*/true);
+  obs::MemorySink fast_sink(/*with_analysis=*/true);
+  sim.add_observer(&ref_sink);
+  fast.set_observer(&fast_sink);
+  support::Rng ref_frng = support::Rng(0xfa17).derive_stream(9);
+  support::Rng fast_frng = support::Rng(0xfa17).derive_stream(9);
+  for (int r = 0; r < rounds; ++r) {
+    if (std::find(corrupt_at.begin(), corrupt_at.end(), r) !=
+        corrupt_at.end()) {
+      const auto ref_chosen =
+          beep::FaultInjector::corrupt_random(sim, corrupt_count, ref_frng);
+      const auto fast_chosen = corrupt_random(fast, corrupt_count, fast_frng);
+      ASSERT_EQ(ref_chosen, fast_chosen) << g.name() << " round " << r;
+      for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+        ASSERT_EQ(fast.level(v), ref->level(v))
+            << g.name() << " post-corrupt round " << r << " vertex " << v;
+    }
+    sim.step();
+    fast.step();
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+      ASSERT_EQ(fast.level(v), ref->level(v))
+          << g.name() << " round " << r << " vertex " << v;
+  }
+  ASSERT_EQ(ref_sink.events().size(), fast_sink.events().size());
+  for (std::size_t i = 0; i < ref_sink.events().size(); ++i)
+    ASSERT_EQ(ref_sink.events()[i], fast_sink.events()[i])
+        << g.name() << " event " << i;
+}
+
+/// Identical arbitrary starting levels on both sides of a pair, via
+/// identical corrupt draws (the standard trick of the equivalence tests).
+template <typename Algo, typename Fast>
+void corrupt_init(const graph::Graph& g, Algo* ref, Fast& fast,
+                  std::uint64_t seed) {
+  support::Rng c(seed);
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+    ref->corrupt_node(v, c);
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+    fast.set_level(v, ref->level(v));
 }
 
 TEST(FastEngine, RoundForRoundIdenticalToReferenceSimulator) {
@@ -184,6 +259,157 @@ TEST(FastEngine2Death, NegativeLevelRejected) {
   const auto g = graph::make_path(3);
   FastMisEngine2 fast(g, LmaxVector(3, 4), 1);
   EXPECT_DEATH(fast.set_level(0, -1), "outside");
+}
+
+// --- Full model surface on the fast path: faults, noise, half-duplex ----
+//
+// Each test drives the fast engine and beep::Simulation in lockstep under
+// the same seed and asserts level-for-level AND event-for-event equality —
+// the same standard of proof the plain equivalence tests set, now for the
+// extended model features.
+
+TEST(FastEngineFaults, RandomCorruptionStreamIdenticalAlg1) {
+  // Corrupt random nodes at random rounds — some waves land mid-convergence,
+  // some after stabilization — and require exact agreement throughout.
+  support::Rng grng(21);
+  support::Rng schedule(77);
+  const auto graphs = {
+      graph::make_star(32),
+      graph::make_grid(6, 6),
+      graph::make_erdos_renyi_avg_degree(96, 8.0, grng),
+  };
+  for (const auto& g : graphs) {
+    std::vector<int> corrupt_at;
+    for (int i = 0; i < 5; ++i)
+      corrupt_at.push_back(static_cast<int>(schedule.below(250)));
+    const auto lmax = lmax_global_delta(g);
+    auto ref = make_reference(g, lmax, 123);
+    FastMisEngine fast(g, lmax, 123);
+    corrupt_init(g, ref.algo, fast, 7);
+    run_lockstep(g, *ref.sim, ref.algo, fast, 400, corrupt_at,
+                 /*corrupt_count=*/1 + schedule.below(8));
+  }
+}
+
+TEST(FastEngineFaults, RandomCorruptionStreamIdenticalAlg2) {
+  support::Rng grng(22);
+  support::Rng schedule(78);
+  const auto graphs = {
+      graph::make_star(32),
+      graph::make_erdos_renyi_avg_degree(96, 8.0, grng),
+  };
+  for (const auto& g : graphs) {
+    std::vector<int> corrupt_at;
+    for (int i = 0; i < 5; ++i)
+      corrupt_at.push_back(static_cast<int>(schedule.below(250)));
+    const auto lmax = lmax_one_hop(g);
+    auto ref = make_reference2(g, lmax, 321);
+    FastMisEngine2 fast(g, lmax, 321);
+    corrupt_init(g, ref.algo, fast, 8);
+    run_lockstep(g, *ref.sim, ref.algo, fast, 400, corrupt_at,
+                 /*corrupt_count=*/1 + schedule.below(8));
+  }
+}
+
+TEST(FastEngineFaults, CorruptionAfterStabilizationResettlesLocally) {
+  // The point of the engine-level corrupt: after recovery the settled-set
+  // bookkeeping must again report stabilization and a valid MIS.
+  support::Rng grng(23);
+  const auto g = graph::make_erdos_renyi_avg_degree(128, 8.0, grng);
+  FastMisEngine fast(g, lmax_global_delta(g), 11);
+  ASSERT_GT(fast.run_to_stabilization(100000), 0u);
+  support::Rng frng(5);
+  for (int wave = 0; wave < 4; ++wave) {
+    corrupt_random(fast, 16, frng);
+    fast.run_to_stabilization(100000);
+    ASSERT_TRUE(fast.is_stabilized()) << "wave " << wave;
+    ASSERT_TRUE(mis::is_mis(g, fast.mis_members())) << "wave " << wave;
+  }
+}
+
+TEST(FastEngineNoise, NoisyRunStreamIdenticalAlg1) {
+  const beep::ChannelNoise noise{0.02, 0.05};
+  support::Rng grng(24);
+  const auto graphs = {
+      graph::make_grid(6, 6),
+      graph::make_erdos_renyi_avg_degree(80, 8.0, grng),
+  };
+  for (const auto& g : graphs) {
+    const auto lmax = lmax_global_delta(g);
+    auto ref = make_reference(g, lmax, 55, noise);
+    FastMisEngine fast(g, lmax, 55, noise);
+    corrupt_init(g, ref.algo, fast, 9);
+    run_lockstep(g, *ref.sim, ref.algo, fast, 300);
+  }
+}
+
+TEST(FastEngineNoise, NoisyRunStreamIdenticalAlg2) {
+  const beep::ChannelNoise noise{0.03, 0.04};
+  support::Rng grng(25);
+  const auto graphs = {
+      graph::make_star(32),
+      graph::make_erdos_renyi_avg_degree(80, 8.0, grng),
+  };
+  for (const auto& g : graphs) {
+    const auto lmax = lmax_one_hop(g);
+    auto ref = make_reference2(g, lmax, 56, noise);
+    FastMisEngine2 fast(g, lmax, 56, noise);
+    corrupt_init(g, ref.algo, fast, 10);
+    run_lockstep(g, *ref.sim, ref.algo, fast, 300);
+  }
+}
+
+TEST(FastEngineNoise, NoisyRunWithFaultsStreamIdentical) {
+  // Noise forces the dense path; corruption on top must still agree.
+  support::Rng grng(26);
+  const auto g = graph::make_erdos_renyi_avg_degree(64, 8.0, grng);
+  const beep::ChannelNoise noise{0.01, 0.02};
+  const auto lmax = lmax_global_delta(g);
+  auto ref = make_reference(g, lmax, 57, noise);
+  FastMisEngine fast(g, lmax, 57, noise);
+  corrupt_init(g, ref.algo, fast, 11);
+  run_lockstep(g, *ref.sim, ref.algo, fast, 200, {20, 60, 100}, 5);
+}
+
+TEST(FastEngineDuplex, HalfDuplexStreamIdenticalAlg1) {
+  support::Rng grng(27);
+  const auto graphs = {
+      graph::make_star(32),
+      graph::make_grid(6, 6),
+      graph::make_erdos_renyi_avg_degree(80, 8.0, grng),
+  };
+  for (const auto& g : graphs) {
+    const auto lmax = lmax_global_delta(g);
+    auto ref = make_reference(g, lmax, 58, {}, beep::Duplex::Half);
+    FastMisEngine fast(g, lmax, 58, {}, beep::Duplex::Half);
+    corrupt_init(g, ref.algo, fast, 12);
+    run_lockstep(g, *ref.sim, ref.algo, fast, 300);
+  }
+}
+
+TEST(FastEngineDuplex, HalfDuplexStreamIdenticalAlg2) {
+  support::Rng grng(28);
+  const auto graphs = {
+      graph::make_star(32),
+      graph::make_erdos_renyi_avg_degree(80, 8.0, grng),
+  };
+  for (const auto& g : graphs) {
+    const auto lmax = lmax_one_hop(g);
+    auto ref = make_reference2(g, lmax, 59, {}, beep::Duplex::Half);
+    FastMisEngine2 fast(g, lmax, 59, {}, beep::Duplex::Half);
+    corrupt_init(g, ref.algo, fast, 13);
+    run_lockstep(g, *ref.sim, ref.algo, fast, 300);
+  }
+}
+
+TEST(FastEngineDuplex, HalfDuplexWithFaultsStreamIdentical) {
+  support::Rng grng(29);
+  const auto g = graph::make_erdos_renyi_avg_degree(96, 8.0, grng);
+  const auto lmax = lmax_global_delta(g);
+  auto ref = make_reference(g, lmax, 60, {}, beep::Duplex::Half);
+  FastMisEngine fast(g, lmax, 60, {}, beep::Duplex::Half);
+  corrupt_init(g, ref.algo, fast, 14);
+  run_lockstep(g, *ref.sim, ref.algo, fast, 300, {30, 90, 150}, 7);
 }
 
 }  // namespace

@@ -609,7 +609,10 @@ TEST(FastEngineEvents, EngineTimersLandInRegistry) {
   fast.set_metrics(&reg);
   fast.set_level(0, 1);  // dirty the settlement cache
   fast.step();
-  EXPECT_GE(reg.timer("fast_engine.refresh_settlement").count(), 1u);
+  // Timer keys carry the variant tag so two engines sharing a registry
+  // don't blend their timings.
+  EXPECT_GE(reg.timer("fast_engine.alg1.refresh_settlement").count(), 1u);
+  EXPECT_EQ(reg.timer("fast_engine.refresh_settlement").count(), 0u);
 }
 
 }  // namespace

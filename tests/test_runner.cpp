@@ -110,8 +110,9 @@ TEST(Sweep, FastEngineSweepAgreesWithGenericInDistribution) {
   generic.init = core::InitPolicy::UniformRandom;
   generic.sizes = {64, 128};
   generic.seeds = 5;
+  generic.engine = core::EngineKind::Reference;
   SweepConfig fast = generic;
-  fast.use_fast_engine = true;
+  fast.engine = core::EngineKind::Fast;
   const auto a = run_scaling_sweep(Family::Random4Regular, generic);
   const auto b = run_scaling_sweep(Family::Random4Regular, fast);
   ASSERT_EQ(a.size(), b.size());
@@ -128,8 +129,9 @@ TEST(Sweep, FastEngineTwoChannelAgreesWithGeneric) {
   generic.init = core::InitPolicy::UniformRandom;
   generic.sizes = {64, 128};
   generic.seeds = 5;
+  generic.engine = core::EngineKind::Reference;
   SweepConfig fast = generic;
-  fast.use_fast_engine = true;
+  fast.engine = core::EngineKind::Fast;
   const auto a = run_scaling_sweep(Family::Torus, generic);
   const auto b = run_scaling_sweep(Family::Torus, fast);
   ASSERT_EQ(a.size(), b.size());

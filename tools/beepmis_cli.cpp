@@ -16,9 +16,7 @@
 #include "src/baselines/afek_noknow.hpp"
 #include "src/baselines/jsx.hpp"
 #include "src/baselines/luby.hpp"
-#include "src/beep/fault.hpp"
-#include "src/beep/trace.hpp"
-#include "src/exp/convlog.hpp"
+#include "src/core/engine.hpp"
 #include "src/exp/families.hpp"
 #include "src/exp/runner.hpp"
 #include "src/graph/io.hpp"
@@ -92,42 +90,38 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
                  exp::Variant variant) {
   const auto wall_start = std::chrono::steady_clock::now();
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-  beep::ChannelNoise noise{args.get_double("noise-fp"),
-                           args.get_double("noise-fn")};
 
-  std::unique_ptr<beep::BeepingAlgorithm> algo;
-  const auto c1 = static_cast<std::int32_t>(args.get_int("c1"));
-  switch (variant) {
-    case exp::Variant::GlobalDelta:
-      algo = std::make_unique<core::SelfStabMis>(
-          g, core::lmax_global_delta(g, c1 ? c1 : core::kC1GlobalDelta),
-          core::Knowledge::GlobalMaxDegree);
-      break;
-    case exp::Variant::OwnDegree:
-      algo = std::make_unique<core::SelfStabMis>(
-          g, core::lmax_own_degree(g, c1 ? c1 : core::kC1OwnDegree),
-          core::Knowledge::OwnDegree);
-      break;
-    case exp::Variant::TwoChannel:
-      algo = std::make_unique<core::SelfStabMisTwoChannel>(
-          g, core::lmax_one_hop(g, c1 ? c1 : core::kC1TwoChannel),
-          core::Knowledge::OneHopMaxDegree);
-      break;
+  core::EngineConfig config;
+  config.variant = variant;
+  config.seed = seed;
+  config.c1 = static_cast<std::int32_t>(args.get_int("c1"));
+  config.noise = beep::ChannelNoise{args.get_double("noise-fp"),
+                                    args.get_double("noise-fn")};
+  if (!core::parse_engine_kind(args.get("engine"), &config.kind)) {
+    std::cerr << "unknown engine: " << args.get("engine")
+              << " (try auto, fast, reference)\n";
+    std::exit(2);
   }
-  beep::Simulation sim(g, std::move(algo), seed, noise);
+  if (const std::string& d = args.get("duplex"); d == "half") {
+    config.duplex = beep::Duplex::Half;
+  } else if (d != "full") {
+    std::cerr << "unknown duplex mode: " << d << " (try full, half)\n";
+    std::exit(2);
+  }
+  auto engine = core::make_engine(g, config);
 
   support::Rng init_rng = support::Rng(seed).derive_stream(0xfadedcafe);
-  exp::apply_init(sim, parse_init(args.get("init")), init_rng);
+  core::apply_init(*engine, parse_init(args.get("init")), init_rng);
 
   const auto budget = static_cast<beep::Round>(args.get_int("max-rounds"));
-  beep::Trace trace;
-  exp::ConvergenceLog convlog;
   const bool tracing = args.flag("trace");
   const bool charting = !args.get("svg").empty();
 
   // Telemetry: registry always exists (near-free when unused); the event
-  // sink and heartbeat are attached only when asked for.
+  // sink, heartbeat and in-memory round log are attached only when asked
+  // for. The engine has a single observer slot, so compose via a tee.
   obs::MetricsRegistry metrics;
+  obs::TeeObserver tee;
   std::ofstream events_file;
   std::unique_ptr<obs::JsonlSink> events;
   if (const std::string& path = args.get("events-out"); !path.empty()) {
@@ -138,25 +132,20 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
     }
     events = std::make_unique<obs::JsonlSink>(events_file,
                                               /*with_analysis=*/true);
-    sim.add_observer(events.get());
+    tee.add(events.get());
   }
   ProgressMeter progress(
       static_cast<std::uint64_t>(args.get_int("progress")));
-  if (progress.interval() > 0) sim.add_observer(&progress);
+  if (progress.interval() > 0) tee.add(&progress);
+  obs::MemorySink rounds_log;
+  if (tracing || charting) tee.add(&rounds_log);
+  if (!tee.empty()) engine->set_observer(&tee);
+  engine->set_metrics(&metrics);
 
   auto run_once = [&](const char* label) {
-    const auto start = sim.round();
-    {
-      obs::ScopedTimer timer(&metrics, "cli.run");
-      while (!exp::selfstab_stabilized(sim) && sim.round() - start < budget) {
-        sim.step();
-        if (tracing) trace.observe(sim);
-        if (charting) convlog.observe(sim);
-      }
-    }
-    const auto members = exp::selfstab_mis_members(sim);
-    const bool ok = exp::selfstab_stabilized(sim);
-    const auto rounds = sim.round() - start;
+    const auto rounds = engine->run_to_stabilization(budget);
+    const auto members = engine->mis_members();
+    const bool ok = engine->is_stabilized();
     metrics.counter("cli.runs_total").inc();
     metrics.counter("cli.rounds_total").inc(rounds);
     metrics.histogram("cli.rounds_to_stabilize").record(rounds);
@@ -168,27 +157,32 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
     return ok;
   };
 
-  bool ok = run_once("run");
-  support::Rng frng = support::Rng(seed).derive_stream(0xfa17);
-  const auto faults = static_cast<std::size_t>(args.get_int("faults"));
-  for (std::int64_t w = 0; w < args.get_int("waves") && faults; ++w) {
-    beep::FaultInjector::corrupt_random(sim, faults, frng);
-    char label[32];
-    std::snprintf(label, sizeof label, "wave %lld", static_cast<long long>(w + 1));
-    ok = run_once(label) && ok;
+  bool ok;
+  {
+    obs::ScopedTimer timer(&metrics, "cli.run");
+    ok = run_once("run");
+    support::Rng frng = support::Rng(seed).derive_stream(0xfa17);
+    const auto faults = static_cast<std::size_t>(args.get_int("faults"));
+    for (std::int64_t w = 0; w < args.get_int("waves") && faults; ++w) {
+      core::corrupt_random(*engine, faults, frng);
+      char label[32];
+      std::snprintf(label, sizeof label, "wave %lld",
+                    static_cast<long long>(w + 1));
+      ok = run_once(label) && ok;
+    }
   }
 
   if (charting) {
     support::SvgChart chart("beepmis convergence (" + g.name() + ")",
                             "round", "vertices");
     std::vector<std::pair<double, double>> stable, mis, prominent;
-    for (const auto& p : convlog.points()) {
-      stable.emplace_back(static_cast<double>(p.round),
-                          static_cast<double>(p.stable));
-      mis.emplace_back(static_cast<double>(p.round),
-                       static_cast<double>(p.mis));
-      prominent.emplace_back(static_cast<double>(p.round),
-                             static_cast<double>(p.prominent));
+    for (const auto& e : rounds_log.events()) {
+      stable.emplace_back(static_cast<double>(e.round),
+                          static_cast<double>(e.stable));
+      mis.emplace_back(static_cast<double>(e.round),
+                       static_cast<double>(e.mis));
+      prominent.emplace_back(static_cast<double>(e.round),
+                             static_cast<double>(e.prominent));
     }
     if (!stable.empty()) {
       chart.add_series("stable |S_t|", std::move(stable));
@@ -203,10 +197,10 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
   if (tracing) {
     std::printf(
         "\nround, beeps_ch1, beeps_ch2, heard_ch1, heard_ch2, heard_any\n");
-    for (const auto& r : trace.records())
+    for (const auto& e : rounds_log.events())
       std::printf("%llu, %u, %u, %u, %u, %u\n",
-                  static_cast<unsigned long long>(r.round), r.beeps_ch1,
-                  r.beeps_ch2, r.heard_ch1, r.heard_ch2, r.heard_any);
+                  static_cast<unsigned long long>(e.round), e.beeps_ch1,
+                  e.beeps_ch2, e.heard_ch1, e.heard_ch2, e.heard_any);
   }
 
   if (events) {
@@ -226,15 +220,19 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
     man.max_degree = g.max_degree();
     man.algorithm = exp::variant_name(variant);
     man.init_policy = args.get("init");
-    man.c1 = c1 ? c1
-                : (variant == exp::Variant::GlobalDelta ? core::kC1GlobalDelta
-                   : variant == exp::Variant::OwnDegree ? core::kC1OwnDegree
-                                                        : core::kC1TwoChannel);
+    man.c1 = config.c1
+                 ? config.c1
+                 : (variant == exp::Variant::GlobalDelta ? core::kC1GlobalDelta
+                    : variant == exp::Variant::OwnDegree ? core::kC1OwnDegree
+                                                         : core::kC1TwoChannel);
     man.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - wall_start)
                       .count();
     man.add_extra("stabilized", ok ? "yes" : "no");
-    man.add_extra("rounds_total", std::to_string(sim.round()));
+    man.add_extra("rounds_total", std::to_string(engine->round()));
+    man.add_extra("engine", engine->name());
+    man.add_extra("engine_requested", core::engine_kind_name(config.kind));
+    man.add_extra("duplex", args.get("duplex"));
     man.add_extra("faults_per_wave", args.get("faults"));
     man.add_extra("waves", args.get("waves"));
     man.add_extra("noise_fp", args.get("noise-fp"));
@@ -358,6 +356,11 @@ int main(int argc, char** argv) {
   args.add_option("waves", "0", "number of fault waves after stabilization");
   args.add_option("noise-fp", "0", "receiver false-positive rate (extension)");
   args.add_option("noise-fn", "0", "receiver false-negative rate (extension)");
+  args.add_option("engine", "auto",
+                  "executor for self-stab variants: auto | fast | reference "
+                  "(auto picks the fast engine; both are stream-identical)");
+  args.add_option("duplex", "full",
+                  "radio model: full (hear while beeping) | half");
   args.add_option("alpha", "3", "ruling-set separation (algorithm=ruling)");
   args.add_option("svg", "", "write a convergence chart to this SVG file");
   args.add_option("metrics-out", "",

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "src/beep/fault.hpp"
+#include "src/core/engine.hpp"
 #include "src/core/transfer.hpp"
 #include "src/exp/families.hpp"
 #include "src/exp/runner.hpp"
@@ -52,22 +52,28 @@ Scenario draw_scenario(support::Rng& rng) {
 }
 
 bool run_scenario(const Scenario& s, std::uint64_t seed,
-                  obs::MetricsRegistry& metrics) {
+                  core::EngineKind kind, obs::MetricsRegistry& metrics) {
   obs::ScopedTimer timer(&metrics, "soak.scenario");
   support::Rng grng = support::Rng(seed).derive_stream(1);
   graph::Graph g = exp::make_family(s.family, s.n, grng);
-  auto sim = exp::make_selfstab_sim(g, s.variant, seed);
+  core::EngineConfig config;
+  config.variant = s.variant;
+  config.kind = kind;
+  config.seed = seed;
+  auto engine = core::make_engine(g, config);
+  engine->set_metrics(&metrics);
   support::Rng irng = support::Rng(seed).derive_stream(2);
-  exp::apply_init(*sim, s.init, irng);
+  core::apply_init(*engine, s.init, irng);
 
   auto check = [&](const char* stage) {
     const auto r = exp::run_to_stabilization(
-        *sim, exp::default_round_budget(g.vertex_count()) * 4, &metrics);
+        *engine, exp::default_round_budget(g.vertex_count()) * 4, &metrics);
     if (!r.stabilized || !r.valid_mis) {
       std::fprintf(stderr,
-                   "VIOLATION at %s: variant=%s family=%s init=%s n=%zu "
-                   "seed=%llu stabilized=%d valid=%d\n",
-                   stage, exp::variant_name(s.variant).c_str(),
+                   "VIOLATION at %s: engine=%s variant=%s family=%s init=%s "
+                   "n=%zu seed=%llu stabilized=%d valid=%d\n",
+                   stage, engine->name().c_str(),
+                   exp::variant_name(s.variant).c_str(),
                    exp::family_name(s.family).c_str(),
                    core::init_policy_name(s.init).c_str(), g.vertex_count(),
                    static_cast<unsigned long long>(seed), r.stabilized,
@@ -81,8 +87,8 @@ bool run_scenario(const Scenario& s, std::uint64_t seed,
 
   support::Rng frng = support::Rng(seed).derive_stream(3);
   for (std::size_t w = 0; w < s.fault_waves; ++w) {
-    beep::FaultInjector::corrupt_random(
-        *sim, std::min(s.fault_size, g.vertex_count()), frng);
+    core::corrupt_random(*engine, std::min(s.fault_size, g.vertex_count()),
+                         frng);
     if (!check("fault wave")) return false;
   }
   return true;
@@ -99,9 +105,18 @@ int main(int argc, char** argv) {
                   "(0 = off)");
   args.add_option("metrics-out", "",
                   "write run manifest + metrics JSON to this file at exit");
+  args.add_option("engine", "auto",
+                  "executor: auto | fast | reference — auto alternates "
+                  "randomly per scenario so both executors get soak coverage");
   std::string error;
   if (!args.parse(argc, argv, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  core::EngineKind requested;
+  if (!core::parse_engine_kind(args.get("engine"), &requested)) {
+    std::fprintf(stderr, "unknown engine: %s (try auto, fast, reference)\n",
+                 args.get("engine").c_str());
     return 2;
   }
 
@@ -117,8 +132,14 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = scenario_rng();
     support::Rng srng(seed);
     const Scenario s = draw_scenario(srng);
+    // Auto alternates between the two executors (still a pure function of
+    // the scenario seed), so a long soak qualifies both code paths.
+    const core::EngineKind kind =
+        requested != core::EngineKind::Auto ? requested
+        : srng.bernoulli(0.5)               ? core::EngineKind::Fast
+                                            : core::EngineKind::Reference;
     metrics.counter("soak.scenarios_total").inc();
-    if (!run_scenario(s, seed, metrics)) {
+    if (!run_scenario(s, seed, kind, metrics)) {
       metrics.counter("soak.violations").inc();
       std::fprintf(stderr, "soak FAILED after %llu scenarios\n",
                    static_cast<unsigned long long>(runs));
@@ -150,6 +171,7 @@ int main(int argc, char** argv) {
                       std::chrono::steady_clock::now() - start)
                       .count();
     man.add_extra("scenarios", std::to_string(runs));
+    man.add_extra("engine", core::engine_kind_name(requested));
     man.add_extra("result", failed ? "FAILED" : "passed");
     std::ofstream mout(path);
     if (!mout) {
