@@ -240,6 +240,34 @@ void BM_FastEngineRun_JsonlSink(benchmark::State& state) {
 }
 BENCHMARK(BM_FastEngineRun_JsonlSink)->Arg(10240);
 
+/// Same workload with a MetricsRegistry attached (set_metrics), so every
+/// settlement refresh feeds both the TimerStat and the streaming quantile
+/// digest — the ratio of this to BM_FastEngineRun_NoSink is the digest
+/// path's wall-clock overhead (budgeted at ≤ 2%).
+void BM_FastEngineRun_Digest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  const auto lmax = core::lmax_global_delta(g);
+  std::uint64_t seed = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    core::FastMisEngine fast(g, lmax, ++seed);
+    obs::MetricsRegistry metrics;
+    fast.set_metrics(&metrics);
+    support::Rng irng(seed);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto span = static_cast<std::uint64_t>(2 * lmax[v] + 1);
+      fast.set_level(v,
+                     static_cast<std::int32_t>(irng.below(span)) - lmax[v]);
+    }
+    rounds += fast.run_to_stabilization(100000);
+    benchmark::DoNotOptimize(fast.round());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FastEngineRun_Digest)->Arg(10240);
+
 void BM_GraphGeneration_ER(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   support::Rng rng(2);

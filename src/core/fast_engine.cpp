@@ -47,7 +47,7 @@ bool FastEngine<Policy>::member_settled(graph::VertexId v) const {
 
 template <typename Policy>
 void FastEngine<Policy>::refresh_settlement() const {
-  obs::ScopedTimer timer(refresh_timer_);
+  obs::ScopedTimer timer(refresh_timer_, refresh_digest_);
   dirty_ = false;
   const std::size_t n = levels_.size();
   std::fill(settled_.begin(), settled_.end(), 0);

@@ -189,11 +189,17 @@ class FastEngine final : public Engine {
   }
   /// Routes internal timers into `registry` (may be null to detach); keyed
   /// by variant ("fast_engine.<tag>.refresh_settlement") so V1 and V2/V3
-  /// timings are not conflated. The TimerStat is resolved once here.
+  /// timings are not conflated. Both the cumulative TimerStat and the
+  /// "...refresh_settlement_ns" duration digest (p50/p95/p99 of individual
+  /// refreshes) are resolved once here.
   void set_metrics(obs::MetricsRegistry* registry) override {
     refresh_timer_ =
         registry ? &registry->timer(std::string("fast_engine.") + Policy::kTag +
                                     ".refresh_settlement")
+                 : nullptr;
+    refresh_digest_ =
+        registry ? &registry->digest(std::string("fast_engine.") +
+                                     Policy::kTag + ".refresh_settlement_ns")
                  : nullptr;
   }
 
@@ -227,6 +233,7 @@ class FastEngine final : public Engine {
   bool dense_ = false;  // noise breaks permanence; run full sweeps
   obs::RoundObserver* observer_ = nullptr;
   obs::TimerStat* refresh_timer_ = nullptr;
+  obs::Digest* refresh_digest_ = nullptr;
 };
 
 extern template class FastEngine<Alg1Policy>;

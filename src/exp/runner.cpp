@@ -84,6 +84,8 @@ RunResult run_to_stabilization(beep::Simulation& sim, beep::Round max_rounds,
     metrics->counter("runner.runs_total").inc();
     metrics->counter("runner.rounds_total").inc(r.rounds);
     metrics->histogram("runner.rounds_to_stabilize").record(r.rounds);
+    metrics->digest("runner.rounds_to_stabilize")
+        .add(static_cast<double>(r.rounds));
     if (!r.stabilized) metrics->counter("runner.budget_exhausted").inc();
     if (!r.valid_mis) metrics->counter("runner.invalid_mis").inc();
   }
@@ -105,6 +107,8 @@ RunResult run_to_stabilization(core::Engine& engine, beep::Round max_rounds,
     metrics->counter("runner.runs_total").inc();
     metrics->counter("runner.rounds_total").inc(r.rounds);
     metrics->histogram("runner.rounds_to_stabilize").record(r.rounds);
+    metrics->digest("runner.rounds_to_stabilize")
+        .add(static_cast<double>(r.rounds));
     if (!r.stabilized) metrics->counter("runner.budget_exhausted").inc();
     if (!r.valid_mis) metrics->counter("runner.invalid_mis").inc();
   }

@@ -33,6 +33,8 @@ std::vector<SweepPoint> run_scaling_sweep(Family family,
         config.metrics->counter("sweep.runs_total").inc();
         config.metrics->histogram("sweep.rounds_to_stabilize")
             .record(r.rounds);
+        config.metrics->digest("sweep.rounds_to_stabilize")
+            .add(static_cast<double>(r.rounds));
         if (!r.stabilized) config.metrics->counter("sweep.failures").inc();
         if (!r.valid_mis) config.metrics->counter("sweep.invalid_mis").inc();
       }

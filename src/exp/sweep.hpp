@@ -5,19 +5,22 @@
 
 #include "src/exp/families.hpp"
 #include "src/exp/runner.hpp"
+#include "src/obs/digest.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/sink.hpp"
 #include "src/support/fit.hpp"
-#include "src/support/stats.hpp"
 #include "src/support/table.hpp"
 
 namespace beepmis::exp {
 
 /// Aggregated stabilization-time measurements at one (family, n) point.
+/// `rounds` is a streaming obs::Digest: exact at the default seed counts
+/// (≤ Digest::kExact samples) and fixed-memory for arbitrarily long sweeps;
+/// support::SampleSet remains the exact oracle used by the tests.
 struct SweepPoint {
   Family family;
   std::size_t n = 0;            ///< actual vertex count of the instance
-  support::SampleSet rounds;    ///< stabilization rounds across seeds
+  obs::Digest rounds;           ///< stabilization rounds across seeds
   std::size_t failures = 0;     ///< runs that did not stabilize in budget
   std::size_t invalid = 0;      ///< runs whose final set was not a valid MIS
 };
@@ -37,8 +40,9 @@ struct SweepConfig {
   /// cross-checks.
   core::EngineKind engine = core::EngineKind::Auto;
   /// Optional telemetry: per-run wall time ("sweep.run" timer), the
-  /// "sweep.rounds_to_stabilize" histogram and sweep.* counters land here;
-  /// the fast engines also route their internal timers into it.
+  /// "sweep.rounds_to_stabilize" histogram + quantile digest and sweep.*
+  /// counters land here; the fast engines also route their internal timers
+  /// and settlement-refresh digests into it.
   obs::MetricsRegistry* metrics = nullptr;
   /// Optional per-round event observer, attached to every run regardless of
   /// the engine (simulation or fast path). One obs::RoundEvent per round.

@@ -1,0 +1,157 @@
+#include "src/obs/digest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.hpp"
+
+namespace beepmis::obs {
+
+void Digest::P2::init(double q) noexcept {
+  target = q;
+  rate = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void Digest::P2::add(double x) noexcept {
+  if (seen < 5) {
+    // Warmup: collect five samples, keep them sorted in height.
+    height[seen] = x;
+    ++seen;
+    if (seen == 5) {
+      std::sort(height.begin(), height.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        pos[i] = static_cast<double>(i + 1);
+        desired[i] = 1.0 + 4.0 * rate[i];
+      }
+    }
+    return;
+  }
+  ++seen;
+
+  // Locate the cell containing x, extending the extreme markers if needed.
+  std::size_t k;
+  if (x < height[0]) {
+    height[0] = x;
+    k = 0;
+  } else if (x >= height[4]) {
+    height[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= height[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) pos[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired[i] += rate[i];
+
+  // Adjust the three interior markers toward their desired positions with
+  // the piecewise-parabolic formula, falling back to linear interpolation
+  // whenever the parabola would break marker monotonicity.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired[i] - pos[i];
+    const double gap_up = pos[i + 1] - pos[i];
+    const double gap_dn = pos[i - 1] - pos[i];
+    if ((d >= 1.0 && gap_up > 1.0) || (d <= -1.0 && gap_dn < -1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      const double hp =
+          height[i] +
+          s / (pos[i + 1] - pos[i - 1]) *
+              ((pos[i] - pos[i - 1] + s) * (height[i + 1] - height[i]) /
+                   gap_up +
+               (pos[i + 1] - pos[i] - s) * (height[i] - height[i - 1]) /
+                   (pos[i] - pos[i - 1]));
+      if (height[i - 1] < hp && hp < height[i + 1]) {
+        height[i] = hp;
+      } else {  // linear step toward the neighbor in the move direction
+        const auto j = static_cast<std::size_t>(
+            static_cast<double>(i) + s);
+        height[i] += s * (height[j] - height[i]) / (pos[j] - pos[i]);
+      }
+      pos[i] += s;
+    }
+  }
+}
+
+double Digest::P2::value() const noexcept {
+  if (seen == 0) return 0.0;
+  if (seen < 5) {
+    // Not enough samples for markers: exact order statistics on the warmup.
+    std::array<double, 5> sorted = height;
+    std::sort(sorted.begin(), sorted.begin() + seen);
+    const double p = target * static_cast<double>(seen - 1);
+    const auto i = static_cast<std::size_t>(p);
+    const double frac = p - static_cast<double>(i);
+    if (i + 1 >= seen) return sorted[seen - 1];
+    return sorted[i] * (1.0 - frac) + sorted[i + 1] * frac;
+  }
+  return height[2];
+}
+
+Digest::Digest() noexcept {
+  for (std::size_t i = 0; i < kTargets.size(); ++i)
+    estimators_[i].init(kTargets[i]);
+}
+
+void Digest::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  if (count_ < kExact) head_[count_] = x;
+  ++count_;
+  sum_ += x;
+  for (P2& e : estimators_) e.add(x);
+}
+
+double Digest::min() const {
+  BEEPMIS_CHECK(count_ > 0, "min of empty digest");
+  return min_;
+}
+
+double Digest::max() const {
+  BEEPMIS_CHECK(count_ > 0, "max of empty digest");
+  return max_;
+}
+
+double Digest::quantile(double q) const {
+  BEEPMIS_CHECK(count_ > 0, "quantile of empty digest");
+  BEEPMIS_CHECK(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
+  if (count_ <= kExact) {
+    // Exact path: same interpolation as support::SampleSet::quantile.
+    std::array<double, kExact> sorted = head_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    if (count_ == 1) return sorted[0];
+    const double p = q * static_cast<double>(count_ - 1);
+    const auto i = static_cast<std::size_t>(p);
+    const double frac = p - static_cast<double>(i);
+    if (i + 1 >= count_) return sorted[count_ - 1];
+    return sorted[i] * (1.0 - frac) + sorted[i + 1] * frac;
+  }
+
+  // Approximate path: interpolate along the monotone anchor curve
+  // (0, min), (kTargets[i], estimate_i), (1, max). Independent P²
+  // estimators are not guaranteed mutually monotone, so clamp as we go.
+  std::array<double, kTargets.size() + 2> qs{};
+  std::array<double, kTargets.size() + 2> vs{};
+  qs[0] = 0.0;
+  vs[0] = min_;
+  for (std::size_t i = 0; i < kTargets.size(); ++i) {
+    qs[i + 1] = kTargets[i];
+    vs[i + 1] = std::clamp(estimators_[i].value(), vs[i], max_);
+  }
+  qs[kTargets.size() + 1] = 1.0;
+  vs[kTargets.size() + 1] = max_;
+
+  for (std::size_t i = 0; i + 1 < qs.size(); ++i) {
+    if (q <= qs[i + 1]) {
+      const double span = qs[i + 1] - qs[i];
+      const double frac = span <= 0.0 ? 0.0 : (q - qs[i]) / span;
+      return vs[i] * (1.0 - frac) + vs[i + 1] * frac;
+    }
+  }
+  return max_;
+}
+
+}  // namespace beepmis::obs

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace beepmis::obs {
+
+/// Streaming quantile estimator: fixed memory, no allocation ever, suitable
+/// for hot paths. Exact for small streams, P²-approximate for large ones.
+///
+/// The first kExact samples are kept verbatim, so any stream that fits the
+/// head buffer answers quantile() exactly — with the same order-statistic
+/// interpolation as support::SampleSet::quantile, which remains the exact
+/// oracle the tests compare against. Beyond that the estimate comes from a
+/// bank of extended-P² marker estimators (Jain & Chlamtac 1985), one per
+/// tracked quantile in kTargets, each holding five markers whose heights are
+/// adjusted with the piecewise-parabolic (P²) rule as samples stream in.
+/// quantile(q) for untracked q interpolates linearly along the monotone
+/// curve (0, min) .. (kTargets[i], estimate_i) .. (1, max).
+///
+/// Accuracy: exact up to kExact samples; for larger random streams the
+/// tracked quantiles are typically within a few percent of exact (the
+/// digest-vs-SampleSet agreement bound is test-enforced in
+/// tests/test_digest.cpp). Untracked quantiles inherit interpolation error
+/// on top and should be treated as envelopes.
+class Digest {
+ public:
+  /// Streams up to this long answer quantile() exactly.
+  static constexpr std::size_t kExact = 64;
+  /// Quantiles tracked by a dedicated P² estimator once the stream outgrows
+  /// the exact head buffer.
+  static constexpr std::array<double, 4> kTargets = {0.5, 0.9, 0.95, 0.99};
+
+  Digest() noexcept;
+
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// min/max/quantile require at least one sample (checked).
+  double min() const;
+  double max() const;
+  /// Estimated q-quantile, q in [0, 1]. Exact while count() <= kExact.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+ private:
+  /// One classic 5-marker P² estimator for a single target quantile.
+  struct P2 {
+    double target = 0.5;
+    std::array<double, 5> height{};    // marker heights (quantile estimates)
+    std::array<double, 5> pos{};       // actual marker positions (1-based)
+    std::array<double, 5> desired{};   // desired marker positions
+    std::array<double, 5> rate{};      // desired-position increments
+    std::size_t seen = 0;              // samples consumed
+
+    void init(double q) noexcept;
+    void add(double x) noexcept;
+    double value() const noexcept;     // current estimate of the target
+  };
+
+  std::array<double, kExact> head_{};  // verbatim first kExact samples
+  std::array<P2, kTargets.size()> estimators_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace beepmis::obs

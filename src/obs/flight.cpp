@@ -1,0 +1,209 @@
+#include "src/obs/flight.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "src/obs/json.hpp"
+#include "src/support/check.hpp"
+
+namespace beepmis::obs {
+
+std::string anomaly_kind_name(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::Stall: return "stall";
+    case AnomalyKind::Lemma31Persistence: return "lemma31-persistence";
+    case AnomalyKind::BeepStorm: return "beep-storm";
+  }
+  return "?";
+}
+
+std::vector<AnomalyKind> AnomalyDetector::observe(const RoundEvent& e) {
+  std::vector<AnomalyKind> fired_now;
+  const auto fire = [&](AnomalyKind kind) {
+    bool& latch = fired_[static_cast<std::size_t>(kind)];
+    if (!latch) {
+      latch = true;
+      fired_now.push_back(kind);
+    }
+  };
+
+  if (config_.expected_rounds > 0 && e.active > 0 &&
+      e.round > stall_threshold()) {
+    fire(AnomalyKind::Stall);
+  }
+
+  if (config_.check_lemma31 && config_.lemma_window > 0 &&
+      config_.expected_rounds > 0 && e.has_analysis &&
+      e.round > config_.expected_rounds) {
+    lemma_run_ = e.lemma31_violations > 0 ? lemma_run_ + 1 : 0;
+    if (lemma_run_ >= config_.lemma_window) fire(AnomalyKind::Lemma31Persistence);
+  }
+
+  if (config_.storm_window > 0 && config_.n > 0) {
+    const bool saturated =
+        static_cast<double>(e.heard_any) >=
+        config_.storm_fraction * static_cast<double>(config_.n);
+    storm_run_ = saturated ? storm_run_ + 1 : 0;
+    if (storm_run_ >= config_.storm_window) fire(AnomalyKind::BeepStorm);
+  }
+
+  return fired_now;
+}
+
+void AnomalyDetector::reset() {
+  fired_[0] = fired_[1] = fired_[2] = false;
+  lemma_run_ = 0;
+  storm_run_ = 0;
+}
+
+FlightRecorder::FlightRecorder(std::size_t ring_capacity,
+                               const AnomalyConfig& anomaly,
+                               FlightContext context)
+    : context_(std::move(context)), detector_(anomaly) {
+  BEEPMIS_CHECK(ring_capacity > 0, "flight recorder needs a non-empty ring");
+  ring_.resize(ring_capacity);
+}
+
+void FlightRecorder::on_round(const RoundEvent& e) {
+  ring_[ring_head_] = e;
+  ring_head_ = (ring_head_ + 1) % ring_.size();
+  if (ring_size_ < ring_.size()) ++ring_size_;
+
+  if (snapshot_every_ > 0 && probe_ && e.round % snapshot_every_ == 0)
+    snapshot(e.round);
+
+  const auto fired = detector_.observe(e);
+  for (AnomalyKind kind : fired) anomalies_.push_back({kind, e.round});
+  if (!fired.empty() && !dump_path_.empty()) auto_dump();
+}
+
+void FlightRecorder::snapshot(std::uint64_t round) {
+  if (snapshots_.size() == kMaxSnapshots)
+    snapshots_.erase(snapshots_.begin());
+  snapshots_.push_back({round, probe_()});
+}
+
+std::vector<RoundEvent> FlightRecorder::ring() const {
+  std::vector<RoundEvent> out;
+  out.reserve(ring_size_);
+  const std::size_t start =
+      ring_size_ < ring_.size() ? 0 : ring_head_;  // oldest element
+  for (std::size_t i = 0; i < ring_size_; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+namespace {
+
+void write_event(JsonWriter& w, const RoundEvent& e) {
+  w.begin_object();
+  w.field("round", e.round);
+  w.field("beeps_ch1", static_cast<std::uint64_t>(e.beeps_ch1));
+  w.field("beeps_ch2", static_cast<std::uint64_t>(e.beeps_ch2));
+  w.field("heard_ch1", static_cast<std::uint64_t>(e.heard_ch1));
+  w.field("heard_ch2", static_cast<std::uint64_t>(e.heard_ch2));
+  w.field("heard_any", static_cast<std::uint64_t>(e.heard_any));
+  w.field("prominent", static_cast<std::uint64_t>(e.prominent));
+  w.field("stable", static_cast<std::uint64_t>(e.stable));
+  w.field("mis", static_cast<std::uint64_t>(e.mis));
+  w.field("active", static_cast<std::uint64_t>(e.active));
+  if (e.has_analysis)
+    w.field("lemma31_violations",
+            static_cast<std::uint64_t>(e.lemma31_violations));
+  w.end_object();
+}
+
+void write_levels(JsonWriter& w, const std::vector<std::int32_t>& levels) {
+  w.begin_array();
+  for (std::int32_t l : levels) w.value(static_cast<std::int64_t>(l));
+  w.end_array();
+}
+
+}  // namespace
+
+void FlightRecorder::write_dump(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "beepmis.dump.v1");
+
+  w.key("context").begin_object();
+  w.field("tool", context_.tool);
+  w.field("seed", context_.seed);
+  w.key("graph").begin_object();
+  w.field("name", context_.graph_name);
+  w.field("family", context_.family);
+  w.field("n", context_.n);
+  w.field("m", context_.m);
+  w.field("max_degree", context_.max_degree);
+  w.end_object();
+  w.field("algorithm", context_.algorithm);
+  w.field("init", context_.init_policy);
+  w.field("engine", context_.engine);
+  w.key("extra").begin_object();
+  for (const auto& [k, v] : context_.extra) w.field(k, v);
+  w.end_object();
+  w.end_object();
+
+  const AnomalyConfig& c = detector_.config();
+  w.key("config").begin_object();
+  w.field("ring_capacity", static_cast<std::uint64_t>(ring_.size()));
+  w.field("n", static_cast<std::uint64_t>(c.n));
+  w.field("expected_rounds", c.expected_rounds);
+  w.field("stall_multiple", c.stall_multiple);
+  w.field("lemma_window", c.lemma_window);
+  w.field("check_lemma31", c.check_lemma31);
+  w.field("storm_fraction", c.storm_fraction);
+  w.field("storm_window", c.storm_window);
+  w.end_object();
+
+  w.key("anomalies").begin_array();
+  for (const Anomaly& a : anomalies_) {
+    w.begin_object();
+    w.field("kind", anomaly_kind_name(a.kind));
+    w.field("round", a.round);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("ring").begin_array();
+  for (const RoundEvent& e : ring()) write_event(w, e);
+  w.end_array();
+
+  w.key("snapshots").begin_array();
+  for (const Snapshot& s : snapshots_) {
+    w.begin_object();
+    w.field("round", s.round);
+    w.key("levels");
+    write_levels(w, s.levels);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("final_levels");
+  if (probe_) {
+    write_levels(w, probe_());
+  } else {
+    w.begin_array().end_array();
+  }
+
+  w.end_object();
+  os << '\n';
+}
+
+void FlightRecorder::auto_dump() {
+  std::ofstream out(dump_path_);
+  if (!out) return;  // best-effort: a failed dump must not kill the run
+  write_dump(out);
+  dumped_ = true;
+}
+
+void FlightRecorder::reset() {
+  ring_head_ = 0;
+  ring_size_ = 0;
+  snapshots_.clear();
+  anomalies_.clear();
+  detector_.reset();
+}
+
+}  // namespace beepmis::obs

@@ -1,0 +1,251 @@
+#include "src/obs/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace beepmis::obs {
+
+const JsonValue& JsonValue::get(const std::string& key) const {
+  static const JsonValue kNull;
+  const auto it = object.find(key);
+  return it == object.end() ? kNull : it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  bool parse(JsonValue* out, std::string* error) {
+    skip_ws();
+    if (!value(out)) return fail(error);
+    skip_ws();
+    if (pos_ != s_.size()) {
+      err_ = "trailing garbage";
+      return fail(error);
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string* error) {
+    if (error != nullptr)
+      *error = err_.empty() ? "syntax error" : err_;
+    if (error != nullptr) *error += " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.compare(pos_, lit.size(), lit) != 0) {
+      err_ = "bad literal";
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      err_ = "expected string";
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) {
+          err_ = "unterminated escape";
+          return false;
+        }
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              err_ = "short \\u escape";
+              return false;
+            }
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                err_ = "bad \\u escape";
+                return false;
+              }
+            }
+            // We only ever emit \u00XX for control characters; decode the
+            // ASCII range and substitute '?' for anything wider.
+            c = cp < 0x80 ? static_cast<char>(cp) : '?';
+            break;
+          }
+          default:
+            err_ = "bad escape";
+            return false;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= s_.size()) {
+      err_ = "unterminated string";
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number(double* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) {
+      err_ = "expected value";
+      return false;
+    }
+    const std::string token(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    *out = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      err_ = "bad number";
+      return false;
+    }
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      err_ = "unexpected end of input";
+      return false;
+    }
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::String;
+      return string(&out->str);
+    }
+    if (c == 't') {
+      out->type = JsonValue::Type::Bool;
+      out->boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out->type = JsonValue::Type::Bool;
+      out->boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out->type = JsonValue::Type::Null;
+      return literal("null");
+    }
+    out->type = JsonValue::Type::Number;
+    return number(&out->number);
+  }
+
+  bool object(JsonValue* out) {
+    out->type = JsonValue::Type::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        err_ = "expected ':'";
+        return false;
+      }
+      ++pos_;
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->object.insert_or_assign(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) {
+        err_ = "unterminated object";
+        return false;
+      }
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      err_ = "expected ',' or '}'";
+      return false;
+    }
+  }
+
+  bool array(JsonValue* out) {
+    out->type = JsonValue::Type::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->array.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) {
+        err_ = "unterminated array";
+        return false;
+      }
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      err_ = "expected ',' or ']'";
+      return false;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue{};
+  return Parser(text).parse(out, error);
+}
+
+}  // namespace beepmis::obs

@@ -33,6 +33,22 @@ bool build_assertions_enabled() {
 #endif
 }
 
+std::string build_git_sha() {
+#ifdef BEEPMIS_GIT_SHA
+  return BEEPMIS_GIT_SHA;
+#else
+  return "";
+#endif
+}
+
+bool build_git_dirty() {
+#if defined(BEEPMIS_GIT_DIRTY) && BEEPMIS_GIT_DIRTY
+  return true;
+#else
+  return false;
+#endif
+}
+
 std::string timestamp_utc() {
   const std::time_t now = std::time(nullptr);
   std::tm tm{};
@@ -69,6 +85,8 @@ void write_run_json(std::ostream& os, const RunManifest& m,
   w.field("compiler", build_compiler());
   w.field("build_type", build_type());
   w.field("assertions", build_assertions_enabled());
+  w.field("git_sha", build_git_sha());
+  w.field("git_dirty", build_git_dirty());
   w.end_object();
 
   w.key("timing").begin_object();

@@ -49,6 +49,14 @@ std::string build_compiler();
 std::string build_type();
 bool build_assertions_enabled();
 
+/// Git provenance captured at configure time (BEEPMIS_GIT_SHA /
+/// BEEPMIS_GIT_DIRTY compile definitions): the short commit hash the binary
+/// was built from (empty when unavailable) and whether the working tree had
+/// uncommitted changes. Lets beepmis_report label baselines with the exact
+/// code revision that produced them.
+std::string build_git_sha();
+bool build_git_dirty();
+
 /// Current UTC time as ISO-8601 ("2026-08-07T12:34:56Z").
 std::string timestamp_utc();
 

@@ -1,10 +1,32 @@
 #include "src/obs/metrics.hpp"
 
+#include <cmath>
 #include <ostream>
 
 #include "src/obs/json.hpp"
+#include "src/support/check.hpp"
 
 namespace beepmis::obs {
+
+std::pair<std::uint64_t, std::uint64_t> Histogram::quantile_bounds(
+    double q) const {
+  BEEPMIS_CHECK(count_ > 0, "quantile_bounds of empty histogram");
+  BEEPMIS_CHECK(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
+  // Rank of the q-th order statistic (1-based, nearest-rank definition).
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (unsigned i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      const std::uint64_t lo =
+          i == 0 ? 0 : (std::uint64_t{1} << (i - 1));
+      return {lo, bucket_upper_bound(i)};
+    }
+  }
+  return {0, bucket_upper_bound(kBuckets - 1)};  // unreachable when count_>0
+}
 
 namespace {
 
@@ -57,6 +79,24 @@ void MetricsRegistry::write_json(std::ostream& os) const {
                            ? 0.0
                            : static_cast<double>(t.total_ns()) /
                                  static_cast<double>(t.count()));
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("digests").begin_object();
+  for (const auto& [name, d] : digests_) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", static_cast<std::uint64_t>(d.count()));
+    if (d.count() > 0) {
+      w.field("min", d.min());
+      w.field("max", d.max());
+      w.field("mean", d.mean());
+      w.field("p50", d.quantile(0.50));
+      w.field("p90", d.quantile(0.90));
+      w.field("p95", d.quantile(0.95));
+      w.field("p99", d.quantile(0.99));
+    }
     w.end_object();
   }
   w.end_object();

@@ -6,6 +6,9 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <utility>
+
+#include "src/obs/digest.hpp"
 
 namespace beepmis::obs {
 
@@ -63,6 +66,13 @@ class Histogram {
     return buckets_;
   }
 
+  /// Exact [lo, hi] value bounds of the bucket holding the q-th order
+  /// statistic (q in [0,1]). The true quantile is guaranteed to lie in the
+  /// returned range — a pow2 envelope, as tight as the bucketing allows.
+  /// Requires at least one recorded sample. Pair with obs::Digest when a
+  /// point estimate (p50/p95/p99) is needed instead of an envelope.
+  std::pair<std::uint64_t, std::uint64_t> quantile_bounds(double q) const;
+
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
@@ -106,10 +116,11 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
   Histogram& histogram(const std::string& name) { return histograms_[name]; }
   TimerStat& timer(const std::string& name) { return timers_[name]; }
+  Digest& digest(const std::string& name) { return digests_[name]; }
 
   bool empty() const noexcept {
     return counters_.empty() && gauges_.empty() && histograms_.empty() &&
-           timers_.empty();
+           timers_.empty() && digests_.empty();
   }
 
   const std::map<std::string, Counter>& counters() const noexcept {
@@ -124,11 +135,15 @@ class MetricsRegistry {
   const std::map<std::string, TimerStat>& timers() const noexcept {
     return timers_;
   }
+  const std::map<std::string, Digest>& digests() const noexcept {
+    return digests_;
+  }
 
   /// Dumps the whole registry as one JSON object:
   ///   {"counters": {...}, "gauges": {...},
   ///    "histograms": {name: {count, sum, buckets: [{le, count}, ...]}},
-  ///    "timers": {name: {count, total_ns, max_ns, mean_ns}}}
+  ///    "timers": {name: {count, total_ns, max_ns, mean_ns}},
+  ///    "digests": {name: {count, min, max, mean, p50, p90, p95, p99}}}
   /// Empty histogram buckets are omitted; bucket `le` is the inclusive
   /// upper bound of the bucket's value range.
   void write_json(std::ostream& os) const;
@@ -138,6 +153,7 @@ class MetricsRegistry {
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
   std::map<std::string, TimerStat> timers_;
+  std::map<std::string, Digest> digests_;
 };
 
 }  // namespace beepmis::obs

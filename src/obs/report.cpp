@@ -1,0 +1,471 @@
+#include "src/obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/obs/json.hpp"
+#include "src/obs/manifest.hpp"
+
+namespace beepmis::obs {
+
+namespace {
+
+constexpr std::string_view kStabSuffix = ".rounds_to_stabilize";
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+}  // namespace
+
+void ReportBuilder::merge_summary(const StabKey& key, std::uint64_t count,
+                                  double mean, double p50, double p95,
+                                  double p99, double lo, double hi,
+                                  bool approximate) {
+  if (count == 0) return;
+  StabAccum& a = stab_[key];
+  const auto w = static_cast<double>(count);
+  a.count += count;
+  a.weighted_mean += w * mean;
+  a.weighted_p50 += w * p50;
+  a.weighted_p95 += w * p95;
+  a.weighted_p99 += w * p99;
+  a.min = a.any ? std::min(a.min, lo) : lo;
+  a.max = a.any ? std::max(a.max, hi) : hi;
+  a.approximate = a.approximate || approximate;
+  a.any = true;
+}
+
+void ReportBuilder::merge_sample(const StabKey& key, double rounds) {
+  merge_summary(key, 1, rounds, rounds, rounds, rounds, rounds, rounds,
+                false);
+}
+
+void ReportBuilder::accumulate_stabilization(const JsonValue& doc) {
+  const StabKey key{doc.get("algorithm").get("name").as_string("?"),
+                    doc.get("graph").get("family").as_string("?"),
+                    static_cast<std::uint64_t>(
+                        doc.get("graph").get("n").as_number(0.0))};
+
+  const JsonValue& metrics = doc.get("metrics");
+  bool found_digest = false;
+  for (const auto& [name, d] : metrics.get("digests").object) {
+    if (!ends_with(name, kStabSuffix)) continue;
+    const auto count =
+        static_cast<std::uint64_t>(d.get("count").as_number(0.0));
+    if (count == 0) continue;
+    found_digest = true;
+    merge_summary(key, count, d.get("mean").as_number(),
+                  d.get("p50").as_number(), d.get("p95").as_number(),
+                  d.get("p99").as_number(), d.get("min").as_number(),
+                  d.get("max").as_number(), /*approximate=*/false);
+  }
+  if (found_digest) return;
+
+  // Fallback for pre-digest artifacts: reconstruct a quantile envelope from
+  // the pow2 histogram (nearest-rank over bucket upper bounds).
+  for (const auto& [name, h] : metrics.get("histograms").object) {
+    if (!ends_with(name, kStabSuffix)) continue;
+    const auto count =
+        static_cast<std::uint64_t>(h.get("count").as_number(0.0));
+    if (count == 0 || !h.get("buckets").is_array()) continue;
+    const auto envelope = [&](double q) {
+      const auto rank = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 std::ceil(q * static_cast<double>(count))));
+      std::uint64_t cumulative = 0;
+      double le = 0.0;
+      for (const JsonValue& bucket : h.get("buckets").array) {
+        le = bucket.get("le").as_number();
+        cumulative += static_cast<std::uint64_t>(
+            bucket.get("count").as_number(0.0));
+        if (cumulative >= rank) break;
+      }
+      return le;
+    };
+    merge_summary(key, count, h.get("mean").as_number(), envelope(0.50),
+                  envelope(0.95), envelope(0.99), 0.0, envelope(1.0),
+                  /*approximate=*/true);
+  }
+}
+
+bool ReportBuilder::add_document(const JsonValue& doc,
+                                 const std::string& source,
+                                 std::string* error) {
+  const std::string schema = doc.get("schema").as_string();
+  if (schema == "beepmis.run.v1") {
+    sources_.push_back(source);
+    accumulate_stabilization(doc);
+    for (const auto& [name, g] : doc.get("metrics").get("gauges").object) {
+      if (!ends_with(name, ".cpu_ns")) continue;
+      current_cpu_ns_[name.substr(0, name.size() - 7)] = g.as_number();
+    }
+    return true;
+  }
+  if (schema == "beepmis.dump.v1") {
+    sources_.push_back(source);
+    for (const JsonValue& a : doc.get("anomalies").array) {
+      dump_anomalies_.push_back({source, a.get("kind").as_string("?"),
+                                 static_cast<std::uint64_t>(
+                                     a.get("round").as_number(0.0))});
+    }
+    return true;
+  }
+  if (error != nullptr)
+    *error = source + ": unrecognized schema \"" + schema + "\"";
+  return false;
+}
+
+std::size_t ReportBuilder::add_events(std::string_view jsonl,
+                                      const std::string& source) {
+  sources_.push_back(source);
+  std::size_t events = 0;
+  std::uint64_t last_round = 0;
+  double stabilized_at = -1.0;
+  std::size_t begin = 0;
+  while (begin < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', begin);
+    if (end == std::string_view::npos) break;  // incomplete trailing line
+    const std::string_view line = jsonl.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    JsonValue v;
+    if (!json_parse(line, &v) || !v.is_object()) continue;
+    ++events;
+    last_round = static_cast<std::uint64_t>(v.get("round").as_number(0.0));
+    if (stabilized_at < 0.0 && v.has("active") &&
+        v.get("active").as_number(1.0) == 0.0) {
+      stabilized_at = v.get("round").as_number();
+    }
+  }
+  if (events > 0) {
+    // One sample per stream: the stabilization round, or the stream length
+    // as a lower bound if the run never settled on record.
+    merge_sample({"(events)", source, 0},
+                 stabilized_at >= 0.0 ? stabilized_at
+                                      : static_cast<double>(last_round));
+  }
+  return events;
+}
+
+bool ReportBuilder::set_baseline(const JsonValue& doc,
+                                 const std::string& source,
+                                 std::string* error) {
+  if (doc.get("schema").as_string() != "beepmis.run.v1") {
+    if (error != nullptr)
+      *error = source + ": baseline must be a beepmis.run.v1 capture";
+    return false;
+  }
+  baseline_cpu_ns_.clear();
+  for (const auto& [name, g] : doc.get("metrics").get("gauges").object) {
+    if (!ends_with(name, ".cpu_ns")) continue;
+    baseline_cpu_ns_[name.substr(0, name.size() - 7)] = g.as_number();
+  }
+  if (baseline_cpu_ns_.empty()) {
+    if (error != nullptr)
+      *error = source + ": baseline has no *.cpu_ns gauges";
+    return false;
+  }
+  const JsonValue& build = doc.get("build");
+  baseline_label_ = source;
+  const std::string sha = build.get("git_sha").as_string();
+  if (!sha.empty()) {
+    baseline_label_ += " @ " + sha;
+    if (build.get("git_dirty").type == JsonValue::Type::Bool &&
+        build.get("git_dirty").boolean)
+      baseline_label_ += "-dirty";
+  }
+  const std::string ts = doc.get("timestamp").as_string();
+  if (!ts.empty()) baseline_label_ += " (" + ts + ")";
+  have_baseline_ = true;
+  return true;
+}
+
+std::vector<ReportBuilder::BenchDelta> ReportBuilder::bench_deltas() const {
+  std::vector<BenchDelta> out;
+  if (!have_baseline_) return out;
+  for (const auto& [name, current] : current_cpu_ns_) {
+    const auto it = baseline_cpu_ns_.find(name);
+    if (it == baseline_cpu_ns_.end() || it->second <= 0.0) continue;
+    out.push_back({name, it->second, current, current / it->second});
+  }
+  return out;
+}
+
+std::vector<ReportBuilder::BenchDelta> ReportBuilder::regressions(
+    double tolerance) const {
+  std::vector<BenchDelta> out;
+  for (const BenchDelta& d : bench_deltas())
+    if (d.ratio > 1.0 + tolerance) out.push_back(d);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.ratio > b.ratio;
+  });
+  return out;
+}
+
+std::vector<ReportBuilder::StabRow> ReportBuilder::stabilization_rows()
+    const {
+  std::vector<StabRow> out;
+  for (const auto& [key, a] : stab_) {
+    const auto w = static_cast<double>(a.count);
+    out.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                   a.count, a.weighted_mean / w, a.weighted_p50 / w,
+                   a.weighted_p95 / w, a.weighted_p99 / w, a.min, a.max,
+                   a.approximate});
+  }
+  return out;
+}
+
+std::vector<ReportBuilder::Speedup> ReportBuilder::speedups() const {
+  // Pair "BM_EngineRun/<variant>_fast/<n>" with its _reference sibling.
+  std::vector<Speedup> out;
+  constexpr std::string_view kPrefix = "BM_EngineRun/";
+  for (const auto& [name, fast_ns] : current_cpu_ns_) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    const std::string tail = name.substr(kPrefix.size());
+    const std::size_t slash = tail.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string run = tail.substr(0, slash);   // "v1_fast"
+    const std::string size = tail.substr(slash + 1);  // "1024"
+    constexpr std::string_view kFast = "_fast";
+    if (!ends_with(run, kFast)) continue;
+    const std::string variant = run.substr(0, run.size() - kFast.size());
+    const auto ref = current_cpu_ns_.find(std::string(kPrefix) + variant +
+                                          "_reference/" + size);
+    if (ref == current_cpu_ns_.end() || fast_ns <= 0.0) continue;
+    out.push_back({variant,
+                   static_cast<std::uint64_t>(std::strtoull(
+                       size.c_str(), nullptr, 10)),
+                   fast_ns, ref->second, ref->second / fast_ns});
+  }
+  return out;
+}
+
+std::vector<ReportBuilder::Overhead> ReportBuilder::overheads() const {
+  // "BM_FastEngineRun_<tag>/<n>" relative to the NoSink run of the same n.
+  std::vector<Overhead> out;
+  constexpr std::string_view kPrefix = "BM_FastEngineRun_";
+  for (const auto& [name, instrumented_ns] : current_cpu_ns_) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    const std::string tail = name.substr(kPrefix.size());
+    const std::size_t slash = tail.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string tag = tail.substr(0, slash);
+    if (tag == "NoSink") continue;
+    const std::string size = tail.substr(slash + 1);
+    const auto bare =
+        current_cpu_ns_.find(std::string(kPrefix) + "NoSink/" + size);
+    if (bare == current_cpu_ns_.end() || bare->second <= 0.0) continue;
+    out.push_back({tag,
+                   static_cast<std::uint64_t>(std::strtoull(
+                       size.c_str(), nullptr, 10)),
+                   instrumented_ns / bare->second - 1.0});
+  }
+  return out;
+}
+
+void ReportBuilder::write_markdown(std::ostream& os,
+                                   double tolerance) const {
+  os << "# beepmis report\n\n";
+  os << "Generated " << timestamp_utc() << " from " << sources_.size()
+     << " input(s):\n\n";
+  for (const std::string& s : sources_) os << "- `" << s << "`\n";
+  os << '\n';
+
+  const auto stab = stabilization_rows();
+  os << "## Stabilization (rounds)\n\n";
+  if (stab.empty()) {
+    os << "No `*.rounds_to_stabilize` data in the inputs.\n\n";
+  } else {
+    os << "| algorithm | family | n | runs | mean | p50 | p95 | p99 | max "
+          "|\n";
+    os << "|---|---|---:|---:|---:|---:|---:|---:|---:|\n";
+    for (const StabRow& r : stab) {
+      os << "| " << r.algorithm << " | " << r.family << " | " << r.n
+         << " | " << r.count << " | " << fmt("%.1f", r.mean) << " | "
+         << fmt("%.1f", r.p50) << (r.approximate ? "~" : "") << " | "
+         << fmt("%.1f", r.p95) << (r.approximate ? "~" : "") << " | "
+         << fmt("%.1f", r.p99) << (r.approximate ? "~" : "") << " | "
+         << fmt("%.1f", r.max) << " |\n";
+    }
+    os << "\n(`~` marks histogram-envelope estimates from pre-digest "
+          "artifacts.)\n\n";
+  }
+
+  const auto speed = speedups();
+  if (!speed.empty()) {
+    os << "## Fast vs reference engine\n\n";
+    os << "| variant | n | fast cpu_ns | reference cpu_ns | speedup |\n";
+    os << "|---|---:|---:|---:|---:|\n";
+    for (const Speedup& s : speed) {
+      os << "| " << s.variant << " | " << s.n << " | "
+         << fmt("%.0f", s.fast_cpu_ns) << " | "
+         << fmt("%.0f", s.reference_cpu_ns) << " | "
+         << fmt("%.2fx", s.speedup) << " |\n";
+    }
+    os << '\n';
+  }
+
+  const auto over = overheads();
+  if (!over.empty()) {
+    os << "## Instrumentation overhead (vs NoSink)\n\n";
+    os << "| observer | n | overhead |\n|---|---:|---:|\n";
+    for (const Overhead& o : over) {
+      os << "| " << o.tag << " | " << o.n << " | "
+         << fmt("%+.2f%%", o.overhead * 100.0) << " |\n";
+    }
+    os << '\n';
+  }
+
+  if (!dump_anomalies_.empty()) {
+    os << "## Flight-recorder anomalies\n\n";
+    os << "| source | kind | round |\n|---|---|---:|\n";
+    for (const DumpAnomaly& a : dump_anomalies_) {
+      os << "| `" << a.source << "` | " << a.kind << " | " << a.round
+         << " |\n";
+    }
+    os << '\n';
+  }
+
+  if (have_baseline_) {
+    os << "## Baseline comparison\n\n";
+    os << "Baseline: " << baseline_label_ << ", tolerance "
+       << fmt("%.0f%%", tolerance * 100.0) << ".\n\n";
+    const auto regs = regressions(tolerance);
+    if (regs.empty()) {
+      os << "No regressions: every shared benchmark is within tolerance "
+            "across " << bench_deltas().size() << " compared benchmarks.\n";
+    } else {
+      os << "**" << regs.size() << " regression(s):**\n\n";
+      os << "| benchmark | baseline cpu_ns | current cpu_ns | ratio |\n";
+      os << "|---|---:|---:|---:|\n";
+      for (const BenchDelta& d : regs) {
+        os << "| " << d.name << " | " << fmt("%.0f", d.baseline_cpu_ns)
+           << " | " << fmt("%.0f", d.current_cpu_ns) << " | "
+           << fmt("%.3f", d.ratio) << " |\n";
+      }
+    }
+    os << '\n';
+  }
+}
+
+void ReportBuilder::write_json(std::ostream& os, double tolerance) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "beepmis.report.v1");
+  w.field("generated", timestamp_utc());
+
+  w.key("inputs").begin_array();
+  for (const std::string& s : sources_) w.value(s);
+  w.end_array();
+
+  w.key("stabilization").begin_array();
+  for (const StabRow& r : stabilization_rows()) {
+    w.begin_object();
+    w.field("algorithm", r.algorithm);
+    w.field("family", r.family);
+    w.field("n", r.n);
+    w.field("count", r.count);
+    w.field("mean", r.mean);
+    w.field("p50", r.p50);
+    w.field("p95", r.p95);
+    w.field("p99", r.p99);
+    w.field("min", r.min);
+    w.field("max", r.max);
+    w.field("approximate", r.approximate);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("speedups").begin_array();
+  for (const Speedup& s : speedups()) {
+    w.begin_object();
+    w.field("variant", s.variant);
+    w.field("n", s.n);
+    w.field("fast_cpu_ns", s.fast_cpu_ns);
+    w.field("reference_cpu_ns", s.reference_cpu_ns);
+    w.field("speedup", s.speedup);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("overheads").begin_array();
+  for (const Overhead& o : overheads()) {
+    w.begin_object();
+    w.field("observer", o.tag);
+    w.field("n", o.n);
+    w.field("overhead", o.overhead);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("anomalies").begin_array();
+  for (const DumpAnomaly& a : dump_anomalies_) {
+    w.begin_object();
+    w.field("source", a.source);
+    w.field("kind", a.kind);
+    w.field("round", a.round);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("baseline").begin_object();
+  w.field("present", have_baseline_);
+  if (have_baseline_) {
+    w.field("label", baseline_label_);
+    w.field("tolerance", tolerance);
+    w.key("regressions").begin_array();
+    for (const BenchDelta& d : regressions(tolerance)) {
+      w.begin_object();
+      w.field("benchmark", d.name);
+      w.field("baseline_cpu_ns", d.baseline_cpu_ns);
+      w.field("current_cpu_ns", d.current_cpu_ns);
+      w.field("ratio", d.ratio);
+      w.end_object();
+    }
+    w.end_array();
+    w.field("compared", static_cast<std::uint64_t>(bench_deltas().size()));
+  }
+  w.end_object();
+
+  w.end_object();
+  os << '\n';
+}
+
+bool report_ingest_file(ReportBuilder& builder, const std::string& path,
+                        std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot open";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JsonValue doc;
+  if (json_parse(text, &doc) && doc.is_object() && doc.has("schema"))
+    return builder.add_document(doc, path, error);
+
+  if (builder.add_events(text, path) == 0) {
+    if (error != nullptr)
+      *error = path + ": neither a known JSON document nor a JSONL "
+               "event stream";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace beepmis::obs

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "src/obs/json_parse.hpp"
+
+namespace beepmis::obs {
+
+/// Aggregates run artifacts — "beepmis.run.v1" manifests (including bench
+/// captures such as BENCH_micro.json), "beepmis.dump.v1" flight-recorder
+/// dumps, and raw JSONL round-event streams — into one report: stabilization
+/// percentiles per (algorithm, family, n), fast-vs-reference speedups, sink
+/// and digest overheads, and an optional baseline comparison that flags
+/// benchmark regressions for CI gating. Renders markdown for humans and a
+/// "beepmis.report.v1" JSON document for machines.
+class ReportBuilder {
+ public:
+  /// One (algorithm, family, n) stabilization cell. Sourced from
+  /// `*.rounds_to_stabilize` digests in manifests (preferred), from the
+  /// matching pow2 histogram's quantile envelope when no digest is present
+  /// (`approximate` is then true), or from raw event streams (one sample per
+  /// stream: the round at which `active` first reached 0).
+  struct StabRow {
+    std::string algorithm;
+    std::string family;
+    std::uint64_t n = 0;
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    bool approximate = false;  ///< histogram envelope, not digest/exact
+  };
+
+  /// One benchmark time compared against the baseline capture.
+  struct BenchDelta {
+    std::string name;           ///< gauge prefix, e.g. "BM_EngineRun/v1_fast/1024"
+    double baseline_cpu_ns = 0.0;
+    double current_cpu_ns = 0.0;
+    double ratio = 0.0;         ///< current / baseline (> 1 means slower)
+  };
+
+  /// Fast-vs-reference engine pairing derived from
+  /// "BM_EngineRun/<variant>_{fast,reference}/<n>" gauges.
+  struct Speedup {
+    std::string variant;
+    std::uint64_t n = 0;
+    double fast_cpu_ns = 0.0;
+    double reference_cpu_ns = 0.0;
+    double speedup = 0.0;       ///< reference / fast
+  };
+
+  /// Instrumented-vs-bare engine run ("BM_FastEngineRun_<tag>/<n>" vs
+  /// "BM_FastEngineRun_NoSink/<n>").
+  struct Overhead {
+    std::string tag;            ///< "JsonlSink", "Digest", ...
+    std::uint64_t n = 0;
+    double overhead = 0.0;      ///< instrumented/bare - 1 (0.02 = +2%)
+  };
+
+  /// Anomaly recorded by an ingested flight-recorder dump.
+  struct DumpAnomaly {
+    std::string source;
+    std::string kind;
+    std::uint64_t round = 0;
+  };
+
+  /// Ingests one parsed artifact. Accepts "beepmis.run.v1" and
+  /// "beepmis.dump.v1"; anything else fails with `error` set. `source` is
+  /// the label used in the report (typically the file name).
+  bool add_document(const JsonValue& doc, const std::string& source,
+                    std::string* error);
+
+  /// Ingests a JSONL round-event stream (one JsonlSink line per round).
+  /// Incomplete trailing lines are ignored; returns the number of complete
+  /// events parsed.
+  std::size_t add_events(std::string_view jsonl, const std::string& source);
+
+  /// Installs the baseline bench capture ("beepmis.run.v1") for regression
+  /// comparison. The baseline is labeled with its build provenance (git SHA
+  /// + dirty flag) in the rendered report.
+  bool set_baseline(const JsonValue& doc, const std::string& source,
+                    std::string* error);
+
+  /// Benchmarks whose cpu_ns grew by more than `tolerance` (fractional; 0.10
+  /// = +10%) relative to the baseline. Empty when no baseline is set.
+  std::vector<BenchDelta> regressions(double tolerance) const;
+
+  std::vector<StabRow> stabilization_rows() const;
+  std::vector<Speedup> speedups() const;
+  std::vector<Overhead> overheads() const;
+  const std::vector<DumpAnomaly>& dump_anomalies() const noexcept {
+    return dump_anomalies_;
+  }
+  /// All baseline-vs-current pairs (not just regressions), sorted by name.
+  std::vector<BenchDelta> bench_deltas() const;
+
+  void write_markdown(std::ostream& os, double tolerance) const;
+  /// Writes the "beepmis.report.v1" document.
+  void write_json(std::ostream& os, double tolerance) const;
+
+ private:
+  struct StabAccum {
+    std::uint64_t count = 0;
+    double weighted_mean = 0.0;  // sum of count*mean contributions
+    double weighted_p50 = 0.0;
+    double weighted_p95 = 0.0;
+    double weighted_p99 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    bool approximate = false;
+    bool any = false;
+  };
+  using StabKey = std::tuple<std::string, std::string, std::uint64_t>;
+
+  void accumulate_stabilization(const JsonValue& doc);
+  void merge_sample(const StabKey& key, double rounds);
+  void merge_summary(const StabKey& key, std::uint64_t count, double mean,
+                     double p50, double p95, double p99, double lo, double hi,
+                     bool approximate);
+
+  std::map<StabKey, StabAccum> stab_;
+  std::map<std::string, double> current_cpu_ns_;   // gauge prefix -> cpu_ns
+  std::map<std::string, double> baseline_cpu_ns_;
+  std::vector<DumpAnomaly> dump_anomalies_;
+  std::vector<std::string> sources_;
+  std::string baseline_label_;
+  bool have_baseline_ = false;
+};
+
+/// Reads a file and ingests it with auto-detection: a document whose body
+/// parses as a single JSON object with a known "schema" goes through
+/// add_document; anything else is treated as a JSONL event stream. Returns
+/// false (with `error`) on unreadable files or unrecognized documents.
+bool report_ingest_file(ReportBuilder& builder, const std::string& path,
+                        std::string* error);
+
+}  // namespace beepmis::obs

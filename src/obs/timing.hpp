@@ -18,8 +18,13 @@ namespace beepmis::obs {
 ///   }
 class ScopedTimer {
  public:
-  explicit ScopedTimer(TimerStat* stat) : stat_(stat) {
-    if (stat_ != nullptr) start_ = std::chrono::steady_clock::now();
+  /// `digest`, when non-null, additionally receives the duration in
+  /// nanoseconds — one clock read pair feeds both the cumulative TimerStat
+  /// and the streaming quantile estimate. Both targets null disarms.
+  explicit ScopedTimer(TimerStat* stat, Digest* digest = nullptr)
+      : stat_(stat), digest_(digest) {
+    if (stat_ != nullptr || digest_ != nullptr)
+      start_ = std::chrono::steady_clock::now();
   }
   /// Convenience: look the timer up by name; `registry` may be null.
   ScopedTimer(MetricsRegistry* registry, const char* name)
@@ -29,15 +34,18 @@ class ScopedTimer {
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
   ~ScopedTimer() {
-    if (stat_ == nullptr) return;
+    if (stat_ == nullptr && digest_ == nullptr) return;
     const auto elapsed = std::chrono::steady_clock::now() - start_;
-    stat_->record_ns(static_cast<std::uint64_t>(
+    const auto ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-            .count()));
+            .count());
+    if (stat_ != nullptr) stat_->record_ns(ns);
+    if (digest_ != nullptr) digest_->add(static_cast<double>(ns));
   }
 
  private:
   TimerStat* stat_;
+  Digest* digest_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,149 @@
+#include "src/obs/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/stats.hpp"
+
+namespace beepmis {
+namespace {
+
+// support::SampleSet is the exact order-statistic oracle throughout.
+
+TEST(Digest, EmptyAndBasicMoments) {
+  obs::Digest d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  d.add(4.0);
+  d.add(2.0);
+  d.add(6.0);
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_DOUBLE_EQ(d.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(d.min(), 2.0);
+  EXPECT_DOUBLE_EQ(d.max(), 6.0);
+}
+
+TEST(Digest, ExactlyMatchesSampleSetWhileInExactRegime) {
+  // Up to kExact samples the digest answers from its verbatim head buffer
+  // with the same interpolation formula as SampleSet — equality is exact,
+  // not approximate, for every q.
+  support::Rng rng(7);
+  obs::Digest d;
+  support::SampleSet exact;
+  for (std::size_t i = 0; i < obs::Digest::kExact; ++i) {
+    const double x = rng.uniform01() * 1000.0;
+    d.add(x);
+    exact.add(x);
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+      ASSERT_DOUBLE_EQ(d.quantile(q), exact.quantile(q))
+          << "q=" << q << " after " << i + 1 << " samples";
+    }
+  }
+}
+
+TEST(Digest, TrackedQuantilesCloseToExactOnUniformData) {
+  support::Rng rng(11);
+  obs::Digest d;
+  support::SampleSet exact;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    const double x = rng.uniform01() * 500.0;
+    d.add(x);
+    exact.add(x);
+  }
+  for (double q : obs::Digest::kTargets) {
+    const double approx = d.quantile(q);
+    const double truth = exact.quantile(q);
+    // P² on well-behaved data stays within a couple percent of the range.
+    EXPECT_NEAR(approx, truth, 0.03 * 500.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(d.min(), exact.min());
+  EXPECT_DOUBLE_EQ(d.max(), exact.max());
+}
+
+TEST(Digest, TrackedQuantilesCloseToExactOnSkewedData) {
+  // Exponential-ish data stresses the parabolic update harder than uniform.
+  support::Rng rng(13);
+  obs::Digest d;
+  support::SampleSet exact;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    const double x = -std::log(1.0 - rng.uniform01());
+    d.add(x);
+    exact.add(x);
+  }
+  for (double q : obs::Digest::kTargets) {
+    const double truth = exact.quantile(q);
+    EXPECT_NEAR(d.quantile(q), truth, 0.10 * truth + 0.05) << "q=" << q;
+  }
+}
+
+TEST(Digest, QuantileIsMonotoneInQ) {
+  support::Rng rng(17);
+  obs::Digest d;
+  for (std::size_t i = 0; i < 5000; ++i) d.add(rng.uniform01() * 42.0);
+  double prev = d.quantile(0.0);
+  for (double q = 0.05; q <= 1.0 + 1e-9; q += 0.05) {
+    const double cur = d.quantile(std::min(q, 1.0));
+    EXPECT_GE(cur, prev - 1e-12) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(Digest, ConstantStreamIsDegenerate) {
+  obs::Digest d;
+  for (int i = 0; i < 1000; ++i) d.add(3.5);
+  for (double q : {0.0, 0.5, 0.95, 1.0}) EXPECT_DOUBLE_EQ(d.quantile(q), 3.5);
+}
+
+TEST(Digest, RegistryIntegrationAndJson) {
+  obs::MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  obs::Digest& d = reg.digest("runner.rounds_to_stabilize");
+  EXPECT_FALSE(reg.empty());
+  for (int i = 1; i <= 100; ++i) d.add(static_cast<double>(i));
+  // Same name resolves to the same digest.
+  EXPECT_EQ(&reg.digest("runner.rounds_to_stabilize"), &d);
+  EXPECT_EQ(reg.digest("runner.rounds_to_stabilize").count(), 100u);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"digests\""), std::string::npos);
+  EXPECT_NE(json.find("\"runner.rounds_to_stabilize\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
+TEST(Histogram, QuantileBoundsBracketExactQuantile) {
+  support::Rng rng(23);
+  obs::Histogram h;
+  support::SampleSet exact;
+  for (std::size_t i = 0; i < 5000; ++i) {
+    const std::uint64_t x = rng.below(100000);
+    h.record(x);
+    exact.add(static_cast<double>(x));
+  }
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const auto [lo, hi] = h.quantile_bounds(q);
+    const double truth = exact.quantile(q);
+    EXPECT_LE(static_cast<double>(lo), truth + 1.0) << "q=" << q;
+    EXPECT_GE(static_cast<double>(hi), truth) << "q=" << q;
+    EXPECT_LE(lo, hi);
+  }
+}
+
+TEST(Histogram, QuantileBoundsOnPointMass) {
+  obs::Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(100);  // bucket (64, 128]
+  const auto [lo, hi] = h.quantile_bounds(0.5);
+  EXPECT_LE(lo, 100u);
+  EXPECT_GE(hi, 100u);
+}
+
+}  // namespace
+}  // namespace beepmis

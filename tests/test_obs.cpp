@@ -417,6 +417,85 @@ TEST(EventStream, JsonlLinesParseIndependently) {
   EXPECT_EQ(parsed, sink.lines_written());
 }
 
+TEST(EventStream, TruncatedJsonlKeepsEveryCompleteLineParseable) {
+  // A crashed or killed run leaves a JSONL file cut mid-line. Every
+  // complete line must still parse on its own — nothing about a line
+  // depends on the lines after it.
+  support::Rng grng(19);
+  const auto g = graph::make_erdos_renyi_avg_degree(48, 6.0, grng);
+  core::SelfStabMis* algo = nullptr;
+  auto sim = make_v1_sim(g, 33, &algo);
+  support::Rng crng(4);
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
+    algo->corrupt_node(v, crng);
+
+  std::ostringstream out;
+  obs::JsonlSink sink(out, /*with_analysis=*/true);
+  sim->add_observer(&sink);
+  for (int r = 0; r < 20; ++r) sim->step();
+  const std::string full = out.str();
+  ASSERT_GE(sink.lines_written(), 20u);
+
+  // Cut in the middle of the final line.
+  const std::size_t last_newline = full.rfind('\n', full.size() - 2);
+  ASSERT_NE(last_newline, std::string::npos);
+  const std::string truncated =
+      full.substr(0, last_newline + 1 + (full.size() - last_newline) / 2);
+  ASSERT_NE(truncated.back(), '\n');  // genuinely mid-line
+
+  std::istringstream lines(truncated);
+  std::string line;
+  std::uint64_t parsed = 0;
+  std::vector<std::string> complete;
+  while (std::getline(lines, line)) complete.push_back(line);
+  ASSERT_FALSE(complete.empty());
+  complete.pop_back();  // the torn fragment
+  for (const std::string& l : complete) {
+    const JsonValue doc = parse_or_die(l);
+    EXPECT_TRUE(doc.has("round"));
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, sink.lines_written() - 1);
+}
+
+namespace {
+
+/// Appends its id to a shared log on every event — order probe for the tee.
+class OrderProbe final : public obs::RoundObserver {
+ public:
+  OrderProbe(int id, std::vector<int>* log, bool wants)
+      : id_(id), log_(log), wants_(wants) {}
+  void on_round(const obs::RoundEvent&) override { log_->push_back(id_); }
+  bool wants_analysis() const override { return wants_; }
+
+ private:
+  int id_;
+  std::vector<int>* log_;
+  bool wants_;
+};
+
+}  // namespace
+
+TEST(EventStream, TeeObserverFansOutInAddOrder) {
+  std::vector<int> log;
+  OrderProbe a(1, &log, false), b(2, &log, false), c(3, &log, true);
+  obs::TeeObserver tee;
+  EXPECT_TRUE(tee.empty());
+  EXPECT_FALSE(tee.wants_analysis());
+  tee.add(&a);
+  tee.add(&b);
+  tee.add(&c);
+  EXPECT_FALSE(tee.empty());
+  EXPECT_TRUE(tee.wants_analysis());  // any child wanting analysis suffices
+
+  obs::RoundEvent e;
+  e.round = 1;
+  tee.on_round(e);
+  e.round = 2;
+  tee.on_round(e);
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 1, 2, 3}));
+}
+
 TEST(EventStream, AnalysisFieldOmittedWhenNotWanted) {
   const auto g = graph::make_path(8);
   core::SelfStabMis* algo = nullptr;

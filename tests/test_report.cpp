@@ -1,0 +1,236 @@
+#include "src/obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/json_parse.hpp"
+
+namespace beepmis {
+namespace {
+
+/// A minimal bench capture: two engine pairs + a sink-overhead pair.
+const char* kBenchCapture = R"({
+  "schema": "beepmis.run.v1", "tool": "bench_e11_micro",
+  "timestamp": "2026-08-07T00:00:00Z", "seed": 0,
+  "graph": {"name": "er", "family": "er-avg8", "n": 0, "m": 0,
+            "max_degree": 0},
+  "algorithm": {"name": "micro-benchmarks", "init": "", "c1": 0},
+  "build": {"compiler": "gcc", "build_type": "Release", "assertions": false,
+            "git_sha": "abc123def456", "git_dirty": false},
+  "timing": {"wall_ms": 1.0}, "extra": {},
+  "metrics": {"counters": {}, "histograms": {}, "timers": {}, "digests": {},
+    "gauges": {
+      "BM_EngineRun/v1_fast/1024.cpu_ns": 1000.0,
+      "BM_EngineRun/v1_reference/1024.cpu_ns": 2000.0,
+      "BM_EngineRun/v3_fast/1024.cpu_ns": 400.0,
+      "BM_EngineRun/v3_reference/1024.cpu_ns": 800.0,
+      "BM_FastEngineRun_NoSink/10240.cpu_ns": 10000.0,
+      "BM_FastEngineRun_Digest/10240.cpu_ns": 10100.0,
+      "BM_FastEngineRun_JsonlSink/10240.cpu_ns": 10500.0
+    }}
+})";
+
+/// A CLI-style manifest with a stabilization digest.
+const char* kRunManifest = R"({
+  "schema": "beepmis.run.v1", "tool": "beepmis_cli",
+  "timestamp": "2026-08-07T00:00:00Z", "seed": 7,
+  "graph": {"name": "er_n512", "family": "er-avg8", "n": 512, "m": 2048,
+            "max_degree": 17},
+  "algorithm": {"name": "V1-global-delta", "init": "uniform-random",
+                "c1": 0},
+  "build": {"compiler": "gcc", "build_type": "Release", "assertions": false},
+  "timing": {"wall_ms": 5.0}, "extra": {},
+  "metrics": {"counters": {}, "gauges": {}, "histograms": {}, "timers": {},
+    "digests": {
+      "runner.rounds_to_stabilize": {"count": 20, "min": 30, "max": 90,
+        "mean": 50.0, "p50": 48.0, "p90": 70.0, "p95": 80.0, "p99": 88.0}
+    }}
+})";
+
+obs::JsonValue parse(const char* text) {
+  obs::JsonValue v;
+  std::string error;
+  EXPECT_TRUE(obs::json_parse(text, &v, &error)) << error;
+  return v;
+}
+
+TEST(Report, SelfComparisonHasNoRegressions) {
+  obs::ReportBuilder b;
+  std::string error;
+  ASSERT_TRUE(b.add_document(parse(kBenchCapture), "bench.json", &error))
+      << error;
+  ASSERT_TRUE(b.set_baseline(parse(kBenchCapture), "bench.json", &error))
+      << error;
+  EXPECT_TRUE(b.regressions(0.10).empty());
+  EXPECT_EQ(b.bench_deltas().size(), 7u);
+}
+
+TEST(Report, SyntheticRegressionIsFlagged) {
+  // Regress one benchmark by 25% in the "current" capture.
+  std::string regressed = kBenchCapture;
+  const std::string needle = "\"BM_EngineRun/v1_fast/1024.cpu_ns\": 1000.0";
+  const auto pos = regressed.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  regressed.replace(pos, needle.size(),
+                    "\"BM_EngineRun/v1_fast/1024.cpu_ns\": 1250.0");
+
+  obs::ReportBuilder b;
+  std::string error;
+  ASSERT_TRUE(
+      b.add_document(parse(regressed.c_str()), "current.json", &error));
+  ASSERT_TRUE(b.set_baseline(parse(kBenchCapture), "old.json", &error));
+
+  const auto regs = b.regressions(0.10);
+  ASSERT_EQ(regs.size(), 1u);
+  EXPECT_EQ(regs[0].name, "BM_EngineRun/v1_fast/1024");
+  EXPECT_NEAR(regs[0].ratio, 1.25, 1e-9);
+  // A generous tolerance waves the same delta through.
+  EXPECT_TRUE(b.regressions(0.30).empty());
+}
+
+TEST(Report, SpeedupAndOverheadTablesFromGauges) {
+  obs::ReportBuilder b;
+  std::string error;
+  ASSERT_TRUE(b.add_document(parse(kBenchCapture), "bench.json", &error));
+
+  const auto speed = b.speedups();
+  ASSERT_EQ(speed.size(), 2u);  // v1 and v3 pairs
+  for (const auto& s : speed) {
+    EXPECT_EQ(s.n, 1024u);
+    EXPECT_NEAR(s.speedup, 2.0, 1e-9);
+  }
+
+  const auto over = b.overheads();
+  ASSERT_EQ(over.size(), 2u);  // Digest and JsonlSink vs NoSink
+  for (const auto& o : over) {
+    if (o.tag == "Digest") EXPECT_NEAR(o.overhead, 0.01, 1e-9);
+    if (o.tag == "JsonlSink") EXPECT_NEAR(o.overhead, 0.05, 1e-9);
+  }
+}
+
+TEST(Report, StabilizationRowsAggregateDigestsByKey) {
+  obs::ReportBuilder b;
+  std::string error;
+  ASSERT_TRUE(b.add_document(parse(kRunManifest), "a.json", &error));
+  ASSERT_TRUE(b.add_document(parse(kRunManifest), "b.json", &error));
+
+  const auto rows = b.stabilization_rows();
+  ASSERT_EQ(rows.size(), 1u);  // same (algorithm, family, n) key merges
+  EXPECT_EQ(rows[0].algorithm, "V1-global-delta");
+  EXPECT_EQ(rows[0].family, "er-avg8");
+  EXPECT_EQ(rows[0].n, 512u);
+  EXPECT_EQ(rows[0].count, 40u);
+  EXPECT_DOUBLE_EQ(rows[0].p95, 80.0);
+  EXPECT_DOUBLE_EQ(rows[0].min, 30.0);
+  EXPECT_DOUBLE_EQ(rows[0].max, 90.0);
+  EXPECT_FALSE(rows[0].approximate);
+}
+
+TEST(Report, HistogramEnvelopeFallbackForPreDigestArtifacts) {
+  const char* legacy = R"({
+    "schema": "beepmis.run.v1", "tool": "beepmis_cli",
+    "timestamp": "t", "seed": 1,
+    "graph": {"name": "g", "family": "torus", "n": 64, "m": 128,
+              "max_degree": 4},
+    "algorithm": {"name": "V2-own-degree", "init": "all-zero", "c1": 0},
+    "build": {}, "timing": {"wall_ms": 1.0}, "extra": {},
+    "metrics": {"counters": {}, "gauges": {}, "timers": {},
+      "histograms": {"runner.rounds_to_stabilize": {
+        "count": 4, "sum": 100, "mean": 25.0,
+        "buckets": [{"le": 16, "count": 1}, {"le": 32, "count": 3}]}}}
+  })";
+  obs::ReportBuilder b;
+  std::string error;
+  ASSERT_TRUE(b.add_document(parse(legacy), "legacy.json", &error)) << error;
+  const auto rows = b.stabilization_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].approximate);
+  EXPECT_EQ(rows[0].count, 4u);
+  EXPECT_DOUBLE_EQ(rows[0].p50, 32.0);  // rank 2 lands in the (16,32] bucket
+}
+
+TEST(Report, EventStreamsYieldOneStabilizationSample) {
+  obs::ReportBuilder b;
+  const std::string jsonl =
+      "{\"round\":1,\"active\":5}\n"
+      "{\"round\":2,\"active\":2}\n"
+      "{\"round\":3,\"active\":0}\n"
+      "{\"round\":4,\"active\":0}\n"
+      "{\"round\":5,\"active\"";  // incomplete trailing line: ignored
+  EXPECT_EQ(b.add_events(jsonl, "run.jsonl"), 4u);
+  const auto rows = b.stabilization_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].p50, 3.0);  // stabilized at round 3
+}
+
+TEST(Report, UnknownSchemaIsRejected) {
+  obs::ReportBuilder b;
+  std::string error;
+  EXPECT_FALSE(
+      b.add_document(parse(R"({"schema": "bogus.v9"})"), "x.json", &error));
+  EXPECT_NE(error.find("bogus.v9"), std::string::npos);
+}
+
+TEST(Report, DumpDocumentContributesAnomalies) {
+  const char* dump = R"({
+    "schema": "beepmis.dump.v1",
+    "context": {}, "config": {},
+    "anomalies": [{"kind": "stall", "round": 123}],
+    "ring": [], "snapshots": [], "final_levels": []
+  })";
+  obs::ReportBuilder b;
+  std::string error;
+  ASSERT_TRUE(b.add_document(parse(dump), "dump.json", &error)) << error;
+  ASSERT_EQ(b.dump_anomalies().size(), 1u);
+  EXPECT_EQ(b.dump_anomalies()[0].kind, "stall");
+  EXPECT_EQ(b.dump_anomalies()[0].round, 123u);
+}
+
+TEST(Report, JsonOutputRoundTripsAndMarkdownMentionsBaseline) {
+  obs::ReportBuilder b;
+  std::string error;
+  ASSERT_TRUE(b.add_document(parse(kBenchCapture), "bench.json", &error));
+  ASSERT_TRUE(b.add_document(parse(kRunManifest), "run.json", &error));
+  ASSERT_TRUE(b.set_baseline(parse(kBenchCapture), "bench.json", &error));
+
+  std::ostringstream js;
+  b.write_json(js, 0.10);
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::json_parse(js.str(), &doc, &error)) << error;
+  EXPECT_EQ(doc.get("schema").as_string(), "beepmis.report.v1");
+  EXPECT_TRUE(doc.get("baseline").get("present").boolean);
+  EXPECT_EQ(doc.get("stabilization").array.size(), 1u);
+  EXPECT_EQ(doc.get("speedups").array.size(), 2u);
+
+  std::ostringstream md;
+  b.write_markdown(md, 0.10);
+  // Baseline label carries the git provenance from the build block.
+  EXPECT_NE(md.str().find("abc123def456"), std::string::npos);
+  EXPECT_NE(md.str().find("No regressions"), std::string::npos);
+}
+
+TEST(Report, IngestFileAutoDetectsKind) {
+  const std::string dir = testing::TempDir();
+  const std::string doc_path = dir + "beepmis_report_doc.json";
+  const std::string events_path = dir + "beepmis_report_events.jsonl";
+  const std::string garbage_path = dir + "beepmis_report_garbage.txt";
+  {
+    std::ofstream(doc_path) << kRunManifest;
+    std::ofstream(events_path)
+        << "{\"round\":1,\"active\":1}\n{\"round\":2,\"active\":0}\n";
+    std::ofstream(garbage_path) << "not json at all\n";
+  }
+  obs::ReportBuilder b;
+  std::string error;
+  EXPECT_TRUE(obs::report_ingest_file(b, doc_path, &error)) << error;
+  EXPECT_TRUE(obs::report_ingest_file(b, events_path, &error)) << error;
+  EXPECT_FALSE(obs::report_ingest_file(b, garbage_path, &error));
+  EXPECT_FALSE(obs::report_ingest_file(b, dir + "does_not_exist", &error));
+  EXPECT_EQ(b.stabilization_rows().size(), 2u);
+}
+
+}  // namespace
+}  // namespace beepmis

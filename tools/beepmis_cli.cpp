@@ -5,6 +5,7 @@
 ///   beepmis_cli --graph-file topo.edges --algorithm v3 --trace
 ///   beepmis_cli --family torus --n 4096 --algorithm v2 --faults 64 --waves 3
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -21,6 +22,7 @@
 #include "src/exp/runner.hpp"
 #include "src/graph/io.hpp"
 #include "src/mis/verifier.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/sink.hpp"
@@ -139,6 +141,42 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
   if (progress.interval() > 0) tee.add(&progress);
   obs::MemorySink rounds_log;
   if (tracing || charting) tee.add(&rounds_log);
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (const std::string& path = args.get("flight-recorder"); !path.empty()) {
+    obs::AnomalyConfig anomaly;
+    anomaly.n = static_cast<std::uint32_t>(g.vertex_count());
+    anomaly.expected_rounds = exp::default_round_budget(g.vertex_count());
+    // The Lemma 3.1 census exists for the Algorithm 1 variants only; it is
+    // what makes persistent violations detectable (O(n + m)/round).
+    anomaly.check_lemma31 = variant != exp::Variant::TwoChannel;
+    obs::FlightContext ctx;
+    ctx.tool = "beepmis_cli";
+    ctx.seed = seed;
+    ctx.graph_name = g.name();
+    ctx.family = args.get("graph-file").empty() ? args.get("family") : "file";
+    ctx.n = g.vertex_count();
+    ctx.m = g.edge_count();
+    ctx.max_degree = g.max_degree();
+    ctx.algorithm = exp::variant_name(variant);
+    ctx.init_policy = args.get("init");
+    ctx.engine = engine->name();
+    ctx.add_extra("duplex", args.get("duplex"));
+    ctx.add_extra("noise_fp", args.get("noise-fp"));
+    ctx.add_extra("noise_fn", args.get("noise-fn"));
+    flight = std::make_unique<obs::FlightRecorder>(/*ring_capacity=*/256,
+                                                   anomaly, std::move(ctx));
+    flight->set_dump_path(path);
+    flight->set_snapshot_every(
+        std::max<std::uint64_t>(1, anomaly.expected_rounds / 8));
+    core::Engine* eng = engine.get();
+    flight->set_level_probe([eng]() {
+      std::vector<std::int32_t> levels(eng->graph().vertex_count());
+      for (std::size_t v = 0; v < levels.size(); ++v)
+        levels[v] = eng->level(v);
+      return levels;
+    });
+    tee.add(flight.get());
+  }
   if (!tee.empty()) engine->set_observer(&tee);
   engine->set_metrics(&metrics);
 
@@ -149,6 +187,8 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
     metrics.counter("cli.runs_total").inc();
     metrics.counter("cli.rounds_total").inc(rounds);
     metrics.histogram("cli.rounds_to_stabilize").record(rounds);
+    metrics.digest("cli.rounds_to_stabilize")
+        .add(static_cast<double>(rounds));
     if (!ok) metrics.counter("cli.budget_exhausted").inc();
     std::printf("%-12s rounds=%llu stabilized=%s mis=%zu valid=%s\n", label,
                 static_cast<unsigned long long>(rounds),
@@ -207,6 +247,16 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
     events_file.flush();
     std::printf("wrote %s (%llu events)\n", args.get("events-out").c_str(),
                 static_cast<unsigned long long>(events->lines_written()));
+  }
+
+  if (flight) {
+    if (flight->anomalies().empty()) {
+      std::printf("flight recorder: no anomalies\n");
+    } else {
+      std::printf("flight recorder: %zu anomalie(s), dump in %s\n",
+                  flight->anomalies().size(),
+                  args.get("flight-recorder").c_str());
+    }
   }
 
   if (const std::string& path = args.get("metrics-out"); !path.empty()) {
@@ -367,6 +417,10 @@ int main(int argc, char** argv) {
                   "write run manifest + metrics JSON to this file");
   args.add_option("events-out", "",
                   "stream per-round events (JSONL) to this file");
+  args.add_option("flight-recorder", "",
+                  "arm the black-box flight recorder; writes a "
+                  "beepmis.dump.v1 JSON to this file when an anomaly "
+                  "(stall, Lemma 3.1 persistence, beep storm) fires");
   args.add_option("progress", "0",
                   "print a heartbeat to stderr every K rounds (0 = off)");
   args.add_flag("trace", "print per-round beep statistics after the run");

@@ -13,6 +13,7 @@
 #include "src/exp/convlog.hpp"
 #include "src/exp/sweep.hpp"
 #include "src/support/args.hpp"
+#include "src/support/stats.hpp"
 #include "src/support/svg.hpp"
 
 namespace {

@@ -5,6 +5,7 @@
 /// (every scenario is a pure function of its printed seed). Run with
 /// --seconds N before releases; the CI runs the unit suite, this explores.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -15,6 +16,7 @@
 #include "src/exp/runner.hpp"
 #include "src/graph/perturb.hpp"
 #include "src/mis/verifier.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/timing.hpp"
@@ -52,7 +54,8 @@ Scenario draw_scenario(support::Rng& rng) {
 }
 
 bool run_scenario(const Scenario& s, std::uint64_t seed,
-                  core::EngineKind kind, obs::MetricsRegistry& metrics) {
+                  core::EngineKind kind, obs::MetricsRegistry& metrics,
+                  const std::string& dump_path) {
   obs::ScopedTimer timer(&metrics, "soak.scenario");
   support::Rng grng = support::Rng(seed).derive_stream(1);
   graph::Graph g = exp::make_family(s.family, s.n, grng);
@@ -62,6 +65,39 @@ bool run_scenario(const Scenario& s, std::uint64_t seed,
   config.seed = seed;
   auto engine = core::make_engine(g, config);
   engine->set_metrics(&metrics);
+
+  // Always-on black box: a misbehaving scenario (stall / beep storm) leaves
+  // a beepmis.dump.v1 post-mortem behind even though soak keeps no event
+  // log. The Lemma 3.1 census stays off — soak mixes variants and the
+  // O(n + m)/round analysis would dominate the stress budget.
+  obs::AnomalyConfig anomaly;
+  anomaly.n = static_cast<std::uint32_t>(g.vertex_count());
+  anomaly.expected_rounds = exp::default_round_budget(g.vertex_count()) * 4;
+  obs::FlightContext ctx;
+  ctx.tool = "beepmis_soak";
+  ctx.seed = seed;
+  ctx.graph_name = g.name();
+  ctx.family = exp::family_name(s.family);
+  ctx.n = g.vertex_count();
+  ctx.m = g.edge_count();
+  ctx.max_degree = g.max_degree();
+  ctx.algorithm = exp::variant_name(s.variant);
+  ctx.init_policy = core::init_policy_name(s.init);
+  ctx.engine = engine->name();
+  ctx.add_extra("fault_waves", std::to_string(s.fault_waves));
+  ctx.add_extra("fault_size", std::to_string(s.fault_size));
+  obs::FlightRecorder flight(/*ring_capacity=*/128, anomaly, std::move(ctx));
+  flight.set_dump_path(dump_path);
+  flight.set_snapshot_every(
+      std::max<std::uint64_t>(1, anomaly.expected_rounds / 8));
+  core::Engine* eng = engine.get();
+  flight.set_level_probe([eng]() {
+    std::vector<std::int32_t> levels(eng->graph().vertex_count());
+    for (std::size_t v = 0; v < levels.size(); ++v) levels[v] = eng->level(v);
+    return levels;
+  });
+  engine->set_observer(&flight);
+
   support::Rng irng = support::Rng(seed).derive_stream(2);
   core::apply_init(*engine, s.init, irng);
 
@@ -91,6 +127,11 @@ bool run_scenario(const Scenario& s, std::uint64_t seed,
                          frng);
     if (!check("fault wave")) return false;
   }
+  if (!flight.anomalies().empty()) {
+    metrics.counter("soak.anomalies").inc(flight.anomalies().size());
+    std::fprintf(stderr, "[soak] flight recorder: %zu anomalie(s), dump in %s\n",
+                 flight.anomalies().size(), dump_path.c_str());
+  }
   return true;
 }
 
@@ -105,6 +146,9 @@ int main(int argc, char** argv) {
                   "(0 = off)");
   args.add_option("metrics-out", "",
                   "write run manifest + metrics JSON to this file at exit");
+  args.add_option("flight-dump", "soak.dump.json",
+                  "beepmis.dump.v1 path for the always-on flight recorder "
+                  "(written when a scenario stalls or beep-storms)");
   args.add_option("engine", "auto",
                   "executor: auto | fast | reference — auto alternates "
                   "randomly per scenario so both executors get soak coverage");
@@ -139,7 +183,7 @@ int main(int argc, char** argv) {
         : srng.bernoulli(0.5)               ? core::EngineKind::Fast
                                             : core::EngineKind::Reference;
     metrics.counter("soak.scenarios_total").inc();
-    if (!run_scenario(s, seed, kind, metrics)) {
+    if (!run_scenario(s, seed, kind, metrics, args.get("flight-dump"))) {
       metrics.counter("soak.violations").inc();
       std::fprintf(stderr, "soak FAILED after %llu scenarios\n",
                    static_cast<unsigned long long>(runs));
@@ -153,10 +197,13 @@ int main(int argc, char** argv) {
                                std::chrono::steady_clock::now() - start)
                                .count();
       std::fprintf(stderr,
-                   "[soak] t=%.0fs scenarios=%llu rounds=%llu violations=0\n",
-                   elapsed, static_cast<unsigned long long>(runs),
+                   "[soak] %s t=%.0fs scenarios=%llu rounds=%llu "
+                   "violations=0 rate=%.1f/s\n",
+                   obs::timestamp_utc().c_str(), elapsed,
+                   static_cast<unsigned long long>(runs),
                    static_cast<unsigned long long>(
-                       metrics.counter("runner.rounds_total").value()));
+                       metrics.counter("runner.rounds_total").value()),
+                   elapsed > 0.0 ? static_cast<double>(runs) / elapsed : 0.0);
       next_beat += heartbeat;
     }
   }
