@@ -29,10 +29,13 @@
 #include "src/core/selfstab_mis.hpp"
 #include "src/core/selfstab_mis2.hpp"
 #include "src/exp/families.hpp"
+#include "src/exp/runner.hpp"
+#include "src/exp/sweep.hpp"
 #include "src/graph/generators.hpp"
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/sink.hpp"
+#include "src/support/task_pool.hpp"
 
 namespace {
 
@@ -267,6 +270,69 @@ void BM_FastEngineRun_Digest(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_FastEngineRun_Digest)->Arg(10240);
+
+/// Pre-pool baseline for the sweep-parallelization claim: the exact serial
+/// replica loop run_scaling_sweep used before the worker pool existed —
+/// direct run_variant calls against one shared registry, no task dispatch,
+/// no scratch registries, no merge. BM_SweepParallel/1 against this is the
+/// pool's overhead A/B (budgeted at ≤ 2%); BM_SweepParallel/8 against
+/// BM_SweepParallel/1 is the speedup claim (≥ 3× on an 8-way machine).
+constexpr std::size_t kSweepBenchN = 4096;
+constexpr std::size_t kSweepBenchSeeds = 32;
+
+void BM_SweepSerial(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < kSweepBenchSeeds; ++s) {
+      const std::uint64_t seed = exp::sweep_seed(
+          99, exp::Family::ErdosRenyiAvg8, kSweepBenchN, s);
+      support::Rng graph_rng = support::Rng(seed).derive_stream(0x6ea9);
+      const graph::Graph g =
+          exp::make_family(exp::Family::ErdosRenyiAvg8, kSweepBenchN,
+                           graph_rng);
+      const auto r = exp::run_variant(
+          g, core::Variant::GlobalDelta, core::InitPolicy::UniformRandom,
+          seed, exp::default_round_budget(kSweepBenchN), 0, &metrics,
+          nullptr, core::EngineKind::Fast);
+      benchmark::DoNotOptimize(r.rounds);
+      ++runs;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(runs));
+}
+BENCHMARK(BM_SweepSerial)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// The same workload through run_scaling_sweep's worker pool at 1/2/4/8
+/// threads. Real time (not CPU) is the honest axis: the point of the pool
+/// is wall-clock, and CPU time only grows with thread count.
+void BM_SweepParallel(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  exp::SweepConfig cfg;
+  cfg.variant = core::Variant::GlobalDelta;
+  cfg.init = core::InitPolicy::UniformRandom;
+  cfg.sizes = {kSweepBenchN};
+  cfg.seeds = kSweepBenchSeeds;
+  cfg.base_seed = 99;
+  cfg.engine = core::EngineKind::Fast;
+  cfg.metrics = &metrics;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    const auto points =
+        exp::run_scaling_sweep(exp::Family::ErdosRenyiAvg8, cfg);
+    benchmark::DoNotOptimize(points.front().rounds.count());
+    runs += kSweepBenchSeeds;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(runs));
+}
+BENCHMARK(BM_SweepParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GraphGeneration_ER(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,46 +1,109 @@
 #include "src/exp/sweep.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "src/obs/timing.hpp"
 #include "src/support/check.hpp"
 
 namespace beepmis::exp {
 
+std::uint64_t sweep_seed(std::uint64_t base_seed, Family family,
+                         std::size_t n, std::size_t s) {
+  // Sponge over (base_seed, family, n, s): absorb each coordinate, then run
+  // the splitmix64 avalanche before the next one, so no pair of distinct
+  // inputs is related by the simple affine structure that made the old
+  // formula (base * phi + n * 1009 + s) collide across adjacent sizes.
+  std::uint64_t state = base_seed;
+  state = support::splitmix64(state) ^
+          (static_cast<std::uint64_t>(family) + 1);
+  state = support::splitmix64(state) ^ static_cast<std::uint64_t>(n);
+  state = support::splitmix64(state) ^ static_cast<std::uint64_t>(s);
+  return support::splitmix64(state);
+}
+
+namespace {
+
+/// Everything one (n, seed) replica produces, captured worker-side and
+/// folded by the coordinator. Telemetry is sharded: the replica's metrics
+/// land in a private scratch registry and its events in a private buffer,
+/// so workers never touch shared state.
+struct ReplicaOutcome {
+  RunResult result;
+  std::size_t n = 0;  ///< actual vertex count of the instance
+  std::unique_ptr<obs::MetricsRegistry> scratch;  ///< null when metrics off
+  obs::BufferedSink events;                       ///< empty when observer off
+};
+
+}  // namespace
+
 std::vector<SweepPoint> run_scaling_sweep(Family family,
                                           const SweepConfig& config) {
   BEEPMIS_CHECK(!config.sizes.empty(), "sweep needs sizes");
   BEEPMIS_CHECK(config.seeds >= 1, "sweep needs at least one seed");
+
+  // One task per (size, seed) replica, flattened size-major so the fold
+  // order below matches the old serial loop exactly.
+  const std::size_t seeds = config.seeds;
+  const std::size_t tasks = config.sizes.size() * seeds;
+  std::vector<ReplicaOutcome> outcomes(tasks);
+
+  support::TaskPool pool(
+      support::TaskPool::resolve_thread_count(config.threads));
+  pool.parallel_for(tasks, [&](std::size_t t) {
+    const std::size_t n = config.sizes[t / seeds];
+    const std::size_t s = t % seeds;
+    ReplicaOutcome& out = outcomes[t];
+    // One master seed per (family, n, s); graph draw, node streams and
+    // init draw all derive from it — the replica is a pure function of it.
+    const std::uint64_t seed = sweep_seed(config.base_seed, family, n, s);
+    support::Rng graph_rng = support::Rng(seed).derive_stream(0x6ea9);
+    const graph::Graph g = make_family(family, n, graph_rng);
+    out.n = g.vertex_count();
+    obs::MetricsRegistry* scratch = nullptr;
+    if (config.metrics != nullptr) {
+      out.scratch = std::make_unique<obs::MetricsRegistry>();
+      scratch = out.scratch.get();
+    }
+    if (config.observer != nullptr)
+      out.events = obs::BufferedSink(config.observer);
+    {
+      obs::ScopedTimer run_timer(scratch, "sweep.run");
+      out.result = run_variant(
+          g, config.variant, config.init, seed,
+          default_round_budget(g.vertex_count()), config.c1, scratch,
+          config.observer != nullptr ? &out.events : nullptr, config.engine);
+    }
+    if (scratch != nullptr) {
+      scratch->counter("sweep.runs_total").inc();
+      scratch->histogram("sweep.rounds_to_stabilize")
+          .record(out.result.rounds);
+      scratch->digest("sweep.rounds_to_stabilize")
+          .add(static_cast<double>(out.result.rounds));
+      if (!out.result.stabilized) scratch->counter("sweep.failures").inc();
+      if (!out.result.valid_mis) scratch->counter("sweep.invalid_mis").inc();
+    }
+  });
+
+  // Coordinator-side fold, strictly in ascending (size, seed) order: the
+  // SweepPoint digests and the merged registry's digests are P² estimators
+  // whose state depends on insertion order, so aggregation must not move
+  // into the workers — this order is what makes any thread count (including
+  // 1) reproduce the serial stream bit-for-bit.
   std::vector<SweepPoint> points;
   points.reserve(config.sizes.size());
-  for (std::size_t n : config.sizes) {
+  std::size_t t = 0;
+  for (std::size_t i = 0; i < config.sizes.size(); ++i) {
     SweepPoint pt;
     pt.family = family;
-    for (std::size_t s = 0; s < config.seeds; ++s) {
-      // One master seed per (family, n, s); graph draw, node streams and
-      // init draw all derive from it.
-      const std::uint64_t seed =
-          config.base_seed * 0x9e3779b97f4a7c15ULL + n * 1009 + s;
-      support::Rng graph_rng = support::Rng(seed).derive_stream(0x6ea9);
-      const graph::Graph g = make_family(family, n, graph_rng);
-      pt.n = g.vertex_count();
-      RunResult r;
-      {
-        obs::ScopedTimer run_timer(config.metrics, "sweep.run");
-        r = run_variant(g, config.variant, config.init, seed,
-                        default_round_budget(g.vertex_count()), config.c1,
-                        config.metrics, config.observer, config.engine);
-      }
-      if (config.metrics != nullptr) {
-        config.metrics->counter("sweep.runs_total").inc();
-        config.metrics->histogram("sweep.rounds_to_stabilize")
-            .record(r.rounds);
-        config.metrics->digest("sweep.rounds_to_stabilize")
-            .add(static_cast<double>(r.rounds));
-        if (!r.stabilized) config.metrics->counter("sweep.failures").inc();
-        if (!r.valid_mis) config.metrics->counter("sweep.invalid_mis").inc();
-      }
-      if (!r.stabilized) ++pt.failures;
-      if (!r.valid_mis) ++pt.invalid;
-      pt.rounds.add(static_cast<double>(r.rounds));
+    for (std::size_t s = 0; s < seeds; ++s, ++t) {
+      ReplicaOutcome& out = outcomes[t];
+      pt.n = out.n;
+      if (config.metrics != nullptr) config.metrics->merge(*out.scratch);
+      out.events.flush();
+      if (!out.result.stabilized) ++pt.failures;
+      if (!out.result.valid_mis) ++pt.invalid;
+      pt.rounds.add(static_cast<double>(out.result.rounds));
     }
     points.push_back(std::move(pt));
   }

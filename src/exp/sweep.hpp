@@ -10,6 +10,7 @@
 #include "src/obs/sink.hpp"
 #include "src/support/fit.hpp"
 #include "src/support/table.hpp"
+#include "src/support/task_pool.hpp"
 
 namespace beepmis::exp {
 
@@ -46,11 +47,35 @@ struct SweepConfig {
   obs::MetricsRegistry* metrics = nullptr;
   /// Optional per-round event observer, attached to every run regardless of
   /// the engine (simulation or fast path). One obs::RoundEvent per round.
+  /// Under parallelism each replica buffers its events privately and the
+  /// coordinator replays them here in ascending (size, seed) order, so the
+  /// observer only ever runs on the calling thread and sees the exact
+  /// stream a serial sweep would produce.
   obs::RoundObserver* observer = nullptr;
+  /// Worker threads for replica-level parallelism (every (n, seed) replica
+  /// is an independent task): 1 = run inline on the calling thread,
+  /// 0 = one worker per hardware thread. Results — tables, SweepPoint
+  /// digests, merged metrics (modulo wall-clock timer values), observer
+  /// streams — are bit-identical for every value; see docs/architecture.md.
+  std::size_t threads = 1;
 };
 
+/// Master seed of the (family, n, s) replica: a splitmix64 sponge folding
+/// each coordinate through a full avalanche, so distinct sweep points never
+/// collide (the previous affine formula collided for adjacent n whenever s
+/// spanned more than 1009 seeds). Graph draw, per-node streams and the init
+/// draw all derive from this one value; the derivation is pinned by a
+/// golden test (tests/test_sweep_parallel.cpp) because stored artifacts
+/// reference it.
+std::uint64_t sweep_seed(std::uint64_t base_seed, Family family,
+                         std::size_t n, std::size_t s);
+
 /// Runs the sweep for one family. Each run gets an independent seed; the
-/// graph instance is redrawn per seed for randomized families.
+/// graph instance is redrawn per seed for randomized families. Replicas
+/// execute through a support::TaskPool of config.threads workers; all
+/// aggregation (SweepPoint digests, metrics merge, observer replay) happens
+/// on the calling thread in ascending (size, seed) order — P² digests are
+/// order-sensitive, so folding stays with the coordinator by design.
 std::vector<SweepPoint> run_scaling_sweep(Family family,
                                           const SweepConfig& config);
 

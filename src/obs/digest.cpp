@@ -105,6 +105,37 @@ void Digest::add(double x) noexcept {
   for (P2& e : estimators_) e.add(x);
 }
 
+void Digest::merge(const Digest& other) noexcept {
+  if (other.count_ == 0) return;
+  if (other.count_ <= kExact) {
+    // Exact path: replay other's verbatim samples in insertion order —
+    // byte-for-byte what serial accumulation would have produced.
+    for (std::size_t i = 0; i < other.count_; ++i) add(other.head_[i]);
+    return;
+  }
+  // Approximate path: other outgrew its head buffer, so its sample stream
+  // is gone. Feed the estimators a kExact-anchor quantile sketch of other,
+  // each anchor repeated so the total ingested weight equals other.count_
+  // (P² marker positions track sample counts), then correct the summary
+  // stats to their exact merged values.
+  const std::size_t reps = other.count_ / kExact;
+  const std::size_t rem = other.count_ % kExact;
+  double synthetic_sum = 0.0;
+  for (std::size_t i = 0; i < kExact; ++i) {
+    const double q =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(kExact);
+    const double x = other.quantile(q);
+    const std::size_t weight = reps + (i < rem ? 1 : 0);
+    for (std::size_t j = 0; j < weight; ++j) {
+      add(x);
+      synthetic_sum += x;
+    }
+  }
+  sum_ += other.sum_ - synthetic_sum;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double Digest::min() const {
   BEEPMIS_CHECK(count_ > 0, "min of empty digest");
   return min_;

@@ -35,6 +35,21 @@ class Digest {
 
   void add(double x) noexcept;
 
+  /// Folds `other` into this digest. Deterministic: the result is a pure
+  /// function of the two digest states, so coordinators that merge worker
+  /// shards in a fixed order (ascending seed) get bit-identical results for
+  /// any thread count.
+  ///
+  /// While `other` still fits its exact head buffer (count() <= kExact —
+  /// true for every per-replica shard in this codebase, which holds a
+  /// handful of samples), the merge *replays* other's samples in insertion
+  /// order, which is exactly what serial execution would have done:
+  /// merge(A, B) == A.add(all of B's samples). Beyond kExact the fold is
+  /// approximate: count/sum/min/max (hence mean) stay exact, while the
+  /// quantile estimators ingest a fixed-resolution quantile sketch of
+  /// `other` with matching total weight.
+  void merge(const Digest& other) noexcept;
+
   std::size_t count() const noexcept { return count_; }
   double sum() const noexcept { return sum_; }
   double mean() const noexcept {

@@ -28,6 +28,14 @@ std::pair<std::uint64_t, std::uint64_t> Histogram::quantile_bounds(
   return {0, bucket_upper_bound(kBuckets - 1)};  // unreachable when count_>0
 }
 
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
+  for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+  for (const auto& [name, t] : other.timers_) timers_[name].merge(t);
+  for (const auto& [name, d] : other.digests_) digests_[name].merge(d);
+}
+
 namespace {
 
 void write_histogram(JsonWriter& w, const Histogram& h) {

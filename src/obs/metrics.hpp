@@ -18,6 +18,9 @@ class Counter {
   void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
   std::uint64_t value() const noexcept { return value_; }
 
+  /// Shard fold: counts add.
+  void merge(const Counter& other) noexcept { value_ += other.value_; }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -28,6 +31,11 @@ class Gauge {
   void set(double v) noexcept { value_ = v; }
   void add(double v) noexcept { value_ += v; }
   double value() const noexcept { return value_; }
+
+  /// Shard fold: last writer wins. Coordinators merge shards in ascending
+  /// seed order, so the surviving value is the highest-seed replica's —
+  /// exactly what serial execution would have left behind.
+  void merge(const Gauge& other) noexcept { value_ = other.value_; }
 
  private:
   double value_ = 0.0;
@@ -66,6 +74,14 @@ class Histogram {
     return buckets_;
   }
 
+  /// Shard fold: bucket-wise addition — exact and order-independent.
+  void merge(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
   /// Exact [lo, hi] value bounds of the bucket holding the q-th order
   /// statistic (q in [0,1]). The true quantile is guaranteed to lie in the
   /// returned range — a pow2 envelope, as tight as the bucketing allows.
@@ -90,6 +106,15 @@ class TimerStat {
     hist_.record(ns);
   }
 
+  /// Shard fold: counts and totals add, max is the max, and the duration
+  /// distribution merges bucket-wise.
+  void merge(const TimerStat& other) noexcept {
+    count_ += other.count_;
+    total_ns_ += other.total_ns_;
+    if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+    hist_.merge(other.hist_);
+  }
+
   std::uint64_t count() const noexcept { return count_; }
   std::uint64_t total_ns() const noexcept { return total_ns_; }
   std::uint64_t max_ns() const noexcept { return max_ns_; }
@@ -108,8 +133,11 @@ class TimerStat {
 /// Central named-metric registry. Registration (the first lookup of a name)
 /// allocates the map node; the returned reference is stable for the
 /// registry's lifetime (std::map nodes never move), so hot loops register
-/// once and then touch plain integers. Not thread-safe by design — every
-/// runner in this codebase is single-threaded per registry.
+/// once and then touch plain integers. Not thread-safe by design — the
+/// sharding story is one *private* registry per worker task, folded into
+/// the coordinator's registry with merge() in a deterministic order after
+/// the parallel section (see docs/architecture.md); a registry is never
+/// touched from two threads at once.
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name) { return counters_[name]; }
@@ -117,6 +145,15 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name) { return histograms_[name]; }
   TimerStat& timer(const std::string& name) { return timers_[name]; }
   Digest& digest(const std::string& name) { return digests_[name]; }
+
+  /// Folds every metric of `other` into this registry, creating names that
+  /// do not exist yet. Deterministic given the merge order: counters,
+  /// histograms and timers add (order-independent); gauges are last-writer
+  /// (the later merge wins); digests fold in order (exact sample replay
+  /// while the shard fits its head buffer — see Digest::merge). Callers
+  /// merge worker shards in ascending seed order so the result is
+  /// bit-identical to serial execution for any thread count.
+  void merge(const MetricsRegistry& other);
 
   bool empty() const noexcept {
     return counters_.empty() && gauges_.empty() && histograms_.empty() &&

@@ -29,6 +29,9 @@ void JsonlSink::on_round(const RoundEvent& e) {
         e.active);
   }
   if (len > 0) {
+    // Whole-line append under the lock: concurrent producers never
+    // interleave records (the formatting above ran lock-free).
+    std::lock_guard<std::mutex> lock(mu_);
     os_->write(buf, len);
     ++lines_;
   }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <vector>
 
 namespace beepmis::obs {
@@ -53,6 +54,14 @@ class RoundObserver {
 /// newline-terminated, no trailing commas — each line parses independently,
 /// so partial files from interrupted runs stay usable. Formatting is a
 /// single snprintf into a stack buffer (no allocation per event).
+///
+/// Thread-safety: each event is formatted outside the lock, then appended
+/// under a mutex as one whole-line write, so concurrent producers can share
+/// a sink without ever interleaving records. Lines from different threads
+/// arrive in whatever order the threads run, though — deterministic
+/// pipelines buffer per task (BufferedSink) and flush from the coordinator
+/// instead of sharing the sink, keeping the mutex as the safety net for
+/// ad-hoc concurrent use.
 class JsonlSink final : public RoundObserver {
  public:
   /// The sink borrows `os`; the caller keeps it alive and open.
@@ -62,12 +71,51 @@ class JsonlSink final : public RoundObserver {
   void on_round(const RoundEvent& event) override;
   bool wants_analysis() const override { return with_analysis_; }
 
-  std::uint64_t lines_written() const noexcept { return lines_; }
+  std::uint64_t lines_written() const noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
 
  private:
   std::ostream* os_;
   bool with_analysis_;
-  std::uint64_t lines_ = 0;
+  std::uint64_t lines_ = 0;  // guarded by mu_
+  mutable std::mutex mu_;    // guards os_ writes and lines_
+};
+
+/// Per-task event buffer for deterministic parallel runs: each worker task
+/// records its replica's events privately, and the coordinator flushes the
+/// buffers downstream in ascending seed order after the parallel section —
+/// so one replica's JSONL records are always contiguous and the combined
+/// stream is byte-identical to a serial run for any thread count.
+/// wants_analysis() forwards the downstream's preference so producers pay
+/// for the O(n + m) analysis census exactly when the final consumer asks.
+class BufferedSink final : public RoundObserver {
+ public:
+  explicit BufferedSink(RoundObserver* downstream = nullptr)
+      : downstream_(downstream) {}
+
+  void on_round(const RoundEvent& event) override {
+    events_.push_back(event);
+  }
+  bool wants_analysis() const override {
+    return downstream_ != nullptr && downstream_->wants_analysis();
+  }
+
+  /// Replays the buffered events into the downstream observer, in order,
+  /// then clears the buffer. No-op without a downstream.
+  void flush() {
+    if (downstream_ != nullptr)
+      for (const RoundEvent& e : events_) downstream_->on_round(e);
+    events_.clear();
+  }
+
+  const std::vector<RoundEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  RoundObserver* downstream_;
+  std::vector<RoundEvent> events_;
 };
 
 /// Fans one event stream out to several observers. core::Engine exposes a

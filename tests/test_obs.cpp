@@ -280,6 +280,139 @@ TEST(Metrics, ScopedTimerRecords) {
   EXPECT_EQ(reg.timer("work").count(), 1u);
 }
 
+// --- Shard merge (parallel sweep telemetry fold) ---------------------------
+
+TEST(MetricsMerge, CountersAddAndMissingNamesAreCreated) {
+  obs::MetricsRegistry a, b;
+  a.counter("shared").inc(3);
+  b.counter("shared").inc(39);
+  b.counter("only_in_b").inc(7);
+  a.merge(b);
+  EXPECT_EQ(a.counter("shared").value(), 42u);
+  EXPECT_EQ(a.counter("only_in_b").value(), 7u);
+  // Merge reads, never writes, the source shard.
+  EXPECT_EQ(b.counter("shared").value(), 39u);
+}
+
+TEST(MetricsMerge, GaugeIsLastWriter) {
+  obs::MetricsRegistry a, b;
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(2.5);
+  a.merge(b);
+  // Shards merge in ascending seed order, so the later shard's value is what
+  // a serial run would have left behind.
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 2.5);
+}
+
+TEST(MetricsMerge, HistogramAndTimerFoldExactly) {
+  // Two shards vs one serial registry over the same sample split.
+  obs::MetricsRegistry serial, s1, s2, merged;
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    serial.histogram("h").record(v);
+    (v < 50 ? s1 : s2).histogram("h").record(v);
+    serial.timer("t").record_ns(v * 1000);
+    (v < 50 ? s1 : s2).timer("t").record_ns(v * 1000);
+  }
+  merged.merge(s1);
+  merged.merge(s2);
+  EXPECT_EQ(merged.histogram("h").count(), serial.histogram("h").count());
+  EXPECT_EQ(merged.histogram("h").sum(), serial.histogram("h").sum());
+  EXPECT_EQ(merged.histogram("h").buckets(), serial.histogram("h").buckets());
+  EXPECT_EQ(merged.timer("t").count(), serial.timer("t").count());
+  EXPECT_EQ(merged.timer("t").total_ns(), serial.timer("t").total_ns());
+  EXPECT_EQ(merged.timer("t").max_ns(), serial.timer("t").max_ns());
+  EXPECT_EQ(merged.timer("t").histogram().buckets(),
+            serial.timer("t").histogram().buckets());
+}
+
+TEST(MetricsMerge, DigestFoldInSeedOrderMatchesSerialExactly) {
+  // Per-replica shards hold few samples (well under Digest::kExact), so the
+  // merge path is an in-order replay: folding shards in ascending seed order
+  // must reproduce the serial digest bit-for-bit — including quantiles.
+  obs::MetricsRegistry serial, merged;
+  std::vector<obs::MetricsRegistry> shards(8);
+  support::Rng rng(123);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (int k = 0; k < 5; ++k) {
+      const double x = static_cast<double>(rng.below(10000));
+      serial.digest("d").add(x);
+      shards[s].digest("d").add(x);
+    }
+  }
+  for (const auto& shard : shards) merged.merge(shard);
+  const obs::Digest& m = merged.digest("d");
+  const obs::Digest& ref = serial.digest("d");
+  EXPECT_EQ(m.count(), ref.count());
+  EXPECT_DOUBLE_EQ(m.sum(), ref.sum());
+  EXPECT_DOUBLE_EQ(m.min(), ref.min());
+  EXPECT_DOUBLE_EQ(m.max(), ref.max());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(m.quantile(q), ref.quantile(q)) << "q=" << q;
+}
+
+TEST(MetricsMerge, DigestMergeIsDeterministicForFixedOrder) {
+  // Same shards, merged twice in the same order: identical state.
+  auto build = [] {
+    obs::MetricsRegistry merged;
+    support::Rng rng(77);
+    for (int s = 0; s < 4; ++s) {
+      obs::MetricsRegistry shard;
+      for (int k = 0; k < 200; ++k)  // > kExact: approximate fold path
+        shard.digest("d").add(static_cast<double>(rng.below(1 << 20)));
+      merged.merge(shard);
+    }
+    return merged;
+  };
+  obs::MetricsRegistry a = build(), b = build();
+  for (double q : {0.5, 0.9, 0.95, 0.99})
+    EXPECT_DOUBLE_EQ(a.digest("d").quantile(q), b.digest("d").quantile(q));
+  EXPECT_DOUBLE_EQ(a.digest("d").sum(), b.digest("d").sum());
+}
+
+TEST(MetricsMerge, BigDigestKeepsExactCountSumMinMax) {
+  // Beyond the head buffer the quantile fold is approximate, but the moment
+  // statistics must survive the merge exactly.
+  obs::Digest big;
+  double sum = 0;
+  for (int k = 0; k < 1000; ++k) {
+    const double x = static_cast<double>((k * 7919) % 4093);
+    big.add(x);
+    sum += x;
+  }
+  obs::Digest target;
+  target.add(5000.0);  // straddles big's range from above…
+  target.add(-3.0);    // …and below, so min/max must come from target
+  target.merge(big);
+  EXPECT_EQ(target.count(), 1002u);
+  EXPECT_DOUBLE_EQ(target.sum(), sum + 5000.0 - 3.0);
+  EXPECT_DOUBLE_EQ(target.min(), -3.0);
+  EXPECT_DOUBLE_EQ(target.max(), 5000.0);
+}
+
+TEST(BufferedSink, FlushReplaysInOrderAndForwardsAnalysisWish) {
+  obs::MemorySink downstream(/*with_analysis=*/true);
+  obs::BufferedSink buffer(&downstream);
+  EXPECT_TRUE(buffer.wants_analysis());  // forwards the downstream's wish
+  obs::RoundEvent e;
+  for (std::uint64_t r = 1; r <= 5; ++r) {
+    e.round = r;
+    buffer.on_round(e);
+  }
+  EXPECT_EQ(buffer.size(), 5u);
+  EXPECT_TRUE(downstream.events().empty());  // nothing leaks before flush
+  buffer.flush();
+  ASSERT_EQ(downstream.events().size(), 5u);
+  for (std::uint64_t r = 1; r <= 5; ++r)
+    EXPECT_EQ(downstream.events()[r - 1].round, r);
+  EXPECT_EQ(buffer.size(), 0u);  // flush drains the buffer
+  // A buffer with no downstream just accumulates; flush is a no-op drop.
+  obs::BufferedSink detached;
+  EXPECT_FALSE(detached.wants_analysis());
+  detached.on_round(e);
+  detached.flush();
+  EXPECT_EQ(detached.size(), 0u);
+}
+
 // --- JSON emitters round-trip ----------------------------------------------
 
 TEST(MetricsJson, RoundTripsThroughParser) {

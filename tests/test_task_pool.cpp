@@ -1,0 +1,149 @@
+/// support::TaskPool — the determinism and safety contract behind every
+/// parallel experiment tier: exactly-once execution, inline serial path,
+/// batch reuse, and deterministic (lowest-index) exception propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/support/task_pool.hpp"
+
+namespace beepmis::support {
+namespace {
+
+TEST(TaskPool, RunsEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    TaskPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+  }
+}
+
+TEST(TaskPool, EmptyBatchIsANoOp) {
+  TaskPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(TaskPool, SingleThreadRunsInlineOnCaller) {
+  // threads == 1 must be the serial code path: no worker threads, every
+  // task on the calling thread, in ascending index order.
+  TaskPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  std::vector<std::size_t> expect(16);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(TaskPool, PoolIsReusableAcrossBatches) {
+  TaskPool pool(4);
+  for (int batch = 0; batch < 50; ++batch) {
+    std::atomic<std::size_t> sum{0};
+    const std::size_t count = 1 + static_cast<std::size_t>(batch) % 7;
+    pool.parallel_for(count, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), count * (count + 1) / 2) << "batch " << batch;
+  }
+}
+
+TEST(TaskPool, MoreThreadsThanTasks) {
+  TaskPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPool, ResolveThreadCount) {
+  EXPECT_EQ(TaskPool::resolve_thread_count(1), 1u);
+  EXPECT_EQ(TaskPool::resolve_thread_count(6), 6u);
+  // 0 = one per hardware thread, and always at least one.
+  EXPECT_GE(TaskPool::resolve_thread_count(0), 1u);
+}
+
+TEST(TaskPool, RethrowsTheLowestIndexException) {
+  // Indices are claimed in ascending order and a claimed task always runs
+  // to completion, so the lowest-throwing index is the same for every
+  // thread count — the exception a serial loop would have surfaced first.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    TaskPool pool(threads);
+    std::string caught;
+    try {
+      pool.parallel_for(64, [&](std::size_t i) {
+        if (i == 7 || i == 23 || i == 41)
+          throw std::runtime_error("task " + std::to_string(i));
+      });
+      FAIL() << "parallel_for must rethrow (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    EXPECT_EQ(caught, "task 7") << "threads=" << threads;
+  }
+}
+
+TEST(TaskPool, EverythingBelowTheThrowerRanBeforeTheRethrow) {
+  TaskPool pool(4);
+  constexpr std::size_t kThrower = 50;
+  std::vector<std::atomic<int>> hits(200);
+  try {
+    pool.parallel_for(hits.size(), [&](std::size_t i) {
+      hits[i].fetch_add(1);
+      if (i == kThrower) throw std::runtime_error("boom");
+    });
+    FAIL() << "must rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  // The determinism guarantee: every index below the thrower executed.
+  for (std::size_t i = 0; i <= kThrower; ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  // And nothing ran twice anywhere.
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_LE(hits[i].load(), 1) << "i=" << i;
+}
+
+TEST(TaskPool, UsableAgainAfterAnException) {
+  TaskPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(TaskPool, StressManySmallBatches) {
+  // Exercises batch publish/drain races: many tiny batches back to back on
+  // a pool with more threads than work (run under TSan in CI).
+  TaskPool pool(8);
+  std::atomic<std::size_t> total{0};
+  for (int batch = 0; batch < 500; ++batch)
+    pool.parallel_for(2, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(TaskPool, DestructionWithIdleWorkersIsClean) {
+  // Construct/destruct cycles must not hang or leak threads.
+  for (int i = 0; i < 20; ++i) {
+    TaskPool pool(4);
+    if (i % 2 == 0)
+      pool.parallel_for(4, [](std::size_t) {});
+  }
+}
+
+}  // namespace
+}  // namespace beepmis::support

@@ -1,9 +1,12 @@
 /// beepmis_cli — run any algorithm of the library on a generated or loaded
-/// graph, with fault injection, channel noise and per-round tracing.
+/// graph, with fault injection, channel noise and per-round tracing; or run
+/// a whole scaling sweep across a worker pool.
 ///
 ///   beepmis_cli --family er-avg8 --n 1024 --algorithm v1 --init uniform-random
 ///   beepmis_cli --graph-file topo.edges --algorithm v3 --trace
 ///   beepmis_cli --family torus --n 4096 --algorithm v2 --faults 64 --waves 3
+///   beepmis_cli --algorithm v1 --sweep --sizes 64,256,1024 --sweep-seeds 16
+///       --threads 0 --sweep-out sweep.json        (one command line)
 
 #include <algorithm>
 #include <chrono>
@@ -20,7 +23,9 @@
 #include "src/core/engine.hpp"
 #include "src/exp/families.hpp"
 #include "src/exp/runner.hpp"
+#include "src/exp/sweep.hpp"
 #include "src/graph/io.hpp"
+#include "src/obs/json.hpp"
 #include "src/mis/verifier.hpp"
 #include "src/obs/flight.hpp"
 #include "src/obs/manifest.hpp"
@@ -34,6 +39,20 @@ namespace {
 
 using namespace beepmis;
 
+bool parse_family(const std::string& name, exp::Family* out) {
+  for (exp::Family f :
+       {exp::Family::ErdosRenyiAvg8, exp::Family::Random4Regular,
+        exp::Family::Torus, exp::Family::BarabasiAlbert3,
+        exp::Family::GeometricAvg8, exp::Family::RandomTree,
+        exp::Family::Cycle, exp::Family::Star}) {
+    if (exp::family_name(f) == name) {
+      *out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
 graph::Graph load_graph(const support::ArgParser& args, support::Rng& rng) {
   if (const std::string& path = args.get("graph-file"); !path.empty()) {
     std::ifstream in(path);
@@ -46,18 +65,15 @@ graph::Graph load_graph(const support::ArgParser& args, support::Rng& rng) {
     if (first == 'c' || first == 'p') return graph::read_dimacs(in, path);
     return graph::read_edge_list(in, path);
   }
-  const std::string fam = args.get("family");
-  const auto n = static_cast<std::size_t>(args.get_int("n"));
-  for (exp::Family f :
-       {exp::Family::ErdosRenyiAvg8, exp::Family::Random4Regular,
-        exp::Family::Torus, exp::Family::BarabasiAlbert3,
-        exp::Family::GeometricAvg8, exp::Family::RandomTree,
-        exp::Family::Cycle, exp::Family::Star}) {
-    if (exp::family_name(f) == fam) return exp::make_family(f, n, rng);
+  exp::Family f;
+  if (!parse_family(args.get("family"), &f)) {
+    std::cerr << "unknown family: " << args.get("family")
+              << " (try er-avg8, 4-regular, "
+              << "torus, ba-m3, rgg-avg8, rand-tree, cycle, star)\n";
+    std::exit(2);
   }
-  std::cerr << "unknown family: " << fam << " (try er-avg8, 4-regular, "
-            << "torus, ba-m3, rgg-avg8, rand-tree, cycle, star)\n";
-  std::exit(2);
+  return exp::make_family(f, static_cast<std::size_t>(args.get_int("n")),
+                          rng);
 }
 
 /// Heartbeat observer for long runs: prints one status line to stderr every
@@ -298,6 +314,141 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
   return ok ? 0 : 1;
 }
 
+/// --sweep mode: a full scaling sweep (sizes × seeds) of one self-stab
+/// variant on one family, executed across a support::TaskPool of --threads
+/// workers. The printed table and the beepmis.sweep.v1 JSON are
+/// byte-identical for every thread count (CI diffs --threads 1 against
+/// --threads 8), so --sweep-out deliberately records *what* was swept and
+/// what came out — never wall-clock or worker count.
+int run_sweep(const support::ArgParser& args, exp::Variant variant,
+              exp::Family family) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  exp::SweepConfig cfg;
+  cfg.variant = variant;
+  cfg.init = parse_init(args.get("init"));
+  cfg.seeds = static_cast<std::size_t>(args.get_int("sweep-seeds"));
+  cfg.base_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  cfg.c1 = static_cast<std::int32_t>(args.get_int("c1"));
+  cfg.threads = static_cast<std::size_t>(args.get_int("threads"));
+  if (!core::parse_engine_kind(args.get("engine"), &cfg.engine)) {
+    std::cerr << "unknown engine: " << args.get("engine")
+              << " (try auto, fast, reference)\n";
+    return 2;
+  }
+  obs::MetricsRegistry metrics;
+  cfg.metrics = &metrics;
+
+  // --sizes: comma-separated vertex counts.
+  std::string sizes = args.get("sizes");
+  for (std::size_t pos = 0; pos < sizes.size();) {
+    const std::size_t comma = sizes.find(',', pos);
+    const std::string tok =
+        sizes.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) cfg.sizes.push_back(std::stoull(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (cfg.sizes.empty()) {
+    std::cerr << "--sweep needs --sizes n1,n2,...\n";
+    return 2;
+  }
+
+  std::ofstream events_file;
+  std::unique_ptr<obs::JsonlSink> events;
+  if (const std::string& path = args.get("events-out"); !path.empty()) {
+    events_file.open(path);
+    if (!events_file) {
+      std::cerr << "cannot open events file: " << path << "\n";
+      return 2;
+    }
+    // Workers buffer per replica; the coordinator replays every replica's
+    // stream into this sink contiguously, in seed order.
+    events = std::make_unique<obs::JsonlSink>(events_file,
+                                              /*with_analysis=*/false);
+    cfg.observer = events.get();
+  }
+
+  const auto points = exp::run_scaling_sweep(family, cfg);
+  std::cout << exp::sweep_table(points).str();
+
+  std::size_t failures = 0, invalid = 0;
+  for (const auto& pt : points) {
+    failures += pt.failures;
+    invalid += pt.invalid;
+  }
+
+  if (const std::string& path = args.get("sweep-out"); !path.empty()) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open sweep file: " << path << "\n";
+      return 2;
+    }
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.field("schema", "beepmis.sweep.v1");
+    w.field("family", exp::family_name(family));
+    w.field("algorithm", exp::variant_name(variant));
+    w.field("init", args.get("init"));
+    w.field("base_seed", static_cast<std::uint64_t>(cfg.base_seed));
+    w.field("seeds_per_size", static_cast<std::uint64_t>(cfg.seeds));
+    w.key("points").begin_array();
+    for (const auto& pt : points) {
+      w.begin_object();
+      w.field("n", static_cast<std::uint64_t>(pt.n));
+      w.field("runs", static_cast<std::uint64_t>(pt.rounds.count()));
+      w.field("mean", pt.rounds.mean());
+      w.field("min", pt.rounds.min());
+      w.field("max", pt.rounds.max());
+      w.field("p50", pt.rounds.quantile(0.50));
+      w.field("p90", pt.rounds.quantile(0.90));
+      w.field("p95", pt.rounds.quantile(0.95));
+      w.field("p99", pt.rounds.quantile(0.99));
+      w.field("failures", static_cast<std::uint64_t>(pt.failures));
+      w.field("invalid", static_cast<std::uint64_t>(pt.invalid));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << '\n';
+    // Status notices go to stderr in sweep mode: stdout carries only the
+    // thread-count-invariant results, so `diff` on captured stdout is a
+    // valid determinism check even when output paths differ per run.
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+
+  if (events) {
+    events_file.flush();
+    std::fprintf(stderr, "wrote %s (%llu events)\n",
+                 args.get("events-out").c_str(),
+                 static_cast<unsigned long long>(events->lines_written()));
+  }
+
+  if (const std::string& path = args.get("metrics-out"); !path.empty()) {
+    obs::RunManifest man;
+    man.tool = "beepmis_cli";
+    man.seed = cfg.base_seed;
+    man.family = args.get("family");
+    man.algorithm = exp::variant_name(variant);
+    man.init_policy = args.get("init");
+    man.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+    man.add_extra("mode", "sweep");
+    man.add_extra("sizes", args.get("sizes"));
+    man.add_extra("seeds_per_size", args.get("sweep-seeds"));
+    man.add_extra("threads_requested", args.get("threads"));
+    std::ofstream mout(path);
+    if (!mout) {
+      std::cerr << "cannot open metrics file: " << path << "\n";
+      return 2;
+    }
+    obs::write_run_json(mout, man, &metrics);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+
+  return failures == 0 && invalid == 0 ? 0 : 1;
+}
+
 int run_baseline(const support::ArgParser& args, const graph::Graph& g,
                  const std::string& name) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
@@ -424,11 +575,37 @@ int main(int argc, char** argv) {
   args.add_option("progress", "0",
                   "print a heartbeat to stderr every K rounds (0 = off)");
   args.add_flag("trace", "print per-round beep statistics after the run");
+  args.add_flag("sweep",
+                "scaling-sweep mode (self-stab variants): run --sizes × "
+                "--sweep-seeds replicas of --algorithm on --family");
+  args.add_option("sizes", "64,256,1024",
+                  "comma-separated vertex counts for --sweep");
+  args.add_option("sweep-seeds", "12", "replicas per size for --sweep");
+  args.add_option("threads", "1",
+                  "worker threads for --sweep (0 = one per hardware "
+                  "thread); results are bit-identical for every value");
+  args.add_option("sweep-out", "",
+                  "write a deterministic beepmis.sweep.v1 JSON summary "
+                  "(identical across --threads values) to this file");
 
   std::string error;
   if (!args.parse(argc, argv, &error)) {
     std::cerr << error << "\n";
     return error.rfind("beepmis_cli", 0) == 0 ? 0 : 2;  // --help exits 0
+  }
+
+  const std::string algo = args.get("algorithm");
+  if (args.flag("sweep")) {
+    exp::Family family;
+    if (!parse_family(args.get("family"), &family)) {
+      std::cerr << "unknown family: " << args.get("family") << "\n";
+      return 2;
+    }
+    if (algo == "v1") return run_sweep(args, exp::Variant::GlobalDelta, family);
+    if (algo == "v2") return run_sweep(args, exp::Variant::OwnDegree, family);
+    if (algo == "v3") return run_sweep(args, exp::Variant::TwoChannel, family);
+    std::cerr << "--sweep supports the self-stab variants only (v1|v2|v3)\n";
+    return 2;
   }
 
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
@@ -437,7 +614,6 @@ int main(int argc, char** argv) {
   std::printf("graph %s: n=%zu m=%zu max-degree=%zu\n", g.name().c_str(),
               g.vertex_count(), g.edge_count(), g.max_degree());
 
-  const std::string algo = args.get("algorithm");
   if (algo == "v1") return run_selfstab(args, g, exp::Variant::GlobalDelta);
   if (algo == "v2") return run_selfstab(args, g, exp::Variant::OwnDegree);
   if (algo == "v3") return run_selfstab(args, g, exp::Variant::TwoChannel);

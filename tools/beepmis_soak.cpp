@@ -9,6 +9,8 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "src/core/engine.hpp"
 #include "src/core/transfer.hpp"
@@ -21,6 +23,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/timing.hpp"
 #include "src/support/args.hpp"
+#include "src/support/task_pool.hpp"
 
 namespace {
 
@@ -135,6 +138,20 @@ bool run_scenario(const Scenario& s, std::uint64_t seed,
   return true;
 }
 
+/// Flight-dump path of scenario #ordinal. Each task gets its own file under
+/// parallel soak ("soak.dump.json" → "soak.dump.t42.json"), so concurrent
+/// anomaly dumps stay self-contained instead of clobbering one shared path;
+/// single-threaded soak keeps the plain path for compatibility.
+std::string task_dump_path(const std::string& base, std::uint64_t ordinal,
+                           bool parallel) {
+  if (!parallel) return base;
+  const std::size_t dot = base.rfind('.');
+  const std::string suffix = ".t" + std::to_string(ordinal);
+  if (dot == std::string::npos || base.find('/', dot) != std::string::npos)
+    return base + suffix;
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,6 +169,10 @@ int main(int argc, char** argv) {
   args.add_option("engine", "auto",
                   "executor: auto | fast | reference — auto alternates "
                   "randomly per scenario so both executors get soak coverage");
+  args.add_option("threads", "1",
+                  "worker threads for scenario execution (0 = one per "
+                  "hardware thread); the scenario stream, every verdict and "
+                  "all non-timing metrics are identical for every value");
   std::string error;
   if (!args.parse(argc, argv, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
@@ -172,38 +193,74 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   std::uint64_t runs = 0;
   bool failed = false;
-  while (std::chrono::steady_clock::now() - start < budget) {
-    const std::uint64_t seed = scenario_rng();
-    support::Rng srng(seed);
-    const Scenario s = draw_scenario(srng);
-    // Auto alternates between the two executors (still a pure function of
-    // the scenario seed), so a long soak qualifies both code paths.
-    const core::EngineKind kind =
-        requested != core::EngineKind::Auto ? requested
-        : srng.bernoulli(0.5)               ? core::EngineKind::Fast
-                                            : core::EngineKind::Reference;
-    metrics.counter("soak.scenarios_total").inc();
-    if (!run_scenario(s, seed, kind, metrics, args.get("flight-dump"))) {
-      metrics.counter("soak.violations").inc();
-      std::fprintf(stderr, "soak FAILED after %llu scenarios\n",
-                   static_cast<unsigned long long>(runs));
-      failed = true;
-      break;
+
+  // Scenario execution goes through the worker pool in small batches: the
+  // coordinator draws the seed stream serially (so the stream is identical
+  // for every thread count), workers run scenarios against private scratch
+  // registries, and the coordinator folds scratches back in draw order.
+  // Each task carries its own flight recorder and dump path, so anomaly
+  // post-mortems stay self-contained under parallelism.
+  support::TaskPool pool(support::TaskPool::resolve_thread_count(
+      static_cast<std::size_t>(args.get_int("threads"))));
+  const bool parallel = pool.thread_count() > 1;
+  // Two batches worth of tasks per dispatch keeps all workers busy without
+  // letting the deterministic fold lag far behind the wall clock.
+  const std::size_t batch_size = parallel ? pool.thread_count() * 2 : 1;
+  const std::string dump_base = args.get("flight-dump");
+
+  struct SoakOutcome {
+    bool ok = true;
+    obs::MetricsRegistry scratch;
+  };
+  std::uint64_t ordinal = 0;  // scenarios dispatched so far
+  while (!failed && std::chrono::steady_clock::now() - start < budget) {
+    std::vector<std::uint64_t> seeds(batch_size);
+    for (std::uint64_t& s : seeds) s = scenario_rng();
+    std::vector<SoakOutcome> outcomes(batch_size);
+    pool.parallel_for(batch_size, [&](std::size_t i) {
+      const std::uint64_t seed = seeds[i];
+      support::Rng srng(seed);
+      const Scenario s = draw_scenario(srng);
+      // Auto alternates between the two executors (still a pure function of
+      // the scenario seed), so a long soak qualifies both code paths.
+      const core::EngineKind kind =
+          requested != core::EngineKind::Auto ? requested
+          : srng.bernoulli(0.5)               ? core::EngineKind::Fast
+                                              : core::EngineKind::Reference;
+      outcomes[i].ok =
+          run_scenario(s, seed, kind, outcomes[i].scratch,
+                       task_dump_path(dump_base, ordinal + i, parallel));
+    });
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      metrics.counter("soak.scenarios_total").inc();
+      metrics.merge(outcomes[i].scratch);
+      if (!outcomes[i].ok) {
+        metrics.counter("soak.violations").inc();
+        std::fprintf(stderr, "soak FAILED after %llu scenarios\n",
+                     static_cast<unsigned long long>(runs));
+        failed = true;
+        break;
+      }
+      ++runs;
     }
-    ++runs;
-    if (heartbeat.count() > 0 &&
+    ordinal += batch_size;
+    if (!failed && heartbeat.count() > 0 &&
         std::chrono::steady_clock::now() >= next_beat) {
       const auto elapsed = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - start)
                                .count();
+      const double rate =
+          elapsed > 0.0 ? static_cast<double>(runs) / elapsed : 0.0;
       std::fprintf(stderr,
                    "[soak] %s t=%.0fs scenarios=%llu rounds=%llu "
-                   "violations=0 rate=%.1f/s\n",
+                   "violations=0 rate=%.1f/s workers=%zu "
+                   "per-worker=%.1f/s\n",
                    obs::timestamp_utc().c_str(), elapsed,
                    static_cast<unsigned long long>(runs),
                    static_cast<unsigned long long>(
                        metrics.counter("runner.rounds_total").value()),
-                   elapsed > 0.0 ? static_cast<double>(runs) / elapsed : 0.0);
+                   rate, pool.thread_count(),
+                   rate / static_cast<double>(pool.thread_count()));
       next_beat += heartbeat;
     }
   }
