@@ -35,6 +35,7 @@
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/sink.hpp"
+#include "src/obs/trace.hpp"
 #include "src/support/task_pool.hpp"
 
 namespace {
@@ -270,6 +271,36 @@ void BM_FastEngineRun_Digest(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_FastEngineRun_Digest)->Arg(10240);
+
+/// Same workload with a live tracing session (ring capacity 64k, counter
+/// tracks every 16 rounds) — the ratio of this to BM_FastEngineRun_NoSink
+/// is the tracer's wall-clock overhead (budgeted at ≤ 2%). The engine's
+/// per-round span plus the sampled counter emissions are the hot path
+/// being measured; the export is outside the timed loop.
+void BM_FastEngineRun_Tracer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  const auto lmax = core::lmax_global_delta(g);
+  obs::Tracer::instance().enable(/*capacity_per_thread=*/65536,
+                                 /*counter_every=*/16);
+  std::uint64_t seed = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    core::FastMisEngine fast(g, lmax, ++seed);
+    support::Rng irng(seed);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto span = static_cast<std::uint64_t>(2 * lmax[v] + 1);
+      fast.set_level(v,
+                     static_cast<std::int32_t>(irng.below(span)) - lmax[v]);
+    }
+    rounds += fast.run_to_stabilization(100000);
+    benchmark::DoNotOptimize(fast.round());
+  }
+  obs::Tracer::instance().disable();
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FastEngineRun_Tracer)->Arg(10240);
 
 /// Pre-pool baseline for the sweep-parallelization claim: the exact serial
 /// replica loop run_scaling_sweep used before the worker pool existed —

@@ -47,7 +47,8 @@ bool FastEngine<Policy>::member_settled(graph::VertexId v) const {
 
 template <typename Policy>
 void FastEngine<Policy>::refresh_settlement() const {
-  obs::ScopedTimer timer(refresh_timer_, refresh_digest_);
+  obs::ScopedTimer timer(refresh_timer_, refresh_digest_,
+                         "engine.refresh_settlement");
   dirty_ = false;
   const std::size_t n = levels_.size();
   std::fill(settled_.begin(), settled_.end(), 0);
@@ -167,6 +168,7 @@ void FastEngine<Policy>::resettle_neighborhood(graph::VertexId v) {
 
 template <typename Policy>
 void FastEngine<Policy>::step() {
+  obs::TraceScope span("engine.round", round_ + 1);
   if (dense_) {
     step_dense();
     return;
@@ -267,6 +269,21 @@ void FastEngine<Policy>::step_sparse() {
   settle_and_prune();
   ++round_;
 
+  // Counter tracks, sampled every K rounds of a live tracing session. The
+  // beep census reuses the phase-1 tallies (settled members beep their
+  // channel every round); settlement counts are post-round state.
+  if (const std::uint64_t k = obs::Tracer::counter_interval();
+      k != 0 && round_ % k == 0) {
+    obs::Tracer::counter("engine.beeps",
+                         static_cast<double>(members_before +
+                                             active_beeps[0] +
+                                             active_beeps[1]));
+    obs::Tracer::counter("engine.active", static_cast<double>(active_count_));
+    obs::Tracer::counter("engine.stable",
+                         static_cast<double>(n - active_count_));
+    obs::Tracer::counter("engine.mis", static_cast<double>(mis_count_));
+  }
+
   if (observing) {
     obs::RoundEvent ev;
     ev.round = round_;
@@ -321,6 +338,18 @@ void FastEngine<Policy>::step_dense() {
     levels_[v] = Policy::update(levels_[v], lmax_[v], send_[v], heard_[v]);
   ++round_;
   dirty_ = true;
+
+  // Under noise nothing settles, so only the beep census makes a useful
+  // counter track here; it is recomputed from send_ only on sampled rounds.
+  if (const std::uint64_t k = obs::Tracer::counter_interval();
+      k != 0 && round_ % k == 0) {
+    std::uint32_t beeps = 0;
+    for (beep::ChannelMask m : send_) {
+      beeps += (m & beep::kChannel1) ? 1 : 0;
+      beeps += (m & beep::kChannel2) ? 1 : 0;
+    }
+    obs::Tracer::counter("engine.beeps", static_cast<double>(beeps));
+  }
 
   if (observer_ != nullptr) {
     obs::RoundEvent ev;

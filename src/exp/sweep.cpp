@@ -50,7 +50,7 @@ std::vector<SweepPoint> run_scaling_sweep(Family family,
 
   support::TaskPool pool(
       support::TaskPool::resolve_thread_count(config.threads));
-  pool.parallel_for(tasks, [&](std::size_t t) {
+  const auto run_replica = [&](std::size_t t) {
     const std::size_t n = config.sizes[t / seeds];
     const std::size_t s = t % seeds;
     ReplicaOutcome& out = outcomes[t];
@@ -68,7 +68,11 @@ std::vector<SweepPoint> run_scaling_sweep(Family family,
     if (config.observer != nullptr)
       out.events = obs::BufferedSink(config.observer);
     {
-      obs::ScopedTimer run_timer(scratch, "sweep.run");
+      // The trace span carries the replica's master seed as its argument,
+      // so a Perfetto track reads "sweep.run arg=<seed>" per task claim.
+      obs::ScopedTimer run_timer(
+          scratch != nullptr ? &scratch->timer("sweep.run") : nullptr,
+          nullptr, "sweep.run", seed, /*trace_has_arg=*/true);
       out.result = run_variant(
           g, config.variant, config.init, seed,
           default_round_budget(g.vertex_count()), config.c1, scratch,
@@ -83,7 +87,12 @@ std::vector<SweepPoint> run_scaling_sweep(Family family,
       if (!out.result.stabilized) scratch->counter("sweep.failures").inc();
       if (!out.result.valid_mis) scratch->counter("sweep.invalid_mis").inc();
     }
-  });
+  };
+  {
+    obs::TraceScope batch_span("sweep.batch",
+                               static_cast<std::uint64_t>(tasks));
+    pool.parallel_for(tasks, run_replica);
+  }
 
   // Coordinator-side fold, strictly in ascending (size, seed) order: the
   // SweepPoint digests and the merged registry's digests are P² estimators
@@ -93,7 +102,10 @@ std::vector<SweepPoint> run_scaling_sweep(Family family,
   std::vector<SweepPoint> points;
   points.reserve(config.sizes.size());
   std::size_t t = 0;
+  obs::TraceScope fold_span("sweep.fold");
   for (std::size_t i = 0; i < config.sizes.size(); ++i) {
+    obs::TraceScope point_span(
+        "sweep.point", static_cast<std::uint64_t>(config.sizes[i]));
     SweepPoint pt;
     pt.family = family;
     for (std::size_t s = 0; s < seeds; ++s, ++t) {

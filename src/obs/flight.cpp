@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "src/obs/json.hpp"
+#include "src/obs/trace.hpp"
 #include "src/support/check.hpp"
 
 namespace beepmis::obs {
@@ -185,6 +186,16 @@ void FlightRecorder::write_dump(std::ostream& os) const {
     write_levels(w, probe_());
   } else {
     w.begin_array().end_array();
+  }
+
+  // With a tracing session live, attach the dumping thread's most recent
+  // trace records — the span/counter timeline immediately preceding the
+  // anomaly, in the same event shape as beepmis.trace.v1.
+  if (Tracer::active()) {
+    w.key("trace_tail").begin_array();
+    for (const TraceRecord& r : Tracer::instance().thread_tail(256))
+      trace_write_event(w, r);
+    w.end_array();
   }
 
   w.end_object();

@@ -1,6 +1,7 @@
 #include "src/obs/json_parse.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 namespace beepmis::obs {
@@ -12,6 +13,12 @@ const JsonValue& JsonValue::get(const std::string& key) const {
 }
 
 namespace {
+
+// Ingestion parses untrusted files (report --in, trace conversion), so the
+// recursive descent is bounded: documents nested deeper than this are
+// rejected instead of riding the call stack to a crash. Our own emitters
+// never exceed single-digit depth.
+constexpr std::size_t kMaxDepth = 64;
 
 class Parser {
  public:
@@ -133,6 +140,13 @@ class Parser {
       err_ = "bad number";
       return false;
     }
+    // strtod saturates out-of-range magnitudes to ±inf; JSON has no way to
+    // express that, so 1e999-style overflow is a malformed document, not a
+    // silently-infinite measurement.
+    if (!std::isfinite(*out)) {
+      err_ = "number overflow";
+      return false;
+    }
     return true;
   }
 
@@ -169,10 +183,15 @@ class Parser {
 
   bool object(JsonValue* out) {
     out->type = JsonValue::Type::Object;
+    if (++depth_ > kMaxDepth) {
+      err_ = "nesting too deep";
+      return false;
+    }
     ++pos_;  // '{'
     skip_ws();
     if (pos_ < s_.size() && s_[pos_] == '}') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -187,7 +206,12 @@ class Parser {
       ++pos_;
       JsonValue v;
       if (!value(&v)) return false;
-      out->object.insert_or_assign(std::move(key), std::move(v));
+      // A repeated key means two writers disagreed about the same field;
+      // last-one-wins would silently pick one of them.
+      if (!out->object.emplace(std::move(key), std::move(v)).second) {
+        err_ = "duplicate key";
+        return false;
+      }
       skip_ws();
       if (pos_ >= s_.size()) {
         err_ = "unterminated object";
@@ -199,6 +223,7 @@ class Parser {
       }
       if (s_[pos_] == '}') {
         ++pos_;
+        --depth_;
         return true;
       }
       err_ = "expected ',' or '}'";
@@ -208,10 +233,15 @@ class Parser {
 
   bool array(JsonValue* out) {
     out->type = JsonValue::Type::Array;
+    if (++depth_ > kMaxDepth) {
+      err_ = "nesting too deep";
+      return false;
+    }
     ++pos_;  // '['
     skip_ws();
     if (pos_ < s_.size() && s_[pos_] == ']') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -229,6 +259,7 @@ class Parser {
       }
       if (s_[pos_] == ']') {
         ++pos_;
+        --depth_;
         return true;
       }
       err_ = "expected ',' or ']'";
@@ -238,6 +269,7 @@ class Parser {
 
   std::string_view s_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
   std::string err_;
 };
 

@@ -123,6 +123,27 @@ bool ReportBuilder::add_document(const JsonValue& doc,
     }
     return true;
   }
+  if (schema == "beepmis.trace.v1") {
+    sources_.push_back(source);
+    // Every complete ("X") event feeds the per-span duration digest; the
+    // trace's context block keys the cell next to the stabilization rows.
+    const JsonValue& ctx = doc.get("context");
+    const std::string algorithm = ctx.get("algorithm").as_string("?");
+    const std::string family = ctx.get("family").as_string("?");
+    // Context values are strings (the tracer's context block is a
+    // string->string map); tolerate a numeric n anyway.
+    auto n = static_cast<std::uint64_t>(ctx.get("n").as_number(0.0));
+    if (n == 0)
+      n = std::strtoull(ctx.get("n").as_string("0").c_str(), nullptr, 10);
+    for (const JsonValue& th : doc.get("threads").array) {
+      for (const JsonValue& ev : th.get("events").array) {
+        if (ev.get("ph").as_string() != "X") continue;
+        spans_[{algorithm, family, n, ev.get("name").as_string("?")}].add(
+            ev.get("dur_ns").as_number(0.0));
+      }
+    }
+    return true;
+  }
   if (error != nullptr)
     *error = source + ": unrecognized schema \"" + schema + "\"";
   return false;
@@ -276,6 +297,17 @@ std::vector<ReportBuilder::Overhead> ReportBuilder::overheads() const {
   return out;
 }
 
+std::vector<ReportBuilder::SpanRow> ReportBuilder::span_rows() const {
+  std::vector<SpanRow> out;
+  for (const auto& [key, d] : spans_) {
+    if (d.count() == 0) continue;
+    out.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                   std::get<3>(key), d.count(), d.mean(), d.median(),
+                   d.quantile(0.95), d.max()});
+  }
+  return out;
+}
+
 void ReportBuilder::write_markdown(std::ostream& os,
                                    double tolerance) const {
   os << "# beepmis report\n\n";
@@ -325,6 +357,22 @@ void ReportBuilder::write_markdown(std::ostream& os,
     for (const Overhead& o : over) {
       os << "| " << o.tag << " | " << o.n << " | "
          << fmt("%+.2f%%", o.overhead * 100.0) << " |\n";
+    }
+    os << '\n';
+  }
+
+  const auto spans = span_rows();
+  if (!spans.empty()) {
+    os << "## Trace spans (ns)\n\n";
+    os << "| algorithm | family | n | span | count | mean | p50 | p95 | max "
+          "|\n";
+    os << "|---|---|---:|---|---:|---:|---:|---:|---:|\n";
+    for (const SpanRow& r : spans) {
+      os << "| " << r.algorithm << " | " << r.family << " | " << r.n
+         << " | " << r.name << " | " << r.count << " | "
+         << fmt("%.0f", r.mean_ns) << " | " << fmt("%.0f", r.p50_ns)
+         << " | " << fmt("%.0f", r.p95_ns) << " | " << fmt("%.0f", r.max_ns)
+         << " |\n";
     }
     os << '\n';
   }
@@ -407,6 +455,22 @@ void ReportBuilder::write_json(std::ostream& os, double tolerance) const {
     w.field("observer", o.tag);
     w.field("n", o.n);
     w.field("overhead", o.overhead);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("trace_spans").begin_array();
+  for (const SpanRow& r : span_rows()) {
+    w.begin_object();
+    w.field("algorithm", r.algorithm);
+    w.field("family", r.family);
+    w.field("n", r.n);
+    w.field("span", r.name);
+    w.field("count", r.count);
+    w.field("mean_ns", r.mean_ns);
+    w.field("p50_ns", r.p50_ns);
+    w.field("p95_ns", r.p95_ns);
+    w.field("max_ns", r.max_ns);
     w.end_object();
   }
   w.end_array();

@@ -9,15 +9,17 @@
 #include <vector>
 
 #include "src/obs/json_parse.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace beepmis::obs {
 
 /// Aggregates run artifacts — "beepmis.run.v1" manifests (including bench
 /// captures such as BENCH_micro.json), "beepmis.dump.v1" flight-recorder
-/// dumps, and raw JSONL round-event streams — into one report: stabilization
-/// percentiles per (algorithm, family, n), fast-vs-reference speedups, sink
-/// and digest overheads, and an optional baseline comparison that flags
-/// benchmark regressions for CI gating. Renders markdown for humans and a
+/// dumps, "beepmis.trace.v1" span traces, and raw JSONL round-event streams
+/// — into one report: stabilization percentiles per (algorithm, family, n),
+/// fast-vs-reference speedups, sink and digest overheads, span-duration
+/// quantiles, and an optional baseline comparison that flags benchmark
+/// regressions for CI gating. Renders markdown for humans and a
 /// "beepmis.report.v1" JSON document for machines.
 class ReportBuilder {
  public:
@@ -73,9 +75,25 @@ class ReportBuilder {
     std::uint64_t round = 0;
   };
 
-  /// Ingests one parsed artifact. Accepts "beepmis.run.v1" and
-  /// "beepmis.dump.v1"; anything else fails with `error` set. `source` is
-  /// the label used in the report (typically the file name).
+  /// Span-duration quantiles for one (algorithm, family, n, span name)
+  /// cell, aggregated over every "X" event in the ingested traces (the
+  /// trace document's context block supplies the first three coordinates).
+  struct SpanRow {
+    std::string algorithm;
+    std::string family;
+    std::uint64_t n = 0;
+    std::string name;        ///< span name, e.g. "engine.round"
+    std::uint64_t count = 0;
+    double mean_ns = 0.0;
+    double p50_ns = 0.0;
+    double p95_ns = 0.0;
+    double max_ns = 0.0;
+  };
+
+  /// Ingests one parsed artifact. Accepts "beepmis.run.v1",
+  /// "beepmis.dump.v1" and "beepmis.trace.v1"; anything else fails with
+  /// `error` set. `source` is the label used in the report (typically the
+  /// file name).
   bool add_document(const JsonValue& doc, const std::string& source,
                     std::string* error);
 
@@ -97,6 +115,7 @@ class ReportBuilder {
   std::vector<StabRow> stabilization_rows() const;
   std::vector<Speedup> speedups() const;
   std::vector<Overhead> overheads() const;
+  std::vector<SpanRow> span_rows() const;
   const std::vector<DumpAnomaly>& dump_anomalies() const noexcept {
     return dump_anomalies_;
   }
@@ -120,6 +139,8 @@ class ReportBuilder {
     bool any = false;
   };
   using StabKey = std::tuple<std::string, std::string, std::uint64_t>;
+  using SpanKey =
+      std::tuple<std::string, std::string, std::uint64_t, std::string>;
 
   void accumulate_stabilization(const JsonValue& doc);
   void merge_sample(const StabKey& key, double rounds);
@@ -128,6 +149,7 @@ class ReportBuilder {
                      bool approximate);
 
   std::map<StabKey, StabAccum> stab_;
+  std::map<SpanKey, Digest> spans_;  // span durations from ingested traces
   std::map<std::string, double> current_cpu_ns_;   // gauge prefix -> cpu_ns
   std::map<std::string, double> baseline_cpu_ns_;
   std::vector<DumpAnomaly> dump_anomalies_;

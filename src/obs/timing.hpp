@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace beepmis::obs {
 
@@ -19,33 +20,53 @@ namespace beepmis::obs {
 class ScopedTimer {
  public:
   /// `digest`, when non-null, additionally receives the duration in
-  /// nanoseconds — one clock read pair feeds both the cumulative TimerStat
-  /// and the streaming quantile estimate. Both targets null disarms.
-  explicit ScopedTimer(TimerStat* stat, Digest* digest = nullptr)
-      : stat_(stat), digest_(digest) {
-    if (stat_ != nullptr || digest_ != nullptr)
+  /// nanoseconds, and `trace_name`, when non-null while a Tracer session is
+  /// live, additionally emits a trace span (with `trace_arg` as its numeric
+  /// argument when `trace_has_arg`) — one start/stop steady_clock pair
+  /// feeds the cumulative TimerStat, the streaming quantile estimate, and
+  /// the trace ring buffer. All targets off disarms (no clock reads).
+  explicit ScopedTimer(TimerStat* stat, Digest* digest = nullptr,
+                       const char* trace_name = nullptr,
+                       std::uint64_t trace_arg = 0,
+                       bool trace_has_arg = false)
+      : stat_(stat),
+        digest_(digest),
+        trace_name_(trace_name != nullptr && Tracer::active() ? trace_name
+                                                              : nullptr),
+        trace_arg_(trace_arg),
+        trace_has_arg_(trace_has_arg) {
+    if (stat_ != nullptr || digest_ != nullptr || trace_name_ != nullptr)
       start_ = std::chrono::steady_clock::now();
   }
-  /// Convenience: look the timer up by name; `registry` may be null.
+  /// Convenience: look the timer up by name; `registry` may be null. The
+  /// same name doubles as the trace span name (a string literal at every
+  /// call site, so the no-copy tracer contract holds).
   ScopedTimer(MetricsRegistry* registry, const char* name)
-      : ScopedTimer(registry != nullptr ? &registry->timer(name) : nullptr) {}
+      : ScopedTimer(registry != nullptr ? &registry->timer(name) : nullptr,
+                    nullptr, name) {}
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
   ~ScopedTimer() {
-    if (stat_ == nullptr && digest_ == nullptr) return;
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    if (stat_ == nullptr && digest_ == nullptr && trace_name_ == nullptr)
+      return;
+    const auto end = std::chrono::steady_clock::now();
     const auto ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
             .count());
     if (stat_ != nullptr) stat_->record_ns(ns);
     if (digest_ != nullptr) digest_->add(static_cast<double>(ns));
+    if (trace_name_ != nullptr)
+      Tracer::complete(trace_name_, start_, end, trace_arg_, trace_has_arg_);
   }
 
  private:
   TimerStat* stat_;
   Digest* digest_;
+  const char* trace_name_;
+  std::uint64_t trace_arg_;
+  bool trace_has_arg_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,343 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "src/obs/json.hpp"
+#include "src/support/task_pool.hpp"
+
+namespace beepmis::obs {
+namespace {
+
+// Sticky track label for the calling thread, applied when (not if) the
+// thread registers a ring buffer — so labeling works whether the label is
+// set before or after enable(), and survives across sessions.
+thread_local std::string t_pending_label;  // NOLINT(runtime/string)
+
+/// TaskPool observer installed for the lifetime of a tracing session:
+/// labels each pool worker's track on its first task and records a
+/// task-claim span per claimed index (the replica's own nested spans carry
+/// the seed; the claim span's arg is the task index).
+class PoolTracer final : public support::TaskPool::Observer {
+ public:
+  void on_task(std::size_t worker_index, std::size_t task_index,
+               std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) override {
+    thread_local std::size_t labeled_as = static_cast<std::size_t>(-1);
+    if (labeled_as != worker_index) {
+      labeled_as = worker_index;
+      Tracer::set_thread_label(worker_index == 0
+                                   ? std::string("main")
+                                   : "pool-worker-" +
+                                         std::to_string(worker_index));
+    }
+    Tracer::complete("pool.task", start, end,
+                     static_cast<std::uint64_t>(task_index),
+                     /*has_arg=*/true);
+  }
+};
+
+PoolTracer g_pool_tracer;
+
+bool export_fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(std::size_t capacity_per_thread,
+                    std::uint64_t counter_every) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();
+  capacity_ = capacity_per_thread == 0 ? 1 : capacity_per_thread;
+  epoch_ = Clock::now();
+  counter_every_.store(counter_every, std::memory_order_relaxed);
+  support::TaskPool::set_observer(&g_pool_tracer);
+  // Release-publish: a recorder that acquire-loads the new session id sees
+  // epoch_ and capacity_ from this critical section.
+  session_.store(++next_session_, std::memory_order_release);
+}
+
+void Tracer::disable() {
+  session_.store(0, std::memory_order_relaxed);
+  support::TaskPool::set_observer(nullptr);
+}
+
+Tracer::ThreadBuffer* Tracer::current_buffer() {
+  struct Slot {
+    ThreadBuffer* buf = nullptr;
+    std::uint64_t session = 0;
+  };
+  thread_local Slot slot;
+  const std::uint64_t live = session_.load(std::memory_order_acquire);
+  if (live == 0) return nullptr;
+  if (slot.session == live) return slot.buf;  // steady state: no lock
+
+  // First record of this thread in this session: register a ring buffer.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (session_.load(std::memory_order_relaxed) != live) return nullptr;
+  auto owned = std::make_unique<ThreadBuffer>();
+  ThreadBuffer* buf = owned.get();
+  buf->ring.resize(capacity_);
+  buf->tid = static_cast<std::uint64_t>(buffers_.size());
+  buf->label = !t_pending_label.empty()
+                   ? t_pending_label
+                   : "thread-" + std::to_string(buf->tid);
+  buffers_.push_back(std::move(owned));
+  slot.buf = buf;
+  slot.session = live;
+  return buf;
+}
+
+void Tracer::record(const TraceRecord& r) {
+  ThreadBuffer* buf = current_buffer();
+  if (buf == nullptr) return;
+  buf->ring[buf->head] = r;
+  buf->head = buf->head + 1 == buf->ring.size() ? 0 : buf->head + 1;
+  ++buf->recorded;
+}
+
+void Tracer::complete(const char* name, Clock::time_point start,
+                      Clock::time_point end, std::uint64_t arg,
+                      bool has_arg) {
+  Tracer& t = instance();
+  if (t.session_.load(std::memory_order_acquire) == 0) return;
+  TraceRecord r;
+  r.kind = TraceRecord::Kind::Span;
+  r.name = name;
+  r.ts_ns = since_epoch_ns(start, t.epoch_);
+  r.dur_ns = end <= start ? 0 : since_epoch_ns(end, start);
+  r.arg = arg;
+  r.has_arg = has_arg;
+  t.record(r);
+}
+
+void Tracer::counter(const char* name, double value) {
+  Tracer& t = instance();
+  if (t.session_.load(std::memory_order_acquire) == 0) return;
+  TraceRecord r;
+  r.kind = TraceRecord::Kind::Counter;
+  r.name = name;
+  r.ts_ns = since_epoch_ns(Clock::now(), t.epoch_);
+  r.value = value;
+  t.record(r);
+}
+
+void Tracer::instant(const char* name, std::uint64_t arg, bool has_arg) {
+  Tracer& t = instance();
+  if (t.session_.load(std::memory_order_acquire) == 0) return;
+  TraceRecord r;
+  r.kind = TraceRecord::Kind::Instant;
+  r.name = name;
+  r.ts_ns = since_epoch_ns(Clock::now(), t.epoch_);
+  r.arg = arg;
+  r.has_arg = has_arg;
+  t.record(r);
+}
+
+void Tracer::set_thread_label(std::string label) {
+  t_pending_label = std::move(label);
+  Tracer& t = instance();
+  if (t.session_.load(std::memory_order_acquire) == 0) return;
+  // Already registered in the live session: rename the existing track.
+  if (ThreadBuffer* buf = t.current_buffer()) {
+    std::lock_guard<std::mutex> lock(t.mu_);
+    buf->label = t_pending_label;
+  }
+}
+
+void Tracer::set_context(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : context_) {
+    if (kv.first == key) {
+      kv.second = value;
+      return;
+    }
+  }
+  context_.emplace_back(key, value);
+}
+
+void Tracer::clear_context() {
+  std::lock_guard<std::mutex> lock(mu_);
+  context_.clear();
+}
+
+std::uint64_t Tracer::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& buf : buffers_)
+    if (buf->recorded > buf->ring.size())
+      dropped += buf->recorded - buf->ring.size();
+  return dropped;
+}
+
+std::vector<TraceRecord> Tracer::thread_tail(std::size_t max) {
+  std::vector<TraceRecord> out;
+  ThreadBuffer* buf = current_buffer();
+  if (buf == nullptr || max == 0) return out;
+  const std::size_t cap = buf->ring.size();
+  const std::size_t have =
+      buf->recorded < cap ? static_cast<std::size_t>(buf->recorded) : cap;
+  const std::size_t take = std::min(max, have);
+  out.reserve(take);
+  for (std::size_t k = 0; k < take; ++k)
+    out.push_back(buf->ring[(buf->head + cap - take + k) % cap]);
+  return out;
+}
+
+void trace_write_event(JsonWriter& w, const TraceRecord& r) {
+  w.begin_object();
+  switch (r.kind) {
+    case TraceRecord::Kind::Span:
+      w.field("ph", "X");
+      w.field("name", r.name);
+      w.field("ts_ns", r.ts_ns);
+      w.field("dur_ns", r.dur_ns);
+      if (r.has_arg) w.field("arg", r.arg);
+      break;
+    case TraceRecord::Kind::Counter:
+      w.field("ph", "C");
+      w.field("name", r.name);
+      w.field("ts_ns", r.ts_ns);
+      w.field("value", r.value);
+      break;
+    case TraceRecord::Kind::Instant:
+      w.field("ph", "i");
+      w.field("name", r.name);
+      w.field("ts_ns", r.ts_ns);
+      if (r.has_arg) w.field("arg", r.arg);
+      break;
+  }
+  w.end_object();
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped_total = 0;
+  for (const auto& buf : buffers_)
+    if (buf->recorded > buf->ring.size())
+      dropped_total += buf->recorded - buf->ring.size();
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "beepmis.trace.v1");
+  w.field("capacity_per_thread", static_cast<std::uint64_t>(capacity_));
+  w.field("counter_every", counter_every_.load(std::memory_order_relaxed));
+  w.field("dropped_total", dropped_total);
+  w.key("context").begin_object();
+  for (const auto& kv : context_) w.field(kv.first, kv.second);
+  w.end_object();
+  w.key("threads").begin_array();
+  for (const auto& buf : buffers_) {
+    const std::size_t cap = buf->ring.size();
+    const bool wrapped = buf->recorded > cap;
+    const std::size_t have =
+        wrapped ? cap : static_cast<std::size_t>(buf->recorded);
+    const std::size_t first = wrapped ? buf->head : 0;
+    w.begin_object();
+    w.field("tid", buf->tid);
+    w.field("label", buf->label);
+    w.field("recorded", buf->recorded);
+    w.field("dropped",
+            wrapped ? buf->recorded - cap : std::uint64_t{0});
+    w.key("events").begin_array();
+    for (std::size_t k = 0; k < have; ++k)
+      trace_write_event(w, buf->ring[(first + k) % cap]);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+bool trace_export_chrome(const JsonValue& trace, std::ostream& os,
+                         std::string* error) {
+  if (!trace.is_object() ||
+      trace.get("schema").as_string() != "beepmis.trace.v1")
+    return export_fail(error, "not a beepmis.trace.v1 document");
+  const JsonValue& threads = trace.get("threads");
+  if (!threads.is_array())
+    return export_fail(error, "trace.v1: \"threads\" must be an array");
+
+  const std::uint64_t kPid = 1;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  w.begin_object();
+  w.field("ph", "M").field("pid", kPid).field("name", "process_name");
+  w.key("args").begin_object().field("name", "beepmis").end_object();
+  w.end_object();
+
+  for (const JsonValue& th : threads.array) {
+    if (!th.is_object())
+      return export_fail(error, "trace.v1: thread entry must be an object");
+    const std::uint64_t tid =
+        static_cast<std::uint64_t>(th.get("tid").as_number(0.0));
+    const std::string label =
+        th.get("label").as_string("thread-" + std::to_string(tid));
+    w.begin_object();
+    w.field("ph", "M").field("pid", kPid).field("tid", tid);
+    w.field("name", "thread_name");
+    w.key("args").begin_object().field("name", label).end_object();
+    w.end_object();
+
+    const JsonValue& events = th.get("events");
+    if (!events.is_array())
+      return export_fail(error,
+                         "trace.v1: thread \"events\" must be an array");
+    for (const JsonValue& ev : events.array) {
+      const std::string ph = ev.get("ph").as_string();
+      const std::string name = ev.get("name").as_string();
+      if (name.empty())
+        return export_fail(error, "trace.v1: event without a name");
+      // Chrome's trace_event clock is microseconds; keep full ns precision
+      // as a fractional value.
+      const double ts_us = ev.get("ts_ns").as_number(0.0) / 1000.0;
+      w.begin_object();
+      w.field("ph", ph).field("pid", kPid).field("tid", tid);
+      w.field("cat", "beepmis").field("name", name).field("ts", ts_us);
+      if (ph == "X") {
+        w.field("dur", ev.get("dur_ns").as_number(0.0) / 1000.0);
+        if (ev.has("arg")) {
+          w.key("args").begin_object();
+          w.field("arg", ev.get("arg").as_number(0.0));
+          w.end_object();
+        }
+      } else if (ph == "C") {
+        w.key("args").begin_object();
+        w.field("value", ev.get("value").as_number(0.0));
+        w.end_object();
+      } else if (ph == "i") {
+        w.field("s", "t");  // thread-scoped instant
+        if (ev.has("arg")) {
+          w.key("args").begin_object();
+          w.field("arg", ev.get("arg").as_number(0.0));
+          w.end_object();
+        }
+      } else {
+        return export_fail(error,
+                           "trace.v1: unknown event phase \"" + ph + "\"");
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  const JsonValue& ctx = trace.get("context");
+  if (ctx.is_object())
+    for (const auto& kv : ctx.object) w.field(kv.first, kv.second.as_string());
+  w.end_object();
+  w.end_object();
+  os << '\n';
+  return true;
+}
+
+}  // namespace beepmis::obs

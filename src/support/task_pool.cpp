@@ -6,6 +6,12 @@
 
 namespace beepmis::support {
 
+std::atomic<TaskPool::Observer*> TaskPool::observer_{nullptr};
+
+void TaskPool::set_observer(Observer* observer) noexcept {
+  observer_.store(observer, std::memory_order_release);
+}
+
 std::size_t TaskPool::resolve_thread_count(std::size_t requested) noexcept {
   if (requested != 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -16,7 +22,7 @@ TaskPool::TaskPool(std::size_t threads) : threads_(threads) {
   BEEPMIS_CHECK(threads >= 1, "TaskPool needs at least one thread");
   workers_.reserve(threads - 1);
   for (std::size_t i = 0; i + 1 < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
 }
 
 TaskPool::~TaskPool() {
@@ -28,27 +34,34 @@ TaskPool::~TaskPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void TaskPool::worker_loop() {
+void TaskPool::worker_loop(std::size_t worker_index) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     wake_.wait(lock,
                [&] { return stopping_ || (next_ < count_ && !abort_); });
     if (stopping_) return;
-    run_tasks(lock);
+    run_tasks(lock, worker_index);
   }
 }
 
-void TaskPool::run_tasks(std::unique_lock<std::mutex>& lock) {
+void TaskPool::run_tasks(std::unique_lock<std::mutex>& lock,
+                         std::size_t worker_index) {
   while (next_ < count_ && !abort_) {
     const std::size_t index = next_++;
     const std::function<void(std::size_t)>* fn = fn_;
     lock.unlock();
+    Observer* const obs = observer_.load(std::memory_order_acquire);
+    std::chrono::steady_clock::time_point start;
+    if (obs != nullptr) start = std::chrono::steady_clock::now();
     std::exception_ptr error;
     try {
       (*fn)(index);
     } catch (...) {
       error = std::current_exception();
     }
+    if (obs != nullptr)
+      obs->on_task(worker_index, index, start,
+                   std::chrono::steady_clock::now());
     lock.lock();
     ++done_;
     if (error != nullptr) {
@@ -77,7 +90,7 @@ void TaskPool::parallel_for(std::size_t count,
 
     // The caller is a worker too: with threads == 1 this runs the whole
     // batch inline, making the serial baseline the identical code path.
-    run_tasks(lock);
+    run_tasks(lock, 0);
 
     drained_.wait(lock, [&] {
       return done_ == next_ && (next_ >= count_ || abort_);

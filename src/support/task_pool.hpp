@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -57,11 +59,34 @@ class TaskPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Observability hook. The support layer cannot depend on obs (obs links
+  /// support), so the span tracer installs an implementation here when a
+  /// tracing session starts. Callbacks run on the executing thread, outside
+  /// the pool mutex; implementations must be thread-safe and cheap. With no
+  /// observer installed the per-task cost is one relaxed atomic load.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    /// One completed task: `worker_index` 0 is the thread that called
+    /// parallel_for, spawned workers are 1..threads-1; start/end bracket
+    /// the task body with a steady-clock pair taken by the pool.
+    virtual void on_task(std::size_t worker_index, std::size_t task_index,
+                         std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end) = 0;
+  };
+
+  /// Installs the process-wide observer (nullptr to remove). Swap only
+  /// while no batch is running — the usual enable-tracing-then-run order.
+  static void set_observer(Observer* observer) noexcept;
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   /// Claims and runs tasks until the current batch is exhausted or aborted.
   /// Called with `lock` held; drops it around each fn invocation.
-  void run_tasks(std::unique_lock<std::mutex>& lock);
+  void run_tasks(std::unique_lock<std::mutex>& lock,
+                 std::size_t worker_index);
+
+  static std::atomic<Observer*> observer_;
 
   std::size_t threads_;
   std::vector<std::thread> workers_;

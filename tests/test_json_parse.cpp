@@ -1,0 +1,91 @@
+#include "src/obs/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace beepmis {
+namespace {
+
+// Failure-path coverage for the strict parser: every artifact ingested by
+// the report/trace tooling flows through json_parse, so hostile or
+// truncated inputs must fail loudly with a stable error message instead of
+// crashing or silently mis-parsing.
+
+testing::AssertionResult rejects(const std::string& text,
+                                 const std::string& expected_error) {
+  obs::JsonValue v;
+  std::string error;
+  if (obs::json_parse(text, &v, &error))
+    return testing::AssertionFailure() << "parsed unexpectedly: " << text;
+  // Errors carry an " at byte N" position suffix; match the message prefix.
+  if (error.rfind(expected_error, 0) != 0)
+    return testing::AssertionFailure()
+           << "wrong error for " << text << ": got \"" << error
+           << "\", want \"" << expected_error << "...\"";
+  return testing::AssertionSuccess();
+}
+
+TEST(JsonParse, NestingDepthIsBounded) {
+  // 64 levels parse; the 65th trips the guard. The bound exists because
+  // the recursive-descent parser ingests untrusted files — unbounded
+  // nesting is a stack-overflow vector.
+  std::string deep(64, '[');
+  deep += std::string(64, ']');
+  obs::JsonValue v;
+  std::string error;
+  EXPECT_TRUE(obs::json_parse(deep, &v, &error)) << error;
+
+  std::string too_deep(65, '[');
+  too_deep += std::string(65, ']');
+  EXPECT_TRUE(rejects(too_deep, "nesting too deep"));
+  // Objects hit the same guard.
+  std::string deep_obj, close_obj;
+  for (int i = 0; i < 65; ++i) {
+    deep_obj += "{\"k\":";
+    close_obj += "}";
+  }
+  EXPECT_TRUE(rejects(deep_obj + "1" + close_obj, "nesting too deep"));
+}
+
+TEST(JsonParse, TruncatedEscapes) {
+  EXPECT_TRUE(rejects("\"abc\\", "unterminated escape"));
+  EXPECT_TRUE(rejects("\"abc\\u12\"", "short \\u escape"));
+  EXPECT_TRUE(rejects("\"abc\\uzzzz\"", "bad \\u escape"));
+  EXPECT_TRUE(rejects("\"abc\\q\"", "bad escape"));
+  EXPECT_TRUE(rejects("\"abc", "unterminated string"));
+}
+
+TEST(JsonParse, DuplicateKeysRejected) {
+  EXPECT_TRUE(rejects("{\"a\":1,\"a\":2}", "duplicate key"));
+  // Distinct keys at the same level and repeated keys at different levels
+  // are both fine.
+  obs::JsonValue v;
+  std::string error;
+  EXPECT_TRUE(
+      obs::json_parse("{\"a\":{\"a\":1},\"b\":{\"a\":2}}", &v, &error))
+      << error;
+  EXPECT_EQ(v.get("b").get("a").as_number(0.0), 2.0);
+}
+
+TEST(JsonParse, NumberOverflowRejected) {
+  EXPECT_TRUE(rejects("1e999", "number overflow"));
+  EXPECT_TRUE(rejects("[-1e999]", "number overflow"));
+  EXPECT_TRUE(rejects("{\"x\":1e999}", "number overflow"));
+  // The largest finite doubles still parse.
+  obs::JsonValue v;
+  std::string error;
+  EXPECT_TRUE(obs::json_parse("1.7976931348623157e308", &v, &error)) << error;
+}
+
+TEST(JsonParse, TruncatedDocuments) {
+  EXPECT_TRUE(rejects("{\"a\":1", "unterminated object"));
+  EXPECT_TRUE(rejects("[1,2", "unterminated array"));
+  EXPECT_TRUE(rejects("{\"a\"1}", "expected ':'"));
+  EXPECT_TRUE(rejects("", "unexpected end of input"));
+  EXPECT_TRUE(rejects("{} {}", "trailing garbage"));
+  EXPECT_TRUE(rejects("tru", "bad literal"));
+}
+
+}  // namespace
+}  // namespace beepmis

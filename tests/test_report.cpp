@@ -106,8 +106,12 @@ TEST(Report, SpeedupAndOverheadTablesFromGauges) {
   const auto over = b.overheads();
   ASSERT_EQ(over.size(), 2u);  // Digest and JsonlSink vs NoSink
   for (const auto& o : over) {
-    if (o.tag == "Digest") EXPECT_NEAR(o.overhead, 0.01, 1e-9);
-    if (o.tag == "JsonlSink") EXPECT_NEAR(o.overhead, 0.05, 1e-9);
+    if (o.tag == "Digest") {
+      EXPECT_NEAR(o.overhead, 0.01, 1e-9);
+    }
+    if (o.tag == "JsonlSink") {
+      EXPECT_NEAR(o.overhead, 0.05, 1e-9);
+    }
   }
 }
 
@@ -187,6 +191,44 @@ TEST(Report, DumpDocumentContributesAnomalies) {
   ASSERT_EQ(b.dump_anomalies().size(), 1u);
   EXPECT_EQ(b.dump_anomalies()[0].kind, "stall");
   EXPECT_EQ(b.dump_anomalies()[0].round, 123u);
+}
+
+TEST(Report, TraceDocumentContributesSpanQuantiles) {
+  // Context values are strings, the tracer's context block being a
+  // string->string map — the n coordinate must still parse.
+  const char* trace = R"({
+    "schema": "beepmis.trace.v1", "capacity_per_thread": 64,
+    "counter_every": 0, "dropped_total": 0,
+    "context": {"algorithm": "V1-global-delta", "family": "torus",
+                "n": "256"},
+    "threads": [{"tid": 0, "label": "main", "recorded": 3, "dropped": 0,
+      "events": [
+        {"ph": "X", "name": "engine.round", "ts_ns": 0, "dur_ns": 100},
+        {"ph": "X", "name": "engine.round", "ts_ns": 200, "dur_ns": 300},
+        {"ph": "C", "name": "engine.active", "ts_ns": 50, "value": 9}
+      ]}]
+  })";
+  obs::ReportBuilder b;
+  std::string error;
+  ASSERT_TRUE(b.add_document(parse(trace), "trace.json", &error)) << error;
+  const auto rows = b.span_rows();
+  // Counter events don't feed span digests.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].algorithm, "V1-global-delta");
+  EXPECT_EQ(rows[0].family, "torus");
+  EXPECT_EQ(rows[0].n, 256u);
+  EXPECT_EQ(rows[0].name, "engine.round");
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].mean_ns, 200.0);
+  EXPECT_DOUBLE_EQ(rows[0].max_ns, 300.0);
+
+  std::ostringstream js;
+  b.write_json(js, 0.10);
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::json_parse(js.str(), &doc, &error)) << error;
+  ASSERT_EQ(doc.get("trace_spans").array.size(), 1u);
+  EXPECT_EQ(doc.get("trace_spans").array[0].get("span").as_string(""),
+            "engine.round");
 }
 
 TEST(Report, JsonOutputRoundTripsAndMarkdownMentionsBaseline) {

@@ -1,0 +1,262 @@
+#include "src/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json_parse.hpp"
+#include "src/support/task_pool.hpp"
+
+namespace beepmis {
+namespace {
+
+// The tracer is a process-wide singleton; each test starts its own session
+// (enable replaces all buffers) and disables before export, so tests stay
+// independent despite the shared instance.
+
+obs::JsonValue export_doc() {
+  std::ostringstream os;
+  obs::Tracer::instance().write_json(os);
+  obs::JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(obs::json_parse(os.str(), &doc, &error)) << error;
+  return doc;
+}
+
+const obs::JsonValue* find_thread(const obs::JsonValue& doc,
+                                  const std::string& label) {
+  for (const obs::JsonValue& t : doc.get("threads").array)
+    if (t.get("label").as_string("") == label) return &t;
+  return nullptr;
+}
+
+TEST(Trace, DisabledIsInert) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.disable();
+  EXPECT_FALSE(obs::Tracer::active());
+  EXPECT_EQ(obs::Tracer::counter_interval(), 0u);
+  // Record calls while off must not register buffers or records.
+  obs::Tracer::counter("noop", 1.0);
+  obs::Tracer::instant("noop");
+  { obs::TraceScope scope("noop"); }
+  tracer.enable(16, 0);
+  tracer.disable();
+  const obs::JsonValue doc = export_doc();
+  EXPECT_EQ(doc.get("schema").as_string(""), "beepmis.trace.v1");
+  EXPECT_TRUE(doc.get("threads").array.empty());
+}
+
+TEST(Trace, SpanNestingIsContained) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear_context();
+  tracer.set_context("tool", "test");
+  tracer.enable(64, 0);
+  obs::Tracer::set_thread_label("main");
+  {
+    obs::TraceScope outer("outer", 42);
+    obs::TraceScope inner("inner");
+    (void)inner;
+  }
+  tracer.disable();
+
+  const obs::JsonValue doc = export_doc();
+  EXPECT_EQ(doc.get("context").get("tool").as_string(""), "test");
+  const obs::JsonValue* main_thread = find_thread(doc, "main");
+  ASSERT_NE(main_thread, nullptr);
+  const auto& events = main_thread->get("events").array;
+  ASSERT_EQ(events.size(), 2u);
+  // Destructor order records the inner span first.
+  const obs::JsonValue& inner = events[0];
+  const obs::JsonValue& outer = events[1];
+  EXPECT_EQ(inner.get("name").as_string(""), "inner");
+  EXPECT_EQ(outer.get("name").as_string(""), "outer");
+  EXPECT_EQ(outer.get("arg").as_number(0.0), 42.0);
+  // Temporal containment: outer starts no later and ends no earlier.
+  const double o_start = outer.get("ts_ns").as_number(-1.0);
+  const double o_end = o_start + outer.get("dur_ns").as_number(0.0);
+  const double i_start = inner.get("ts_ns").as_number(-1.0);
+  const double i_end = i_start + inner.get("dur_ns").as_number(0.0);
+  EXPECT_LE(o_start, i_start);
+  EXPECT_GE(o_end, i_end);
+}
+
+TEST(Trace, RingOverwritesOldestAndCountsDropped) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(8, 0);
+  obs::Tracer::set_thread_label("main");
+  const auto now = obs::Tracer::Clock::now();
+  for (std::uint64_t i = 0; i < 20; ++i)
+    obs::Tracer::complete("span", now, now, i, /*has_arg=*/true);
+  tracer.disable();
+  EXPECT_EQ(tracer.dropped_spans(), 12u);
+
+  const obs::JsonValue doc = export_doc();
+  EXPECT_EQ(doc.get("dropped_total").as_number(-1.0), 12.0);
+  const obs::JsonValue* main_thread = find_thread(doc, "main");
+  ASSERT_NE(main_thread, nullptr);
+  EXPECT_EQ(main_thread->get("recorded").as_number(0.0), 20.0);
+  EXPECT_EQ(main_thread->get("dropped").as_number(-1.0), 12.0);
+  const auto& events = main_thread->get("events").array;
+  ASSERT_EQ(events.size(), 8u);
+  // Survivors are the newest 8 records, exported oldest-first.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].get("arg").as_number(0.0),
+              static_cast<double>(12 + i));
+}
+
+TEST(Trace, CounterAndInstantEvents) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(32, 4);
+  EXPECT_EQ(obs::Tracer::counter_interval(), 4u);
+  obs::Tracer::set_thread_label("main");
+  obs::Tracer::counter("engine.active", 17.5);
+  obs::Tracer::instant("engine.reset", 3, /*has_arg=*/true);
+  tracer.disable();
+
+  const obs::JsonValue doc = export_doc();
+  EXPECT_EQ(doc.get("counter_every").as_number(0.0), 4.0);
+  const obs::JsonValue* main_thread = find_thread(doc, "main");
+  ASSERT_NE(main_thread, nullptr);
+  const auto& events = main_thread->get("events").array;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].get("ph").as_string(""), "C");
+  EXPECT_EQ(events[0].get("value").as_number(0.0), 17.5);
+  EXPECT_EQ(events[1].get("ph").as_string(""), "i");
+  EXPECT_EQ(events[1].get("arg").as_number(0.0), 3.0);
+}
+
+TEST(Trace, ThreadTailReturnsNewestOldestFirst) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(16, 0);
+  const auto now = obs::Tracer::Clock::now();
+  for (std::uint64_t i = 0; i < 5; ++i)
+    obs::Tracer::complete("span", now, now, i, /*has_arg=*/true);
+  const std::vector<obs::TraceRecord> tail = tracer.thread_tail(2);
+  tracer.disable();
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].arg, 3u);
+  EXPECT_EQ(tail[1].arg, 4u);
+}
+
+TEST(Trace, PoolWorkersGetLabeledTracksAndTaskSpans) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(4096, 0);
+  obs::Tracer::set_thread_label("main");
+  // The caller thread legally drains an entire batch of instant tasks
+  // before a worker wakes, so make each task slow enough (1 ms) that the
+  // spawned workers must claim some while the caller is busy.
+  std::vector<int> hit(16, 0);
+  {
+    support::TaskPool pool(3);
+    pool.parallel_for(hit.size(), [&](std::size_t i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      hit[i] = 1;
+    });
+  }
+  for (int h : hit) EXPECT_EQ(h, 1);
+  tracer.disable();
+
+  const obs::JsonValue doc = export_doc();
+  std::size_t task_spans = 0;
+  bool saw_worker_label = false;
+  for (const obs::JsonValue& t : doc.get("threads").array) {
+    const std::string label = t.get("label").as_string("");
+    if (label.rfind("pool-worker-", 0) == 0) saw_worker_label = true;
+    for (const obs::JsonValue& ev : t.get("events").array)
+      if (ev.get("name").as_string("") == "pool.task") ++task_spans;
+  }
+  // Every task produces exactly one claim span, across however many
+  // worker tracks actually claimed work.
+  EXPECT_EQ(task_spans, hit.size());
+  EXPECT_TRUE(saw_worker_label);
+}
+
+TEST(Trace, ChromeExportIsWellFormed) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear_context();
+  tracer.set_context("algorithm", "v1");
+  tracer.enable(64, 8);
+  obs::Tracer::set_thread_label("main");
+  {
+    obs::TraceScope span("engine.round", 1);
+    (void)span;
+  }
+  obs::Tracer::counter("engine.active", 9.0);
+  obs::Tracer::instant("mark");
+  tracer.disable();
+  const obs::JsonValue doc = export_doc();
+
+  std::ostringstream chrome;
+  std::string error;
+  ASSERT_TRUE(obs::trace_export_chrome(doc, chrome, &error)) << error;
+
+  obs::JsonValue converted;
+  ASSERT_TRUE(obs::json_parse(chrome.str(), &converted, &error)) << error;
+  EXPECT_EQ(converted.get("displayTimeUnit").as_string(""), "ms");
+  EXPECT_EQ(converted.get("otherData").get("algorithm").as_string(""), "v1");
+  const auto& events = converted.get("traceEvents").array;
+  // process_name + thread_name metadata plus the three recorded events.
+  ASSERT_EQ(events.size(), 5u);
+  bool saw_thread_name = false, saw_span = false, saw_counter = false,
+       saw_instant = false;
+  for (const obs::JsonValue& ev : events) {
+    const std::string ph = ev.get("ph").as_string("");
+    ASSERT_FALSE(ph.empty());
+    ASSERT_FALSE(ev.get("name").as_string("").empty());
+    EXPECT_EQ(ev.get("pid").as_number(0.0), 1.0);
+    if (ph == "M" && ev.get("name").as_string("") == "thread_name") {
+      saw_thread_name = true;
+      EXPECT_EQ(ev.get("args").get("name").as_string(""), "main");
+    }
+    if (ph == "X") {
+      saw_span = true;
+      EXPECT_TRUE(ev.has("ts"));
+      EXPECT_TRUE(ev.has("dur"));
+      EXPECT_EQ(ev.get("args").get("arg").as_number(0.0), 1.0);
+    }
+    if (ph == "C") {
+      saw_counter = true;
+      EXPECT_EQ(ev.get("args").get("value").as_number(0.0), 9.0);
+    }
+    if (ph == "i") {
+      saw_instant = true;
+      EXPECT_EQ(ev.get("s").as_string(""), "t");
+    }
+  }
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(Trace, ChromeExportRejectsForeignDocuments) {
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse("{\"schema\":\"beepmis.run.v1\"}", &doc, &error));
+  std::ostringstream os;
+  EXPECT_FALSE(obs::trace_export_chrome(doc, os, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Trace, ReenableStartsFreshSession) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(16, 0);
+  obs::Tracer::set_thread_label("main");
+  const auto now = obs::Tracer::Clock::now();
+  obs::Tracer::complete("old", now, now);
+  tracer.enable(16, 0);  // second session: prior buffers are discarded
+  obs::Tracer::complete("new", now, now);
+  tracer.disable();
+  const obs::JsonValue doc = export_doc();
+  ASSERT_EQ(doc.get("threads").array.size(), 1u);
+  const auto& events = doc.get("threads").array[0].get("events").array;
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].get("name").as_string(""), "new");
+}
+
+}  // namespace
+}  // namespace beepmis

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "src/apps/coloring.hpp"
 #include "src/apps/ruling_set.hpp"
@@ -32,6 +33,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/sink.hpp"
 #include "src/obs/timing.hpp"
+#include "src/obs/trace.hpp"
 #include "src/support/args.hpp"
 #include "src/support/svg.hpp"
 
@@ -97,6 +99,77 @@ class ProgressMeter final : public obs::RoundObserver {
   std::uint64_t every_;
 };
 
+/// Starts a tracing session when --trace-out is given. The context pairs
+/// are reproduced in the trace document; beepmis_report keys its span-
+/// duration table on the algorithm/family/n entries.
+void trace_begin(
+    const support::ArgParser& args,
+    const std::vector<std::pair<std::string, std::string>>& context) {
+  if (args.get("trace-out").empty()) return;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear_context();
+  tracer.set_context("tool", "beepmis_cli");
+  for (const auto& [k, v] : context) tracer.set_context(k, v);
+  tracer.enable(static_cast<std::size_t>(args.get_int("trace-capacity")),
+                static_cast<std::uint64_t>(args.get_int("trace-counters")));
+  obs::Tracer::set_thread_label("main");
+}
+
+/// "t.json" -> "t.chrome.json"; extensionless paths get ".chrome.json".
+std::string trace_chrome_path(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos)
+    return path + ".chrome.json";
+  std::string out = path;
+  out.insert(dot, ".chrome");
+  return out;
+}
+
+/// Ends the tracing session: writes the beepmis.trace.v1 document to
+/// --trace-out and its Chrome/Perfetto conversion beside it. Notices go to
+/// stderr, so sweep stdout stays byte-identical with tracing on or off.
+/// Returns 0, or 2 on I/O or conversion failure.
+int trace_end(const support::ArgParser& args) {
+  const std::string& path = args.get("trace-out");
+  if (path.empty()) return 0;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.disable();
+
+  std::ostringstream doc;
+  tracer.write_json(doc);
+  {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open trace file: " << path << "\n";
+      return 2;
+    }
+    out << doc.str();
+  }
+
+  // The Chrome export round-trips through the real parser, so the written
+  // artifact is validated as a side effect of converting it.
+  obs::JsonValue parsed;
+  std::string error;
+  const std::string chrome_path = trace_chrome_path(path);
+  if (!obs::json_parse(doc.str(), &parsed, &error)) {
+    std::cerr << "trace export failed: " << error << "\n";
+    return 2;
+  }
+  std::ofstream chrome(chrome_path);
+  if (!chrome) {
+    std::cerr << "cannot open trace file: " << chrome_path << "\n";
+    return 2;
+  }
+  if (!obs::trace_export_chrome(parsed, chrome, &error)) {
+    std::cerr << "trace export failed: " << error << "\n";
+    return 2;
+  }
+  std::fprintf(stderr, "wrote %s and %s (trace-dropped=%llu)\n",
+               path.c_str(), chrome_path.c_str(),
+               static_cast<unsigned long long>(tracer.dropped_spans()));
+  return 0;
+}
+
 core::InitPolicy parse_init(const std::string& name) {
   for (core::InitPolicy p : core::all_init_policies())
     if (core::init_policy_name(p) == name) return p;
@@ -127,6 +200,14 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
     std::exit(2);
   }
   auto engine = core::make_engine(g, config);
+
+  trace_begin(args,
+              {{"algorithm", exp::variant_name(variant)},
+               {"family", args.get("graph-file").empty() ? args.get("family")
+                                                         : "file"},
+               {"n", std::to_string(g.vertex_count())},
+               {"seed", args.get("seed")},
+               {"engine", engine->name()}});
 
   support::Rng init_rng = support::Rng(seed).derive_stream(0xfadedcafe);
   core::apply_init(*engine, parse_init(args.get("init")), init_rng);
@@ -311,6 +392,7 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
     obs::write_run_json(mout, man, &metrics);
     std::printf("wrote %s\n", path.c_str());
   }
+  if (const int rc = trace_end(args); rc != 0) return rc;
   return ok ? 0 : 1;
 }
 
@@ -367,6 +449,11 @@ int run_sweep(const support::ArgParser& args, exp::Variant variant,
                                               /*with_analysis=*/false);
     cfg.observer = events.get();
   }
+
+  trace_begin(args, {{"algorithm", exp::variant_name(variant)},
+                     {"family", exp::family_name(family)},
+                     {"seed", args.get("seed")},
+                     {"mode", "sweep"}});
 
   const auto points = exp::run_scaling_sweep(family, cfg);
   std::cout << exp::sweep_table(points).str();
@@ -446,6 +533,7 @@ int run_sweep(const support::ArgParser& args, exp::Variant variant,
     std::fprintf(stderr, "wrote %s\n", path.c_str());
   }
 
+  if (const int rc = trace_end(args); rc != 0) return rc;
   return failures == 0 && invalid == 0 ? 0 : 1;
 }
 
@@ -587,6 +675,16 @@ int main(int argc, char** argv) {
   args.add_option("sweep-out", "",
                   "write a deterministic beepmis.sweep.v1 JSON summary "
                   "(identical across --threads values) to this file");
+  args.add_option("trace-out", "",
+                  "write a beepmis.trace.v1 span trace to this file plus a "
+                  "Chrome/Perfetto export beside it (<name>.chrome.json); "
+                  "simulation output is unaffected");
+  args.add_option("trace-capacity", "65536",
+                  "per-thread trace ring capacity in records; when it "
+                  "fills, the oldest records are overwritten and counted");
+  args.add_option("trace-counters", "16",
+                  "emit engine counter tracks (active/stable/mis/beeps) "
+                  "every K rounds while tracing (0 = off)");
 
   std::string error;
   if (!args.parse(argc, argv, &error)) {

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/timing.hpp"
+#include "src/obs/trace.hpp"
 #include "src/support/args.hpp"
 #include "src/support/task_pool.hpp"
 
@@ -152,6 +154,42 @@ std::string task_dump_path(const std::string& base, std::uint64_t ordinal,
   return base.substr(0, dot) + suffix + base.substr(dot);
 }
 
+/// Writes the tracing session's beepmis.trace.v1 document plus its
+/// Chrome/Perfetto conversion ("<name>.chrome.json"). Returns false on I/O
+/// or conversion failure.
+bool write_trace_files(const std::string& path) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.disable();
+  std::ostringstream doc;
+  tracer.write_json(doc);
+  {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open trace file: %s\n", path.c_str());
+      return false;
+    }
+    out << doc.str();
+  }
+  std::string chrome_path = path;
+  const std::size_t dot = chrome_path.rfind('.');
+  if (dot == std::string::npos || chrome_path.find('/', dot) != std::string::npos)
+    chrome_path += ".chrome.json";
+  else
+    chrome_path.insert(dot, ".chrome");
+  obs::JsonValue parsed;
+  std::string error;
+  std::ofstream chrome(chrome_path);
+  if (!obs::json_parse(doc.str(), &parsed, &error) || !chrome ||
+      !obs::trace_export_chrome(parsed, chrome, &error)) {
+    std::fprintf(stderr, "trace export failed: %s\n", error.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote %s and %s (trace-dropped=%llu)\n", path.c_str(),
+               chrome_path.c_str(),
+               static_cast<unsigned long long>(tracer.dropped_spans()));
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -173,6 +211,13 @@ int main(int argc, char** argv) {
                   "worker threads for scenario execution (0 = one per "
                   "hardware thread); the scenario stream, every verdict and "
                   "all non-timing metrics are identical for every value");
+  args.add_option("trace-out", "",
+                  "write a beepmis.trace.v1 span trace to this file at exit "
+                  "(plus a <name>.chrome.json Perfetto conversion)");
+  args.add_option("trace-capacity", "65536",
+                  "per-thread trace ring capacity in records");
+  args.add_option("trace-counters", "16",
+                  "emit engine counter tracks every K rounds (0 = off)");
   std::string error;
   if (!args.parse(argc, argv, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
@@ -183,6 +228,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown engine: %s (try auto, fast, reference)\n",
                  args.get("engine").c_str());
     return 2;
+  }
+
+  const bool tracing = !args.get("trace-out").empty();
+  if (tracing) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.clear_context();
+    tracer.set_context("tool", "beepmis_soak");
+    tracer.set_context("seed", args.get("seed"));
+    tracer.set_context("engine", args.get("engine"));
+    tracer.enable(static_cast<std::size_t>(args.get_int("trace-capacity")),
+                  static_cast<std::uint64_t>(args.get_int("trace-counters")));
+    obs::Tracer::set_thread_label("main");
   }
 
   const auto budget = std::chrono::seconds(args.get_int("seconds"));
@@ -251,19 +308,27 @@ int main(int argc, char** argv) {
                                .count();
       const double rate =
           elapsed > 0.0 ? static_cast<double>(runs) / elapsed : 0.0;
+      // The heartbeat prints between pool batches, so the tracer's dropped
+      // count is stable while we read it.
       std::fprintf(stderr,
                    "[soak] %s t=%.0fs scenarios=%llu rounds=%llu "
-                   "violations=0 rate=%.1f/s workers=%zu "
-                   "per-worker=%.1f/s\n",
+                   "violations=0 anomalies=%llu rate=%.1f/s workers=%zu "
+                   "per-worker=%.1f/s trace-dropped=%llu\n",
                    obs::timestamp_utc().c_str(), elapsed,
                    static_cast<unsigned long long>(runs),
                    static_cast<unsigned long long>(
                        metrics.counter("runner.rounds_total").value()),
+                   static_cast<unsigned long long>(
+                       metrics.counter("soak.anomalies").value()),
                    rate, pool.thread_count(),
-                   rate / static_cast<double>(pool.thread_count()));
+                   rate / static_cast<double>(pool.thread_count()),
+                   static_cast<unsigned long long>(
+                       tracing ? obs::Tracer::instance().dropped_spans() : 0));
       next_beat += heartbeat;
     }
   }
+
+  if (tracing && !write_trace_files(args.get("trace-out"))) return 2;
 
   if (const std::string& path = args.get("metrics-out"); !path.empty()) {
     obs::RunManifest man;
