@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "src/beep/network.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/fast_engine.hpp"
@@ -34,6 +35,7 @@
 #include "src/graph/generators.hpp"
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/perf.hpp"
 #include "src/obs/sink.hpp"
 #include "src/obs/trace.hpp"
 #include "src/support/task_pool.hpp"
@@ -149,6 +151,7 @@ void BM_EngineRun(benchmark::State& state, core::Variant variant,
   const graph::Graph g = make_er(n);
   std::uint64_t seed = 0;
   std::uint64_t rounds = 0;
+  bench::PerfCapture perf;
   for (auto _ : state) {
     core::EngineConfig config;
     config.variant = variant;
@@ -160,6 +163,8 @@ void BM_EngineRun(benchmark::State& state, core::Variant variant,
     rounds += engine->run_to_stabilization(100000);
     benchmark::DoNotOptimize(engine->round());
   }
+  for (const auto& [cname, v] : perf.per_iteration(state.iterations()))
+    state.counters[cname] = v;
   state.SetItemsProcessed(static_cast<std::int64_t>(rounds) *
                           static_cast<std::int64_t>(n));
 }
@@ -200,6 +205,7 @@ void BM_FastEngineRun_NoSink(benchmark::State& state) {
   const auto lmax = core::lmax_global_delta(g);
   std::uint64_t seed = 0;
   std::uint64_t rounds = 0;
+  bench::PerfCapture perf;
   for (auto _ : state) {
     core::FastMisEngine fast(g, lmax, ++seed);
     support::Rng irng(seed);
@@ -211,6 +217,8 @@ void BM_FastEngineRun_NoSink(benchmark::State& state) {
     rounds += fast.run_to_stabilization(100000);
     benchmark::DoNotOptimize(fast.round());
   }
+  for (const auto& [cname, v] : perf.per_iteration(state.iterations()))
+    state.counters[cname] = v;
   state.SetItemsProcessed(static_cast<std::int64_t>(rounds) *
                           static_cast<std::int64_t>(n));
 }
@@ -302,6 +310,36 @@ void BM_FastEngineRun_Tracer(benchmark::State& state) {
 }
 BENCHMARK(BM_FastEngineRun_Tracer)->Arg(10240);
 
+/// Same workload with a live hardware-profiling session (default stride:
+/// group-read every 64th round plus every settlement refresh) — the ratio
+/// of this to BM_FastEngineRun_NoSink is the profiler's wall-clock overhead
+/// (budgeted at ≤ 2%, which is what the ordinal sampling buys). On hosts
+/// where perf_event_open is denied the session is inert and this measures
+/// the disarmed-scope cost (one relaxed load per round).
+void BM_FastEngineRun_Profiler(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  const auto lmax = core::lmax_global_delta(g);
+  obs::PerfSession::instance().enable(/*sample_every=*/64);
+  std::uint64_t seed = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    core::FastMisEngine fast(g, lmax, ++seed);
+    support::Rng irng(seed);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto span = static_cast<std::uint64_t>(2 * lmax[v] + 1);
+      fast.set_level(v,
+                     static_cast<std::int32_t>(irng.below(span)) - lmax[v]);
+    }
+    rounds += fast.run_to_stabilization(100000);
+    benchmark::DoNotOptimize(fast.round());
+  }
+  obs::PerfSession::instance().disable();
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FastEngineRun_Profiler)->Arg(10240);
+
 /// Pre-pool baseline for the sweep-parallelization claim: the exact serial
 /// replica loop run_scaling_sweep used before the worker pool existed —
 /// direct run_variant calls against one shared registry, no task dispatch,
@@ -383,9 +421,11 @@ void BM_RngBernoulliPow2(benchmark::State& state) {
 }
 BENCHMARK(BM_RngBernoulliPow2);
 
-/// Console output as usual, plus every per-iteration run captured as four
-/// gauges ("<name>.real_ns", ".cpu_ns", ".iterations", ".items_per_second")
-/// for the machine-readable dump.
+/// Console output as usual, plus every per-iteration run captured as
+/// gauges for the machine-readable dump: "<name>.real_ns", ".cpu_ns",
+/// ".iterations", and one ".<counter>" gauge per user counter — which is
+/// items_per_second plus, when the host grants perf_event_open, the
+/// PerfCapture hardware counters (".instructions", ".cache_misses", ...).
 class RecordingReporter final : public benchmark::ConsoleReporter {
  public:
   explicit RecordingReporter(obs::MetricsRegistry& metrics)
@@ -399,9 +439,8 @@ class RecordingReporter final : public benchmark::ConsoleReporter {
       metrics_->gauge(name + ".cpu_ns").set(run.GetAdjustedCPUTime());
       metrics_->gauge(name + ".iterations")
           .set(static_cast<double>(run.iterations));
-      if (auto it = run.counters.find("items_per_second");
-          it != run.counters.end())
-        metrics_->gauge(name + ".items_per_second").set(it->second);
+      for (const auto& [cname, counter] : run.counters)
+        metrics_->gauge(name + "." + cname).set(counter);
     }
     ConsoleReporter::ReportRuns(runs);
   }
@@ -445,6 +484,13 @@ int main(int argc, char** argv) {
     man.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - wall_start)
                       .count();
+    // Whether the ".instructions"/".cache_misses" gauges could exist at
+    // all on this host — consumers should treat their absence as
+    // "counters denied", not "benchmark regressed to zero".
+    {
+      beepmis::obs::PerfGroup probe;
+      man.profiling = probe.open() ? "available" : "unavailable";
+    }
     std::ofstream out(bench_out);
     if (!out) {
       std::cerr << "cannot open " << bench_out << "\n";

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/obs/perf.hpp"
 #include "src/obs/timing.hpp"
 #include "src/support/check.hpp"
 
@@ -49,6 +50,7 @@ template <typename Policy>
 void FastEngine<Policy>::refresh_settlement() const {
   obs::ScopedTimer timer(refresh_timer_, refresh_digest_,
                          "engine.refresh_settlement");
+  obs::PerfSpanScope perf("engine.refresh_settlement");
   dirty_ = false;
   const std::size_t n = levels_.size();
   std::fill(settled_.begin(), settled_.end(), 0);
@@ -169,6 +171,11 @@ void FastEngine<Policy>::resettle_neighborhood(graph::VertexId v) {
 template <typename Policy>
 void FastEngine<Policy>::step() {
   obs::TraceScope span("engine.round", round_ + 1);
+  // Hardware counters per round, sampled every sample_interval()-th round:
+  // a group read is a syscall, so the per-round site must stay under the
+  // same ≤2% budget as the tracer. Each sample still covers exactly one
+  // round, so instructions/round derivations stay per-round means.
+  obs::PerfSpanScope perf("engine.round", round_ + 1);
   if (dense_) {
     step_dense();
     return;

@@ -93,6 +93,11 @@ void write_run_json(std::ostream& os, const RunManifest& m,
   w.field("wall_ms", m.wall_ms);
   w.end_object();
 
+  w.key("obs").begin_object();
+  w.field("trace_dropped", m.trace_dropped);
+  w.field("profiling", m.profiling);
+  w.end_object();
+
   w.key("extra").begin_object();
   for (const auto& [k, v] : m.extra) w.field(k, v);
   w.end_object();

@@ -34,6 +34,16 @@ struct RunManifest {
 
   double wall_ms = 0.0;      ///< total invocation wall-clock time
 
+  // Observability self-description: how much telemetry the run itself lost
+  // or lacked, surfaced in the artifact rather than only on stderr.
+  /// Tracing-session ring overwrites (Tracer::dropped_spans at export); 0
+  /// when tracing was off or nothing fell off the rings.
+  std::uint64_t trace_dropped = 0;
+  /// Hardware-profiling state: "off" (not requested), "available" (counters
+  /// opened and recorded) or "unavailable" (requested, but perf_event_open
+  /// was denied — the documented graceful-degradation path).
+  std::string profiling = "off";
+
   /// Free-form string key/values (results, tool-specific knobs). Serialized
   /// under "extra" in declaration order.
   std::vector<std::pair<std::string, std::string>> extra;
@@ -63,7 +73,9 @@ std::string timestamp_utc();
 /// Writes the full run document:
 ///   {"schema": "beepmis.run.v1", "tool": ..., "timestamp": ...,
 ///    "seed": ..., "graph": {...}, "algorithm": {...}, "build": {...},
-///    "timing": {"wall_ms": ...}, "extra": {...}, "metrics": {...}}
+///    "timing": {"wall_ms": ...},
+///    "obs": {"trace_dropped": ..., "profiling": ...},
+///    "extra": {...}, "metrics": {...}}
 /// `metrics` may be null, in which case the "metrics" member is an empty
 /// object. The output is a single JSON document followed by a newline.
 void write_run_json(std::ostream& os, const RunManifest& manifest,

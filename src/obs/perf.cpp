@@ -1,0 +1,393 @@
+#include "src/obs/perf.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "src/obs/json.hpp"
+#include "src/obs/pool_hook.hpp"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace beepmis::obs {
+namespace {
+
+constexpr std::array<const char*, PerfGroup::kCounters> kCounterNames = {
+    "cycles",        "instructions", "cache_references", "cache_misses",
+    "branches",      "branch_misses", "task_clock_ns",
+};
+constexpr std::size_t kTaskClock = 6;  // software fallback leader slot
+
+}  // namespace
+
+const char* PerfGroup::counter_name(std::size_t index) noexcept {
+  return index < kCounters ? kCounterNames[index] : "?";
+}
+
+#ifdef __linux__
+
+namespace {
+
+struct CounterSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr std::array<CounterSpec, PerfGroup::kCounters> kSpecs = {{
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+}};
+
+/// perf_event_open with the group-read format this module relies on.
+/// Counters start enabled and count this thread only (pid=0, cpu=-1, no
+/// inherit); exclude_kernel/hv keeps the open permissible at
+/// perf_event_paranoid <= 2, the common unprivileged setting.
+int open_counter(const CounterSpec& spec, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                     PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      syscall(__NR_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+}  // namespace
+
+bool PerfGroup::open() {
+  close();
+  fd_.fill(-1);
+  id_.fill(0);
+
+  // Leader: hardware cycles when the host has a PMU; PMU-less VMs and
+  // containers (ENOENT) fall back to the software task clock so the group
+  // still carries scheduling-aware timing evidence.
+  std::size_t leader_slot = 0;
+  int leader = open_counter(kSpecs[0], -1);
+  if (leader < 0) {
+    leader_slot = kTaskClock;
+    leader = open_counter(kSpecs[kTaskClock], -1);
+  }
+  if (leader < 0) return false;
+  leader_ = leader;
+  fd_[leader_slot] = leader;
+  mask_ = 1u << leader_slot;
+
+  for (std::size_t i = 0; i < kCounters; ++i) {
+    if (i == leader_slot) continue;
+    const int fd = open_counter(kSpecs[i], leader);
+    if (fd < 0) continue;  // denied or unsupported: skip, don't fail
+    fd_[i] = fd;
+    mask_ |= 1u << i;
+  }
+  for (std::size_t i = 0; i < kCounters; ++i)
+    if (fd_[i] >= 0 &&
+        ioctl(fd_[i], PERF_EVENT_IOC_ID, &id_[i]) != 0) {
+      ::close(fd_[i]);
+      fd_[i] = -1;
+      mask_ &= ~(1u << i);
+    }
+  if ((mask_ & (1u << leader_slot)) == 0) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+void PerfGroup::close() {
+  for (int& fd : fd_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  leader_ = -1;
+  mask_ = 0;
+}
+
+bool PerfGroup::read(Reading* out) {
+  out->value.fill(0.0);
+  if (leader_ < 0) return false;
+
+  struct {
+    std::uint64_t nr;
+    std::uint64_t time_enabled;
+    std::uint64_t time_running;
+    struct {
+      std::uint64_t value;
+      std::uint64_t id;
+    } v[kCounters];
+  } buf;
+  const ssize_t got = ::read(leader_, &buf, sizeof buf);
+  if (got < 0 || buf.nr > kCounters) {
+    close();  // degraded, not fatal: later reads report false
+    return false;
+  }
+  // Multiplexing scale: when the kernel time-shared the PMU, estimate the
+  // full-period count as value * enabled/running (the standard perf(1)
+  // extrapolation). running == 0 means the group never ran: all zeros.
+  const double scale =
+      buf.time_running == 0
+          ? 0.0
+          : static_cast<double>(buf.time_enabled) /
+                static_cast<double>(buf.time_running);
+  for (std::uint64_t k = 0; k < buf.nr; ++k) {
+    for (std::size_t i = 0; i < kCounters; ++i) {
+      if ((mask_ & (1u << i)) != 0 && id_[i] == buf.v[k].id) {
+        out->value[i] = static_cast<double>(buf.v[k].value) * scale;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+#else  // !__linux__
+
+bool PerfGroup::open() { return false; }
+void PerfGroup::close() {}
+bool PerfGroup::read(Reading* out) {
+  out->value.fill(0.0);
+  return false;
+}
+
+#endif  // __linux__
+
+PerfGroup::~PerfGroup() { close(); }
+
+PerfSession& PerfSession::instance() {
+  static PerfSession session;
+  return session;
+}
+
+void PerfSession::enable(std::uint64_t sample_every) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.clear();
+    sample_every_.store(sample_every == 0 ? 1 : sample_every,
+                        std::memory_order_relaxed);
+    enabled_once_ = true;
+    // One probe group decides availability for the whole session; each
+    // recording thread still opens its own group (fds are per-thread).
+    PerfGroup probe;
+    available_ = probe.open();
+    mask_ = probe.mask();
+    probe.close();
+    // Release-publish, same protocol as Tracer::enable: recorders that
+    // acquire-load the session id see the cleared shard registry. An
+    // unavailable session stays inert (session_ == 0) — every scope site
+    // costs one relaxed load and nothing else.
+    session_.store(available_ ? ++next_session_ : 0,
+                   std::memory_order_release);
+  }
+  detail::refresh_pool_observer();
+}
+
+void PerfSession::disable() {
+  session_.store(0, std::memory_order_relaxed);
+  detail::refresh_pool_observer();
+}
+
+PerfSession::ThreadShard* PerfSession::current_shard() {
+  struct Slot {
+    ThreadShard* shard = nullptr;
+    std::uint64_t session = 0;
+  };
+  thread_local Slot slot;
+  const std::uint64_t live = session_.load(std::memory_order_acquire);
+  if (live == 0) return nullptr;
+  if (slot.session == live) return slot.shard;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (session_.load(std::memory_order_relaxed) != live) return nullptr;
+  auto owned = std::make_unique<ThreadShard>();
+  ThreadShard* shard = owned.get();
+  shard->group_open = shard->group.open();  // on this thread: fds are ours
+  shards_.push_back(std::move(owned));
+  slot.shard = shard;
+  slot.session = live;
+  return shard;
+}
+
+bool PerfSession::begin(PerfGroup::Reading* start) {
+  PerfSession& s = instance();
+  if (s.session_.load(std::memory_order_relaxed) == 0) return false;
+  ThreadShard* shard = s.current_shard();
+  if (shard == nullptr || !shard->group_open) return false;
+  return shard->group.read(start);
+}
+
+void PerfSession::end(const char* name, const PerfGroup::Reading& start) {
+  PerfSession& s = instance();
+  ThreadShard* shard = s.current_shard();
+  if (shard == nullptr || !shard->group_open) return;
+  PerfGroup::Reading now;
+  if (!shard->group.read(&now)) return;
+  SpanStats& stats = shard->spans[name];
+  const std::uint32_t mask = shard->group.mask();
+  for (std::size_t i = 0; i < PerfGroup::kCounters; ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    const double delta = now.value[i] - start.value[i];
+    stats.per_counter[i].add(delta < 0.0 ? 0.0 : delta);
+  }
+}
+
+void PerfSession::set_context(const std::string& key,
+                              const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : context_) {
+    if (kv.first == key) {
+      kv.second = value;
+      return;
+    }
+  }
+  context_.emplace_back(key, value);
+}
+
+void PerfSession::clear_context() {
+  std::lock_guard<std::mutex> lock(mu_);
+  context_.clear();
+}
+
+void PerfSession::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Merge shards by span *content* (different TUs may intern the same
+  // literal at different addresses) in registration order — deterministic
+  // because export runs while recorders are quiescent.
+  std::map<std::string, SpanStats> merged;
+  std::uint32_t mask = 0;
+  for (const auto& shard : shards_) {
+    if (!shard->group_open) continue;
+    mask |= shard->group.mask();
+    for (const auto& [name, stats] : shard->spans) {
+      SpanStats& into = merged[name];
+      for (std::size_t i = 0; i < PerfGroup::kCounters; ++i)
+        into.per_counter[i].merge(stats.per_counter[i]);
+    }
+  }
+  if (mask == 0) mask = mask_;  // nothing recorded: report the probe result
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "beepmis.profile.v1");
+  w.field("available", available_);
+  w.field("sample_every", sample_every_.load(std::memory_order_relaxed));
+  w.key("counters").begin_array();
+  for (std::size_t i = 0; i < PerfGroup::kCounters; ++i)
+    if ((mask & (1u << i)) != 0) w.value(PerfGroup::counter_name(i));
+  w.end_array();
+  w.key("context").begin_object();
+  for (const auto& kv : context_) w.field(kv.first, kv.second);
+  w.end_object();
+  w.key("spans").begin_object();
+  for (const auto& [name, stats] : merged) {
+    w.key(name).begin_object();
+    for (std::size_t i = 0; i < PerfGroup::kCounters; ++i) {
+      if ((mask & (1u << i)) == 0) continue;
+      const Digest& d = stats.per_counter[i];
+      if (d.count() == 0) continue;
+      w.key(PerfGroup::counter_name(i)).begin_object();
+      w.field("count", static_cast<std::uint64_t>(d.count()));
+      w.field("sum", d.sum());
+      w.field("mean", d.mean());
+      w.field("min", d.min());
+      w.field("max", d.max());
+      w.field("p50", d.quantile(0.50));
+      w.field("p90", d.quantile(0.90));
+      w.field("p95", d.quantile(0.95));
+      w.field("p99", d.quantile(0.99));
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+namespace {
+
+bool validate_fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+bool is_known_counter(const std::string& name) {
+  for (std::size_t i = 0; i < PerfGroup::kCounters; ++i)
+    if (name == PerfGroup::counter_name(i)) return true;
+  return false;
+}
+
+}  // namespace
+
+bool profile_validate(const JsonValue& doc, std::string* error,
+                      std::size_t* span_count, std::size_t* counter_count) {
+  if (!doc.is_object() ||
+      doc.get("schema").as_string() != "beepmis.profile.v1")
+    return validate_fail(error, "not a beepmis.profile.v1 document");
+  if (doc.get("available").type != JsonValue::Type::Bool)
+    return validate_fail(error, "profile.v1: \"available\" must be a bool");
+  if (doc.get("sample_every").type != JsonValue::Type::Number)
+    return validate_fail(error,
+                         "profile.v1: \"sample_every\" must be a number");
+  const JsonValue& counters = doc.get("counters");
+  if (!counters.is_array())
+    return validate_fail(error, "profile.v1: \"counters\" must be an array");
+  for (const JsonValue& c : counters.array) {
+    if (c.type != JsonValue::Type::String || !is_known_counter(c.str))
+      return validate_fail(error, "profile.v1: unknown counter \"" +
+                                      c.as_string("<non-string>") + "\"");
+  }
+  if (!doc.get("context").is_object())
+    return validate_fail(error, "profile.v1: \"context\" must be an object");
+  const JsonValue& spans = doc.get("spans");
+  if (!spans.is_object())
+    return validate_fail(error, "profile.v1: \"spans\" must be an object");
+  if (!doc.get("available").boolean && !spans.object.empty())
+    return validate_fail(
+        error, "profile.v1: unavailable session must have no spans");
+  for (const auto& [span, stats] : spans.object) {
+    if (!stats.is_object())
+      return validate_fail(error, "profile.v1: span \"" + span +
+                                      "\" is not an object");
+    for (const auto& [counter, d] : stats.object) {
+      const std::string where = "profile.v1: " + span + "." + counter;
+      bool listed = false;
+      for (const JsonValue& c : counters.array)
+        if (c.as_string() == counter) listed = true;
+      if (!listed)
+        return validate_fail(error,
+                             where + ": counter not in \"counters\" list");
+      if (!d.is_object())
+        return validate_fail(error, where + ": stats must be an object");
+      for (const char* field :
+           {"count", "sum", "mean", "min", "max", "p50", "p90", "p95",
+            "p99"}) {
+        if (d.get(field).type != JsonValue::Type::Number)
+          return validate_fail(error, where + ": missing numeric \"" +
+                                          field + "\"");
+      }
+    }
+  }
+  if (span_count != nullptr) *span_count = spans.object.size();
+  if (counter_count != nullptr) *counter_count = counters.array.size();
+  return true;
+}
+
+}  // namespace beepmis::obs

@@ -1,0 +1,64 @@
+#include "src/obs/pool_hook.hpp"
+
+#include <string>
+
+#include "src/obs/perf.hpp"
+#include "src/obs/trace.hpp"
+#include "src/support/task_pool.hpp"
+
+namespace beepmis::obs::detail {
+namespace {
+
+/// The one TaskPool observer shared by every obs subsystem. For the tracer
+/// it labels each pool worker's track on its first task and records a
+/// task-claim span per claimed index (the replica's own nested spans carry
+/// the seed; the claim span's arg is the task index). For the profiler it
+/// brackets the task body with two group reads and attributes the deltas
+/// to "pool.task".
+class PoolHook final : public support::TaskPool::Observer {
+ public:
+  void on_task_start(std::size_t /*worker_index*/,
+                     std::size_t /*task_index*/) override {
+    t_perf_armed = PerfSession::begin(&t_perf_start);
+  }
+
+  void on_task(std::size_t worker_index, std::size_t task_index,
+               std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) override {
+    if (t_perf_armed) {
+      t_perf_armed = false;
+      PerfSession::end("pool.task", t_perf_start);
+    }
+    if (!Tracer::active()) return;
+    thread_local std::size_t labeled_as = static_cast<std::size_t>(-1);
+    if (labeled_as != worker_index) {
+      labeled_as = worker_index;
+      Tracer::set_thread_label(worker_index == 0
+                                   ? std::string("main")
+                                   : "pool-worker-" +
+                                         std::to_string(worker_index));
+    }
+    Tracer::complete("pool.task", start, end,
+                     static_cast<std::uint64_t>(task_index),
+                     /*has_arg=*/true);
+  }
+
+ private:
+  // begin/end run on the same worker thread, never concurrently per thread.
+  static thread_local bool t_perf_armed;
+  static thread_local PerfGroup::Reading t_perf_start;
+};
+
+thread_local bool PoolHook::t_perf_armed = false;
+thread_local PerfGroup::Reading PoolHook::t_perf_start;
+
+PoolHook g_pool_hook;
+
+}  // namespace
+
+void refresh_pool_observer() {
+  support::TaskPool::set_observer(
+      Tracer::active() || PerfSession::active() ? &g_pool_hook : nullptr);
+}
+
+}  // namespace beepmis::obs::detail

@@ -1,0 +1,14 @@
+#pragma once
+
+namespace beepmis::obs::detail {
+
+/// (Re)installs or removes the single shared support::TaskPool observer
+/// based on which obs sessions are live: the span tracer (worker track
+/// labels + pool.task claim spans) and the perf profiler (per-task counter
+/// deltas) share one observer slot, so each session's enable()/disable()
+/// calls this instead of TaskPool::set_observer directly — disabling one
+/// subsystem no longer tears down the other's hook. Call only while no
+/// batch is running (the usual enable-then-run order).
+void refresh_pool_observer();
+
+}  // namespace beepmis::obs::detail

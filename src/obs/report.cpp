@@ -10,12 +10,23 @@
 
 #include "src/obs/json.hpp"
 #include "src/obs/manifest.hpp"
+#include "src/obs/perf.hpp"
 
 namespace beepmis::obs {
 
 namespace {
 
 constexpr std::string_view kStabSuffix = ".rounds_to_stabilize";
+constexpr std::string_view kInstrSuffix = ".instructions";
+
+/// Context values in profile documents are strings (PerfSession::set_context
+/// is string->string); tolerate a raw number anyway.
+std::uint64_t context_u64(const JsonValue& ctx, const char* key) {
+  const JsonValue& v = ctx.get(key);
+  const auto n = static_cast<std::uint64_t>(v.as_number(0.0));
+  if (n != 0) return n;
+  return std::strtoull(v.as_string("0").c_str(), nullptr, 10);
+}
 
 bool ends_with(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
@@ -107,10 +118,42 @@ bool ReportBuilder::add_document(const JsonValue& doc,
   const std::string schema = doc.get("schema").as_string();
   if (schema == "beepmis.run.v1") {
     sources_.push_back(source);
+    const JsonValue& dirty = doc.get("build").get("git_dirty");
+    if (dirty.type == JsonValue::Type::Bool && dirty.boolean)
+      dirty_sources_.push_back(source);
     accumulate_stabilization(doc);
     for (const auto& [name, g] : doc.get("metrics").get("gauges").object) {
-      if (!ends_with(name, ".cpu_ns")) continue;
-      current_cpu_ns_[name.substr(0, name.size() - 7)] = g.as_number();
+      if (ends_with(name, ".cpu_ns"))
+        current_cpu_ns_[name.substr(0, name.size() - 7)] = g.as_number();
+      else if (ends_with(name, kInstrSuffix))
+        current_instr_[name.substr(0, name.size() - kInstrSuffix.size())] =
+            g.as_number();
+    }
+    return true;
+  }
+  if (schema == "beepmis.profile.v1") {
+    std::string verror;
+    if (!profile_validate(doc, &verror)) {
+      if (error != nullptr) *error = source + ": " + verror;
+      return false;
+    }
+    sources_.push_back(source);
+    // An unavailable profile validates with an empty span set — it is
+    // listed as ingested but contributes no row.
+    if (doc.get("spans").object.empty()) return true;
+    const JsonValue& ctx = doc.get("context");
+    const StabKey key{ctx.get("algorithm").as_string("?"),
+                      ctx.get("family").as_string("?"),
+                      context_u64(ctx, "n")};
+    ProfileAccum& acc = profile_[key];
+    acc.m = std::max(acc.m, context_u64(ctx, "m"));
+    for (const auto& [span_name, span] : doc.get("spans").object) {
+      for (const auto& [cname, st] : span.object) {
+        CounterSum& cs = acc.spans[span_name][cname];
+        cs.sum += st.get("sum").as_number(0.0);
+        cs.count +=
+            static_cast<std::uint64_t>(st.get("count").as_number(0.0));
+      }
     }
     return true;
   }
@@ -190,9 +233,13 @@ bool ReportBuilder::set_baseline(const JsonValue& doc,
     return false;
   }
   baseline_cpu_ns_.clear();
+  baseline_instr_.clear();
   for (const auto& [name, g] : doc.get("metrics").get("gauges").object) {
-    if (!ends_with(name, ".cpu_ns")) continue;
-    baseline_cpu_ns_[name.substr(0, name.size() - 7)] = g.as_number();
+    if (ends_with(name, ".cpu_ns"))
+      baseline_cpu_ns_[name.substr(0, name.size() - 7)] = g.as_number();
+    else if (ends_with(name, kInstrSuffix))
+      baseline_instr_[name.substr(0, name.size() - kInstrSuffix.size())] =
+          g.as_number();
   }
   if (baseline_cpu_ns_.empty()) {
     if (error != nullptr)
@@ -201,12 +248,12 @@ bool ReportBuilder::set_baseline(const JsonValue& doc,
   }
   const JsonValue& build = doc.get("build");
   baseline_label_ = source;
+  baseline_dirty_ = build.get("git_dirty").type == JsonValue::Type::Bool &&
+                    build.get("git_dirty").boolean;
   const std::string sha = build.get("git_sha").as_string();
   if (!sha.empty()) {
     baseline_label_ += " @ " + sha;
-    if (build.get("git_dirty").type == JsonValue::Type::Bool &&
-        build.get("git_dirty").boolean)
-      baseline_label_ += "-dirty";
+    if (baseline_dirty_) baseline_label_ += "-dirty";
   }
   const std::string ts = doc.get("timestamp").as_string();
   if (!ts.empty()) baseline_label_ += " (" + ts + ")";
@@ -229,6 +276,29 @@ std::vector<ReportBuilder::BenchDelta> ReportBuilder::regressions(
     double tolerance) const {
   std::vector<BenchDelta> out;
   for (const BenchDelta& d : bench_deltas())
+    if (d.ratio > 1.0 + tolerance) out.push_back(d);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.ratio > b.ratio;
+  });
+  return out;
+}
+
+std::vector<ReportBuilder::BenchDelta> ReportBuilder::instruction_deltas()
+    const {
+  std::vector<BenchDelta> out;
+  if (!have_baseline_) return out;
+  for (const auto& [name, current] : current_instr_) {
+    const auto it = baseline_instr_.find(name);
+    if (it == baseline_instr_.end() || it->second <= 0.0) continue;
+    out.push_back({name, it->second, current, current / it->second});
+  }
+  return out;
+}
+
+std::vector<ReportBuilder::BenchDelta> ReportBuilder::instruction_regressions(
+    double tolerance) const {
+  std::vector<BenchDelta> out;
+  for (const BenchDelta& d : instruction_deltas())
     if (d.ratio > 1.0 + tolerance) out.push_back(d);
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.ratio > b.ratio;
@@ -308,6 +378,54 @@ std::vector<ReportBuilder::SpanRow> ReportBuilder::span_rows() const {
   return out;
 }
 
+std::vector<ReportBuilder::ProfileRow> ReportBuilder::profile_rows() const {
+  std::vector<ProfileRow> out;
+  for (const auto& [key, acc] : profile_) {
+    ProfileRow r;
+    r.algorithm = std::get<0>(key);
+    r.family = std::get<1>(key);
+    r.n = std::get<2>(key);
+
+    // Ratio columns divide sums aggregated over every span (sampled work
+    // is sampled work wherever it was bracketed).
+    std::map<std::string, CounterSum> total;
+    for (const auto& [sname, counters] : acc.spans)
+      for (const auto& [cname, cs] : counters) {
+        total[cname].sum += cs.sum;
+        total[cname].count += cs.count;
+      }
+    const auto sum_of = [&total](const char* cname) {
+      const auto it = total.find(cname);
+      return it == total.end() ? 0.0 : it->second.sum;
+    };
+    if (sum_of("cycles") > 0.0 && sum_of("instructions") > 0.0)
+      r.ipc = sum_of("instructions") / sum_of("cycles");
+    if (sum_of("branches") > 0.0)
+      r.branch_miss_rate = sum_of("branch_misses") / sum_of("branches");
+
+    // Normalized columns come from the per-round samples specifically —
+    // each "engine.round" sample brackets exactly one round.
+    const auto round_it = acc.spans.find("engine.round");
+    if (round_it != acc.spans.end()) {
+      const auto mean_of = [&round_it](const char* cname) {
+        const auto it = round_it->second.find(cname);
+        return it == round_it->second.end() || it->second.count == 0
+                   ? -1.0
+                   : it->second.sum / static_cast<double>(it->second.count);
+      };
+      const auto any = round_it->second.begin();
+      if (any != round_it->second.end()) r.samples = any->second.count;
+      r.instr_per_round = mean_of("instructions");
+      r.task_clock_per_round_ns = mean_of("task_clock_ns");
+      const double miss = mean_of("cache_misses");
+      if (miss >= 0.0 && acc.m > 0)
+        r.cache_miss_per_edge = miss / static_cast<double>(acc.m);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 void ReportBuilder::write_markdown(std::ostream& os,
                                    double tolerance) const {
   os << "# beepmis report\n\n";
@@ -315,6 +433,14 @@ void ReportBuilder::write_markdown(std::ostream& os,
      << " input(s):\n\n";
   for (const std::string& s : sources_) os << "- `" << s << "`\n";
   os << '\n';
+
+  if (!dirty_sources_.empty()) {
+    os << "> **Warning:** " << dirty_sources_.size()
+       << " input(s) were captured from a dirty working tree — their "
+          "numbers may not correspond to any commit:";
+    for (const std::string& s : dirty_sources_) os << " `" << s << "`";
+    os << "\n\n";
+  }
 
   const auto stab = stabilization_rows();
   os << "## Stabilization (rounds)\n\n";
@@ -377,6 +503,29 @@ void ReportBuilder::write_markdown(std::ostream& os,
     os << '\n';
   }
 
+  const auto prof = profile_rows();
+  if (!prof.empty()) {
+    // "-" = the host denied the counters that metric needs (or the profile
+    // context lacked the denominator, e.g. "m" for the per-edge column).
+    const auto cell = [](double v, const char* format) {
+      return v < 0.0 ? std::string("-") : fmt(format, v);
+    };
+    os << "## Hardware profile\n\n";
+    os << "| algorithm | family | n | samples | IPC | instr/round | "
+          "cache-miss/edge | branch-miss | task-clock/round |\n";
+    os << "|---|---|---:|---:|---:|---:|---:|---:|---:|\n";
+    for (const ProfileRow& r : prof) {
+      os << "| " << r.algorithm << " | " << r.family << " | " << r.n
+         << " | " << r.samples << " | " << cell(r.ipc, "%.2f") << " | "
+         << cell(r.instr_per_round, "%.0f") << " | "
+         << cell(r.cache_miss_per_edge, "%.3f") << " | "
+         << cell(r.branch_miss_rate * 100.0, "%.2f%%") << " | "
+         << cell(r.task_clock_per_round_ns, "%.0fns") << " |\n";
+    }
+    os << "\n(Sampled perf-counter digests from `beepmis.profile.v1` "
+          "inputs; `-` means the host denied that counter.)\n\n";
+  }
+
   if (!dump_anomalies_.empty()) {
     os << "## Flight-recorder anomalies\n\n";
     os << "| source | kind | round |\n|---|---|---:|\n";
@@ -391,6 +540,11 @@ void ReportBuilder::write_markdown(std::ostream& os,
     os << "## Baseline comparison\n\n";
     os << "Baseline: " << baseline_label_ << ", tolerance "
        << fmt("%.0f%%", tolerance * 100.0) << ".\n\n";
+    if (baseline_dirty_) {
+      os << "> **Warning:** the baseline was captured from a dirty working "
+            "tree — regressions against it may be phantoms of uncommitted "
+            "code. Regenerate it from a clean checkout.\n\n";
+    }
     const auto regs = regressions(tolerance);
     if (regs.empty()) {
       os << "No regressions: every shared benchmark is within tolerance "
@@ -406,6 +560,27 @@ void ReportBuilder::write_markdown(std::ostream& os,
       }
     }
     os << '\n';
+    const auto ideltas = instruction_deltas();
+    if (!ideltas.empty()) {
+      const auto iregs = instruction_regressions(tolerance);
+      if (iregs.empty()) {
+        os << "Instruction counts: every shared benchmark is within "
+              "tolerance across " << ideltas.size()
+           << " compared benchmarks.\n";
+      } else {
+        os << "**" << iregs.size()
+           << " instruction-count regression(s)** (less noisy than cpu_ns "
+              "— real code-path growth):\n\n";
+        os << "| benchmark | baseline instr | current instr | ratio |\n";
+        os << "|---|---:|---:|---:|\n";
+        for (const BenchDelta& d : iregs) {
+          os << "| " << d.name << " | " << fmt("%.0f", d.baseline_cpu_ns)
+             << " | " << fmt("%.0f", d.current_cpu_ns) << " | "
+             << fmt("%.3f", d.ratio) << " |\n";
+        }
+      }
+      os << '\n';
+    }
   }
 }
 
@@ -475,6 +650,32 @@ void ReportBuilder::write_json(std::ostream& os, double tolerance) const {
   }
   w.end_array();
 
+  // Absent metrics (host denied the counters) are omitted, not emitted as
+  // sentinels — consumers key on field presence.
+  w.key("profile").begin_array();
+  for (const ProfileRow& r : profile_rows()) {
+    w.begin_object();
+    w.field("algorithm", r.algorithm);
+    w.field("family", r.family);
+    w.field("n", r.n);
+    w.field("samples", r.samples);
+    if (r.ipc >= 0.0) w.field("ipc", r.ipc);
+    if (r.instr_per_round >= 0.0)
+      w.field("instructions_per_round", r.instr_per_round);
+    if (r.cache_miss_per_edge >= 0.0)
+      w.field("cache_misses_per_edge", r.cache_miss_per_edge);
+    if (r.branch_miss_rate >= 0.0)
+      w.field("branch_miss_rate", r.branch_miss_rate);
+    if (r.task_clock_per_round_ns >= 0.0)
+      w.field("task_clock_per_round_ns", r.task_clock_per_round_ns);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("dirty_inputs").begin_array();
+  for (const std::string& s : dirty_sources_) w.value(s);
+  w.end_array();
+
   w.key("anomalies").begin_array();
   for (const DumpAnomaly& a : dump_anomalies_) {
     w.begin_object();
@@ -489,6 +690,7 @@ void ReportBuilder::write_json(std::ostream& os, double tolerance) const {
   w.field("present", have_baseline_);
   if (have_baseline_) {
     w.field("label", baseline_label_);
+    w.field("dirty", baseline_dirty_);
     w.field("tolerance", tolerance);
     w.key("regressions").begin_array();
     for (const BenchDelta& d : regressions(tolerance)) {
@@ -501,6 +703,18 @@ void ReportBuilder::write_json(std::ostream& os, double tolerance) const {
     }
     w.end_array();
     w.field("compared", static_cast<std::uint64_t>(bench_deltas().size()));
+    w.key("instruction_regressions").begin_array();
+    for (const BenchDelta& d : instruction_regressions(tolerance)) {
+      w.begin_object();
+      w.field("benchmark", d.name);
+      w.field("baseline_instructions", d.baseline_cpu_ns);
+      w.field("current_instructions", d.current_cpu_ns);
+      w.field("ratio", d.ratio);
+      w.end_object();
+    }
+    w.end_array();
+    w.field("instructions_compared",
+            static_cast<std::uint64_t>(instruction_deltas().size()));
   }
   w.end_object();
 

@@ -15,11 +15,14 @@ namespace beepmis::obs {
 
 /// Aggregates run artifacts — "beepmis.run.v1" manifests (including bench
 /// captures such as BENCH_micro.json), "beepmis.dump.v1" flight-recorder
-/// dumps, "beepmis.trace.v1" span traces, and raw JSONL round-event streams
-/// — into one report: stabilization percentiles per (algorithm, family, n),
+/// dumps, "beepmis.trace.v1" span traces, "beepmis.profile.v1" hardware
+/// profiles, and raw JSONL round-event streams — into one report:
+/// stabilization percentiles per (algorithm, family, n),
 /// fast-vs-reference speedups, sink and digest overheads, span-duration
-/// quantiles, and an optional baseline comparison that flags benchmark
-/// regressions for CI gating. Renders markdown for humans and a
+/// quantiles, hardware-efficiency metrics (IPC, instructions/round,
+/// cache-misses/edge, branch-miss rate), and an optional baseline
+/// comparison that flags benchmark regressions — cpu_ns and instruction
+/// counts — for CI gating. Renders markdown for humans and a
 /// "beepmis.report.v1" JSON document for machines.
 class ReportBuilder {
  public:
@@ -75,6 +78,25 @@ class ReportBuilder {
     std::uint64_t round = 0;
   };
 
+  /// Hardware-efficiency metrics for one (algorithm, family, n) cell,
+  /// derived from ingested "beepmis.profile.v1" documents. Normalized
+  /// columns come from the "engine.round" span's per-sample means; the
+  /// ratio columns divide counter sums aggregated over every span. Any
+  /// metric whose counters the host denied (or whose denominator is
+  /// missing, e.g. per-edge without an "m" context entry) is -1 and
+  /// renders as "-".
+  struct ProfileRow {
+    std::string algorithm;
+    std::string family;
+    std::uint64_t n = 0;
+    std::uint64_t samples = 0;   ///< profiled engine.round samples
+    double ipc = -1.0;           ///< instructions / cycles
+    double instr_per_round = -1.0;
+    double cache_miss_per_edge = -1.0;
+    double branch_miss_rate = -1.0;  ///< branch_misses / branches
+    double task_clock_per_round_ns = -1.0;
+  };
+
   /// Span-duration quantiles for one (algorithm, family, n, span name)
   /// cell, aggregated over every "X" event in the ingested traces (the
   /// trace document's context block supplies the first three coordinates).
@@ -91,9 +113,9 @@ class ReportBuilder {
   };
 
   /// Ingests one parsed artifact. Accepts "beepmis.run.v1",
-  /// "beepmis.dump.v1" and "beepmis.trace.v1"; anything else fails with
-  /// `error` set. `source` is the label used in the report (typically the
-  /// file name).
+  /// "beepmis.dump.v1", "beepmis.trace.v1" and "beepmis.profile.v1";
+  /// anything else fails with `error` set. `source` is the label used in
+  /// the report (typically the file name).
   bool add_document(const JsonValue& doc, const std::string& source,
                     std::string* error);
 
@@ -116,11 +138,29 @@ class ReportBuilder {
   std::vector<Speedup> speedups() const;
   std::vector<Overhead> overheads() const;
   std::vector<SpanRow> span_rows() const;
+  std::vector<ProfileRow> profile_rows() const;
   const std::vector<DumpAnomaly>& dump_anomalies() const noexcept {
     return dump_anomalies_;
   }
   /// All baseline-vs-current pairs (not just regressions), sorted by name.
   std::vector<BenchDelta> bench_deltas() const;
+
+  /// Instruction-count comparison against the baseline, from the
+  /// ".instructions" gauges the bench capture records when the host grants
+  /// hardware counters. Same BenchDelta shape with instruction counts in
+  /// the *_cpu_ns fields; empty when either side lacks the gauges.
+  /// Instruction counts are far less noisy than cpu_ns, so they catch real
+  /// code-path growth that timing jitter hides.
+  std::vector<BenchDelta> instruction_deltas() const;
+  std::vector<BenchDelta> instruction_regressions(double tolerance) const;
+
+  /// Ingested "beepmis.run.v1" sources whose build manifest says
+  /// git_dirty — their numbers may not correspond to any commit.
+  const std::vector<std::string>& dirty_sources() const noexcept {
+    return dirty_sources_;
+  }
+  /// True when the installed baseline was captured from a dirty tree.
+  bool baseline_dirty() const noexcept { return baseline_dirty_; }
 
   void write_markdown(std::ostream& os, double tolerance) const;
   /// Writes the "beepmis.report.v1" document.
@@ -142,6 +182,18 @@ class ReportBuilder {
   using SpanKey =
       std::tuple<std::string, std::string, std::uint64_t, std::string>;
 
+  struct CounterSum {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  /// Per-cell profile accumulation: span name -> counter name -> folded
+  /// digest sum/count, plus the edge count from the profile context (for
+  /// the per-edge column; the largest wins when documents disagree).
+  struct ProfileAccum {
+    std::map<std::string, std::map<std::string, CounterSum>> spans;
+    std::uint64_t m = 0;
+  };
+
   void accumulate_stabilization(const JsonValue& doc);
   void merge_sample(const StabKey& key, double rounds);
   void merge_summary(const StabKey& key, std::uint64_t count, double mean,
@@ -150,12 +202,17 @@ class ReportBuilder {
 
   std::map<StabKey, StabAccum> stab_;
   std::map<SpanKey, Digest> spans_;  // span durations from ingested traces
+  std::map<StabKey, ProfileAccum> profile_;
   std::map<std::string, double> current_cpu_ns_;   // gauge prefix -> cpu_ns
   std::map<std::string, double> baseline_cpu_ns_;
+  std::map<std::string, double> current_instr_;    // ".instructions" gauges
+  std::map<std::string, double> baseline_instr_;
   std::vector<DumpAnomaly> dump_anomalies_;
   std::vector<std::string> sources_;
+  std::vector<std::string> dirty_sources_;
   std::string baseline_label_;
   bool have_baseline_ = false;
+  bool baseline_dirty_ = false;
 };
 
 /// Reads a file and ingests it with auto-detection: a document whose body

@@ -4,7 +4,7 @@
 #include <ostream>
 
 #include "src/obs/json.hpp"
-#include "src/support/task_pool.hpp"
+#include "src/obs/pool_hook.hpp"
 
 namespace beepmis::obs {
 namespace {
@@ -13,31 +13,6 @@ namespace {
 // thread registers a ring buffer — so labeling works whether the label is
 // set before or after enable(), and survives across sessions.
 thread_local std::string t_pending_label;  // NOLINT(runtime/string)
-
-/// TaskPool observer installed for the lifetime of a tracing session:
-/// labels each pool worker's track on its first task and records a
-/// task-claim span per claimed index (the replica's own nested spans carry
-/// the seed; the claim span's arg is the task index).
-class PoolTracer final : public support::TaskPool::Observer {
- public:
-  void on_task(std::size_t worker_index, std::size_t task_index,
-               std::chrono::steady_clock::time_point start,
-               std::chrono::steady_clock::time_point end) override {
-    thread_local std::size_t labeled_as = static_cast<std::size_t>(-1);
-    if (labeled_as != worker_index) {
-      labeled_as = worker_index;
-      Tracer::set_thread_label(worker_index == 0
-                                   ? std::string("main")
-                                   : "pool-worker-" +
-                                         std::to_string(worker_index));
-    }
-    Tracer::complete("pool.task", start, end,
-                     static_cast<std::uint64_t>(task_index),
-                     /*has_arg=*/true);
-  }
-};
-
-PoolTracer g_pool_tracer;
 
 bool export_fail(std::string* error, std::string msg) {
   if (error != nullptr) *error = std::move(msg);
@@ -58,15 +33,17 @@ void Tracer::enable(std::size_t capacity_per_thread,
   capacity_ = capacity_per_thread == 0 ? 1 : capacity_per_thread;
   epoch_ = Clock::now();
   counter_every_.store(counter_every, std::memory_order_relaxed);
-  support::TaskPool::set_observer(&g_pool_tracer);
   // Release-publish: a recorder that acquire-loads the new session id sees
   // epoch_ and capacity_ from this critical section.
   session_.store(++next_session_, std::memory_order_release);
+  // The pool observer is shared with the perf profiler; the hook installs
+  // or removes it based on which sessions are live.
+  detail::refresh_pool_observer();
 }
 
 void Tracer::disable() {
   session_.store(0, std::memory_order_relaxed);
-  support::TaskPool::set_observer(nullptr);
+  detail::refresh_pool_observer();
 }
 
 Tracer::ThreadBuffer* Tracer::current_buffer() {

@@ -67,6 +67,11 @@ class TaskPool {
   class Observer {
    public:
     virtual ~Observer() = default;
+    /// Called on the executing thread immediately before the task body, so
+    /// observers that bracket tasks with begin/end measurements (perf
+    /// counter reads) can take their start sample. Default: nothing.
+    virtual void on_task_start(std::size_t /*worker_index*/,
+                               std::size_t /*task_index*/) {}
     /// One completed task: `worker_index` 0 is the thread that called
     /// parallel_for, spawned workers are 1..threads-1; start/end bracket
     /// the task body with a steady-clock pair taken by the pool.

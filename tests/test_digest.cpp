@@ -101,6 +101,40 @@ TEST(Digest, ConstantStreamIsDegenerate) {
   for (double q : {0.0, 0.5, 0.95, 1.0}) EXPECT_DOUBLE_EQ(d.quantile(q), 3.5);
 }
 
+TEST(Digest, MergeOfEmptyShardIsIdentity) {
+  // Shard-merge machinery routinely folds shards from threads that never
+  // recorded (e.g. a profiling session where one pool worker got no tasks);
+  // an empty shard must change nothing, in either direction.
+  obs::Digest populated;
+  for (int i = 1; i <= 200; ++i) populated.add(static_cast<double>(i));
+  const std::uint64_t count = populated.count();
+  const double sum = populated.sum();
+  const double p50 = populated.quantile(0.50);
+  const double p95 = populated.quantile(0.95);
+
+  obs::Digest empty;
+  populated.merge(empty);
+  EXPECT_EQ(populated.count(), count);
+  EXPECT_DOUBLE_EQ(populated.sum(), sum);
+  EXPECT_DOUBLE_EQ(populated.min(), 1.0);
+  EXPECT_DOUBLE_EQ(populated.max(), 200.0);
+  EXPECT_DOUBLE_EQ(populated.quantile(0.50), p50);
+  EXPECT_DOUBLE_EQ(populated.quantile(0.95), p95);
+
+  obs::Digest target;
+  target.merge(empty);
+  EXPECT_EQ(target.count(), 0u);
+  EXPECT_DOUBLE_EQ(target.mean(), 0.0);
+  target.merge(populated);
+  EXPECT_EQ(target.count(), count);
+  EXPECT_DOUBLE_EQ(target.sum(), sum);
+  EXPECT_DOUBLE_EQ(target.min(), 1.0);
+  EXPECT_DOUBLE_EQ(target.max(), 200.0);
+  // Folding a large shard into an empty digest goes through the P² markers,
+  // so quantiles are approximate in this direction.
+  EXPECT_NEAR(target.quantile(0.95), p95, 0.05 * 200.0);
+}
+
 TEST(Digest, RegistryIntegrationAndJson) {
   obs::MetricsRegistry reg;
   EXPECT_TRUE(reg.empty());

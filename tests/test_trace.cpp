@@ -233,6 +233,28 @@ TEST(Trace, ChromeExportIsWellFormed) {
   EXPECT_TRUE(saw_instant);
 }
 
+TEST(Trace, ChromeExportOfEmptySessionIsValid) {
+  // A session that recorded nothing (enabled and disabled with no spans)
+  // still exports a convertible document: the chrome form carries only the
+  // process_name metadata record, which Perfetto accepts.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear_context();
+  tracer.enable(16, 0);
+  tracer.disable();
+  const obs::JsonValue doc = export_doc();
+  EXPECT_TRUE(doc.get("threads").array.empty());
+
+  std::ostringstream chrome;
+  std::string error;
+  ASSERT_TRUE(obs::trace_export_chrome(doc, chrome, &error)) << error;
+  obs::JsonValue converted;
+  ASSERT_TRUE(obs::json_parse(chrome.str(), &converted, &error)) << error;
+  const auto& events = converted.get("traceEvents").array;
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].get("ph").as_string(""), "M");
+  EXPECT_EQ(events[0].get("name").as_string(""), "process_name");
+}
+
 TEST(Trace, ChromeExportRejectsForeignDocuments) {
   obs::JsonValue doc;
   std::string error;

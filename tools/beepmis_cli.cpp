@@ -31,6 +31,7 @@
 #include "src/obs/flight.hpp"
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/perf.hpp"
 #include "src/obs/sink.hpp"
 #include "src/obs/timing.hpp"
 #include "src/obs/trace.hpp"
@@ -170,6 +171,53 @@ int trace_end(const support::ArgParser& args) {
   return 0;
 }
 
+/// Starts a hardware-profiling session when --profile is given. Mirrors
+/// trace_begin: the context pairs are reproduced in the profile document
+/// (including "m", which beepmis_report divides for cache-misses/edge).
+/// Availability notices go to stderr only, so every non-profile output is
+/// byte-identical with profiling on or off, available or not.
+void profile_begin(
+    const support::ArgParser& args,
+    const std::vector<std::pair<std::string, std::string>>& context) {
+  if (!args.flag("profile")) return;
+  obs::PerfSession& session = obs::PerfSession::instance();
+  session.clear_context();
+  session.set_context("tool", "beepmis_cli");
+  for (const auto& [k, v] : context) session.set_context(k, v);
+  session.enable(static_cast<std::uint64_t>(args.get_int("profile-every")));
+  if (!session.available())
+    std::fprintf(stderr,
+                 "profiling unavailable (perf_event_open denied or no "
+                 "PMU); continuing without counters\n");
+}
+
+/// Ends the profiling session and writes the beepmis.profile.v1 document
+/// to --profile-out — written even when counters were unavailable, so the
+/// artifact itself records "available": false instead of silently missing.
+/// Returns 0, or 2 on I/O failure.
+int profile_end(const support::ArgParser& args) {
+  if (!args.flag("profile")) return 0;
+  obs::PerfSession& session = obs::PerfSession::instance();
+  session.disable();
+  const std::string& path = args.get("profile-out");
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open profile file: " << path << "\n";
+    return 2;
+  }
+  session.write_json(out);
+  std::fprintf(stderr, "wrote %s (profiling %s)\n", path.c_str(),
+               session.available() ? "available" : "unavailable");
+  return 0;
+}
+
+/// Manifest value for the "obs.profiling" field.
+std::string profiling_state(const support::ArgParser& args) {
+  if (!args.flag("profile")) return "off";
+  return obs::PerfSession::instance().available() ? "available"
+                                                  : "unavailable";
+}
+
 core::InitPolicy parse_init(const std::string& name) {
   for (core::InitPolicy p : core::all_init_policies())
     if (core::init_policy_name(p) == name) return p;
@@ -208,6 +256,15 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
                {"n", std::to_string(g.vertex_count())},
                {"seed", args.get("seed")},
                {"engine", engine->name()}});
+  profile_begin(args,
+                {{"algorithm", exp::variant_name(variant)},
+                 {"family", args.get("graph-file").empty()
+                                ? args.get("family")
+                                : "file"},
+                 {"n", std::to_string(g.vertex_count())},
+                 {"m", std::to_string(g.edge_count())},
+                 {"seed", args.get("seed")},
+                 {"engine", engine->name()}});
 
   support::Rng init_rng = support::Rng(seed).derive_stream(0xfadedcafe);
   core::apply_init(*engine, parse_init(args.get("init")), init_rng);
@@ -384,6 +441,12 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
     man.add_extra("waves", args.get("waves"));
     man.add_extra("noise_fp", args.get("noise-fp"));
     man.add_extra("noise_fn", args.get("noise-fn"));
+    // The manifest is written before the tracing session ends, but the
+    // recorders are quiescent by now (the run is over), so the dropped
+    // count is final.
+    if (!args.get("trace-out").empty())
+      man.trace_dropped = obs::Tracer::instance().dropped_spans();
+    man.profiling = profiling_state(args);
     std::ofstream mout(path);
     if (!mout) {
       std::cerr << "cannot open metrics file: " << path << "\n";
@@ -392,6 +455,7 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
     obs::write_run_json(mout, man, &metrics);
     std::printf("wrote %s\n", path.c_str());
   }
+  if (const int rc = profile_end(args); rc != 0) return rc;
   if (const int rc = trace_end(args); rc != 0) return rc;
   return ok ? 0 : 1;
 }
@@ -454,6 +518,13 @@ int run_sweep(const support::ArgParser& args, exp::Variant variant,
                      {"family", exp::family_name(family)},
                      {"seed", args.get("seed")},
                      {"mode", "sweep"}});
+  // No single n/m: a sweep spans --sizes, so the profile aggregates rounds
+  // across every size and the report's per-edge column stays blank.
+  profile_begin(args, {{"algorithm", exp::variant_name(variant)},
+                       {"family", exp::family_name(family)},
+                       {"seed", args.get("seed")},
+                       {"sizes", args.get("sizes")},
+                       {"mode", "sweep"}});
 
   const auto points = exp::run_scaling_sweep(family, cfg);
   std::cout << exp::sweep_table(points).str();
@@ -524,6 +595,9 @@ int run_sweep(const support::ArgParser& args, exp::Variant variant,
     man.add_extra("sizes", args.get("sizes"));
     man.add_extra("seeds_per_size", args.get("sweep-seeds"));
     man.add_extra("threads_requested", args.get("threads"));
+    if (!args.get("trace-out").empty())
+      man.trace_dropped = obs::Tracer::instance().dropped_spans();
+    man.profiling = profiling_state(args);
     std::ofstream mout(path);
     if (!mout) {
       std::cerr << "cannot open metrics file: " << path << "\n";
@@ -533,6 +607,7 @@ int run_sweep(const support::ArgParser& args, exp::Variant variant,
     std::fprintf(stderr, "wrote %s\n", path.c_str());
   }
 
+  if (const int rc = profile_end(args); rc != 0) return rc;
   if (const int rc = trace_end(args); rc != 0) return rc;
   return failures == 0 && invalid == 0 ? 0 : 1;
 }
@@ -685,6 +760,17 @@ int main(int argc, char** argv) {
   args.add_option("trace-counters", "16",
                   "emit engine counter tracks (active/stable/mis/beeps) "
                   "every K rounds while tracing (0 = off)");
+  args.add_flag("profile",
+                "attribute hardware perf counters (IPC, cache, branches) "
+                "to engine/sweep/pool spans; degrades to a no-op when "
+                "perf_event_open is denied");
+  args.add_option("profile-out", "profile.json",
+                  "write the beepmis.profile.v1 document here (always "
+                  "written under --profile; records \"available\": false "
+                  "when the kernel denies counters)");
+  args.add_option("profile-every", "64",
+                  "measure every K-th engine round (per-round counter "
+                  "reads are syscalls; coarse spans measure every time)");
 
   std::string error;
   if (!args.parse(argc, argv, &error)) {

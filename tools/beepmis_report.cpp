@@ -2,17 +2,24 @@
 ///
 /// Inputs (any mix, via repeated/comma-separated --in): "beepmis.run.v1"
 /// manifests (CLI runs, soak summaries, BENCH_micro.json bench captures),
-/// "beepmis.dump.v1" flight-recorder dumps, and raw JSONL round-event files.
+/// "beepmis.dump.v1" flight-recorder dumps, "beepmis.trace.v1" span traces,
+/// "beepmis.profile.v1" hardware profiles, and raw JSONL round-event files.
 /// File kind is auto-detected from content.
 ///
 /// Output: a markdown report (stdout or --out) with stabilization
 /// percentiles per (algorithm, family, n), the fast-vs-reference speedup
-/// table, observer overheads, and flight-recorder anomalies; plus an
-/// optional "beepmis.report.v1" JSON document (--json-out).
+/// table, observer overheads, hardware-efficiency metrics (IPC,
+/// instructions/round, cache-misses/edge, branch-miss rate), and
+/// flight-recorder anomalies; plus an optional "beepmis.report.v1" JSON
+/// document (--json-out).
 ///
 /// CI gating: with --baseline OLD.json, every shared *.cpu_ns benchmark is
 /// compared against the baseline capture and the tool exits 2 when any grew
-/// by more than --tolerance (fractional, default 0.10 = +10%).
+/// by more than --tolerance (fractional, default 0.10 = +10%). Shared
+/// *.instructions gauges (recorded when the bench host grants hardware
+/// counters) are compared the same way. A dirty-tree manifest on either
+/// side of the comparison draws a loud stderr warning — such numbers may
+/// not correspond to any commit.
 
 #include <fstream>
 #include <iostream>
@@ -103,6 +110,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     gated = true;
+    // Loud, but not fatal: a dirty manifest means the numbers may not
+    // correspond to any commit, so a "regression" (or a pass) against it
+    // proves nothing about the code under review.
+    if (builder.baseline_dirty()) {
+      std::cerr << "beepmis_report: WARNING: baseline "
+                << args.get("baseline")
+                << " was captured from a dirty working tree; regenerate it "
+                   "from a clean checkout before trusting this gate\n";
+    }
+    if (!builder.dirty_sources().empty()) {
+      std::cerr << "beepmis_report: WARNING: "
+                << builder.dirty_sources().size()
+                << " current-side input(s) were captured from a dirty "
+                   "working tree:";
+      for (const auto& s : builder.dirty_sources()) std::cerr << ' ' << s;
+      std::cerr << '\n';
+    }
   }
 
   if (!args.get("out").empty()) {
@@ -131,6 +155,14 @@ int main(int argc, char** argv) {
       std::cerr << "beepmis_report: " << regs.size()
                 << " benchmark regression(s) beyond tolerance\n";
       for (const auto& d : regs)
+        std::cerr << "  " << d.name << ": ratio " << d.ratio << '\n';
+      return 2;
+    }
+    const auto iregs = builder.instruction_regressions(tolerance);
+    if (!iregs.empty()) {
+      std::cerr << "beepmis_report: " << iregs.size()
+                << " instruction-count regression(s) beyond tolerance\n";
+      for (const auto& d : iregs)
         std::cerr << "  " << d.name << ": ratio " << d.ratio << '\n';
       return 2;
     }

@@ -22,6 +22,7 @@
 #include "src/obs/flight.hpp"
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/perf.hpp"
 #include "src/obs/timing.hpp"
 #include "src/obs/trace.hpp"
 #include "src/support/args.hpp"
@@ -218,6 +219,13 @@ int main(int argc, char** argv) {
                   "per-thread trace ring capacity in records");
   args.add_option("trace-counters", "16",
                   "emit engine counter tracks every K rounds (0 = off)");
+  args.add_flag("profile",
+                "attribute hardware perf counters to engine/pool spans; "
+                "degrades to a no-op when perf_event_open is denied");
+  args.add_option("profile-out", "soak.profile.json",
+                  "write the beepmis.profile.v1 document here at exit");
+  args.add_option("profile-every", "64",
+                  "measure every K-th engine round under --profile");
   std::string error;
   if (!args.parse(argc, argv, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
@@ -240,6 +248,21 @@ int main(int argc, char** argv) {
     tracer.enable(static_cast<std::size_t>(args.get_int("trace-capacity")),
                   static_cast<std::uint64_t>(args.get_int("trace-counters")));
     obs::Tracer::set_thread_label("main");
+  }
+
+  const bool profiling = args.flag("profile");
+  if (profiling) {
+    obs::PerfSession& session = obs::PerfSession::instance();
+    session.clear_context();
+    session.set_context("tool", "beepmis_soak");
+    session.set_context("seed", args.get("seed"));
+    session.set_context("engine", args.get("engine"));
+    session.enable(
+        static_cast<std::uint64_t>(args.get_int("profile-every")));
+    if (!session.available())
+      std::fprintf(stderr,
+                   "profiling unavailable (perf_event_open denied or no "
+                   "PMU); continuing without counters\n");
   }
 
   const auto budget = std::chrono::seconds(args.get_int("seconds"));
@@ -330,6 +353,20 @@ int main(int argc, char** argv) {
 
   if (tracing && !write_trace_files(args.get("trace-out"))) return 2;
 
+  if (profiling) {
+    obs::PerfSession& session = obs::PerfSession::instance();
+    session.disable();
+    const std::string& path = args.get("profile-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open profile file: %s\n", path.c_str());
+      return 2;
+    }
+    session.write_json(out);
+    std::fprintf(stderr, "wrote %s (profiling %s)\n", path.c_str(),
+                 session.available() ? "available" : "unavailable");
+  }
+
   if (const std::string& path = args.get("metrics-out"); !path.empty()) {
     obs::RunManifest man;
     man.tool = "beepmis_soak";
@@ -339,6 +376,12 @@ int main(int argc, char** argv) {
     man.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();
+    if (tracing)
+      man.trace_dropped = obs::Tracer::instance().dropped_spans();
+    man.profiling = !profiling ? "off"
+                    : obs::PerfSession::instance().available()
+                        ? "available"
+                        : "unavailable";
     man.add_extra("scenarios", std::to_string(runs));
     man.add_extra("engine", core::engine_kind_name(requested));
     man.add_extra("result", failed ? "FAILED" : "passed");

@@ -1,6 +1,6 @@
-// trace_check — validator/converter for span-trace artifacts.
+// trace_check — validator/converter for span-trace and profile artifacts.
 //
-// Accepts either artifact shape and auto-detects which one it got:
+// Accepts any of the artifact shapes and auto-detects which one it got:
 //   * "beepmis.trace.v1" documents (Tracer::write_json output): validated
 //     structurally, summarized, and optionally converted to Chrome
 //     trace_event JSON with --chrome-out.
@@ -8,6 +8,10 @@
 //     trace_export_chrome emits): every event is checked for the fields the
 //     Perfetto / chrome://tracing importers require, so CI can assert that a
 //     converted trace will actually open in ui.perfetto.dev.
+//   * "beepmis.profile.v1" documents (PerfSession::write_json output):
+//     validated through obs::profile_validate — the same path the tests
+//     use — and summarized, including the unavailable-host form
+//     ("available": false with no spans), which is valid by design.
 //
 // Exit status: 0 valid, 1 invalid artifact, 2 usage/I-O error.
 
@@ -17,6 +21,7 @@
 #include <string>
 
 #include "src/obs/json_parse.hpp"
+#include "src/obs/perf.hpp"
 #include "src/obs/trace.hpp"
 #include "src/support/args.hpp"
 
@@ -137,13 +142,28 @@ int check_trace_v1(const JsonValue& doc, const std::string& chrome_out) {
   return 0;
 }
 
+int check_profile_v1(const JsonValue& doc) {
+  std::string error;
+  std::size_t spans = 0, counters = 0;
+  if (!beepmis::obs::profile_validate(doc, &error, &spans, &counters))
+    return fail(error);
+  const bool available = doc.get("available").boolean;
+  std::printf(
+      "valid beepmis.profile.v1: available=%s, %zu counters, %zu spans, "
+      "sample_every=%llu\n",
+      available ? "true" : "false", counters, spans,
+      static_cast<unsigned long long>(
+          doc.get("sample_every").as_number(0.0)));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   beepmis::support::ArgParser args(
-      "trace_check — validate beepmis.trace.v1 / Chrome trace_event "
-      "artifacts");
-  args.add_option("in", "", "trace file to validate (required)");
+      "trace_check — validate beepmis.trace.v1 / beepmis.profile.v1 / "
+      "Chrome trace_event artifacts");
+  args.add_option("in", "", "trace or profile file to validate (required)");
   args.add_option("chrome-out", "",
                   "also convert a trace.v1 input to Chrome trace_event JSON "
                   "at this path");
@@ -171,8 +191,12 @@ int main(int argc, char** argv) {
     return fail("parse error: " + error);
   if (!doc.is_object()) return fail("top level is not an object");
 
-  if (doc.get("schema").as_string("") == "beepmis.trace.v1")
+  const std::string schema = doc.get("schema").as_string("");
+  if (schema == "beepmis.trace.v1")
     return check_trace_v1(doc, args.get("chrome-out"));
+  if (schema == "beepmis.profile.v1") return check_profile_v1(doc);
   if (doc.has("traceEvents")) return check_chrome(doc);
-  return fail("neither a beepmis.trace.v1 document nor a chrome trace");
+  return fail(
+      "neither a beepmis.trace.v1/beepmis.profile.v1 document nor a "
+      "chrome trace");
 }
