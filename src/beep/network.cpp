@@ -8,8 +8,14 @@ namespace beepmis::beep {
 
 Simulation::Simulation(const graph::Graph& g,
                        std::unique_ptr<BeepingAlgorithm> algo,
-                       std::uint64_t seed, ChannelNoise noise, Duplex duplex)
-    : graph_(&g), algo_(std::move(algo)), noise_(noise), duplex_(duplex) {
+                       std::uint64_t seed, ChannelNoise noise, Duplex duplex,
+                       RngMode rng_mode)
+    : graph_(&g),
+      algo_(std::move(algo)),
+      noise_(noise),
+      duplex_(duplex),
+      rng_mode_(rng_mode),
+      seed_(seed) {
   BEEPMIS_CHECK(noise_.false_positive >= 0.0 && noise_.false_positive <= 1.0,
                 "false-positive rate outside [0,1]");
   BEEPMIS_CHECK(noise_.false_negative >= 0.0 && noise_.false_negative <= 1.0,
@@ -33,6 +39,15 @@ void Simulation::step() {
   const std::size_t n = graph_->vertex_count();
   const auto channel_bits =
       static_cast<ChannelMask>((1u << algo_->channels()) - 1u);
+
+  // Counter mode: every node's generator is re-keyed to the (seed, node,
+  // round) coordinate before the round's decisions, so draws are a pure
+  // function of the coordinate — independent of visit order and of draws in
+  // earlier rounds. O(n) per round; this is the reference path, clarity over
+  // speed.
+  if (rng_mode_ == RngMode::Counter)
+    for (std::size_t v = 0; v < n; ++v)
+      rngs_[v] = support::counter_stream(seed_, v, round_);
 
   algo_->decide_beeps(round_, rngs_, send_);
 

@@ -36,6 +36,18 @@ struct ChannelNoise {
   }
 };
 
+/// How a node's per-round randomness is derived from the master seed.
+///
+/// - Stream (historical default): node v owns one xoshiro stream
+///   `Rng(seed).derive_stream(v)` that advances across rounds. Draws depend
+///   on how many draws the node made in earlier rounds.
+/// - Counter: node v's draws in round t come from the stateless coordinate
+///   stream `support::counter_stream(seed, v, t)` — a pure function of
+///   (seed, node, round), independent of visit order and of every other
+///   round. This is the compatibility mode the fast-engine kernels are
+///   proven stream-identical against.
+enum class RngMode { Stream, Counter };
+
 /// Synchronous execution engine for a beeping-model algorithm on a graph.
 ///
 /// One round is: collect every node's beep decision, OR the decisions over
@@ -45,13 +57,13 @@ struct ChannelNoise {
 ///
 /// The run is a pure function of (graph, algorithm initial state, seed):
 /// node v's randomness is an independent stream derived from the master seed
-/// keyed by v, so traces are reproducible byte-for-byte.
+/// keyed by v (see RngMode), so traces are reproducible byte-for-byte.
 class Simulation {
  public:
   /// The simulation borrows `g`; the caller keeps it alive.
   Simulation(const graph::Graph& g, std::unique_ptr<BeepingAlgorithm> algo,
              std::uint64_t seed, ChannelNoise noise = {},
-             Duplex duplex = Duplex::Full);
+             Duplex duplex = Duplex::Full, RngMode rng_mode = RngMode::Stream);
 
   const graph::Graph& graph() const noexcept { return *graph_; }
   BeepingAlgorithm& algorithm() noexcept { return *algo_; }
@@ -88,6 +100,7 @@ class Simulation {
   /// The configured receiver noise (an extension; zero in the paper model).
   const ChannelNoise& noise() const noexcept { return noise_; }
   Duplex duplex() const noexcept { return duplex_; }
+  RngMode rng_mode() const noexcept { return rng_mode_; }
 
   /// Attaches a non-owning per-round telemetry observer; it receives one
   /// obs::RoundEvent after every step(), with the communication census
@@ -107,6 +120,8 @@ class Simulation {
   std::vector<std::uint64_t> beep_totals_;
   ChannelNoise noise_;
   Duplex duplex_ = Duplex::Full;
+  RngMode rng_mode_ = RngMode::Stream;
+  std::uint64_t seed_ = 0;  // retained for Counter-mode reseeding
   support::Rng noise_rng_{0};
   Round round_ = 0;
   std::vector<obs::RoundObserver*> observers_;

@@ -40,6 +40,27 @@ bool parse_engine_kind(const std::string& name, EngineKind* out) {
   return false;
 }
 
+std::string kernel_kind_name(KernelKind k) {
+  switch (k) {
+    case KernelKind::Auto: return "auto";
+    case KernelKind::Scalar: return "scalar";
+    case KernelKind::Bit: return "bit";
+    case KernelKind::Frontier: return "frontier";
+  }
+  return "?";
+}
+
+bool parse_kernel_kind(const std::string& name, KernelKind* out) {
+  for (KernelKind k : {KernelKind::Auto, KernelKind::Scalar, KernelKind::Bit,
+                       KernelKind::Frontier}) {
+    if (kernel_kind_name(k) == name) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 
 LmaxVector make_lmax(const graph::Graph& g, Variant variant, std::int32_t c1) {
@@ -88,8 +109,12 @@ class ReferenceEngine final : public Engine {
         break;
       }
     }
+    // Counter mode: per-round randomness is keyed by (seed, node, round),
+    // matching the fast engine's counter draws coin-for-coin — this is what
+    // keeps the engine-equality gates byte-identical across executors.
     sim_ = std::make_unique<beep::Simulation>(g, std::move(algo), config.seed,
-                                              config.noise, config.duplex);
+                                              config.noise, config.duplex,
+                                              beep::RngMode::Counter);
   }
 
   std::string name() const override {
@@ -156,10 +181,10 @@ std::unique_ptr<Engine> make_engine(const graph::Graph& g,
   if (config.variant == Variant::TwoChannel)
     return std::make_unique<FastEngine<Alg2Policy>>(
         g, make_lmax(g, config.variant, config.c1), config.seed, config.noise,
-        config.duplex);
+        config.duplex, config.kernel);
   return std::make_unique<FastEngine<Alg1Policy>>(
       g, make_lmax(g, config.variant, config.c1), config.seed, config.noise,
-      config.duplex);
+      config.duplex, config.kernel);
 }
 
 std::vector<graph::VertexId> corrupt_random(Engine& engine, std::size_t count,

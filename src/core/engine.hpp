@@ -38,12 +38,36 @@ std::string engine_kind_name(EngineKind k);
 /// Returns false (leaving `out` untouched) on an unknown name.
 bool parse_engine_kind(const std::string& name, EngineKind* out);
 
+/// Round-kernel selection for the fast engine. All three kernels are proven
+/// stream-identical (same levels, same RoundEvents, round for round — see
+/// tests/test_kernels.cpp), so the choice never changes a result, only the
+/// wall-clock; Auto resolves deterministically (currently: always Frontier).
+/// Irrelevant under receiver noise, where every kernel runs the same dense
+/// full sweep.
+enum class KernelKind {
+  Auto,      ///< let the engine choose (deterministic per config)
+  Scalar,    ///< per-vertex loops over CSR — the oracle the others are proven against
+  Bit,       ///< bit-packed send/heard masks, word-wide OR over blocked adjacency
+  Frontier,  ///< beeper-frontier push/pull visiting only what can change
+};
+
+std::string kernel_kind_name(KernelKind k);
+/// Returns false (leaving `out` untouched) on an unknown name.
+bool parse_kernel_kind(const std::string& name, KernelKind* out);
+
+/// Deterministic Auto resolution — a pure function of the requested kind, so
+/// the same config always runs the same kernel (the determinism gates diff
+/// runs byte-for-byte). Currently Auto -> Frontier, the measured winner on
+/// the sparse benchmark families. Defined in round_kernel.cpp.
+KernelKind resolve_kernel(KernelKind kind) noexcept;
+
 /// Everything make_engine needs besides the graph. A run is a pure function
 /// of (graph, config): the seed fixes per-node streams, noise draws, and —
 /// via the caller's derived init/fault streams — the whole trajectory.
 struct EngineConfig {
   Variant variant = Variant::GlobalDelta;
   EngineKind kind = EngineKind::Auto;
+  KernelKind kernel = KernelKind::Auto;
   std::uint64_t seed = 1;
   std::int32_t c1 = 0;  ///< lmax constant override (0 = paper default)
   beep::ChannelNoise noise = {};
@@ -61,6 +85,9 @@ class Engine {
 
   /// Executor identity for manifests/logs, e.g. "fast-alg1".
   virtual std::string name() const = 0;
+  /// Resolved round-kernel identity for manifests/logs ("scalar", "bit",
+  /// "frontier"); "none" for executors without a kernel layer (reference).
+  virtual std::string kernel_name() const { return "none"; }
   virtual const graph::Graph& graph() const noexcept = 0;
   /// Rounds executed so far.
   virtual std::uint64_t round() const noexcept = 0;

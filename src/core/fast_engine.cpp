@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/core/round_kernel.hpp"
 #include "src/obs/perf.hpp"
 #include "src/obs/timing.hpp"
 #include "src/support/check.hpp"
@@ -11,12 +12,14 @@ namespace beepmis::core {
 template <typename Policy>
 FastEngine<Policy>::FastEngine(const graph::Graph& g, LmaxVector lmax,
                                std::uint64_t seed, beep::ChannelNoise noise,
-                               beep::Duplex duplex)
+                               beep::Duplex duplex, KernelKind kernel)
     : graph_(&g),
       lmax_(std::move(lmax)),
+      seed_(seed),
       noise_(noise),
       duplex_(duplex),
-      dense_(noise.enabled()) {
+      dense_(noise.enabled()),
+      kernel_kind_(resolve_kernel(kernel)) {
   BEEPMIS_CHECK(lmax_.size() == g.vertex_count(), "lmax sized for wrong graph");
   for (std::int32_t m : lmax_)
     BEEPMIS_CHECK(m >= 2, "lmax must be at least 2 for every vertex");
@@ -26,17 +29,31 @@ FastEngine<Policy>::FastEngine(const graph::Graph& g, LmaxVector lmax,
                 "false-negative rate outside [0,1]");
   const std::size_t n = g.vertex_count();
   levels_.assign(n, 1);
-  // Identical stream derivation to beep::Simulation — this is what makes
-  // the engines coin-for-coin compatible (including the noise stream).
-  const support::Rng master(seed);
-  rngs_.reserve(n);
-  for (std::size_t v = 0; v < n; ++v) rngs_.push_back(master.derive_stream(v));
-  noise_rng_ = master.derive_stream(0x401533);
+  // Coins are counter draws keyed by (seed, vertex, round) — no per-node
+  // generator state. Only the noise stream is a stored stream, derived
+  // identically to beep::Simulation's so noisy runs stay draw-for-draw
+  // compatible.
+  noise_rng_ = support::Rng(seed).derive_stream(0x401533);
   settled_.assign(n, 0);
   send_.assign(n, 0);
   heard_.assign(n, 0);
   refresh_settlement();
+  KernelContext<Policy> ctx;
+  ctx.graph = graph_;
+  ctx.lmax = &lmax_;
+  ctx.levels = &levels_;
+  ctx.settled = &settled_;
+  ctx.active = &active_;
+  ctx.send = &send_;
+  ctx.active_count = &active_count_;
+  ctx.mis_count = &mis_count_;
+  ctx.seed = seed_;
+  ctx.half = duplex_ == beep::Duplex::Half;
+  kernel_ = make_round_kernel<Policy>(kernel_kind_, ctx);
 }
+
+template <typename Policy>
+FastEngine<Policy>::~FastEngine() = default;
 
 template <typename Policy>
 bool FastEngine<Policy>::member_settled(graph::VertexId v) const {
@@ -52,6 +69,7 @@ void FastEngine<Policy>::refresh_settlement() const {
                          "engine.refresh_settlement");
   obs::PerfSpanScope perf("engine.refresh_settlement");
   dirty_ = false;
+  kernel_stale_ = true;
   const std::size_t n = levels_.size();
   std::fill(settled_.begin(), settled_.end(), 0);
   mis_count_ = 0;
@@ -102,6 +120,7 @@ void FastEngine<Policy>::corrupt(graph::VertexId v, support::Rng& rng) {
 
 template <typename Policy>
 void FastEngine<Policy>::resettle_neighborhood(graph::VertexId v) {
+  kernel_stale_ = true;
   // Membership can only change inside N[v] (it depends on a vertex's own
   // level and its neighbors' caps, and only v's level changed); domination
   // only inside {v} ∪ N(members that flipped). Each touched status is
@@ -181,110 +200,41 @@ void FastEngine<Policy>::step() {
     return;
   }
   if (dirty_) refresh_settlement();
+  if (kernel_stale_) {
+    kernel_->rebuild();
+    kernel_stale_ = false;
+  }
   step_sparse();
 }
 
 template <typename Policy>
 void FastEngine<Policy>::step_sparse() {
-  // Telemetry: the pre-round settled census feeds the event's beep/heard
-  // counts (settled members beep their channel with certainty, settled
-  // dominated vertices hear their member every round, settled members
-  // themselves hear nothing because all their neighbors sit silent at
-  // their caps — and under half duplex they are transmitting anyway).
+  // The kernel executes the round — decisions, exchange, updates,
+  // settlement — and reports its tallies; the engine contributes the
+  // settled censuses (constants of a fault-free round: settled members beep
+  // their channel with certainty, settled dominated vertices hear their
+  // member every round, settled members themselves hear nothing because all
+  // their neighbors sit silent at their caps — and under half duplex they
+  // are transmitting anyway) and assembles the event.
   const bool observing = observer_ != nullptr;
-  const bool half = duplex_ == beep::Duplex::Half;
   const std::size_t n = levels_.size();
   const auto members_before = static_cast<std::uint32_t>(mis_count_);
   const auto dominated_before =
       static_cast<std::uint32_t>(n - active_count_ - mis_count_);
-  std::uint32_t active_beeps[2] = {0, 0};
-  std::uint32_t active_heard[2] = {0, 0};
-  [[maybe_unused]] std::uint32_t active_heard_any = 0;
 
-  // Phase 1: beep decisions for active vertices (settled members beep too,
-  // but their contribution is looked up from settled_ instead of stored;
-  // settled dominated vertices are silent: p at the cap is 0).
-  for (graph::VertexId v : active_) {
-    const beep::ChannelMask m = Policy::decide(levels_[v], lmax_[v], rngs_[v]);
-    send_[v] = m;
-    active_beeps[0] += m & 1u;
-    if constexpr (Policy::kChannels > 1) active_beeps[1] += (m >> 1) & 1u;
-  }
-
-  // Phase 2: feedback + update, active vertices only. The scan may stop
-  // once the bits that determine the update (kDominantHeard) are resolved;
-  // while observing it continues until every channel bit is known so heard
-  // counts match the reference simulator bit-for-bit. A half-duplex beeper
-  // learns nothing: its feedback is zero and the scan is skipped entirely.
-  constexpr auto kFullMask =
-      static_cast<beep::ChannelMask>((1u << Policy::kChannels) - 1u);
-  [[maybe_unused]] const beep::ChannelMask stop =
-      observing ? kFullMask : Policy::kDominantHeard;
-  for (graph::VertexId v : active_) {
-    beep::ChannelMask heard = 0;
-    if (!half || !send_[v]) {
-      if constexpr (Policy::kChannels == 1) {
-        // Single channel: the first audible beeper resolves the whole mask,
-        // so the scan keeps the cheap boolean early-exit shape.
-        for (graph::VertexId u : graph_->neighbors(v)) {
-          if (settled_[u] == 1 || (settled_[u] == 0 && send_[u])) {
-            heard = beep::kChannel1;
-            break;
-          }
-        }
-      } else {
-        for (graph::VertexId u : graph_->neighbors(v)) {
-          if (settled_[u] == 1)
-            heard |= Policy::kMemberBeep;
-          else if (settled_[u] == 0)
-            heard |= send_[u];
-          if ((heard & stop) == stop) break;
-        }
-      }
-    }
-    active_heard[0] += heard & 1u;
-    if constexpr (Policy::kChannels > 1) {
-      active_heard[1] += (heard >> 1) & 1u;
-      active_heard_any += heard ? 1 : 0;
-    }
-    levels_[v] = Policy::update(levels_[v], lmax_[v], send_[v], heard);
-  }
-
-  // Post-update level census over old settled + still-listed active covers
-  // every vertex exactly once (phase 3 has not pruned yet). Settled
-  // dominated vertices hear their member's channel every round; for a
-  // two-channel policy the other channel depends on active neighbors and
-  // needs an explicit sweep, still paid only while observing.
-  std::uint32_t prominent = 0, dom_heard_extra = 0;
-  if (observing) {
-    prominent = members_before;
-    for (graph::VertexId v : active_)
-      prominent += Policy::is_prominent(levels_[v]) ? 1 : 0;
-    if constexpr (Policy::kChannels > 1) {
-      for (graph::VertexId v = 0; v < n; ++v) {
-        if (settled_[v] != 2) continue;
-        for (graph::VertexId u : graph_->neighbors(v)) {
-          if (settled_[u] == 0 && (send_[u] & beep::kChannel1)) {
-            ++dom_heard_extra;
-            break;
-          }
-        }
-      }
-    }
-  }
-
-  settle_and_prune();
+  SparseCensus census;
+  kernel_->step_sparse(round_, observing, census);
   ++round_;
 
   // Counter tracks, sampled every K rounds of a live tracing session. The
-  // beep census reuses the phase-1 tallies (settled members beep their
-  // channel every round); settlement counts are post-round state.
+  // beep census reuses the kernel's decision tallies (settled members beep
+  // their channel every round); settlement counts are post-round state.
   if (const std::uint64_t k = obs::Tracer::counter_interval();
       k != 0 && round_ % k == 0) {
     obs::Tracer::counter("engine.beeps",
                          static_cast<double>(members_before +
-                                             active_beeps[0] +
-                                             active_beeps[1]));
+                                             census.active_beeps[0] +
+                                             census.active_beeps[1]));
     obs::Tracer::counter("engine.active", static_cast<double>(active_count_));
     obs::Tracer::counter("engine.stable",
                          static_cast<double>(n - active_count_));
@@ -295,18 +245,18 @@ void FastEngine<Policy>::step_sparse() {
     obs::RoundEvent ev;
     ev.round = round_;
     if constexpr (Policy::kChannels == 1) {
-      ev.beeps_ch1 = members_before + active_beeps[0];
-      ev.heard_ch1 = dominated_before + active_heard[0];
+      ev.beeps_ch1 = members_before + census.active_beeps[0];
+      ev.heard_ch1 = dominated_before + census.active_heard[0];
       // Single channel: hearing anything == hearing channel 1.
       ev.heard_any = ev.heard_ch1;
     } else {
-      ev.beeps_ch1 = active_beeps[0];
-      ev.beeps_ch2 = members_before + active_beeps[1];
-      ev.heard_ch1 = active_heard[0] + dom_heard_extra;
-      ev.heard_ch2 = dominated_before + active_heard[1];
-      ev.heard_any = dominated_before + active_heard_any;
+      ev.beeps_ch1 = census.active_beeps[0];
+      ev.beeps_ch2 = members_before + census.active_beeps[1];
+      ev.heard_ch1 = census.active_heard[0] + census.dom_heard_extra;
+      ev.heard_ch2 = dominated_before + census.active_heard[1];
+      ev.heard_any = dominated_before + census.active_heard_any;
     }
-    ev.prominent = prominent;
+    ev.prominent = members_before + census.prominent_active;
     finish_event(ev);
   }
 }
@@ -316,11 +266,14 @@ void FastEngine<Policy>::step_dense() {
   // Noise mode: a false negative can decay a capped vertex and a false
   // positive can evict a member, so nothing is permanently settled and the
   // sparse invariants do not hold. Run the reference semantics as a full
-  // sweep, replaying the shared noise stream in beep::Simulation's exact
-  // (vertex, channel) order; per-node coin draws are order-independent.
+  // sweep — identical for every kernel — replaying the shared noise stream
+  // in beep::Simulation's exact (vertex, channel) order; the per-node coins
+  // are counter draws, order-independent by construction.
   const std::size_t n = levels_.size();
+  const std::uint64_t rs = support::counter_round_state(seed_, round_);
   for (graph::VertexId v = 0; v < n; ++v)
-    send_[v] = Policy::decide(levels_[v], lmax_[v], rngs_[v]);
+    send_[v] =
+        Policy::decide_coin(levels_[v], lmax_[v], CounterCoin{rs, v});
 
   for (graph::VertexId v = 0; v < n; ++v) {
     beep::ChannelMask h = 0;
@@ -375,39 +328,6 @@ void FastEngine<Policy>::step_dense() {
     ev.prominent = prominent;
     refresh_settlement();  // events report |I_t|, |S_t| from current levels
     finish_event(ev);
-  }
-}
-
-template <typename Policy>
-void FastEngine<Policy>::settle_and_prune() {
-  // Settle newly frozen vertices. Members first (their neighbors are at
-  // their caps by definition), then a dominated sweep — run every round,
-  // because an active vertex can climb back to its cap next to an *old*
-  // settled member and must still leave the active set.
-  bool any_settled = false;
-  for (graph::VertexId v : active_) {
-    if (levels_[v] == Policy::member_level(lmax_[v]) && member_settled(v)) {
-      settled_[v] = 1;
-      ++mis_count_;
-      any_settled = true;
-    }
-  }
-  for (graph::VertexId v : active_) {
-    if (settled_[v] || levels_[v] != lmax_[v]) continue;
-    for (graph::VertexId u : graph_->neighbors(v)) {
-      if (settled_[u] == 1) {
-        settled_[v] = 2;
-        any_settled = true;
-        break;
-      }
-    }
-  }
-  if (any_settled) {
-    active_.erase(
-        std::remove_if(active_.begin(), active_.end(),
-                       [&](graph::VertexId v) { return settled_[v] != 0; }),
-        active_.end());
-    active_count_ = active_.size();
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,9 +19,9 @@ namespace beepmis::core {
 /// Variant policy consumed by FastEngine<Policy>. A policy is a stateless
 /// bundle of the per-algorithm pieces — channel count, beep decision, level
 /// update, membership encoding, corruption range — while the engine owns
-/// everything the algorithms share: levels, per-node RNG streams, the lazy
-/// settlement cache, active-set maintenance, noise/duplex handling, and
-/// event emission. Adding a future variant (e.g. the few-states algorithms
+/// everything the algorithms share: levels, counter-keyed randomness, the
+/// lazy settlement cache, active-set maintenance, the round kernels,
+/// noise/duplex handling, and event emission. Adding a future variant (e.g. the few-states algorithms
 /// of Giakkoupis–Ziccardi) means writing one such policy, not a new engine.
 ///
 /// Contract (all static; see docs/architecture.md):
@@ -33,6 +34,9 @@ namespace beepmis::core {
 ///   min_level / member_level / is_prominent   level-encoding facts
 ///   decide(l, lmax, rng)      beep decision; draws a coin exactly when the
 ///                             reference algorithm does (coin-for-coin)
+///   decide_coin(l, lmax, coin)  the same decision against any coin source —
+///                             coin(k) is a Bernoulli(2^-k) trial; the round
+///                             kernels pass counter-draw lambdas here
 ///   update(l, lmax, sent, heard)  the level transition
 ///   corrupt_level(lmax, rng)  uniform in-range RAM value (fault model)
 struct Alg1Policy {
@@ -50,12 +54,19 @@ struct Alg1Policy {
   }
   static constexpr bool is_prominent(std::int32_t l) noexcept { return l <= 0; }
 
-  static beep::ChannelMask decide(std::int32_t l, std::int32_t lmax,
-                                  support::Rng& rng) {
+  template <typename Coin>
+  static beep::ChannelMask decide_coin(std::int32_t l, std::int32_t lmax,
+                                       Coin&& coin) {
     if (l >= lmax) return 0;
     // p = min{2^-ℓ, 1}: certain for ℓ ≤ 0, exact power-of-two coin else.
-    const bool beep = l <= 0 || rng.bernoulli_pow2(static_cast<unsigned>(l));
+    const bool beep = l <= 0 || coin(static_cast<unsigned>(l));
     return beep ? beep::kChannel1 : beep::ChannelMask{0};
+  }
+
+  static beep::ChannelMask decide(std::int32_t l, std::int32_t lmax,
+                                  support::Rng& rng) {
+    return decide_coin(l, lmax,
+                       [&rng](unsigned k) { return rng.bernoulli_pow2(k); });
   }
 
   static std::int32_t update(std::int32_t l, std::int32_t lmax,
@@ -64,6 +75,19 @@ struct Alg1Policy {
     if (heard & beep::kChannel1) return std::min(l + 1, lmax);
     if (sent & beep::kChannel1) return -lmax;
     return std::max(l - 1, 1);
+  }
+
+  /// update() as a select chain — same transition, no data-dependent
+  /// branches. The hot kernels use this form (chaos-phase heard/sent bits
+  /// are coin flips, so the textbook if-cascade mispredicts ~every vertex);
+  /// update() stays the readable oracle the tests compare against.
+  static std::int32_t update_packed(std::int32_t l, std::int32_t lmax,
+                                    beep::ChannelMask sent,
+                                    beep::ChannelMask heard) noexcept {
+    const std::int32_t up = std::min(l + 1, lmax);
+    const std::int32_t down = std::max(l - 1, 1);
+    const std::int32_t miss = (sent & beep::kChannel1) ? -lmax : down;
+    return (heard & beep::kChannel1) ? up : miss;
   }
 
   static std::int32_t corrupt_level(std::int32_t lmax, support::Rng& rng) {
@@ -89,12 +113,18 @@ struct Alg2Policy {
   }
   static constexpr bool is_prominent(std::int32_t l) noexcept { return l == 0; }
 
+  template <typename Coin>
+  static beep::ChannelMask decide_coin(std::int32_t l, std::int32_t lmax,
+                                       Coin&& coin) {
+    if (l == 0) return beep::kChannel2;  // certain, no coin
+    if (l < lmax && coin(static_cast<unsigned>(l))) return beep::kChannel1;
+    return 0;
+  }
+
   static beep::ChannelMask decide(std::int32_t l, std::int32_t lmax,
                                   support::Rng& rng) {
-    if (l == 0) return beep::kChannel2;  // certain, no coin
-    if (l < lmax && rng.bernoulli_pow2(static_cast<unsigned>(l)))
-      return beep::kChannel1;
-    return 0;
+    return decide_coin(l, lmax,
+                       [&rng](unsigned k) { return rng.bernoulli_pow2(k); });
   }
 
   static std::int32_t update(std::int32_t l, std::int32_t lmax,
@@ -105,6 +135,20 @@ struct Alg2Policy {
     if (sent & beep::kChannel1) return 0;
     if (!(sent & beep::kChannel2)) return std::max(l - 1, 1);
     return l;  // member that heard nothing — stays 0
+  }
+
+  /// update() as a select chain (last assignment = highest priority) — same
+  /// transition, no data-dependent branches. See Alg1Policy::update_packed.
+  static std::int32_t update_packed(std::int32_t l, std::int32_t lmax,
+                                    beep::ChannelMask sent,
+                                    beep::ChannelMask heard) noexcept {
+    const std::int32_t up = std::min(l + 1, lmax);
+    const std::int32_t down = std::max(l - 1, 1);
+    std::int32_t r = (sent & beep::kChannel2) ? l : down;
+    r = (sent & beep::kChannel1) ? 0 : r;
+    r = (heard & beep::kChannel1) ? up : r;
+    r = (heard & beep::kChannel2) ? lmax : r;
+    return r;
   }
 
   static std::int32_t corrupt_level(std::int32_t lmax, support::Rng& rng) {
@@ -122,9 +166,13 @@ struct Alg2Policy {
 /// cost O(active) instead of O(n + m).
 ///
 /// Guaranteed equivalent to running the variant's reference algorithm under
-/// beep::Simulation with the same seed: per-node RNG streams are derived
-/// identically and coins are drawn in exactly the same cases, so levels
-/// agree round-for-round (tested exhaustively in test_fast_engine.cpp).
+/// beep::Simulation (RngMode::Counter) with the same seed: every coin is a
+/// counter draw keyed by (seed, vertex, round) — a pure function of the
+/// coordinate, independent of visit order — and coins are drawn in exactly
+/// the same cases, so levels agree round-for-round (tested exhaustively in
+/// test_fast_engine.cpp). The sparse round itself is executed by a pluggable
+/// core::RoundKernel (scalar / bit / frontier — see round_kernel.hpp), all
+/// three proven stream-identical, so the kernel choice only moves wall-clock.
 /// The full model surface is covered:
 ///  - corrupt() mid-run invalidates settlement locally (the 2-hop patch
 ///    around the corrupted vertex), not globally;
@@ -137,14 +185,24 @@ struct Alg2Policy {
 ///    order; settlement then only serves as a lazily refreshed
 ///    stabilization-predicate cache.
 template <typename Policy>
+class RoundKernel;
+struct SparseCensus;
+
+template <typename Policy>
 class FastEngine final : public Engine {
  public:
   FastEngine(const graph::Graph& g, LmaxVector lmax, std::uint64_t seed,
              beep::ChannelNoise noise = {},
-             beep::Duplex duplex = beep::Duplex::Full);
+             beep::Duplex duplex = beep::Duplex::Full,
+             KernelKind kernel = KernelKind::Auto);
+  ~FastEngine() override;  // out-of-line: RoundKernel is incomplete here
 
   std::string name() const override {
     return std::string("fast-") + Policy::kTag;
+  }
+  /// The resolved round kernel ("scalar" / "bit" / "frontier").
+  std::string kernel_name() const override {
+    return kernel_kind_name(kernel_kind_);
   }
   const graph::Graph& graph() const noexcept override { return *graph_; }
   std::uint64_t round() const noexcept override { return round_; }
@@ -188,18 +246,18 @@ class FastEngine final : public Engine {
     observer_ = observer;
   }
   /// Routes internal timers into `registry` (may be null to detach); keyed
-  /// by variant ("fast_engine.<tag>.refresh_settlement") so V1 and V2/V3
-  /// timings are not conflated. Both the cumulative TimerStat and the
-  /// "...refresh_settlement_ns" duration digest (p50/p95/p99 of individual
-  /// refreshes) are resolved once here.
+  /// by variant and resolved kernel
+  /// ("fast_engine.<tag>.<kernel>.refresh_settlement") so scalar and
+  /// bit/frontier timings are never conflated in reports. Both the
+  /// cumulative TimerStat and the "...refresh_settlement_ns" duration digest
+  /// (p50/p95/p99 of individual refreshes) are resolved once here.
   void set_metrics(obs::MetricsRegistry* registry) override {
+    const std::string prefix = std::string("fast_engine.") + Policy::kTag +
+                               "." + kernel_kind_name(kernel_kind_);
     refresh_timer_ =
-        registry ? &registry->timer(std::string("fast_engine.") + Policy::kTag +
-                                    ".refresh_settlement")
-                 : nullptr;
+        registry ? &registry->timer(prefix + ".refresh_settlement") : nullptr;
     refresh_digest_ =
-        registry ? &registry->digest(std::string("fast_engine.") +
-                                     Policy::kTag + ".refresh_settlement_ns")
+        registry ? &registry->digest(prefix + ".refresh_settlement_ns")
                  : nullptr;
   }
 
@@ -211,14 +269,13 @@ class FastEngine final : public Engine {
   void resettle_neighborhood(graph::VertexId v);
   void step_sparse();
   void step_dense();
-  void settle_and_prune();
   std::uint32_t lemma31_census() const;
   void finish_event(obs::RoundEvent& ev) const;
 
   const graph::Graph* graph_;
   LmaxVector lmax_;
   std::vector<std::int32_t> levels_;
-  std::vector<support::Rng> rngs_;
+  std::uint64_t seed_;  // keys the counter draws: coin(v, t) = f(seed, v, t)
   mutable std::vector<std::uint8_t> settled_;  // 0 active, 1 member, 2 dom.
   mutable std::vector<graph::VertexId> active_;
   std::vector<beep::ChannelMask> send_;   // scratch, indexed by vertex
@@ -231,6 +288,11 @@ class FastEngine final : public Engine {
   beep::Duplex duplex_ = beep::Duplex::Full;
   support::Rng noise_rng_{0};
   bool dense_ = false;  // noise breaks permanence; run full sweeps
+  KernelKind kernel_kind_ = KernelKind::Scalar;  // resolved, never Auto
+  std::unique_ptr<RoundKernel<Policy>> kernel_;
+  // Kernel-private caches go stale whenever settlement is rebuilt or patched
+  // outside a round; the kernel re-syncs lazily at the next sparse step.
+  mutable bool kernel_stale_ = true;
   obs::RoundObserver* observer_ = nullptr;
   obs::TimerStat* refresh_timer_ = nullptr;
   obs::Digest* refresh_digest_ = nullptr;

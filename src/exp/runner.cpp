@@ -119,10 +119,12 @@ RunResult run_variant(const graph::Graph& g, Variant variant,
                       core::InitPolicy init, std::uint64_t seed,
                       beep::Round max_rounds, std::int32_t c1,
                       obs::MetricsRegistry* metrics,
-                      obs::RoundObserver* observer, core::EngineKind kind) {
+                      obs::RoundObserver* observer, core::EngineKind kind,
+                      core::KernelKind kernel) {
   core::EngineConfig config;
   config.variant = variant;
   config.kind = kind;
+  config.kernel = kernel;
   config.seed = seed;
   config.c1 = c1;
   auto engine = core::make_engine(g, config);
@@ -142,7 +144,8 @@ std::vector<RunResult> run_replicas(const graph::Graph& g, Variant variant,
                                     support::TaskPool& pool, std::int32_t c1,
                                     obs::MetricsRegistry* metrics,
                                     obs::RoundObserver* observer,
-                                    core::EngineKind kind) {
+                                    core::EngineKind kind,
+                                    core::KernelKind kernel) {
   struct Shard {
     RunResult result;
     std::unique_ptr<obs::MetricsRegistry> scratch;
@@ -159,7 +162,8 @@ std::vector<RunResult> run_replicas(const graph::Graph& g, Variant variant,
     if (observer != nullptr) shard.events = obs::BufferedSink(observer);
     shard.result =
         run_variant(g, variant, init, seeds[i], max_rounds, c1, scratch,
-                    observer != nullptr ? &shard.events : nullptr, kind);
+                    observer != nullptr ? &shard.events : nullptr, kind,
+                    kernel);
   });
   // Deterministic fold in seed order: digests are order-sensitive, so the
   // coordinator — not the workers — owns all shared aggregation.

@@ -77,7 +77,8 @@ std::vector<SweepPoint> run_scaling_sweep(Family family,
       out.result = run_variant(
           g, config.variant, config.init, seed,
           default_round_budget(g.vertex_count()), config.c1, scratch,
-          config.observer != nullptr ? &out.events : nullptr, config.engine);
+          config.observer != nullptr ? &out.events : nullptr, config.engine,
+          config.kernel);
     }
     if (scratch != nullptr) {
       scratch->counter("sweep.runs_total").inc();

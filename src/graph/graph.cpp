@@ -42,9 +42,14 @@ Graph GraphBuilder::build() && {
     g.adjacency_[cursor[v]++] = u;
   }
   // Each vertex's edges were appended in globally sorted order, so
-  // neighborhoods are already sorted — required by has_edge's binary search.
-  for (std::size_t v = 0; v < n_; ++v)
+  // neighborhoods are already sorted — required by has_edge's binary search
+  // and by PackedGraph's single-pass word grouping.
+  for (std::size_t v = 0; v < n_; ++v) {
+    const auto nb = g.neighbors(static_cast<VertexId>(v));
+    BEEPMIS_CHECK(std::is_sorted(nb.begin(), nb.end()),
+                  "CSR neighborhood not sorted after build");
     g.max_degree_ = std::max(g.max_degree_, g.offsets_[v + 1] - g.offsets_[v]);
+  }
   return g;
 }
 

@@ -1,0 +1,66 @@
+#include "src/graph/packed.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace beepmis::graph {
+
+PackedGraph::PackedGraph(const Graph& g) : n_(g.vertex_count()) {
+  words_ = (n_ + 63) / 64;
+  block_offsets_.assign(n_ + 1, 0);
+  // Neighborhoods are sorted, so each one groups into word-runs in a single
+  // pass; reserve the worst case (one block per neighbor) up front.
+  blocks_.reserve(2 * g.edge_count());
+  for (VertexId v = 0; v < n_; ++v) {
+    block_offsets_[v] = blocks_.size();
+    std::uint32_t word = 0;
+    std::uint64_t mask = 0;
+    for (VertexId u : g.neighbors(v)) {
+      const auto w = static_cast<std::uint32_t>(u >> 6);
+      if (mask != 0 && w != word) {
+        blocks_.push_back({word, mask});
+        mask = 0;
+      }
+      word = w;
+      mask |= std::uint64_t{1} << (u & 63);
+    }
+    if (mask != 0) blocks_.push_back({word, mask});
+  }
+  block_offsets_[n_] = blocks_.size();
+
+  // Bitset rows only pay off when the average neighborhood already touches
+  // most words of the id space (≥1 neighbor per word): below that a row scan
+  // reads mostly-zero words the blocked walk skips for free.
+  if (n_ > 0 && words_ > 0 && 2 * g.edge_count() >= n_ * words_) {
+    rows_.assign(n_ * words_, 0);
+    for (VertexId v = 0; v < n_; ++v) {
+      std::uint64_t* row = rows_.data() + v * words_;
+      for (VertexId u : g.neighbors(v)) row[u >> 6] |= std::uint64_t{1} << (u & 63);
+    }
+  }
+}
+
+RelabeledGraph relabel_by_degree(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  RelabeledGraph out;
+  out.perm.resize(n);
+  std::iota(out.perm.begin(), out.perm.end(), VertexId{0});
+  std::stable_sort(out.perm.begin(), out.perm.end(),
+                   [&](VertexId a, VertexId b) {
+                     return g.degree(a) != g.degree(b)
+                                ? g.degree(a) > g.degree(b)
+                                : a < b;
+                   });
+  out.inverse.resize(n);
+  for (VertexId new_id = 0; new_id < n; ++new_id)
+    out.inverse[out.perm[new_id]] = new_id;
+
+  GraphBuilder b(n, g.name() + "_degord");
+  for (VertexId v = 0; v < n; ++v)
+    for (VertexId u : g.neighbors(v))
+      if (v < u) b.add_edge(out.inverse[v], out.inverse[u]);
+  out.graph = std::move(b).build();
+  return out;
+}
+
+}  // namespace beepmis::graph

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace beepmis::graph {
+
+/// Bit-packed adjacency views over a CSR Graph, built once and consumed by
+/// the word-parallel round kernels (core::BitKernel). Two representations:
+///
+/// - **Blocked CSR** (always built): each neighborhood is grouped by 64-bit
+///   word of the vertex-id space into `Block{word, mask}` runs, so "does any
+///   audible vertex neighbor v" is one load + AND per *block* against a
+///   packed audibility bitmask, instead of two byte loads per *neighbor*.
+///   Neighbor lists are sorted, so blocks come out sorted by word and the
+///   grouping is a single linear pass.
+/// - **Bitset rows** (dense graphs only): full n-bit adjacency rows, giving
+///   word-wide OR/AND over the whole row. Rows cost n²/8 bytes, so they are
+///   built only when the graph is dense enough that a row scan beats the
+///   blocked walk (avg degree ≳ n/64, i.e. ≥1 neighbor per word on average).
+class PackedGraph {
+ public:
+  struct Block {
+    std::uint32_t word;  ///< index into a words-of-n bitmask
+    std::uint64_t mask;  ///< neighbors of v falling inside that word
+  };
+
+  explicit PackedGraph(const Graph& g);
+
+  std::size_t vertex_count() const noexcept { return n_; }
+  /// Number of 64-bit words in a vertex-indexed bitmask.
+  std::size_t word_count() const noexcept { return words_; }
+
+  std::span<const Block> blocks(VertexId v) const {
+    return {blocks_.data() + block_offsets_[v],
+            blocks_.data() + block_offsets_[v + 1]};
+  }
+
+  /// Total blocks across all vertices (the packed analogue of 2·|E|).
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+  bool has_bitset_rows() const noexcept { return !rows_.empty(); }
+  /// Full n-bit adjacency row of v (empty span unless has_bitset_rows()).
+  std::span<const std::uint64_t> row(VertexId v) const {
+    return has_bitset_rows()
+               ? std::span<const std::uint64_t>{rows_.data() + v * words_,
+                                                words_}
+               : std::span<const std::uint64_t>{};
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::size_t> block_offsets_;
+  std::vector<Block> blocks_;
+  std::vector<std::uint64_t> rows_;  // n_ * words_ when built, else empty
+};
+
+/// Degree-ordered relabeling: vertices sorted by descending degree (ties by
+/// original id, so the permutation is deterministic). High-degree vertices —
+/// the ones that dominate blocked-CSR walks — get packed into the same few
+/// mask words. Returns the relabeled graph behind the unchanged Graph
+/// interface plus the permutation, with `perm[new_id] == old_id`.
+struct RelabeledGraph {
+  Graph graph;
+  std::vector<VertexId> perm;     ///< new id -> old id
+  std::vector<VertexId> inverse;  ///< old id -> new id
+};
+RelabeledGraph relabel_by_degree(const Graph& g);
+
+}  // namespace beepmis::graph

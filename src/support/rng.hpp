@@ -5,6 +5,14 @@
 
 namespace beepmis::support {
 
+/// The SplitMix64 constants (Steele, Lea, Flood 2014): the golden-ratio
+/// sequence increment and the two finalizer multipliers. Exposed so code
+/// that re-derives SplitMix64 outputs lane-wise (the AVX-512 round sweep)
+/// shares one source of truth with the scalar implementation in rng.cpp.
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9e3779b97f4a7c15ULL;
+inline constexpr std::uint64_t kSplitMix64Mul1 = 0xbf58476d1ce4e5b9ULL;
+inline constexpr std::uint64_t kSplitMix64Mul2 = 0x94d049bb133111ebULL;
+
 /// SplitMix64 step: the canonical 64-bit mixer, used both as a stream
 /// splitter (deriving independent per-node seeds from a master seed) and to
 /// seed xoshiro256** state. Reference: Steele, Lea, Flood (2014).
@@ -60,5 +68,51 @@ class Rng {
   std::uint64_t s_[4];
   std::uint64_t seed_;  // retained so derive_stream is order-independent
 };
+
+// ---------------------------------------------------------------------------
+// Counter-based draws.
+//
+// A counter draw is a pure function of the coordinate (master_seed, node,
+// round, draw_index): no per-node generator state is stored between rounds,
+// so the value a node draws in a round does not depend on visit order, on
+// which other nodes drew before it, or on how many draws they made. The
+// coordinate is folded into a 64-bit key by a SplitMix64 sponge (the same
+// absorb-then-avalanche shape as exp::sweep_seed), and the key seeds an
+// ordinary Rng whose k-th output is draw_index k — the full bernoulli_pow2 /
+// below / uniform01 surface comes along for free.
+
+/// The node-independent prefix of the sponge: the round is absorbed before
+/// the node, so a round loop can fold (seed, round) once and pay only
+/// counter_first_draw_at per vertex.
+std::uint64_t counter_round_state(std::uint64_t master_seed,
+                                  std::uint64_t round) noexcept;
+
+/// The sponge: folds (master_seed, node, round) into the stream key.
+std::uint64_t counter_key(std::uint64_t master_seed, std::uint64_t node,
+                          std::uint64_t round) noexcept;
+
+/// The full draw stream for one (seed, node, round) coordinate; its k-th
+/// output is draw_index k. Equivalent to Rng{counter_key(...)}.
+Rng counter_stream(std::uint64_t master_seed, std::uint64_t node,
+                   std::uint64_t round) noexcept;
+
+/// Fast path for draw_index 0: the first output of counter_stream(...)
+/// without materializing the four xoshiro state words (two SplitMix64 steps
+/// past the key and one starmix — pure ALU, nothing touches memory). The
+/// engines' round kernels live on this: both beeping policies draw at most
+/// one coin per node per round.
+std::uint64_t counter_first_draw(std::uint64_t master_seed,
+                                 std::uint64_t node,
+                                 std::uint64_t round) noexcept;
+
+/// counter_first_draw with the per-round prefix precomputed via
+/// counter_round_state — two avalanches per vertex, branchless.
+std::uint64_t counter_first_draw_at(std::uint64_t round_state,
+                                    std::uint64_t node) noexcept;
+
+/// bernoulli_pow2(k) evaluated on draw_index 0 of the coordinate's stream.
+/// Identical to counter_stream(...).bernoulli_pow2(k).
+bool counter_bernoulli_pow2(std::uint64_t master_seed, std::uint64_t node,
+                            std::uint64_t round, unsigned k) noexcept;
 
 }  // namespace beepmis::support

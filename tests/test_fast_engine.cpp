@@ -30,8 +30,11 @@ Reference make_reference(const graph::Graph& g, const LmaxVector& lmax,
                          beep::Duplex duplex = beep::Duplex::Full) {
   auto a = std::make_unique<SelfStabMis>(g, lmax);
   auto* raw = a.get();
+  // Counter mode: the engines draw counter-keyed coins, so the reference
+  // must reseed its per-node streams from the same (seed, node, round)
+  // coordinates to stay coin-for-coin identical.
   return {std::make_unique<beep::Simulation>(g, std::move(a), seed, noise,
-                                             duplex),
+                                             duplex, beep::RngMode::Counter),
           raw};
 }
 
@@ -47,7 +50,7 @@ Reference2 make_reference2(const graph::Graph& g, const LmaxVector& lmax,
   auto a = std::make_unique<SelfStabMisTwoChannel>(g, lmax);
   auto* raw = a.get();
   return {std::make_unique<beep::Simulation>(g, std::move(a), seed, noise,
-                                             duplex),
+                                             duplex, beep::RngMode::Counter),
           raw};
 }
 
@@ -222,7 +225,8 @@ TEST(FastEngine2, RoundForRoundIdenticalToReferenceSimulator) {
     const auto lmax = lmax_one_hop(g);
     auto ref_algo = std::make_unique<SelfStabMisTwoChannel>(g, lmax);
     auto* ref = ref_algo.get();
-    beep::Simulation ref_sim(g, std::move(ref_algo), 77);
+    beep::Simulation ref_sim(g, std::move(ref_algo), 77, {},
+                             beep::Duplex::Full, beep::RngMode::Counter);
     FastMisEngine2 fast(g, lmax, 77);
     support::Rng c1(3);
     for (graph::VertexId v = 0; v < g.vertex_count(); ++v)

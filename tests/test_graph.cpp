@@ -91,5 +91,38 @@ TEST(Graph, DegreeSumEqualsTwiceEdges) {
   EXPECT_EQ(total, 2 * g.edge_count());
 }
 
+
+TEST(Graph, HasEdgeMatchesNeighborLists) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(0, 3);
+  b.add_edge(1, 4);
+  b.add_edge(2, 5);
+  b.add_edge(4, 5);
+  Graph g = std::move(b).build();
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto nb = g.neighbors(u);
+      const bool expect = std::find(nb.begin(), nb.end(), v) != nb.end();
+      EXPECT_EQ(g.has_edge(u, v), expect) << u << "-" << v;
+      EXPECT_EQ(g.has_edge(v, u), expect) << v << "-" << u;
+    }
+  }
+}
+
+TEST(Graph, HasEdgeOnHighDegreeVertex) {
+  // Exercises the binary search over a long sorted neighborhood (has_edge
+  // relies on build() emitting sorted adjacency lists).
+  constexpr VertexId kN = 300;
+  GraphBuilder b(kN);
+  for (VertexId v = 1; v < kN; ++v)
+    if (v % 3 != 0) b.add_edge(0, v);
+  Graph g = std::move(b).build();
+  EXPECT_TRUE(std::is_sorted(g.neighbors(0).begin(), g.neighbors(0).end()));
+  for (VertexId v = 1; v < kN; ++v)
+    EXPECT_EQ(g.has_edge(0, v), v % 3 != 0) << v;
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
 }  // namespace
 }  // namespace beepmis::graph

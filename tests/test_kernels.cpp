@@ -1,0 +1,177 @@
+#include "src/core/round_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/core/fast_engine.hpp"
+#include "src/core/init.hpp"
+#include "src/graph/generators.hpp"
+
+namespace beepmis::core {
+namespace {
+
+// The kernel contract: Scalar, Bit, and Frontier produce the same level
+// vector, the same settlement, and the same MIS, round for round, from any
+// starting configuration, under full and half duplex, across mid-run
+// corruption. These tests run WITHOUT observers: that keeps the engines on
+// the non-observing step, which on AVX-512 hosts routes the frontier
+// kernel through its dense SIMD sweep (kernel_simd.hpp) — so the sweep is
+// proven bit-identical here, not just the indexed loops. On hosts without
+// AVX-512 the same tests still check the three indexed implementations
+// against each other.
+
+template <typename Policy>
+struct Trio {
+  FastEngine<Policy> scalar;
+  FastEngine<Policy> bit;
+  FastEngine<Policy> frontier;
+
+  Trio(const graph::Graph& g, const LmaxVector& lmax, std::uint64_t seed,
+       beep::Duplex duplex = beep::Duplex::Full)
+      : scalar(g, lmax, seed, {}, duplex, KernelKind::Scalar),
+        bit(g, lmax, seed, {}, duplex, KernelKind::Bit),
+        frontier(g, lmax, seed, {}, duplex, KernelKind::Frontier) {}
+
+  // Identical adversarial starting levels on all three engines: the scalar
+  // engine corrupts from a seeded stream, the others copy its levels.
+  void corrupt_init(std::uint64_t seed) {
+    support::Rng c(seed);
+    const std::size_t n = scalar.graph().vertex_count();
+    for (graph::VertexId v = 0; v < n; ++v) scalar.corrupt(v, c);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      bit.set_level(v, scalar.level(v));
+      frontier.set_level(v, scalar.level(v));
+    }
+  }
+
+  void run_lockstep(int rounds, const std::vector<int>& corrupt_at = {},
+                    std::size_t corrupt_count = 0) {
+    support::Rng f1(0xc0), f2(0xc0), f3(0xc0);
+    const std::size_t n = scalar.graph().vertex_count();
+    for (int r = 0; r < rounds; ++r) {
+      for (int cr : corrupt_at) {
+        if (cr != r) continue;
+        const auto a = corrupt_random(scalar, corrupt_count, f1);
+        const auto b = corrupt_random(bit, corrupt_count, f2);
+        const auto c = corrupt_random(frontier, corrupt_count, f3);
+        ASSERT_EQ(a, b) << "round " << r;
+        ASSERT_EQ(a, c) << "round " << r;
+      }
+      scalar.step();
+      bit.step();
+      frontier.step();
+      for (graph::VertexId v = 0; v < n; ++v) {
+        ASSERT_EQ(bit.level(v), scalar.level(v))
+            << "bit round " << r << " vertex " << v;
+        ASSERT_EQ(frontier.level(v), scalar.level(v))
+            << "frontier round " << r << " vertex " << v;
+      }
+      ASSERT_EQ(bit.active_count(), scalar.active_count()) << "round " << r;
+      ASSERT_EQ(frontier.active_count(), scalar.active_count())
+          << "round " << r;
+    }
+    EXPECT_EQ(bit.mis_members(), scalar.mis_members());
+    EXPECT_EQ(frontier.mis_members(), scalar.mis_members());
+    EXPECT_EQ(bit.is_stabilized(), scalar.is_stabilized());
+    EXPECT_EQ(frontier.is_stabilized(), scalar.is_stabilized());
+  }
+};
+
+TEST(Kernels, ThreeKernelsLockstepAlg1) {
+  support::Rng grng(21);
+  const auto graphs = {
+      graph::make_path(48),
+      graph::make_grid(7, 7),
+      graph::make_erdos_renyi_avg_degree(192, 8.0, grng),
+      graph::make_barabasi_albert(128, 3, grng),
+  };
+  for (const auto& g : graphs) {
+    Trio<Alg1Policy> trio(g, lmax_global_delta(g), 1234);
+    trio.corrupt_init(7);
+    trio.run_lockstep(300);
+  }
+}
+
+TEST(Kernels, ThreeKernelsLockstepAlg2) {
+  support::Rng grng(22);
+  const auto graphs = {
+      graph::make_star(48),
+      graph::make_erdos_renyi_avg_degree(192, 8.0, grng),
+      graph::make_barabasi_albert(128, 3, grng),
+  };
+  for (const auto& g : graphs) {
+    Trio<Alg2Policy> trio(g, lmax_one_hop(g), 4321);
+    trio.corrupt_init(9);
+    trio.run_lockstep(300);
+  }
+}
+
+TEST(Kernels, LockstepSurvivesMidRunCorruption) {
+  support::Rng grng(23);
+  const auto g = graph::make_erdos_renyi_avg_degree(160, 8.0, grng);
+  {
+    Trio<Alg1Policy> trio(g, lmax_global_delta(g), 55);
+    trio.corrupt_init(3);
+    trio.run_lockstep(400, /*corrupt_at=*/{60, 140, 260}, /*count=*/24);
+  }
+  {
+    Trio<Alg2Policy> trio(g, lmax_one_hop(g), 56);
+    trio.corrupt_init(4);
+    trio.run_lockstep(400, /*corrupt_at=*/{60, 140, 260}, /*count=*/24);
+  }
+}
+
+TEST(Kernels, HalfDuplexLockstep) {
+  support::Rng grng(24);
+  const auto g = graph::make_erdos_renyi_avg_degree(160, 8.0, grng);
+  {
+    Trio<Alg1Policy> trio(g, lmax_global_delta(g), 77, beep::Duplex::Half);
+    trio.corrupt_init(5);
+    trio.run_lockstep(300);
+  }
+  {
+    Trio<Alg2Policy> trio(g, lmax_one_hop(g), 78, beep::Duplex::Half);
+    trio.corrupt_init(6);
+    trio.run_lockstep(300);
+  }
+}
+
+TEST(Kernels, SweepSizedGraphMatchesScalar) {
+  // Large enough that the frontier kernel's dense-sweep gate
+  // (n >= 64, |active| * 8 >= n) holds for the whole chaos phase on
+  // AVX-512 hosts, and the endgame drops below it — both paths and the
+  // crossover are exercised in one run.
+  support::Rng grng(25);
+  const auto g = graph::make_erdos_renyi_avg_degree(1024, 8.0, grng);
+  Trio<Alg1Policy> trio(g, lmax_global_delta(g), 99);
+  trio.corrupt_init(11);
+  trio.run_lockstep(200);
+}
+
+TEST(Kernels, AutoResolvesToFrontier) {
+  EXPECT_EQ(resolve_kernel(KernelKind::Auto), KernelKind::Frontier);
+  EXPECT_EQ(resolve_kernel(KernelKind::Scalar), KernelKind::Scalar);
+  EXPECT_EQ(resolve_kernel(KernelKind::Bit), KernelKind::Bit);
+  EXPECT_EQ(resolve_kernel(KernelKind::Frontier), KernelKind::Frontier);
+}
+
+TEST(Kernels, EngineExposesResolvedKernelName) {
+  const auto g = graph::make_path(8);
+  const auto lmax = lmax_global_delta(g);
+  const std::array<std::pair<KernelKind, const char*>, 4> cases = {{
+      {KernelKind::Auto, "frontier"},
+      {KernelKind::Scalar, "scalar"},
+      {KernelKind::Bit, "bit"},
+      {KernelKind::Frontier, "frontier"},
+  }};
+  for (const auto& [kind, name] : cases) {
+    FastEngine<Alg1Policy> e(g, lmax, 1, {}, beep::Duplex::Full, kind);
+    EXPECT_EQ(e.kernel_name(), name);
+  }
+}
+
+}  // namespace
+}  // namespace beepmis::core

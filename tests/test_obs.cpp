@@ -757,7 +757,8 @@ TEST(FastEngineEvents, IdenticalEventStreamToReferenceSimulatorV1) {
     const auto lmax = core::lmax_global_delta(g);
     auto algo = std::make_unique<core::SelfStabMis>(g, lmax);
     auto* a = algo.get();
-    beep::Simulation sim(g, std::move(algo), 99);
+    beep::Simulation sim(g, std::move(algo), 99, {}, beep::Duplex::Full,
+                         beep::RngMode::Counter);
     core::FastMisEngine fast(g, lmax, 99);
     support::Rng crng(7);
     for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
@@ -791,7 +792,8 @@ TEST(FastEngineEvents, IdenticalEventStreamToReferenceSimulatorV3) {
     const auto lmax = core::lmax_one_hop(g);
     auto algo = std::make_unique<core::SelfStabMisTwoChannel>(g, lmax);
     auto* a = algo.get();
-    beep::Simulation sim(g, std::move(algo), 77);
+    beep::Simulation sim(g, std::move(algo), 77, {}, beep::Duplex::Full,
+                         beep::RngMode::Counter);
     core::FastMisEngine2 fast(g, lmax, 77);
     support::Rng crng(3);
     for (graph::VertexId v = 0; v < g.vertex_count(); ++v)
@@ -821,10 +823,13 @@ TEST(FastEngineEvents, EngineTimersLandInRegistry) {
   fast.set_metrics(&reg);
   fast.set_level(0, 1);  // dirty the settlement cache
   fast.step();
-  // Timer keys carry the variant tag so two engines sharing a registry
-  // don't blend their timings.
-  EXPECT_GE(reg.timer("fast_engine.alg1.refresh_settlement").count(), 1u);
+  // Timer keys carry the variant tag and the resolved kernel so two engines
+  // sharing a registry don't blend their timings.
+  const std::string key =
+      "fast_engine.alg1." + fast.kernel_name() + ".refresh_settlement";
+  EXPECT_GE(reg.timer(key).count(), 1u);
   EXPECT_EQ(reg.timer("fast_engine.refresh_settlement").count(), 0u);
+  EXPECT_EQ(reg.timer("fast_engine.alg1.refresh_settlement").count(), 0u);
 }
 
 }  // namespace

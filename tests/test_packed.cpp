@@ -1,0 +1,106 @@
+#include "src/graph/packed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/graph.hpp"
+#include "src/support/rng.hpp"
+
+namespace beepmis::graph {
+namespace {
+
+/// Expands a vertex's blocked-CSR runs back into a neighbor list.
+std::vector<VertexId> unpack_blocks(const PackedGraph& pg, VertexId v) {
+  std::vector<VertexId> out;
+  for (const PackedGraph::Block& b : pg.blocks(v)) {
+    std::uint64_t m = b.mask;
+    while (m != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctzll(m));
+      out.push_back(b.word * 64 + bit);
+      m &= m - 1;
+    }
+  }
+  return out;
+}
+
+TEST(PackedGraph, BlocksRoundTripAdjacency) {
+  support::Rng grng(31);
+  const auto graphs = {
+      make_path(10),
+      make_star(17),
+      make_grid(6, 6),
+      make_erdos_renyi_avg_degree(200, 8.0, grng),
+  };
+  for (const auto& g : graphs) {
+    PackedGraph pg(g);
+    ASSERT_EQ(pg.vertex_count(), g.vertex_count());
+    EXPECT_EQ(pg.word_count(), (g.vertex_count() + 63) / 64);
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto nb = g.neighbors(v);
+      const std::vector<VertexId> expect(nb.begin(), nb.end());
+      EXPECT_EQ(unpack_blocks(pg, v), expect) << g.name() << " vertex " << v;
+      // Blocks are sorted by word and never empty.
+      const auto blocks = pg.blocks(v);
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        EXPECT_NE(blocks[i].mask, 0u);
+        if (i > 0) EXPECT_LT(blocks[i - 1].word, blocks[i].word);
+      }
+    }
+  }
+}
+
+TEST(PackedGraph, BitsetRowsOnlyForDenseGraphs) {
+  // Sparse: avg degree 8 on 2048 vertices is far below the ~n/64 = 32
+  // threshold (rows need >= 1 neighbor per 64-bit word on average).
+  support::Rng grng(32);
+  const auto sparse = make_erdos_renyi_avg_degree(2048, 8.0, grng);
+  EXPECT_FALSE(PackedGraph(sparse).has_bitset_rows());
+  EXPECT_TRUE(PackedGraph(sparse).row(0).empty());
+
+  // Dense: the complete graph always crosses it.
+  const auto dense = make_complete(96);
+  PackedGraph pg(dense);
+  ASSERT_TRUE(pg.has_bitset_rows());
+  for (VertexId v = 0; v < dense.vertex_count(); ++v) {
+    const auto row = pg.row(v);
+    ASSERT_EQ(row.size(), pg.word_count());
+    for (VertexId u = 0; u < dense.vertex_count(); ++u) {
+      const bool bit = (row[u / 64] >> (u % 64)) & 1u;
+      EXPECT_EQ(bit, dense.has_edge(v, u)) << v << "-" << u;
+    }
+  }
+}
+
+TEST(RelabelByDegree, PermutationIsDegreeSortedAndConsistent) {
+  support::Rng grng(33);
+  const auto g = make_barabasi_albert(150, 3, grng);
+  const RelabeledGraph r = relabel_by_degree(g);
+  ASSERT_EQ(r.graph.vertex_count(), g.vertex_count());
+  EXPECT_EQ(r.graph.edge_count(), g.edge_count());
+  // perm and inverse are mutually inverse bijections.
+  std::set<VertexId> seen(r.perm.begin(), r.perm.end());
+  EXPECT_EQ(seen.size(), g.vertex_count());
+  for (VertexId nv = 0; nv < g.vertex_count(); ++nv)
+    EXPECT_EQ(r.inverse[r.perm[nv]], nv);
+  // New ids are ordered by descending original degree, ties by original id.
+  for (VertexId nv = 1; nv < g.vertex_count(); ++nv) {
+    const VertexId a = r.perm[nv - 1], b = r.perm[nv];
+    EXPECT_TRUE(g.degree(a) > g.degree(b) ||
+                (g.degree(a) == g.degree(b) && a < b));
+  }
+  // Adjacency is preserved under the permutation.
+  for (VertexId nv = 0; nv < g.vertex_count(); ++nv) {
+    std::vector<VertexId> mapped;
+    for (VertexId nu : r.graph.neighbors(nv)) mapped.push_back(r.perm[nu]);
+    std::sort(mapped.begin(), mapped.end());
+    const auto nb = g.neighbors(r.perm[nv]);
+    EXPECT_EQ(mapped, std::vector<VertexId>(nb.begin(), nb.end()));
+  }
+}
+
+}  // namespace
+}  // namespace beepmis::graph

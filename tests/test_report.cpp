@@ -29,7 +29,10 @@ const char* kBenchCapture = R"({
       "BM_EngineRun/v3_reference/1024.cpu_ns": 800.0,
       "BM_FastEngineRun_NoSink/10240.cpu_ns": 10000.0,
       "BM_FastEngineRun_Digest/10240.cpu_ns": 10100.0,
-      "BM_FastEngineRun_JsonlSink/10240.cpu_ns": 10500.0
+      "BM_FastEngineRun_JsonlSink/10240.cpu_ns": 10500.0,
+      "BM_FastEngineKernel/scalar/10240.cpu_ns": 16000.0,
+      "BM_FastEngineKernel/bit/10240.cpu_ns": 12800.0,
+      "BM_FastEngineKernel/frontier/10240.cpu_ns": 3200.0
     }}
 })";
 
@@ -65,7 +68,7 @@ TEST(Report, SelfComparisonHasNoRegressions) {
   ASSERT_TRUE(b.set_baseline(parse(kBenchCapture), "bench.json", &error))
       << error;
   EXPECT_TRUE(b.regressions(0.10).empty());
-  EXPECT_EQ(b.bench_deltas().size(), 7u);
+  EXPECT_EQ(b.bench_deltas().size(), 10u);
 }
 
 TEST(Report, SyntheticRegressionIsFlagged) {
@@ -102,6 +105,14 @@ TEST(Report, SpeedupAndOverheadTablesFromGauges) {
     EXPECT_EQ(s.n, 1024u);
     EXPECT_NEAR(s.speedup, 2.0, 1e-9);
   }
+
+  const auto kernels = b.kernel_speedups();
+  ASSERT_EQ(kernels.size(), 2u);  // bit and frontier vs scalar
+  EXPECT_EQ(kernels[0].kernel, "bit");
+  EXPECT_NEAR(kernels[0].speedup, 1.25, 1e-9);
+  EXPECT_EQ(kernels[1].kernel, "frontier");
+  EXPECT_NEAR(kernels[1].speedup, 5.0, 1e-9);
+  for (const auto& k : kernels) EXPECT_EQ(k.n, 10240u);
 
   const auto over = b.overheads();
   ASSERT_EQ(over.size(), 2u);  // Digest and JsonlSink vs NoSink
@@ -246,6 +257,7 @@ TEST(Report, JsonOutputRoundTripsAndMarkdownMentionsBaseline) {
   EXPECT_TRUE(doc.get("baseline").get("present").boolean);
   EXPECT_EQ(doc.get("stabilization").array.size(), 1u);
   EXPECT_EQ(doc.get("speedups").array.size(), 2u);
+  EXPECT_EQ(doc.get("kernel_speedups").array.size(), 2u);
 
   std::ostringstream md;
   b.write_markdown(md, 0.10);

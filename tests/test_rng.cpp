@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <set>
 #include <vector>
@@ -153,6 +155,110 @@ TEST(Splitmix64, KnownGoldenValues) {
   std::uint64_t s2 = 1234567;
   EXPECT_EQ(splitmix64(s2), a);
   EXPECT_EQ(splitmix64(s2), b);
+}
+
+
+// ---------------------------------------------------------------------------
+// Counter-based draws.
+
+TEST(CounterRng, GoldenFirstDraws) {
+  // Pinned outputs of the (seed, node, round) sponge. These freeze the
+  // counter-draw function: every engine result is a pure function of these
+  // values, so any change here silently re-rolls every simulation.
+  struct Golden {
+    std::uint64_t seed, node, round, draw;
+  };
+  const Golden cases[] = {
+      {0ull, 0ull, 0ull, 0x8a21cd34a214a917ull},
+      {42ull, 0ull, 0ull, 0x2bb3ea773a02d085ull},
+      {42ull, 1ull, 0ull, 0x5af290fdc89bce31ull},
+      {42ull, 0ull, 1ull, 0x7f2481033c03b875ull},
+      {42ull, 7ull, 123ull, 0x8e7e0daf3d99dc82ull},
+      {11400714819323198485ull, 1000000ull, 5000ull, 0x10ec941f19acd37cull},
+  };
+  for (const auto& c : cases)
+    EXPECT_EQ(counter_first_draw(c.seed, c.node, c.round), c.draw)
+        << c.seed << "/" << c.node << "/" << c.round;
+}
+
+TEST(CounterRng, FirstDrawMatchesStreamOutput) {
+  // The branch-free fast path must equal draw_index 0 of the full stream.
+  for (std::uint64_t seed : {0ull, 42ull, ~0ull}) {
+    for (std::uint64_t node = 0; node < 64; ++node) {
+      for (std::uint64_t round : {0ull, 1ull, 17ull, 100000ull}) {
+        Rng stream = counter_stream(seed, node, round);
+        EXPECT_EQ(counter_first_draw(seed, node, round), stream());
+      }
+    }
+  }
+}
+
+TEST(CounterRng, FirstDrawAtMatchesFirstDraw) {
+  // Folding the per-round prefix once must not change any draw.
+  for (std::uint64_t round : {0ull, 5ull, 61ull, 999983ull}) {
+    const std::uint64_t rs = counter_round_state(42, round);
+    for (std::uint64_t node = 0; node < 256; ++node)
+      EXPECT_EQ(counter_first_draw_at(rs, node),
+                counter_first_draw(42, node, round));
+  }
+}
+
+TEST(CounterRng, DrawsAreOrderIndependent) {
+  // The defining property: a draw depends only on its coordinate, never on
+  // which other coordinates were evaluated before it or how often.
+  std::vector<std::uint64_t> forward, backward;
+  for (std::uint64_t node = 0; node < 128; ++node)
+    forward.push_back(counter_first_draw(7, node, 3));
+  counter_first_draw(7, 999, 999);  // interleaved unrelated draws
+  counter_stream(7, 5, 5)();
+  for (std::uint64_t node = 128; node-- > 0;)
+    backward.push_back(counter_first_draw(7, node, 3));
+  for (std::size_t i = 0; i < forward.size(); ++i)
+    EXPECT_EQ(forward[i], backward[forward.size() - 1 - i]);
+}
+
+TEST(CounterRng, BernoulliPow2MatchesStreamAndEdges) {
+  for (unsigned k : {0u, 1u, 3u, 10u, 63u}) {
+    for (std::uint64_t node = 0; node < 32; ++node) {
+      Rng stream = counter_stream(9, node, 4);
+      EXPECT_EQ(counter_bernoulli_pow2(9, node, 4, k),
+                stream.bernoulli_pow2(k));
+    }
+  }
+  // k == 0 always succeeds, k >= 64 always fails, regardless of coordinate.
+  EXPECT_TRUE(counter_bernoulli_pow2(1, 2, 3, 0));
+  EXPECT_FALSE(counter_bernoulli_pow2(1, 2, 3, 64));
+  EXPECT_FALSE(counter_bernoulli_pow2(1, 2, 3, 1000));
+}
+
+TEST(CounterRng, NeighborCoordinatesDecorrelated) {
+  // Statistical sanity across the sponge: adjacent nodes and rounds give
+  // draws with no visible bit correlation (avalanche-quality mixing).
+  constexpr int kSamples = 4096;
+  std::int64_t bit_balance = 0;
+  int node_collisions = 0, round_collisions = 0;
+  for (std::uint64_t i = 0; i < kSamples; ++i) {
+    const std::uint64_t d = counter_first_draw(42, i, 7);
+    bit_balance += std::popcount(d);
+    node_collisions += d == counter_first_draw(42, i + 1, 7) ? 1 : 0;
+    round_collisions += d == counter_first_draw(42, i, 8) ? 1 : 0;
+  }
+  // Mean popcount 32, stdev 4/sqrt(kSamples): allow +-1.
+  EXPECT_NEAR(static_cast<double>(bit_balance) / kSamples, 32.0, 1.0);
+  EXPECT_EQ(node_collisions, 0);
+  EXPECT_EQ(round_collisions, 0);
+}
+
+TEST(CounterRng, Pow2FrequencyTracksProbability) {
+  // P(success) = 2^-k exactly; over many nodes the hit rate must match.
+  constexpr int kNodes = 1 << 16;
+  for (unsigned k : {1u, 3u, 6u}) {
+    int hits = 0;
+    for (std::uint64_t node = 0; node < kNodes; ++node)
+      hits += counter_bernoulli_pow2(123, node, 9, k) ? 1 : 0;
+    const double expected = std::ldexp(static_cast<double>(kNodes), -static_cast<int>(k));
+    EXPECT_NEAR(hits, expected, 6 * std::sqrt(expected)) << "k=" << k;
+  }
 }
 
 }  // namespace

@@ -241,6 +241,11 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
               << " (try auto, fast, reference)\n";
     std::exit(2);
   }
+  if (!core::parse_kernel_kind(args.get("kernel"), &config.kernel)) {
+    std::cerr << "unknown kernel: " << args.get("kernel")
+              << " (try auto, scalar, bit, frontier)\n";
+    std::exit(2);
+  }
   if (const std::string& d = args.get("duplex"); d == "half") {
     config.duplex = beep::Duplex::Half;
   } else if (d != "full") {
@@ -436,6 +441,8 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
     man.add_extra("rounds_total", std::to_string(engine->round()));
     man.add_extra("engine", engine->name());
     man.add_extra("engine_requested", core::engine_kind_name(config.kind));
+    man.add_extra("kernel", engine->kernel_name());
+    man.add_extra("kernel_requested", core::kernel_kind_name(config.kernel));
     man.add_extra("duplex", args.get("duplex"));
     man.add_extra("faults_per_wave", args.get("faults"));
     man.add_extra("waves", args.get("waves"));
@@ -479,6 +486,11 @@ int run_sweep(const support::ArgParser& args, exp::Variant variant,
   if (!core::parse_engine_kind(args.get("engine"), &cfg.engine)) {
     std::cerr << "unknown engine: " << args.get("engine")
               << " (try auto, fast, reference)\n";
+    return 2;
+  }
+  if (!core::parse_kernel_kind(args.get("kernel"), &cfg.kernel)) {
+    std::cerr << "unknown kernel: " << args.get("kernel")
+              << " (try auto, scalar, bit, frontier)\n";
     return 2;
   }
   obs::MetricsRegistry metrics;
@@ -549,6 +561,9 @@ int run_sweep(const support::ArgParser& args, exp::Variant variant,
     w.field("init", args.get("init"));
     w.field("base_seed", static_cast<std::uint64_t>(cfg.base_seed));
     w.field("seeds_per_size", static_cast<std::uint64_t>(cfg.seeds));
+    // Wall-clock provenance only: results are kernel-invariant, and the CI
+    // equivalence gate diffs sweep outputs across kernels modulo this field.
+    w.field("kernel", core::kernel_kind_name(core::resolve_kernel(cfg.kernel)));
     w.key("points").begin_array();
     for (const auto& pt : points) {
       w.begin_object();
@@ -723,6 +738,9 @@ int main(int argc, char** argv) {
   args.add_option("engine", "auto",
                   "executor for self-stab variants: auto | fast | reference "
                   "(auto picks the fast engine; both are stream-identical)");
+  args.add_option("kernel", "auto",
+                  "fast-engine round kernel: auto | scalar | bit | frontier "
+                  "(all stream-identical; auto picks the measured winner)");
   args.add_option("duplex", "full",
                   "radio model: full (hear while beeping) | half");
   args.add_option("alpha", "3", "ruling-set separation (algorithm=ruling)");

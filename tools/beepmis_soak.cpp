@@ -60,7 +60,8 @@ Scenario draw_scenario(support::Rng& rng) {
 }
 
 bool run_scenario(const Scenario& s, std::uint64_t seed,
-                  core::EngineKind kind, obs::MetricsRegistry& metrics,
+                  core::EngineKind kind, core::KernelKind kernel,
+                  obs::MetricsRegistry& metrics,
                   const std::string& dump_path) {
   obs::ScopedTimer timer(&metrics, "soak.scenario");
   support::Rng grng = support::Rng(seed).derive_stream(1);
@@ -68,6 +69,7 @@ bool run_scenario(const Scenario& s, std::uint64_t seed,
   core::EngineConfig config;
   config.variant = s.variant;
   config.kind = kind;
+  config.kernel = kernel;
   config.seed = seed;
   auto engine = core::make_engine(g, config);
   engine->set_metrics(&metrics);
@@ -208,6 +210,9 @@ int main(int argc, char** argv) {
   args.add_option("engine", "auto",
                   "executor: auto | fast | reference — auto alternates "
                   "randomly per scenario so both executors get soak coverage");
+  args.add_option("kernel", "auto",
+                  "fast-engine round kernel: auto | scalar | bit | frontier "
+                  "— auto rotates per scenario so every kernel gets soaked");
   args.add_option("threads", "1",
                   "worker threads for scenario execution (0 = one per "
                   "hardware thread); the scenario stream, every verdict and "
@@ -235,6 +240,13 @@ int main(int argc, char** argv) {
   if (!core::parse_engine_kind(args.get("engine"), &requested)) {
     std::fprintf(stderr, "unknown engine: %s (try auto, fast, reference)\n",
                  args.get("engine").c_str());
+    return 2;
+  }
+  core::KernelKind kernel_requested;
+  if (!core::parse_kernel_kind(args.get("kernel"), &kernel_requested)) {
+    std::fprintf(stderr,
+                 "unknown kernel: %s (try auto, scalar, bit, frontier)\n",
+                 args.get("kernel").c_str());
     return 2;
   }
 
@@ -307,8 +319,17 @@ int main(int argc, char** argv) {
           requested != core::EngineKind::Auto ? requested
           : srng.bernoulli(0.5)               ? core::EngineKind::Fast
                                               : core::EngineKind::Reference;
+      // Same idea for the round kernel: Auto rotates the fast engine across
+      // all three stream-identical kernels, still seed-deterministic.
+      core::KernelKind kernel = kernel_requested;
+      if (kernel == core::KernelKind::Auto) {
+        const std::uint64_t pick = srng.below(3);
+        kernel = pick == 0   ? core::KernelKind::Scalar
+                 : pick == 1 ? core::KernelKind::Bit
+                             : core::KernelKind::Frontier;
+      }
       outcomes[i].ok =
-          run_scenario(s, seed, kind, outcomes[i].scratch,
+          run_scenario(s, seed, kind, kernel, outcomes[i].scratch,
                        task_dump_path(dump_base, ordinal + i, parallel));
     });
     for (std::size_t i = 0; i < batch_size; ++i) {
@@ -384,6 +405,7 @@ int main(int argc, char** argv) {
                         : "unavailable";
     man.add_extra("scenarios", std::to_string(runs));
     man.add_extra("engine", core::engine_kind_name(requested));
+    man.add_extra("kernel", core::kernel_kind_name(kernel_requested));
     man.add_extra("result", failed ? "FAILED" : "passed");
     std::ofstream mout(path);
     if (!mout) {
