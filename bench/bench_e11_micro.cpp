@@ -25,6 +25,7 @@
 #include "src/core/engine.hpp"
 #include "src/core/fast_engine.hpp"
 #include "src/core/init.hpp"
+#include "src/core/invariant.hpp"
 #include "src/core/lmax.hpp"
 #include "src/core/observers.hpp"
 #include "src/core/selfstab_mis.hpp"
@@ -36,6 +37,7 @@
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/perf.hpp"
+#include "src/obs/recovery.hpp"
 #include "src/obs/sink.hpp"
 #include "src/obs/trace.hpp"
 #include "src/support/task_pool.hpp"
@@ -329,6 +331,91 @@ void BM_FastEngineRun_Digest(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_FastEngineRun_Digest)->Arg(10240);
+
+/// Swallows the event stream — the observed-run baseline. Attaching any
+/// RoundObserver takes the engine off its non-observing step (on AVX-512
+/// hosts that path runs the dense SIMD sweep), so the cost of *having* an
+/// observer is measured here, against NoSink, and the cost of each
+/// specific observer is measured against this.
+class NullObserver final : public obs::RoundObserver {
+ public:
+  void on_round(const obs::RoundEvent& event) override {
+    benchmark::DoNotOptimize(event.round);
+  }
+};
+
+/// The observed-run baseline: the NoSink workload with a do-nothing
+/// observer attached.
+void BM_FastEngineRun_Observer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  const auto lmax = core::lmax_global_delta(g);
+  std::uint64_t seed = 0;
+  std::uint64_t rounds = 0;
+  bench::PerfCapture perf;
+  for (auto _ : state) {
+    core::FastMisEngine fast(g, lmax, ++seed);
+    NullObserver null;
+    fast.set_observer(&null);
+    support::Rng irng(seed);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto span = static_cast<std::uint64_t>(2 * lmax[v] + 1);
+      fast.set_level(v,
+                     static_cast<std::int32_t>(irng.below(span)) - lmax[v]);
+    }
+    rounds += fast.run_to_stabilization(100000);
+    benchmark::DoNotOptimize(fast.round());
+  }
+  for (const auto& [cname, v] : perf.per_iteration(state.iterations()))
+    state.counters[cname] = v;
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FastEngineRun_Observer)->Arg(10240);
+
+/// Same workload with the online invariant monitor attached at the default
+/// cadence (level-range probe every 64 rounds, independence/maximality at
+/// stabilization edges) plus a recovery tracker — the exact composition
+/// beepmis_cli --monitor arms. The ratio of this to
+/// BM_FastEngineRun_Observer is the monitor's own wall-clock overhead
+/// (budgeted at ≤ 2%: each probe is O(n + m), amortized across the cadence
+/// window); the ratio to BM_FastEngineRun_NoSink additionally includes the
+/// cost of taking the engine off its non-observing step, which any
+/// attached observer pays.
+void BM_FastEngineRun_Monitor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = make_er(n);
+  const auto lmax = core::lmax_global_delta(g);
+  std::uint64_t seed = 0;
+  std::uint64_t rounds = 0;
+  bench::PerfCapture perf;
+  for (auto _ : state) {
+    core::FastMisEngine fast(g, lmax, ++seed);
+    obs::RecoveryTracker recovery(obs::RecoveryConfig{});
+    recovery.set_probe(core::make_invariant_probe(fast));
+    obs::InvariantMonitor monitor(obs::InvariantConfig{});
+    monitor.set_probe(core::make_invariant_probe(fast));
+    monitor.set_recovery_tracker(&recovery);
+    obs::TeeObserver tee;
+    tee.add(&monitor);
+    tee.add(&recovery);
+    fast.set_observer(&tee);
+    support::Rng irng(seed);
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto span = static_cast<std::uint64_t>(2 * lmax[v] + 1);
+      fast.set_level(v,
+                     static_cast<std::int32_t>(irng.below(span)) - lmax[v]);
+    }
+    rounds += fast.run_to_stabilization(100000);
+    recovery.finalize(fast.round());
+    benchmark::DoNotOptimize(fast.round());
+  }
+  for (const auto& [cname, v] : perf.per_iteration(state.iterations()))
+    state.counters[cname] = v;
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FastEngineRun_Monitor)->Arg(10240);
 
 /// Same workload with a live tracing session (ring capacity 64k, counter
 /// tracks every 16 rounds) — the ratio of this to BM_FastEngineRun_NoSink

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 
+#include "src/obs/recovery.hpp"
 #include "src/support/check.hpp"
 
 namespace beepmis::beep {
 
-std::vector<graph::VertexId> FaultInjector::corrupt_random(Simulation& sim,
-                                                           std::size_t count,
-                                                           support::Rng& rng) {
+std::vector<graph::VertexId> FaultInjector::corrupt_random(
+    Simulation& sim, std::size_t count, support::Rng& rng,
+    obs::RecoveryTracker* recovery) {
   const std::size_t n = sim.graph().vertex_count();
   BEEPMIS_CHECK(count <= n, "cannot corrupt more nodes than exist");
   // Floyd's algorithm for a uniform k-subset without building [0, n).
@@ -22,19 +23,27 @@ std::vector<graph::VertexId> FaultInjector::corrupt_random(Simulation& sim,
       chosen.push_back(static_cast<graph::VertexId>(j));
   }
   corrupt_nodes(sim, chosen, rng);
+  if (recovery != nullptr)
+    recovery->on_fault(sim.round(), "corrupt-random", chosen.size());
   return chosen;
 }
 
 void FaultInjector::corrupt_nodes(Simulation& sim,
                                   std::span<const graph::VertexId> nodes,
-                                  support::Rng& rng) {
+                                  support::Rng& rng,
+                                  obs::RecoveryTracker* recovery) {
   for (graph::VertexId v : nodes) sim.algorithm().corrupt_node(v, rng);
+  if (recovery != nullptr)
+    recovery->on_fault(sim.round(), "corrupt-nodes", nodes.size());
 }
 
-void FaultInjector::corrupt_all(Simulation& sim, support::Rng& rng) {
+void FaultInjector::corrupt_all(Simulation& sim, support::Rng& rng,
+                                obs::RecoveryTracker* recovery) {
   const std::size_t n = sim.graph().vertex_count();
   for (graph::VertexId v = 0; v < n; ++v)
     sim.algorithm().corrupt_node(v, rng);
+  if (recovery != nullptr)
+    recovery->on_fault(sim.round(), "corrupt-all", n);
 }
 
 }  // namespace beepmis::beep

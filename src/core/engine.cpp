@@ -7,6 +7,7 @@
 #include "src/core/lmax.hpp"
 #include "src/core/selfstab_mis.hpp"
 #include "src/core/selfstab_mis2.hpp"
+#include "src/obs/recovery.hpp"
 #include "src/support/check.hpp"
 
 namespace beepmis::core {
@@ -188,7 +189,8 @@ std::unique_ptr<Engine> make_engine(const graph::Graph& g,
 }
 
 std::vector<graph::VertexId> corrupt_random(Engine& engine, std::size_t count,
-                                            support::Rng& rng) {
+                                            support::Rng& rng,
+                                            obs::RecoveryTracker* recovery) {
   const std::size_t n = engine.graph().vertex_count();
   BEEPMIS_CHECK(count <= n, "cannot corrupt more nodes than exist");
   // Floyd's algorithm for a uniform k-subset — identical draw sequence to
@@ -203,17 +205,24 @@ std::vector<graph::VertexId> corrupt_random(Engine& engine, std::size_t count,
       chosen.push_back(static_cast<graph::VertexId>(j));
   }
   corrupt_nodes(engine, chosen, rng);
+  if (recovery != nullptr)
+    recovery->on_fault(engine.round(), "corrupt-random", chosen.size());
   return chosen;
 }
 
 void corrupt_nodes(Engine& engine, std::span<const graph::VertexId> nodes,
-                   support::Rng& rng) {
+                   support::Rng& rng, obs::RecoveryTracker* recovery) {
   for (graph::VertexId v : nodes) engine.corrupt(v, rng);
+  if (recovery != nullptr)
+    recovery->on_fault(engine.round(), "corrupt-nodes", nodes.size());
 }
 
-void corrupt_all(Engine& engine, support::Rng& rng) {
+void corrupt_all(Engine& engine, support::Rng& rng,
+                 obs::RecoveryTracker* recovery) {
   const std::size_t n = engine.graph().vertex_count();
   for (graph::VertexId v = 0; v < n; ++v) engine.corrupt(v, rng);
+  if (recovery != nullptr)
+    recovery->on_fault(engine.round(), "corrupt-all", n);
 }
 
 }  // namespace beepmis::core

@@ -12,6 +12,10 @@
 #include "src/obs/sink.hpp"
 #include "src/support/rng.hpp"
 
+namespace beepmis::obs {
+class RecoveryTracker;  // see obs/recovery.hpp
+}
+
 namespace beepmis::core {
 
 /// Which of the paper's three algorithm variants to run. Lives in core (the
@@ -133,11 +137,17 @@ std::unique_ptr<Engine> make_engine(const graph::Graph& g,
 
 /// Fault-injection helpers mirroring beep::FaultInjector draw-for-draw
 /// (same Floyd k-subset selection, same per-node corruption draws), so
-/// engine-routed runs reproduce Simulation-routed ones exactly.
-std::vector<graph::VertexId> corrupt_random(Engine& engine, std::size_t count,
-                                            support::Rng& rng);
+/// engine-routed runs reproduce Simulation-routed ones exactly. When
+/// `recovery` is given, the injection is reported to it as a fault onset
+/// (opening a recovery epoch at the current engine round); the RNG draw
+/// sequence is identical with or without a tracker.
+std::vector<graph::VertexId> corrupt_random(
+    Engine& engine, std::size_t count, support::Rng& rng,
+    obs::RecoveryTracker* recovery = nullptr);
 void corrupt_nodes(Engine& engine, std::span<const graph::VertexId> nodes,
-                   support::Rng& rng);
-void corrupt_all(Engine& engine, support::Rng& rng);
+                   support::Rng& rng,
+                   obs::RecoveryTracker* recovery = nullptr);
+void corrupt_all(Engine& engine, support::Rng& rng,
+                 obs::RecoveryTracker* recovery = nullptr);
 
 }  // namespace beepmis::core

@@ -1,0 +1,31 @@
+#include "src/core/invariant.hpp"
+
+#include "src/mis/verifier.hpp"
+
+namespace beepmis::core {
+
+obs::InvariantProbeResult probe_invariants(const Engine& engine) {
+  const graph::Graph& g = engine.graph();
+  obs::InvariantProbeResult r;
+  r.stabilized = engine.is_stabilized();
+  const std::vector<bool> members = engine.mis_members();
+  r.members = mis::member_count(members);
+  r.independent = mis::is_independent(g, members);
+  r.maximal = mis::is_maximal(g, members);
+  const std::size_t n = g.vertex_count();
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const std::int32_t l = engine.level(v);
+    if (l < engine.member_level(v) || l > engine.lmax(v)) {
+      r.levels_in_range = false;
+      break;
+    }
+  }
+  return r;
+}
+
+obs::InvariantProbe make_invariant_probe(const Engine& engine) {
+  const Engine* e = &engine;
+  return [e]() { return probe_invariants(*e); };
+}
+
+}  // namespace beepmis::core

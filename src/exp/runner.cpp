@@ -183,4 +183,12 @@ beep::Round default_round_budget(std::size_t n) {
   return 3000 + 400 * static_cast<beep::Round>(log2n);
 }
 
+beep::Round default_recovery_bound(std::size_t n) {
+  // Same O(log n) w.h.p. horizon as the run budget: Thm 2.1/2.2 promise
+  // re-stabilization from *any* configuration in O(log n) rounds, so a
+  // recovery epoch that outlives the from-scratch budget is a stall by the
+  // paper's own yardstick.
+  return default_round_budget(n);
+}
+
 }  // namespace beepmis::exp

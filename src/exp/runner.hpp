@@ -102,4 +102,11 @@ std::vector<RunResult> run_replicas(const graph::Graph& g, Variant variant,
 /// indicates a real bug rather than bad luck.
 beep::Round default_round_budget(std::size_t n);
 
+/// Default classification bound for recovery epochs (obs::RecoveryConfig::
+/// recovery_bound): re-stabilization after a fault within this many rounds
+/// counts as recovered-within-bound, later is a stall. Currently equal to
+/// default_round_budget — the theorems make no distinction between
+/// from-scratch and post-fault convergence.
+beep::Round default_recovery_bound(std::size_t n);
+
 }  // namespace beepmis::exp

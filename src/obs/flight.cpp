@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "src/obs/json.hpp"
+#include "src/obs/json_parse.hpp"
 #include "src/obs/trace.hpp"
 #include "src/support/check.hpp"
 
@@ -15,6 +16,9 @@ std::string anomaly_kind_name(AnomalyKind kind) {
     case AnomalyKind::Stall: return "stall";
     case AnomalyKind::Lemma31Persistence: return "lemma31-persistence";
     case AnomalyKind::BeepStorm: return "beep-storm";
+    case AnomalyKind::InvariantIndependence: return "invariant-independence";
+    case AnomalyKind::InvariantMaximality: return "invariant-maximality";
+    case AnomalyKind::InvariantLevelRange: return "invariant-level-range";
   }
   return "?";
 }
@@ -52,8 +56,15 @@ std::vector<AnomalyKind> AnomalyDetector::observe(const RoundEvent& e) {
   return fired_now;
 }
 
+bool AnomalyDetector::latch_external(AnomalyKind kind) {
+  bool& latch = fired_[static_cast<std::size_t>(kind)];
+  if (latch) return false;
+  latch = true;
+  return true;
+}
+
 void AnomalyDetector::reset() {
-  fired_[0] = fired_[1] = fired_[2] = false;
+  for (bool& f : fired_) f = false;
   lemma_run_ = 0;
   storm_run_ = 0;
 }
@@ -77,6 +88,12 @@ void FlightRecorder::on_round(const RoundEvent& e) {
   const auto fired = detector_.observe(e);
   for (AnomalyKind kind : fired) anomalies_.push_back({kind, e.round});
   if (!fired.empty() && !dump_path_.empty()) auto_dump();
+}
+
+void FlightRecorder::latch(AnomalyKind kind, std::uint64_t round) {
+  if (!detector_.latch_external(kind)) return;
+  anomalies_.push_back({kind, round});
+  if (!dump_path_.empty()) auto_dump();
 }
 
 void FlightRecorder::snapshot(std::uint64_t round) {
@@ -215,6 +232,175 @@ void FlightRecorder::reset() {
   snapshots_.clear();
   anomalies_.clear();
   detector_.reset();
+}
+
+namespace {
+
+bool is_number(const JsonValue& v) {
+  return v.type == JsonValue::Type::Number;
+}
+
+bool known_anomaly_kind(const std::string& name) {
+  for (std::size_t i = 0; i < kAnomalyKinds; ++i)
+    if (anomaly_kind_name(static_cast<AnomalyKind>(i)) == name) return true;
+  return false;
+}
+
+bool check_number_fields(const JsonValue& obj, const char* const* fields,
+                         std::size_t count, const std::string& where,
+                         std::string* error) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!is_number(obj.get(fields[i]))) {
+      *error = where + ": missing numeric \"" + fields[i] + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool flight_context_validate(const JsonValue& context, std::string* error) {
+  if (!context.is_object()) {
+    *error = "\"context\" is not an object";
+    return false;
+  }
+  if (context.get("tool").as_string().empty()) {
+    *error = "context: missing \"tool\"";
+    return false;
+  }
+  if (!is_number(context.get("seed"))) {
+    *error = "context: missing numeric \"seed\"";
+    return false;
+  }
+  const JsonValue& graph = context.get("graph");
+  if (!graph.is_object()) {
+    *error = "context: \"graph\" is not an object";
+    return false;
+  }
+  static const char* const graph_fields[] = {"n", "m", "max_degree"};
+  if (!check_number_fields(graph, graph_fields, 3, "context.graph", error))
+    return false;
+  for (const char* field : {"algorithm", "init", "engine"}) {
+    if (context.get(field).type != JsonValue::Type::String) {
+      *error = std::string("context: missing string \"") + field + "\"";
+      return false;
+    }
+  }
+  if (!context.get("extra").is_object()) {
+    *error = "context: \"extra\" is not an object";
+    return false;
+  }
+  return true;
+}
+
+bool dump_validate(const JsonValue& doc, std::string* error,
+                   std::size_t* anomaly_count, std::size_t* ring_count) {
+  std::string scratch;
+  if (error == nullptr) error = &scratch;
+  if (!doc.is_object() ||
+      doc.get("schema").as_string() != "beepmis.dump.v1") {
+    *error = "not a beepmis.dump.v1 document";
+    return false;
+  }
+  if (!flight_context_validate(doc.get("context"), error)) return false;
+  const std::uint64_t n =
+      static_cast<std::uint64_t>(doc.get("context").get("graph").get("n").as_number(0.0));
+
+  const JsonValue& config = doc.get("config");
+  if (!config.is_object()) {
+    *error = "\"config\" is not an object";
+    return false;
+  }
+  static const char* const config_fields[] = {
+      "ring_capacity", "n",              "expected_rounds",
+      "stall_multiple", "lemma_window",  "storm_fraction",
+      "storm_window"};
+  if (!check_number_fields(config, config_fields, 7, "config", error))
+    return false;
+  if (config.get("ring_capacity").as_number(0.0) < 1.0) {
+    *error = "config: ring_capacity < 1";
+    return false;
+  }
+  if (config.get("check_lemma31").type != JsonValue::Type::Bool) {
+    *error = "config: missing boolean \"check_lemma31\"";
+    return false;
+  }
+
+  const JsonValue& anomalies = doc.get("anomalies");
+  if (!anomalies.is_array()) {
+    *error = "\"anomalies\" is not an array";
+    return false;
+  }
+  for (std::size_t i = 0; i < anomalies.array.size(); ++i) {
+    const JsonValue& a = anomalies.array[i];
+    const std::string where = "anomalies[" + std::to_string(i) + "]";
+    if (!a.is_object() || !known_anomaly_kind(a.get("kind").as_string())) {
+      *error = where + ": unknown anomaly kind";
+      return false;
+    }
+    if (!is_number(a.get("round"))) {
+      *error = where + ": missing numeric \"round\"";
+      return false;
+    }
+  }
+
+  const JsonValue& ring = doc.get("ring");
+  if (!ring.is_array()) {
+    *error = "\"ring\" is not an array";
+    return false;
+  }
+  static const char* const event_fields[] = {
+      "round",     "beeps_ch1", "beeps_ch2", "heard_ch1", "heard_ch2",
+      "heard_any", "prominent", "stable",    "mis",       "active"};
+  for (std::size_t i = 0; i < ring.array.size(); ++i) {
+    if (!check_number_fields(ring.array[i], event_fields, 10,
+                             "ring[" + std::to_string(i) + "]", error))
+      return false;
+  }
+
+  const JsonValue& snapshots = doc.get("snapshots");
+  if (!snapshots.is_array()) {
+    *error = "\"snapshots\" is not an array";
+    return false;
+  }
+  for (std::size_t i = 0; i < snapshots.array.size(); ++i) {
+    const JsonValue& s = snapshots.array[i];
+    const std::string where = "snapshots[" + std::to_string(i) + "]";
+    if (!s.is_object() || !is_number(s.get("round")) ||
+        !s.get("levels").is_array()) {
+      *error = where + ": expected {round, levels[]}";
+      return false;
+    }
+    if (s.get("levels").array.size() != n) {
+      *error = where + ": levels length != context.graph.n";
+      return false;
+    }
+    for (const JsonValue& l : s.get("levels").array) {
+      if (!is_number(l)) {
+        *error = where + ": non-numeric level";
+        return false;
+      }
+    }
+  }
+
+  const JsonValue& final_levels = doc.get("final_levels");
+  if (!final_levels.is_array()) {
+    *error = "\"final_levels\" is not an array";
+    return false;
+  }
+  if (!final_levels.array.empty() && final_levels.array.size() != n) {
+    *error = "\"final_levels\" length != context.graph.n";
+    return false;
+  }
+  if (doc.has("trace_tail") && !doc.get("trace_tail").is_array()) {
+    *error = "\"trace_tail\" is not an array";
+    return false;
+  }
+
+  if (anomaly_count != nullptr) *anomaly_count = anomalies.array.size();
+  if (ring_count != nullptr) *ring_count = ring.array.size();
+  return true;
 }
 
 }  // namespace beepmis::obs

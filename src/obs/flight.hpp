@@ -43,7 +43,18 @@ struct AnomalyConfig {
   std::uint64_t storm_window = 64;
 };
 
-enum class AnomalyKind { Stall, Lemma31Persistence, BeepStorm };
+/// The first three fire from the event stream via AnomalyDetector; the
+/// Invariant* kinds are latched externally by obs::InvariantMonitor when a
+/// settlement probe catches the matching invariant broken.
+enum class AnomalyKind {
+  Stall,
+  Lemma31Persistence,
+  BeepStorm,
+  InvariantIndependence,
+  InvariantMaximality,
+  InvariantLevelRange,
+};
+inline constexpr std::size_t kAnomalyKinds = 6;
 std::string anomaly_kind_name(AnomalyKind kind);
 
 /// Latched per-kind anomaly detection over a round-event stream. Each kind
@@ -56,6 +67,10 @@ class AnomalyDetector {
   /// Feeds one event; returns the kinds that newly fired on it (usually
   /// empty, never reports a kind twice between resets).
   std::vector<AnomalyKind> observe(const RoundEvent& event);
+
+  /// Latches an externally detected kind (the Invariant* anomalies, which
+  /// no event-stream rule can fire). Returns true when newly latched.
+  bool latch_external(AnomalyKind kind);
 
   void reset();
   bool fired(AnomalyKind kind) const {
@@ -70,7 +85,7 @@ class AnomalyDetector {
 
  private:
   AnomalyConfig config_;
-  bool fired_[3] = {false, false, false};
+  bool fired_[kAnomalyKinds] = {};
   std::uint64_t lemma_run_ = 0;
   std::uint64_t storm_run_ = 0;
 };
@@ -132,6 +147,10 @@ class FlightRecorder final : public RoundObserver {
   };
   const std::vector<Anomaly>& anomalies() const noexcept { return anomalies_; }
   const AnomalyDetector& detector() const noexcept { return detector_; }
+  /// Latches an externally detected anomaly (once per kind between resets)
+  /// and auto-dumps like a stream-detected one. The invariant monitor's
+  /// bridge into the black box.
+  void latch(AnomalyKind kind, std::uint64_t round);
   /// Events currently in the ring, oldest first.
   std::vector<RoundEvent> ring() const;
 
@@ -167,5 +186,21 @@ class FlightRecorder final : public RoundObserver {
   std::string dump_path_;
   bool dumped_ = false;
 };
+
+struct JsonValue;  // see json_parse.hpp (kept an incomplete type here)
+
+/// Validates the FlightContext identity block shared by "beepmis.dump.v1"
+/// and "beepmis.recovery.v1" documents: tool/seed, the graph sub-object
+/// (n, m, max_degree), algorithm/init/engine strings and the extra map.
+bool flight_context_validate(const JsonValue& context, std::string* error);
+
+/// Strict structural validation of a parsed "beepmis.dump.v1" document —
+/// the shared path used by beepmis_trace_check and the tests (mirrors
+/// obs::profile_validate / obs::recovery_validate). Returns false with
+/// `error` set on any malformed field; fills the optional counts for
+/// one-line reports.
+bool dump_validate(const JsonValue& doc, std::string* error,
+                   std::size_t* anomaly_count = nullptr,
+                   std::size_t* ring_count = nullptr);
 
 }  // namespace beepmis::obs

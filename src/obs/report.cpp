@@ -11,6 +11,7 @@
 #include "src/obs/json.hpp"
 #include "src/obs/manifest.hpp"
 #include "src/obs/perf.hpp"
+#include "src/obs/recovery.hpp"
 
 namespace beepmis::obs {
 
@@ -154,6 +155,43 @@ bool ReportBuilder::add_document(const JsonValue& doc,
         cs.count +=
             static_cast<std::uint64_t>(st.get("count").as_number(0.0));
       }
+    }
+    return true;
+  }
+  if (schema == "beepmis.recovery.v1") {
+    std::string verror;
+    if (!recovery_validate(doc, &verror)) {
+      if (error != nullptr) *error = source + ": " + verror;
+      return false;
+    }
+    sources_.push_back(source);
+    const JsonValue& ctx = doc.get("context");
+    const StabKey key{ctx.get("algorithm").as_string("?"),
+                      ctx.get("graph").get("family").as_string("?"),
+                      static_cast<std::uint64_t>(
+                          ctx.get("graph").get("n").as_number(0.0))};
+    const JsonValue& s = doc.get("summary");
+    RecoveryAccum& a = recovery_[key];
+    const auto count =
+        static_cast<std::uint64_t>(s.get("epochs").as_number(0.0));
+    a.epochs += count;
+    a.masked += static_cast<std::uint64_t>(s.get("masked").as_number(0.0));
+    a.recovered +=
+        static_cast<std::uint64_t>(s.get("recovered").as_number(0.0));
+    a.stalls += static_cast<std::uint64_t>(s.get("stall").as_number(0.0));
+    a.safety_violations += static_cast<std::uint64_t>(
+        s.get("safety_violation").as_number(0.0));
+    a.invariant_violations += static_cast<std::uint64_t>(
+        s.get("invariant_violations").as_number(0.0));
+    const JsonValue& d = s.get("recovery_rounds");
+    if (count > 0) {
+      const auto w = static_cast<double>(count);
+      a.weighted_mean += w * d.get("mean").as_number(0.0);
+      a.weighted_p50 += w * d.get("p50").as_number(0.0);
+      a.weighted_p95 += w * d.get("p95").as_number(0.0);
+      a.max = a.any ? std::max(a.max, d.get("max").as_number(0.0))
+                    : d.get("max").as_number(0.0);
+      a.any = true;
     }
     return true;
   }
@@ -315,6 +353,32 @@ std::vector<ReportBuilder::StabRow> ReportBuilder::stabilization_rows()
                    a.count, a.weighted_mean / w, a.weighted_p50 / w,
                    a.weighted_p95 / w, a.weighted_p99 / w, a.min, a.max,
                    a.approximate});
+  }
+  return out;
+}
+
+std::vector<ReportBuilder::RecoveryRow> ReportBuilder::recovery_rows()
+    const {
+  std::vector<RecoveryRow> out;
+  for (const auto& [key, a] : recovery_) {
+    RecoveryRow r;
+    r.algorithm = std::get<0>(key);
+    r.family = std::get<1>(key);
+    r.n = std::get<2>(key);
+    r.epochs = a.epochs;
+    r.masked = a.masked;
+    r.recovered = a.recovered;
+    r.stalls = a.stalls;
+    r.safety_violations = a.safety_violations;
+    r.invariant_violations = a.invariant_violations;
+    if (a.epochs > 0) {
+      const auto w = static_cast<double>(a.epochs);
+      r.mean = a.weighted_mean / w;
+      r.p50 = a.weighted_p50 / w;
+      r.p95 = a.weighted_p95 / w;
+      r.max = a.max;
+    }
+    out.push_back(std::move(r));
   }
   return out;
 }
@@ -490,6 +554,25 @@ void ReportBuilder::write_markdown(std::ostream& os,
           "artifacts.)\n\n";
   }
 
+  const auto recovery = recovery_rows();
+  if (!recovery.empty()) {
+    os << "## Recovery epochs (fault -> re-stabilization)\n\n";
+    os << "| algorithm | family | n | epochs | masked | recovered | stall | "
+          "safety | violations | mean | p50 | p95 | max |\n";
+    os << "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|"
+          "---:|\n";
+    for (const RecoveryRow& r : recovery) {
+      os << "| " << r.algorithm << " | " << r.family << " | " << r.n
+         << " | " << r.epochs << " | " << r.masked << " | " << r.recovered
+         << " | " << r.stalls << " | " << r.safety_violations << " | "
+         << r.invariant_violations << " | " << fmt("%.1f", r.mean) << " | "
+         << fmt("%.1f", r.p50) << " | " << fmt("%.1f", r.p95) << " | "
+         << fmt("%.1f", r.max) << " |\n";
+    }
+    os << "\n(Recovery rounds per epoch from `beepmis.recovery.v1` inputs; "
+          "`stall`/`safety` > 0 deserve investigation.)\n\n";
+  }
+
   const auto speed = speedups();
   if (!speed.empty()) {
     os << "## Fast vs reference engine\n\n";
@@ -649,6 +732,26 @@ void ReportBuilder::write_json(std::ostream& os, double tolerance) const {
     w.field("min", r.min);
     w.field("max", r.max);
     w.field("approximate", r.approximate);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("recovery").begin_array();
+  for (const RecoveryRow& r : recovery_rows()) {
+    w.begin_object();
+    w.field("algorithm", r.algorithm);
+    w.field("family", r.family);
+    w.field("n", r.n);
+    w.field("epochs", r.epochs);
+    w.field("masked", r.masked);
+    w.field("recovered", r.recovered);
+    w.field("stall", r.stalls);
+    w.field("safety_violation", r.safety_violations);
+    w.field("invariant_violations", r.invariant_violations);
+    w.field("mean", r.mean);
+    w.field("p50", r.p50);
+    w.field("p95", r.p95);
+    w.field("max", r.max);
     w.end_object();
   }
   w.end_array();

@@ -16,8 +16,10 @@ namespace beepmis::obs {
 /// Aggregates run artifacts — "beepmis.run.v1" manifests (including bench
 /// captures such as BENCH_micro.json), "beepmis.dump.v1" flight-recorder
 /// dumps, "beepmis.trace.v1" span traces, "beepmis.profile.v1" hardware
-/// profiles, and raw JSONL round-event streams — into one report:
+/// profiles, "beepmis.recovery.v1" recovery artifacts, and raw JSONL
+/// round-event streams — into one report:
 /// stabilization percentiles per (algorithm, family, n),
+/// per-fault recovery-epoch outcomes and quantiles,
 /// fast-vs-reference speedups, sink and digest overheads, span-duration
 /// quantiles, hardware-efficiency metrics (IPC, instructions/round,
 /// cache-misses/edge, branch-miss rate), and an optional baseline
@@ -88,6 +90,26 @@ class ReportBuilder {
     std::uint64_t round = 0;
   };
 
+  /// Per-(algorithm, family, n) recovery cell, aggregated over every
+  /// ingested "beepmis.recovery.v1" document: outcome counts plus
+  /// count-weighted recovery-round quantiles (the same merging the
+  /// stabilization table uses).
+  struct RecoveryRow {
+    std::string algorithm;
+    std::string family;
+    std::uint64_t n = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t masked = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t safety_violations = 0;
+    std::uint64_t invariant_violations = 0;
+    double mean = 0.0;   ///< recovery rounds over closed epochs
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+  };
+
   /// Hardware-efficiency metrics for one (algorithm, family, n) cell,
   /// derived from ingested "beepmis.profile.v1" documents. Normalized
   /// columns come from the "engine.round" span's per-sample means; the
@@ -123,9 +145,9 @@ class ReportBuilder {
   };
 
   /// Ingests one parsed artifact. Accepts "beepmis.run.v1",
-  /// "beepmis.dump.v1", "beepmis.trace.v1" and "beepmis.profile.v1";
-  /// anything else fails with `error` set. `source` is the label used in
-  /// the report (typically the file name).
+  /// "beepmis.dump.v1", "beepmis.trace.v1", "beepmis.profile.v1" and
+  /// "beepmis.recovery.v1"; anything else fails with `error` set. `source`
+  /// is the label used in the report (typically the file name).
   bool add_document(const JsonValue& doc, const std::string& source,
                     std::string* error);
 
@@ -145,6 +167,7 @@ class ReportBuilder {
   std::vector<BenchDelta> regressions(double tolerance) const;
 
   std::vector<StabRow> stabilization_rows() const;
+  std::vector<RecoveryRow> recovery_rows() const;
   std::vector<Speedup> speedups() const;
   std::vector<KernelSpeedup> kernel_speedups() const;
   std::vector<Overhead> overheads() const;
@@ -205,6 +228,22 @@ class ReportBuilder {
     std::uint64_t m = 0;
   };
 
+  /// Count-weighted recovery aggregation (mirrors StabAccum: outcome
+  /// counters add, quantiles merge weighted by epoch count).
+  struct RecoveryAccum {
+    std::uint64_t epochs = 0;
+    std::uint64_t masked = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t safety_violations = 0;
+    std::uint64_t invariant_violations = 0;
+    double weighted_mean = 0.0;
+    double weighted_p50 = 0.0;
+    double weighted_p95 = 0.0;
+    double max = 0.0;
+    bool any = false;
+  };
+
   void accumulate_stabilization(const JsonValue& doc);
   void merge_sample(const StabKey& key, double rounds);
   void merge_summary(const StabKey& key, std::uint64_t count, double mean,
@@ -212,6 +251,7 @@ class ReportBuilder {
                      bool approximate);
 
   std::map<StabKey, StabAccum> stab_;
+  std::map<StabKey, RecoveryAccum> recovery_;
   std::map<SpanKey, Digest> spans_;  // span durations from ingested traces
   std::map<StabKey, ProfileAccum> profile_;
   std::map<std::string, double> current_cpu_ns_;   // gauge prefix -> cpu_ns

@@ -22,6 +22,7 @@
 #include "src/baselines/jsx.hpp"
 #include "src/baselines/luby.hpp"
 #include "src/core/engine.hpp"
+#include "src/core/invariant.hpp"
 #include "src/exp/families.hpp"
 #include "src/exp/runner.hpp"
 #include "src/exp/sweep.hpp"
@@ -32,6 +33,7 @@
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/perf.hpp"
+#include "src/obs/recovery.hpp"
 #include "src/obs/sink.hpp"
 #include "src/obs/timing.hpp"
 #include "src/obs/trace.hpp"
@@ -225,6 +227,50 @@ core::InitPolicy parse_init(const std::string& name) {
   std::exit(2);
 }
 
+/// Anomaly thresholds from the command line — shared by the flight recorder
+/// and the recovery artifact's provenance.
+obs::AnomalyConfig make_anomaly_config(const support::ArgParser& args,
+                                       const graph::Graph& g,
+                                       exp::Variant variant) {
+  obs::AnomalyConfig anomaly;
+  anomaly.n = static_cast<std::uint32_t>(g.vertex_count());
+  anomaly.expected_rounds = exp::default_round_budget(g.vertex_count());
+  anomaly.stall_multiple = args.get_double("anomaly-stall-multiple");
+  anomaly.lemma_window =
+      static_cast<std::uint64_t>(args.get_int("anomaly-lemma-window"));
+  anomaly.storm_fraction = args.get_double("anomaly-storm-fraction");
+  anomaly.storm_window =
+      static_cast<std::uint64_t>(args.get_int("anomaly-storm-window"));
+  // The Lemma 3.1 census exists for the Algorithm 1 variants only; it is
+  // what makes persistent violations detectable (O(n + m)/round).
+  anomaly.check_lemma31 = variant != exp::Variant::TwoChannel;
+  return anomaly;
+}
+
+/// Run-identity block shared by the flight-recorder dump and the recovery
+/// artifact (both are self-contained: everything needed to rerun).
+obs::FlightContext make_flight_context(const support::ArgParser& args,
+                                       const graph::Graph& g,
+                                       exp::Variant variant,
+                                       std::uint64_t seed,
+                                       const std::string& engine_name) {
+  obs::FlightContext ctx;
+  ctx.tool = "beepmis_cli";
+  ctx.seed = seed;
+  ctx.graph_name = g.name();
+  ctx.family = args.get("graph-file").empty() ? args.get("family") : "file";
+  ctx.n = g.vertex_count();
+  ctx.m = g.edge_count();
+  ctx.max_degree = g.max_degree();
+  ctx.algorithm = exp::variant_name(variant);
+  ctx.init_policy = args.get("init");
+  ctx.engine = engine_name;
+  ctx.add_extra("duplex", args.get("duplex"));
+  ctx.add_extra("noise_fp", args.get("noise-fp"));
+  ctx.add_extra("noise_fn", args.get("noise-fn"));
+  return ctx;
+}
+
 int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
                  exp::Variant variant) {
   const auto wall_start = std::chrono::steady_clock::now();
@@ -300,30 +346,12 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
   if (progress.interval() > 0) tee.add(&progress);
   obs::MemorySink rounds_log;
   if (tracing || charting) tee.add(&rounds_log);
+  const obs::AnomalyConfig anomaly = make_anomaly_config(args, g, variant);
   std::unique_ptr<obs::FlightRecorder> flight;
   if (const std::string& path = args.get("flight-recorder"); !path.empty()) {
-    obs::AnomalyConfig anomaly;
-    anomaly.n = static_cast<std::uint32_t>(g.vertex_count());
-    anomaly.expected_rounds = exp::default_round_budget(g.vertex_count());
-    // The Lemma 3.1 census exists for the Algorithm 1 variants only; it is
-    // what makes persistent violations detectable (O(n + m)/round).
-    anomaly.check_lemma31 = variant != exp::Variant::TwoChannel;
-    obs::FlightContext ctx;
-    ctx.tool = "beepmis_cli";
-    ctx.seed = seed;
-    ctx.graph_name = g.name();
-    ctx.family = args.get("graph-file").empty() ? args.get("family") : "file";
-    ctx.n = g.vertex_count();
-    ctx.m = g.edge_count();
-    ctx.max_degree = g.max_degree();
-    ctx.algorithm = exp::variant_name(variant);
-    ctx.init_policy = args.get("init");
-    ctx.engine = engine->name();
-    ctx.add_extra("duplex", args.get("duplex"));
-    ctx.add_extra("noise_fp", args.get("noise-fp"));
-    ctx.add_extra("noise_fn", args.get("noise-fn"));
-    flight = std::make_unique<obs::FlightRecorder>(/*ring_capacity=*/256,
-                                                   anomaly, std::move(ctx));
+    flight = std::make_unique<obs::FlightRecorder>(
+        /*ring_capacity=*/256, anomaly,
+        make_flight_context(args, g, variant, seed, engine->name()));
     flight->set_dump_path(path);
     flight->set_snapshot_every(
         std::max<std::uint64_t>(1, anomaly.expected_rounds / 8));
@@ -335,6 +363,33 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
       return levels;
     });
     tee.add(flight.get());
+  }
+
+  // Recovery observability: the tracker segments the run into fault →
+  // re-stabilization epochs; the monitor adds online invariant checks that
+  // latch into the flight recorder and poison the open epoch. Attach order
+  // matters: flight, then monitor, then tracker — violations must latch
+  // before the tracker classifies the epoch close.
+  const bool monitoring = args.flag("monitor");
+  const bool tracking = monitoring || !args.get("recovery-out").empty();
+  obs::RecoveryConfig recovery_config;
+  recovery_config.recovery_bound =
+      exp::default_recovery_bound(g.vertex_count());
+  std::unique_ptr<obs::RecoveryTracker> recovery;
+  std::unique_ptr<obs::InvariantMonitor> monitor;
+  if (tracking) {
+    recovery = std::make_unique<obs::RecoveryTracker>(recovery_config);
+    recovery->set_probe(core::make_invariant_probe(*engine));
+    if (monitoring) {
+      obs::InvariantConfig icfg;
+      icfg.cadence = static_cast<std::uint64_t>(args.get_int("monitor-every"));
+      monitor = std::make_unique<obs::InvariantMonitor>(icfg);
+      monitor->set_probe(core::make_invariant_probe(*engine));
+      monitor->set_flight_recorder(flight.get());
+      monitor->set_recovery_tracker(recovery.get());
+      tee.add(monitor.get());
+    }
+    tee.add(recovery.get());
   }
   if (!tee.empty()) engine->set_observer(&tee);
   engine->set_metrics(&metrics);
@@ -363,12 +418,15 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
     support::Rng frng = support::Rng(seed).derive_stream(0xfa17);
     const auto faults = static_cast<std::size_t>(args.get_int("faults"));
     for (std::int64_t w = 0; w < args.get_int("waves") && faults; ++w) {
-      core::corrupt_random(*engine, faults, frng);
+      obs::TraceScope wave_span("recovery.epoch",
+                                static_cast<std::uint64_t>(w + 1));
+      core::corrupt_random(*engine, faults, frng, recovery.get());
       char label[32];
       std::snprintf(label, sizeof label, "wave %lld",
                     static_cast<long long>(w + 1));
       ok = run_once(label) && ok;
     }
+    if (recovery) recovery->finalize(engine->round());
   }
 
   if (charting) {
@@ -415,6 +473,39 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
       std::printf("flight recorder: %zu anomalie(s), dump in %s\n",
                   flight->anomalies().size(),
                   args.get("flight-recorder").c_str());
+    }
+  }
+
+  if (recovery) {
+    const obs::RecoverySummary sum = recovery->summary();
+    // Kernel- and thread-invariant: this line (like the run lines above) is
+    // part of the stdout the CI equivalence gates diff across kernels.
+    std::printf("recovery: epochs=%llu masked=%llu recovered=%llu "
+                "stall=%llu safety=%llu violations=%llu\n",
+                static_cast<unsigned long long>(sum.epochs),
+                static_cast<unsigned long long>(sum.masked),
+                static_cast<unsigned long long>(sum.recovered),
+                static_cast<unsigned long long>(sum.stalls),
+                static_cast<unsigned long long>(sum.safety_violations),
+                static_cast<unsigned long long>(sum.invariant_violations));
+    if (const std::string& path = args.get("recovery-out"); !path.empty()) {
+      obs::RecoveryReport report;
+      report.context =
+          make_flight_context(args, g, variant, seed, engine->name());
+      report.config = recovery_config;
+      report.monitor = monitoring;
+      report.monitor_cadence =
+          monitoring ? monitor->config().cadence : 0;
+      report.epochs = recovery->epochs();
+      if (monitor) report.violations = monitor->violations();
+      report.summary = sum;
+      std::ofstream rout(path);
+      if (!rout) {
+        std::cerr << "cannot open recovery file: " << path << "\n";
+        std::exit(2);
+      }
+      obs::write_recovery_json(rout, report);
+      std::printf("wrote %s\n", path.c_str());
     }
   }
 
@@ -755,6 +846,32 @@ int main(int argc, char** argv) {
                   "(stall, Lemma 3.1 persistence, beep storm) fires");
   args.add_option("progress", "0",
                   "print a heartbeat to stderr every K rounds (0 = off)");
+  args.add_flag("monitor",
+                "arm the online invariant monitor: checks MIS independence/"
+                "maximality at every stabilization claim and level-range "
+                "sanity every --monitor-every rounds; violations latch into "
+                "the flight recorder and the recovery tracker");
+  args.add_option("monitor-every", "64",
+                  "invariant-probe cadence in rounds for --monitor (each "
+                  "probe is O(n + m); 0 = probe only at stabilization "
+                  "edges)");
+  args.add_option("recovery-out", "",
+                  "write a deterministic beepmis.recovery.v1 JSON (fault → "
+                  "re-stabilization epochs, classified against the Thm "
+                  "2.1/2.2 O(log n) bound) to this file; implies recovery "
+                  "tracking even without --monitor");
+  args.add_option("anomaly-stall-multiple", "2.0",
+                  "flight-recorder stall threshold: unstabilized past this "
+                  "multiple of the expected O(log n) rounds");
+  args.add_option("anomaly-lemma-window", "64",
+                  "flight-recorder Lemma 3.1 persistence window in "
+                  "analysis-bearing rounds (0 = off)");
+  args.add_option("anomaly-storm-fraction", "0.95",
+                  "flight-recorder beep-storm threshold as a fraction of n "
+                  "hearing per round");
+  args.add_option("anomaly-storm-window", "64",
+                  "flight-recorder beep-storm persistence window in rounds "
+                  "(0 = off)");
   args.add_flag("trace", "print per-round beep statistics after the run");
   args.add_flag("sweep",
                 "scaling-sweep mode (self-stab variants): run --sizes × "

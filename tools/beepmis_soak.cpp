@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/engine.hpp"
+#include "src/core/invariant.hpp"
 #include "src/core/transfer.hpp"
 #include "src/exp/families.hpp"
 #include "src/exp/runner.hpp"
@@ -23,6 +24,7 @@
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/perf.hpp"
+#include "src/obs/recovery.hpp"
 #include "src/obs/timing.hpp"
 #include "src/obs/trace.hpp"
 #include "src/support/args.hpp"
@@ -59,10 +61,22 @@ Scenario draw_scenario(support::Rng& rng) {
   return s;
 }
 
+/// Per-run knobs shared by every scenario: anomaly-detector thresholds and
+/// the optional invariant monitor (all settable from the command line).
+struct SoakKnobs {
+  bool monitor = false;
+  std::uint64_t monitor_every = 64;
+  double stall_multiple = 2.0;
+  std::uint64_t lemma_window = 64;
+  double storm_fraction = 0.95;
+  std::uint64_t storm_window = 64;
+};
+
 bool run_scenario(const Scenario& s, std::uint64_t seed,
                   core::EngineKind kind, core::KernelKind kernel,
                   obs::MetricsRegistry& metrics,
-                  const std::string& dump_path) {
+                  const std::string& dump_path, const SoakKnobs& knobs,
+                  obs::RecoverySummary* recovery_out) {
   obs::ScopedTimer timer(&metrics, "soak.scenario");
   support::Rng grng = support::Rng(seed).derive_stream(1);
   graph::Graph g = exp::make_family(s.family, s.n, grng);
@@ -81,6 +95,10 @@ bool run_scenario(const Scenario& s, std::uint64_t seed,
   obs::AnomalyConfig anomaly;
   anomaly.n = static_cast<std::uint32_t>(g.vertex_count());
   anomaly.expected_rounds = exp::default_round_budget(g.vertex_count()) * 4;
+  anomaly.stall_multiple = knobs.stall_multiple;
+  anomaly.lemma_window = knobs.lemma_window;
+  anomaly.storm_fraction = knobs.storm_fraction;
+  anomaly.storm_window = knobs.storm_window;
   obs::FlightContext ctx;
   ctx.tool = "beepmis_soak";
   ctx.seed = seed;
@@ -104,7 +122,29 @@ bool run_scenario(const Scenario& s, std::uint64_t seed,
     for (std::size_t v = 0; v < levels.size(); ++v) levels[v] = eng->level(v);
     return levels;
   });
-  engine->set_observer(&flight);
+
+  // Recovery observability rides along on every scenario: the tracker
+  // classifies each fault wave against the same O(log n)·4 horizon the
+  // check budget uses; the invariant monitor is opt-in (each probe is
+  // O(n + m)). Attach order: flight → monitor → tracker, so violations
+  // latch before the tracker classifies the epoch close.
+  obs::RecoveryConfig rcfg;
+  rcfg.recovery_bound = exp::default_round_budget(g.vertex_count()) * 4;
+  obs::RecoveryTracker recovery(rcfg);
+  recovery.set_probe(core::make_invariant_probe(*engine));
+  obs::InvariantConfig icfg;
+  icfg.cadence = knobs.monitor_every;
+  obs::InvariantMonitor monitor(icfg);
+  obs::TeeObserver tee;
+  tee.add(&flight);
+  if (knobs.monitor) {
+    monitor.set_probe(core::make_invariant_probe(*engine));
+    monitor.set_flight_recorder(&flight);
+    monitor.set_recovery_tracker(&recovery);
+    tee.add(&monitor);
+  }
+  tee.add(&recovery);
+  engine->set_observer(&tee);
 
   support::Rng irng = support::Rng(seed).derive_stream(2);
   core::apply_init(*engine, s.init, irng);
@@ -130,11 +170,15 @@ bool run_scenario(const Scenario& s, std::uint64_t seed,
   if (!check("initial")) return false;
 
   support::Rng frng = support::Rng(seed).derive_stream(3);
-  for (std::size_t w = 0; w < s.fault_waves; ++w) {
+  bool ok = true;
+  for (std::size_t w = 0; w < s.fault_waves && ok; ++w) {
     core::corrupt_random(*engine, std::min(s.fault_size, g.vertex_count()),
-                         frng);
-    if (!check("fault wave")) return false;
+                         frng, &recovery);
+    ok = check("fault wave");
   }
+  recovery.finalize(engine->round());
+  if (recovery_out != nullptr) *recovery_out = recovery.summary();
+  if (!ok) return false;
   if (!flight.anomalies().empty()) {
     metrics.counter("soak.anomalies").inc(flight.anomalies().size());
     std::fprintf(stderr, "[soak] flight recorder: %zu anomalie(s), dump in %s\n",
@@ -198,6 +242,10 @@ bool write_trace_files(const std::string& path) {
 int main(int argc, char** argv) {
   support::ArgParser args("beepmis_soak — randomized stress qualification");
   args.add_option("seconds", "30", "wall-clock budget");
+  args.add_option("scenarios", "0",
+                  "stop after this many scenarios (0 = wall-clock only); a "
+                  "count budget makes the scenario set — and therefore the "
+                  "recovery artifact — identical for every --threads value");
   args.add_option("seed", "1", "base seed for the scenario stream");
   args.add_option("heartbeat", "0",
                   "print scenario-count heartbeat to stderr every K seconds "
@@ -207,6 +255,29 @@ int main(int argc, char** argv) {
   args.add_option("flight-dump", "soak.dump.json",
                   "beepmis.dump.v1 path for the always-on flight recorder "
                   "(written when a scenario stalls or beep-storms)");
+  args.add_flag("monitor",
+                "arm the online invariant monitor on every scenario "
+                "(independence/maximality at stabilization claims, "
+                "level-range every --monitor-every rounds)");
+  args.add_option("monitor-every", "64",
+                  "invariant-probe cadence in rounds for --monitor "
+                  "(each probe is O(n + m))");
+  args.add_option("recovery-out", "",
+                  "write a summary-only beepmis.recovery.v1 JSON at exit, "
+                  "folded over every scenario in draw order (identical for "
+                  "every --threads value under a --scenarios budget)");
+  args.add_option("anomaly-stall-multiple", "2.0",
+                  "flight-recorder stall threshold: unstabilized past this "
+                  "multiple of the expected rounds");
+  args.add_option("anomaly-lemma-window", "64",
+                  "flight-recorder Lemma 3.1 persistence window in "
+                  "analysis-bearing rounds (0 = off)");
+  args.add_option("anomaly-storm-fraction", "0.95",
+                  "flight-recorder beep-storm threshold as a fraction of n "
+                  "hearing per round");
+  args.add_option("anomaly-storm-window", "64",
+                  "flight-recorder beep-storm persistence window in rounds "
+                  "(0 = off)");
   args.add_option("engine", "auto",
                   "executor: auto | fast | reference — auto alternates "
                   "randomly per scenario so both executors get soak coverage");
@@ -278,6 +349,8 @@ int main(int argc, char** argv) {
   }
 
   const auto budget = std::chrono::seconds(args.get_int("seconds"));
+  const auto scenario_cap =
+      static_cast<std::uint64_t>(args.get_int("scenarios"));
   const auto heartbeat = std::chrono::seconds(args.get_int("heartbeat"));
   const auto start = std::chrono::steady_clock::now();
   auto next_beat = start + heartbeat;
@@ -285,6 +358,18 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   std::uint64_t runs = 0;
   bool failed = false;
+
+  SoakKnobs knobs;
+  knobs.monitor = args.flag("monitor");
+  knobs.monitor_every =
+      static_cast<std::uint64_t>(args.get_int("monitor-every"));
+  knobs.stall_multiple = args.get_double("anomaly-stall-multiple");
+  knobs.lemma_window =
+      static_cast<std::uint64_t>(args.get_int("anomaly-lemma-window"));
+  knobs.storm_fraction = args.get_double("anomaly-storm-fraction");
+  knobs.storm_window =
+      static_cast<std::uint64_t>(args.get_int("anomaly-storm-window"));
+  obs::RecoverySummary recovery_total;
 
   // Scenario execution goes through the worker pool in small batches: the
   // coordinator draws the seed stream serially (so the stream is identical
@@ -303,13 +388,21 @@ int main(int argc, char** argv) {
   struct SoakOutcome {
     bool ok = true;
     obs::MetricsRegistry scratch;
+    obs::RecoverySummary recovery;
   };
   std::uint64_t ordinal = 0;  // scenarios dispatched so far
-  while (!failed && std::chrono::steady_clock::now() - start < budget) {
-    std::vector<std::uint64_t> seeds(batch_size);
+  while (!failed && std::chrono::steady_clock::now() - start < budget &&
+         (scenario_cap == 0 || ordinal < scenario_cap)) {
+    // Under a --scenarios budget the final batch is clamped so exactly the
+    // requested count runs, regardless of thread count.
+    const std::size_t batch =
+        scenario_cap == 0
+            ? batch_size
+            : std::min<std::size_t>(batch_size, scenario_cap - ordinal);
+    std::vector<std::uint64_t> seeds(batch);
     for (std::uint64_t& s : seeds) s = scenario_rng();
-    std::vector<SoakOutcome> outcomes(batch_size);
-    pool.parallel_for(batch_size, [&](std::size_t i) {
+    std::vector<SoakOutcome> outcomes(batch);
+    pool.parallel_for(batch, [&](std::size_t i) {
       const std::uint64_t seed = seeds[i];
       support::Rng srng(seed);
       const Scenario s = draw_scenario(srng);
@@ -330,11 +423,16 @@ int main(int argc, char** argv) {
       }
       outcomes[i].ok =
           run_scenario(s, seed, kind, kernel, outcomes[i].scratch,
-                       task_dump_path(dump_base, ordinal + i, parallel));
+                       task_dump_path(dump_base, ordinal + i, parallel),
+                       knobs, &outcomes[i].recovery);
     });
-    for (std::size_t i = 0; i < batch_size; ++i) {
+    for (std::size_t i = 0; i < batch; ++i) {
       metrics.counter("soak.scenarios_total").inc();
       metrics.merge(outcomes[i].scratch);
+      // Recovery summaries fold in draw order — the same deterministic
+      // coordinator-owned aggregation the metrics use — so the artifact is
+      // byte-identical for every --threads value.
+      recovery_total.merge(outcomes[i].recovery);
       if (!outcomes[i].ok) {
         metrics.counter("soak.violations").inc();
         std::fprintf(stderr, "soak FAILED after %llu scenarios\n",
@@ -344,7 +442,7 @@ int main(int argc, char** argv) {
       }
       ++runs;
     }
-    ordinal += batch_size;
+    ordinal += batch;
     if (!failed && heartbeat.count() > 0 &&
         std::chrono::steady_clock::now() >= next_beat) {
       const auto elapsed = std::chrono::duration<double>(
@@ -356,20 +454,49 @@ int main(int argc, char** argv) {
       // count is stable while we read it.
       std::fprintf(stderr,
                    "[soak] %s t=%.0fs scenarios=%llu rounds=%llu "
-                   "violations=0 anomalies=%llu rate=%.1f/s workers=%zu "
-                   "per-worker=%.1f/s trace-dropped=%llu\n",
+                   "violations=%llu anomalies=%llu epochs=%llu rate=%.1f/s "
+                   "workers=%zu per-worker=%.1f/s trace-dropped=%llu\n",
                    obs::timestamp_utc().c_str(), elapsed,
                    static_cast<unsigned long long>(runs),
                    static_cast<unsigned long long>(
                        metrics.counter("runner.rounds_total").value()),
                    static_cast<unsigned long long>(
+                       metrics.counter("soak.violations").value()),
+                   static_cast<unsigned long long>(
                        metrics.counter("soak.anomalies").value()),
+                   static_cast<unsigned long long>(recovery_total.epochs),
                    rate, pool.thread_count(),
                    rate / static_cast<double>(pool.thread_count()),
                    static_cast<unsigned long long>(
                        tracing ? obs::Tracer::instance().dropped_spans() : 0));
       next_beat += heartbeat;
     }
+  }
+
+  if (const std::string& path = args.get("recovery-out"); !path.empty()) {
+    // Summary-only artifact: per-scenario epochs do not survive the fold
+    // (epochs/violations arrays stay empty), but the counters and the
+    // recovery-rounds digest aggregate every scenario in draw order.
+    obs::RecoveryReport report;
+    report.context.tool = "beepmis_soak";
+    report.context.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    report.context.graph_name = "randomized-mix";
+    report.context.family = "randomized-mix";
+    report.context.algorithm = "randomized-mix";
+    report.context.init_policy = "randomized-mix";
+    report.context.engine = core::engine_kind_name(requested);
+    report.context.add_extra("scenarios", std::to_string(runs));
+    report.config.recovery_bound = 0;  // per-scenario (4× the O(log n) budget)
+    report.monitor = knobs.monitor;
+    report.monitor_cadence = knobs.monitor ? knobs.monitor_every : 0;
+    report.summary = recovery_total;
+    std::ofstream rout(path);
+    if (!rout) {
+      std::fprintf(stderr, "cannot open recovery file: %s\n", path.c_str());
+      return 2;
+    }
+    obs::write_recovery_json(rout, report);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
   }
 
   if (tracing && !write_trace_files(args.get("trace-out"))) return 2;
@@ -404,6 +531,7 @@ int main(int argc, char** argv) {
                         ? "available"
                         : "unavailable";
     man.add_extra("scenarios", std::to_string(runs));
+    man.add_extra("recovery_epochs", std::to_string(recovery_total.epochs));
     man.add_extra("engine", core::engine_kind_name(requested));
     man.add_extra("kernel", core::kernel_kind_name(kernel_requested));
     man.add_extra("result", failed ? "FAILED" : "passed");

@@ -12,6 +12,12 @@
 //     validated through obs::profile_validate — the same path the tests
 //     use — and summarized, including the unavailable-host form
 //     ("available": false with no spans), which is valid by design.
+//   * "beepmis.dump.v1" documents (FlightRecorder::write_dump output):
+//     validated through obs::dump_validate and summarized.
+//   * "beepmis.recovery.v1" documents (obs::write_recovery_json output):
+//     validated through obs::recovery_validate and summarized, including
+//     the summary-only folded form soak writes (empty epoch/violation
+//     arrays), which is valid by design.
 //
 // Exit status: 0 valid, 1 invalid artifact, 2 usage/I-O error.
 
@@ -20,8 +26,10 @@
 #include <sstream>
 #include <string>
 
+#include "src/obs/flight.hpp"
 #include "src/obs/json_parse.hpp"
 #include "src/obs/perf.hpp"
+#include "src/obs/recovery.hpp"
 #include "src/obs/trace.hpp"
 #include "src/support/args.hpp"
 
@@ -142,6 +150,33 @@ int check_trace_v1(const JsonValue& doc, const std::string& chrome_out) {
   return 0;
 }
 
+int check_dump_v1(const JsonValue& doc) {
+  std::string error;
+  std::size_t anomalies = 0, ring = 0;
+  if (!beepmis::obs::dump_validate(doc, &error, &anomalies, &ring))
+    return fail(error);
+  std::printf(
+      "valid beepmis.dump.v1: %zu anomalies, %zu ring events, tool=%s n=%llu\n",
+      anomalies, ring, doc.get("context").get("tool").as_string("").c_str(),
+      static_cast<unsigned long long>(
+          doc.get("context").get("graph").get("n").as_number(0.0)));
+  return 0;
+}
+
+int check_recovery_v1(const JsonValue& doc) {
+  std::string error;
+  std::size_t epochs = 0, violations = 0;
+  if (!beepmis::obs::recovery_validate(doc, &error, &epochs, &violations))
+    return fail(error);
+  std::printf(
+      "valid beepmis.recovery.v1: %zu epochs (%zu recorded), "
+      "%zu violations (%zu recorded), tool=%s\n",
+      epochs, doc.get("epochs").array.size(), violations,
+      doc.get("violations").array.size(),
+      doc.get("context").get("tool").as_string("").c_str());
+  return 0;
+}
+
 int check_profile_v1(const JsonValue& doc) {
   std::string error;
   std::size_t spans = 0, counters = 0;
@@ -162,8 +197,8 @@ int check_profile_v1(const JsonValue& doc) {
 int main(int argc, char** argv) {
   beepmis::support::ArgParser args(
       "trace_check — validate beepmis.trace.v1 / beepmis.profile.v1 / "
-      "Chrome trace_event artifacts");
-  args.add_option("in", "", "trace or profile file to validate (required)");
+      "beepmis.dump.v1 / beepmis.recovery.v1 / Chrome trace_event artifacts");
+  args.add_option("in", "", "artifact file to validate (required)");
   args.add_option("chrome-out", "",
                   "also convert a trace.v1 input to Chrome trace_event JSON "
                   "at this path");
@@ -195,8 +230,10 @@ int main(int argc, char** argv) {
   if (schema == "beepmis.trace.v1")
     return check_trace_v1(doc, args.get("chrome-out"));
   if (schema == "beepmis.profile.v1") return check_profile_v1(doc);
+  if (schema == "beepmis.dump.v1") return check_dump_v1(doc);
+  if (schema == "beepmis.recovery.v1") return check_recovery_v1(doc);
   if (doc.has("traceEvents")) return check_chrome(doc);
   return fail(
-      "neither a beepmis.trace.v1/beepmis.profile.v1 document nor a "
-      "chrome trace");
+      "neither a beepmis.trace.v1/profile.v1/dump.v1/recovery.v1 document "
+      "nor a chrome trace");
 }
