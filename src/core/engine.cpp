@@ -47,13 +47,14 @@ std::string kernel_kind_name(KernelKind k) {
     case KernelKind::Scalar: return "scalar";
     case KernelKind::Bit: return "bit";
     case KernelKind::Frontier: return "frontier";
+    case KernelKind::Sharded: return "sharded";
   }
   return "?";
 }
 
 bool parse_kernel_kind(const std::string& name, KernelKind* out) {
   for (KernelKind k : {KernelKind::Auto, KernelKind::Scalar, KernelKind::Bit,
-                       KernelKind::Frontier}) {
+                       KernelKind::Frontier, KernelKind::Sharded}) {
     if (kernel_kind_name(k) == name) {
       *out = k;
       return true;
@@ -182,10 +183,10 @@ std::unique_ptr<Engine> make_engine(const graph::Graph& g,
   if (config.variant == Variant::TwoChannel)
     return std::make_unique<FastEngine<Alg2Policy>>(
         g, make_lmax(g, config.variant, config.c1), config.seed, config.noise,
-        config.duplex, config.kernel);
+        config.duplex, config.kernel, config.shard_threads);
   return std::make_unique<FastEngine<Alg1Policy>>(
       g, make_lmax(g, config.variant, config.c1), config.seed, config.noise,
-      config.duplex, config.kernel);
+      config.duplex, config.kernel, config.shard_threads);
 }
 
 std::vector<graph::VertexId> corrupt_random(Engine& engine, std::size_t count,

@@ -53,6 +53,7 @@ enum class KernelKind {
   Scalar,    ///< per-vertex loops over CSR — the oracle the others are proven against
   Bit,       ///< bit-packed send/heard masks, word-wide OR over blocked adjacency
   Frontier,  ///< beeper-frontier push/pull visiting only what can change
+  Sharded,   ///< bit-kernel round split into word-aligned shards on a TaskPool
 };
 
 std::string kernel_kind_name(KernelKind k);
@@ -65,6 +66,12 @@ bool parse_kernel_kind(const std::string& name, KernelKind* out);
 /// the sparse benchmark families. Defined in round_kernel.cpp.
 KernelKind resolve_kernel(KernelKind kind) noexcept;
 
+/// Config-aware overload: with intra-round parallelism requested
+/// (shard_threads != 1), Auto resolves to the sharded kernel — the only one
+/// that can use the extra workers; otherwise identical to the 1-arg form.
+/// Still a pure function of its inputs, so determinism gates hold.
+KernelKind resolve_kernel(KernelKind kind, std::size_t shard_threads) noexcept;
+
 /// Everything make_engine needs besides the graph. A run is a pure function
 /// of (graph, config): the seed fixes per-node streams, noise draws, and —
 /// via the caller's derived init/fault streams — the whole trajectory.
@@ -76,6 +83,12 @@ struct EngineConfig {
   std::int32_t c1 = 0;  ///< lmax constant override (0 = paper default)
   beep::ChannelNoise noise = {};
   beep::Duplex duplex = beep::Duplex::Full;
+  /// Worker threads for intra-round sharded execution (KernelKind::Sharded;
+  /// Auto resolves to it when != 1): 1 = serial, 0 = one per hardware
+  /// thread. Results are bit-identical for every value — the shard count is
+  /// derived from the graph alone and every phase writes only shard-owned
+  /// state (see docs/architecture.md, "Intra-round sharding").
+  std::size_t shard_threads = 1;
 };
 
 /// Uniform runtime interface over the self-stabilizing MIS executors: the

@@ -12,14 +12,15 @@ namespace beepmis::core {
 template <typename Policy>
 FastEngine<Policy>::FastEngine(const graph::Graph& g, LmaxVector lmax,
                                std::uint64_t seed, beep::ChannelNoise noise,
-                               beep::Duplex duplex, KernelKind kernel)
+                               beep::Duplex duplex, KernelKind kernel,
+                               std::size_t shard_threads)
     : graph_(&g),
       lmax_(std::move(lmax)),
       seed_(seed),
       noise_(noise),
       duplex_(duplex),
       dense_(noise.enabled()),
-      kernel_kind_(resolve_kernel(kernel)) {
+      kernel_kind_(resolve_kernel(kernel, shard_threads)) {
   BEEPMIS_CHECK(lmax_.size() == g.vertex_count(), "lmax sized for wrong graph");
   for (std::int32_t m : lmax_)
     BEEPMIS_CHECK(m >= 2, "lmax must be at least 2 for every vertex");
@@ -49,6 +50,7 @@ FastEngine<Policy>::FastEngine(const graph::Graph& g, LmaxVector lmax,
   ctx.mis_count = &mis_count_;
   ctx.seed = seed_;
   ctx.half = duplex_ == beep::Duplex::Half;
+  ctx.shard_threads = shard_threads;
   kernel_ = make_round_kernel<Policy>(kernel_kind_, ctx);
 }
 

@@ -191,16 +191,20 @@ struct SparseCensus;
 template <typename Policy>
 class FastEngine final : public Engine {
  public:
+  /// `shard_threads` sizes the sharded kernel's private worker pool (only
+  /// read when the resolved kernel is Sharded; Auto resolves to Sharded
+  /// whenever shard_threads != 1): 1 = serial, 0 = one per hardware thread.
   FastEngine(const graph::Graph& g, LmaxVector lmax, std::uint64_t seed,
              beep::ChannelNoise noise = {},
              beep::Duplex duplex = beep::Duplex::Full,
-             KernelKind kernel = KernelKind::Auto);
+             KernelKind kernel = KernelKind::Auto,
+             std::size_t shard_threads = 1);
   ~FastEngine() override;  // out-of-line: RoundKernel is incomplete here
 
   std::string name() const override {
     return std::string("fast-") + Policy::kTag;
   }
-  /// The resolved round kernel ("scalar" / "bit" / "frontier").
+  /// The resolved round kernel ("scalar" / "bit" / "frontier" / "sharded").
   std::string kernel_name() const override {
     return kernel_kind_name(kernel_kind_);
   }

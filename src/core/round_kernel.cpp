@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <functional>
+#include <span>
 
 #include "src/core/fast_engine.hpp"
 #include "src/core/kernel_simd.hpp"
 #include "src/graph/packed.hpp"
 #include "src/support/check.hpp"
+#include "src/support/task_pool.hpp"
 
 namespace beepmis::core {
 
@@ -715,10 +718,467 @@ class FrontierKernel final : public RoundKernel<Policy> {
   bool full_scan_ = true;  // next settle phase must scan all of active
 };
 
+// ---------------------------------------------------------------------------
+// ShardedKernel — the frontier kernel's round executed across contiguous,
+// word-aligned vertex shards on a private TaskPool, so one *instance* runs
+// its rounds on several cores (the replica-level pool parallelizes across
+// runs, not within one). The determinism contract is structural, not
+// synchronized: the round is cut at barriers, every phase writes only
+// per-vertex state, counts, or mask words the shard exclusively owns
+// (shards are 64-vertex aligned), and every cross-shard read is of state
+// frozen by the previous barrier —
+//   phase 1  decisions from the counter draws (a pure function of
+//            (seed, vertex, round)) -> send bytes + a shard-local coin
+//            frontier; the dense rounds run the AVX-512 decide sweep over
+//            the shard's range;
+//   stamp    each shard ORs EVERY shard's coin beepers' CSR sub-ranges
+//            (neighborhoods are sorted, so one binary search per row) into
+//            its own heard-mask words (the partitioned form of the
+//            frontier kernel's epoch push — always push, so no
+//            cost-dependent mode switch can depend on the shard count);
+//   phase 2  heard in O(1) per vertex from prominent_nb_ counts + the
+//            heard mask, update -> shard-owned levels, boundary-crosser
+//            deltas (dp/dc) and capped-mask bits; dense rounds use the
+//            masked AVX-512 update sweep;
+//   apply    each shard applies EVERY shard's dp/dc crosser rows to its
+//            own count entries (the partitioned form of the deferred
+//            count maintenance) and harvests its settle candidates;
+//   phase 3a member-settle test on the (now frozen) counts, recording new
+//            members shard-locally;
+//   fold     the coordinator applies new members' cross-shard mask bits
+//            and the mis/census tallies in ascending shard order;
+//   phase 3b dominated settlement, word-parallel over shard-owned words.
+// Every value written is therefore a pure function of pre-barrier state
+// plus commutative integer sums, so levels, censuses and events are
+// byte-identical for ANY shard/thread count — the same stream the serial
+// kernels produce (tests/test_kernels.cpp). At one shard the stamp phase
+// degenerates to exactly the frontier kernel's push walk and the apply
+// phase to its count walk, so the serial sharded round does the same
+// Σdeg(frontier) + Σdeg(crossers) neighborhood work.
+// ---------------------------------------------------------------------------
+template <typename Policy>
+class ShardedKernel final : public RoundKernel<Policy> {
+ public:
+  explicit ShardedKernel(const KernelContext<Policy>& ctx)
+      : ctx_(ctx),
+        pool_(support::TaskPool::resolve_thread_count(ctx.shard_threads)) {
+    const std::size_t n = ctx_.levels->size();
+    words_ = (n + 63) / 64;
+    // One shard per worker, clamped so no shard is empty of words; the
+    // partition affects load balance only, never results (see above).
+    const std::size_t s =
+        std::max<std::size_t>(1, std::min(pool_.thread_count(),
+                                          std::max<std::size_t>(words_, 1)));
+    shard_words_ = (words_ + s - 1) / s;
+    shards_.resize(s);
+    for (std::size_t i = 0; i < s; ++i) {
+      Shard& sh = shards_[i];
+      sh.word_lo = std::min(i * shard_words_, words_);
+      sh.word_hi = std::min((i + 1) * shard_words_, words_);
+      sh.v_lo = static_cast<graph::VertexId>(std::min(sh.word_lo * 64, n));
+      sh.v_hi = static_cast<graph::VertexId>(std::min(sh.word_hi * 64, n));
+    }
+    active_mask_.assign(words_, 0);
+    member_nb_mask_.assign(words_, 0);
+    capped_mask_.assign(words_, 0);
+    heard_coin_mask_.assign(words_, 0);
+    prominent_nb_.assign(n, 0);
+    uncapped_nb_.assign(n, 0);
+    // The phase bodies are bound once; per-round inputs travel through
+    // members so parallel_for never rebuilds a std::function per call.
+    rebuild_fn_ = [this](std::size_t si) { rebuild_shard(si); };
+    phase1_fn_ = [this](std::size_t si) { phase1(si); };
+    stamp_fn_ = [this](std::size_t si) { stamp(si); };
+    phase2_fn_ = [this](std::size_t si) { phase2(si); };
+    apply_fn_ = [this](std::size_t si) { apply(si); };
+    phase3a_fn_ = [this](std::size_t si) { phase3a(si); };
+    phase3b_fn_ = [this](std::size_t si) { phase3b(si); };
+  }
+
+  const char* name() const noexcept override { return "sharded"; }
+
+  void rebuild() override {
+    // One parallel gather pass: masks and counts both derive from the
+    // frozen global levels/settled arrays, so no barrier is needed inside.
+    pool_.parallel_for(shards_.size(), rebuild_fn_);
+    // Out-of-band state writes invalidate the settlement candidates; the
+    // next round re-derives them with one full settle scan.
+    full_scan_ = true;
+    // Shard-local slices of the engine's active list, in its order, so the
+    // per-shard loops visit exactly the vertices every serial kernel visits.
+    for (Shard& sh : shards_) sh.active.clear();
+    for (graph::VertexId v : *ctx_.active)
+      shards_[(v >> 6) / shard_words_].active.push_back(v);
+  }
+
+  void step_sparse(std::uint64_t round, bool observing,
+                   SparseCensus& census) override {
+    round_state_ = support::counter_round_state(ctx_.seed, round);
+    observing_ = observing;
+
+    pool_.parallel_for(shards_.size(), phase1_fn_);
+    // Barrier: stamp reads every shard's coin frontier.
+    pool_.parallel_for(shards_.size(), stamp_fn_);
+    // Barrier: phase 2 reads any shard's heard words and counts.
+    pool_.parallel_for(shards_.size(), phase2_fn_);
+    // Barrier: apply reads every shard's crosser lists.
+    pool_.parallel_for(shards_.size(), apply_fn_);
+    // Barrier: 3a reads the (now frozen) counts.
+    pool_.parallel_for(shards_.size(), phase3a_fn_);
+    full_scan_ = false;
+
+    // Coordinator fold, ascending shard order: the round's only cross-shard
+    // writes (a new member's mask bits span other shards' words) plus the
+    // mis tally. All OR-sets and integer sums — commutative, so the
+    // ascending order is a convention the serial stream shares, not a
+    // correctness requirement.
+    bool any_settled = false;
+    for (Shard& sh : shards_) {
+      *ctx_.mis_count += sh.mis_settled;
+      for (graph::VertexId v : sh.new_members) {
+        active_mask_[v >> 6] &= ~(1ull << (v & 63u));
+        for (graph::VertexId u : ctx_.graph->neighbors(v))
+          member_nb_mask_[u >> 6] |= 1ull << (u & 63u);
+      }
+    }
+
+    // Barrier above: 3b reads the member-neighbor words the fold just wrote.
+    pool_.parallel_for(shards_.size(), phase3b_fn_);
+
+    for (const Shard& sh : shards_) {
+      census.active_beeps[0] += sh.census.active_beeps[0];
+      census.active_beeps[1] += sh.census.active_beeps[1];
+      census.active_heard[0] += sh.census.active_heard[0];
+      census.active_heard[1] += sh.census.active_heard[1];
+      census.active_heard_any += sh.census.active_heard_any;
+      census.prominent_active += sh.census.prominent_active;
+      census.dom_heard_extra += sh.census.dom_heard_extra;
+      any_settled |= sh.any_settled;
+    }
+    if (any_settled) prune_active(ctx_);
+  }
+
+ private:
+  struct Delta {
+    graph::VertexId v;
+    std::int32_t d;
+  };
+  struct Shard {
+    std::size_t word_lo = 0, word_hi = 0;  ///< exclusively owned mask words
+    graph::VertexId v_lo = 0, v_hi = 0;    ///< vertex range [64*lo, 64*hi)∩[0,n)
+    std::vector<graph::VertexId> active;   ///< shard's slice of the active set
+    std::vector<graph::VertexId> new_members;  ///< settled in 3a, applied by fold
+    std::vector<graph::VertexId> coin;     ///< this round's coin beepers
+    std::vector<Delta> dp, dc;             ///< this round's boundary crossers
+    std::vector<graph::VertexId> settle_cand;  ///< member-settle candidates
+    // Compressed-store targets for the AVX-512 sweeps (lazily sized).
+    std::vector<std::uint32_t> dp_idx, dc_idx, sc_idx;
+    SparseCensus census;
+    std::uint32_t mis_settled = 0;
+    bool sweep = false;  ///< this round took the dense sweep path
+    bool any_settled = false;
+  };
+
+  /// Restrict a CSR row to the shard's own vertices. Neighborhoods are
+  /// sorted (enforced at graph build), so the intersection is two binary
+  /// searches plus a contiguous sub-span — across all shards each neighbor
+  /// is visited exactly once, and at one shard this is the whole row.
+  std::span<const graph::VertexId> nb_range(graph::VertexId v,
+                                            const Shard& sh) const {
+    const auto nb = ctx_.graph->neighbors(v);
+    if (shards_.size() == 1) return nb;
+    const auto first = std::lower_bound(nb.begin(), nb.end(), sh.v_lo);
+    const auto last = std::lower_bound(first, nb.end(), sh.v_hi);
+    return {first, last};
+  }
+
+  void rebuild_shard(std::size_t si) {
+    // The frontier kernel's gather pass, over the shard's own vertices:
+    // each vertex recounts its own neighborhood (cross-shard reads of the
+    // frozen levels/settled arrays), so every write stays shard-owned.
+    // Settled members are prominent by construction (they sit at the
+    // member level), so prominent_nb_ covers both certain-beeper
+    // populations at once.
+    const Shard& sh = shards_[si];
+    const graph::Graph& g = *ctx_.graph;
+    const auto& levels = *ctx_.levels;
+    const auto& settled = *ctx_.settled;
+    const auto& lmax = *ctx_.lmax;
+    std::fill(active_mask_.begin() + sh.word_lo,
+              active_mask_.begin() + sh.word_hi, 0);
+    std::fill(capped_mask_.begin() + sh.word_lo,
+              capped_mask_.begin() + sh.word_hi, 0);
+    std::fill(member_nb_mask_.begin() + sh.word_lo,
+              member_nb_mask_.begin() + sh.word_hi, 0);
+    for (graph::VertexId v = sh.v_lo; v < sh.v_hi; ++v) {
+      const std::uint64_t bit = 1ull << (v & 63u);
+      if (settled[v] == 0) active_mask_[v >> 6] |= bit;
+      if (levels[v] == lmax[v]) capped_mask_[v >> 6] |= bit;
+      std::uint32_t prom = 0, uncapped = 0;
+      bool member = false;
+      for (graph::VertexId u : g.neighbors(v)) {
+        prom += Policy::is_prominent(levels[u]) ? 1 : 0;
+        uncapped += levels[u] != lmax[u] ? 1 : 0;
+        member |= settled[u] == 1;
+      }
+      prominent_nb_[v] = prom;
+      uncapped_nb_[v] = uncapped;
+      if (member) member_nb_mask_[v >> 6] |= bit;
+    }
+  }
+
+  void phase1(std::size_t si) {
+    Shard& sh = shards_[si];
+    sh.census = SparseCensus{};
+    sh.mis_settled = 0;
+    sh.any_settled = false;
+    sh.new_members.clear();
+    sh.coin.clear();
+    sh.dp.clear();
+    sh.dc.clear();
+    sh.settle_cand.clear();
+    auto& send = *ctx_.send;
+    const auto& levels = *ctx_.levels;
+    const auto& lmax = *ctx_.lmax;
+    const auto& settled = *ctx_.settled;
+    const std::size_t range = sh.v_hi - sh.v_lo;
+    sh.sweep = false;
+#if BEEPMIS_KERNEL_AVX512
+    // Same dense-round gate as the frontier kernel, applied per shard
+    // (the shard's range is 64-aligned, so the sweep's lanes line up with
+    // mask words). Which path runs only ever changes wall-clock.
+    sh.sweep = !observing_ && simd::have_avx512() && range >= 64 &&
+               sh.active.size() * 8 >= range;
+    if (sh.sweep)
+      simd::decide_sweep_range<Policy>(round_state_, sh.v_lo, sh.v_hi,
+                                       levels.data(), lmax.data(),
+                                       settled.data(), send.data(), sh.coin,
+                                       sh.census.active_beeps);
+#endif
+    if (!sh.sweep) {
+      for (graph::VertexId v : sh.active) {
+        const std::int32_t l = levels[v];
+        const beep::ChannelMask m = decide_packed<Policy>(
+            l, lmax[v], support::counter_first_draw_at(round_state_, v));
+        send[v] = m;
+        sh.census.active_beeps[0] += m & 1u;
+        if constexpr (Policy::kChannels > 1)
+          sh.census.active_beeps[1] += (m >> 1) & 1u;
+        if ((m != 0) & !Policy::is_prominent(l)) sh.coin.push_back(v);
+      }
+    }
+  }
+
+  void stamp(std::size_t si) {
+    // Partitioned push: the shard rebuilds its own heard-mask words from
+    // EVERY shard's coin frontier (certain beepers are already covered by
+    // the neighbors' prominent_nb_ counts). Settled targets are stamped
+    // too, which answers the dominated census in O(1) — at one shard this
+    // is exactly the frontier kernel's push walk.
+    const Shard& sh = shards_[si];
+    std::fill(heard_coin_mask_.begin() + sh.word_lo,
+              heard_coin_mask_.begin() + sh.word_hi, 0);
+    for (const Shard& other : shards_) {
+      for (graph::VertexId b : other.coin)
+        for (graph::VertexId u : nb_range(b, sh))
+          heard_coin_mask_[u >> 6] |= 1ull << (u & 63u);
+    }
+  }
+
+  void phase2(std::size_t si) {
+    Shard& sh = shards_[si];
+    const auto& lmax = *ctx_.lmax;
+    auto& levels = *ctx_.levels;
+    const auto& settled = *ctx_.settled;
+    auto& send = *ctx_.send;
+    const bool half = ctx_.half;
+#if BEEPMIS_KERNEL_AVX512
+    if (sh.sweep) {
+      const std::size_t range = sh.v_hi - sh.v_lo;
+      if (sh.dp_idx.size() < range) {
+        sh.dp_idx.resize(range);
+        sh.dc_idx.resize(range);
+        sh.sc_idx.resize(range);
+      }
+      std::size_t dp_n = 0, dc_n = 0, sc_n = 0;
+      simd::update_sweep_masked<Policy>(
+          half, sh.v_lo, sh.v_hi, levels.data(), lmax.data(), settled.data(),
+          prominent_nb_.data(), heard_coin_mask_.data(), send.data(),
+          sh.dp_idx.data(), dp_n, sh.dc_idx.data(), dc_n, sh.sc_idx.data(),
+          sc_n);
+      for (std::size_t i = 0; i < dp_n; ++i) {
+        const graph::VertexId v = sh.dp_idx[i];
+        sh.dp.push_back({v, Policy::is_prominent(levels[v]) ? 1 : -1});
+      }
+      for (std::size_t i = 0; i < dc_n; ++i) {
+        const graph::VertexId v = sh.dc_idx[i];
+        sh.dc.push_back({v, levels[v] == lmax[v] ? 1 : -1});
+      }
+      for (std::size_t i = 0; i < sc_n; ++i)
+        sh.settle_cand.push_back(sh.sc_idx[i]);
+    }
+#endif
+    if (!sh.sweep) {
+      for (graph::VertexId v : sh.active) {
+        const std::int32_t before = levels[v];
+        const std::int32_t cap = lmax[v];
+        beep::ChannelMask heard = prominent_nb_[v] != 0
+                                      ? Policy::kMemberBeep
+                                      : beep::ChannelMask{0};
+        heard |= (heard_coin_mask_[v >> 6] >> (v & 63u)) & 1u
+                     ? beep::kChannel1
+                     : beep::ChannelMask{0};
+        // A half-duplex beeper hears nothing.
+        heard = (half && send[v] != 0) ? beep::ChannelMask{0} : heard;
+        if (observing_) {
+          sh.census.active_heard[0] += heard & 1u;
+          if constexpr (Policy::kChannels > 1) {
+            sh.census.active_heard[1] += (heard >> 1) & 1u;
+            sh.census.active_heard_any += heard ? 1 : 0;
+          }
+        }
+        const std::int32_t after =
+            Policy::update_packed(before, cap, send[v], heard);
+        levels[v] = after;
+        const int dp = (Policy::is_prominent(after) ? 1 : 0) -
+                       (Policy::is_prominent(before) ? 1 : 0);
+        const int dc = (after == cap ? 1 : 0) - (before == cap ? 1 : 0);
+        if (dp != 0) sh.dp.push_back({v, static_cast<std::int32_t>(dp)});
+        if (dc != 0) sh.dc.push_back({v, static_cast<std::int32_t>(dc)});
+        if ((after == Policy::member_level(cap)) & (before != after))
+          sh.settle_cand.push_back(v);
+      }
+    }
+    // Capped-mask maintenance for 3b: the crossers are this shard's own
+    // vertices, so the touched words are shard-owned.
+    for (const auto& [v, d] : sh.dc) {
+      const std::uint64_t bit = 1ull << (v & 63u);
+      if (d > 0)
+        capped_mask_[v >> 6] |= bit;
+      else
+        capped_mask_[v >> 6] &= ~bit;
+    }
+    if (observing_) {
+      for (graph::VertexId v : sh.active)
+        sh.census.prominent_active += Policy::is_prominent(levels[v]) ? 1 : 0;
+      if constexpr (Policy::kChannels > 1) {
+        // The stamp phase ORed whole rows, settled targets included, so the
+        // dominated census resolves in O(1) per vertex.
+        for (graph::VertexId v = sh.v_lo; v < sh.v_hi; ++v) {
+          if (settled[v] != 2) continue;
+          sh.census.dom_heard_extra +=
+              (heard_coin_mask_[v >> 6] >> (v & 63u)) & 1u;
+        }
+      }
+    }
+  }
+
+  void apply(std::size_t si) {
+    // Partitioned deferred count maintenance: the shard applies EVERY
+    // shard's boundary crossers to its own count entries (the set bits of
+    // a crosser's row restricted to this shard's words are this shard's
+    // vertices). Signs and the settle-candidate harvest mirror the
+    // frontier kernel's count walk; sums commute, so the visit order can
+    // not affect the result.
+    Shard& sh = shards_[si];
+    for (const Shard& other : shards_) {
+      for (const auto& [cv, d] : other.dp) {
+        for (graph::VertexId u : nb_range(cv, sh))
+          prominent_nb_[u] = static_cast<std::uint32_t>(
+              static_cast<std::int64_t>(prominent_nb_[u]) + d);
+      }
+      for (const auto& [cv, d] : other.dc) {
+        if (d > 0) {
+          for (graph::VertexId u : nb_range(cv, sh))
+            if (--uncapped_nb_[u] == 0) sh.settle_cand.push_back(u);
+        } else {
+          for (graph::VertexId u : nb_range(cv, sh)) ++uncapped_nb_[u];
+        }
+      }
+    }
+  }
+
+  void phase3a(std::size_t si) {
+    // Member settlement in O(1) per candidate from the frozen counts;
+    // only the shard-owned settled byte is written here — the cross-shard
+    // member/active/member-neighbor bits wait for the coordinator fold.
+    // Candidate-driven in the steady state; the round after a rebuild
+    // re-seeds with one full scan of the shard's slice. Stale or duplicate
+    // candidates are harmless — each entry rechecks the exact predicate.
+    Shard& sh = shards_[si];
+    const auto& lmax = *ctx_.lmax;
+    const auto& levels = *ctx_.levels;
+    auto& settled = *ctx_.settled;
+    const auto try_settle = [&](graph::VertexId v) {
+      if (settled[v] != 0 || levels[v] != Policy::member_level(lmax[v]) ||
+          uncapped_nb_[v] != 0)
+        return;
+      settled[v] = 1;
+      ++sh.mis_settled;
+      sh.any_settled = true;
+      sh.new_members.push_back(v);
+    };
+    if (full_scan_)
+      for (graph::VertexId v : sh.active) try_settle(v);
+    else
+      for (graph::VertexId v : sh.settle_cand) try_settle(v);
+  }
+
+  void phase3b(std::size_t si) {
+    Shard& sh = shards_[si];
+    auto& settled = *ctx_.settled;
+    for (std::size_t w = sh.word_lo; w < sh.word_hi; ++w) {
+      std::uint64_t cand =
+          active_mask_[w] & capped_mask_[w] & member_nb_mask_[w];
+      while (cand) {
+        const auto v = static_cast<graph::VertexId>(
+            (w << 6) + static_cast<unsigned>(std::countr_zero(cand)));
+        cand &= cand - 1;
+        settled[v] = 2;
+        active_mask_[w] &= ~(1ull << (v & 63u));
+        sh.any_settled = true;
+      }
+    }
+    // A shard's slice only ever contains its own vertices, and those settle
+    // only in this shard's 3a/3b — so the slice prune is shard-local too.
+    if (sh.any_settled)
+      sh.active.erase(
+          std::remove_if(sh.active.begin(), sh.active.end(),
+                         [&](graph::VertexId v) { return settled[v] != 0; }),
+          sh.active.end());
+  }
+
+  KernelContext<Policy> ctx_;
+  support::TaskPool pool_;
+  std::size_t words_ = 0;
+  std::size_t shard_words_ = 0;  ///< words per shard (last shard clipped)
+  std::vector<Shard> shards_;
+  std::vector<std::uint64_t> active_mask_;
+  std::vector<std::uint64_t> member_nb_mask_;  // has a settled-member neighbor
+  std::vector<std::uint64_t> capped_mask_;     // levels[v] == lmax[v], all v
+  std::vector<std::uint64_t> heard_coin_mask_;  // coin audibility this round
+  std::vector<std::uint32_t> prominent_nb_;  // certainly-beeping neighbors
+  std::vector<std::uint32_t> uncapped_nb_;   // neighbors off their cap
+  // Per-round inputs for the pre-bound phase closures.
+  std::uint64_t round_state_ = 0;
+  bool observing_ = false;
+  bool full_scan_ = true;  // next settle phase must scan all of active
+  std::function<void(std::size_t)> rebuild_fn_;
+  std::function<void(std::size_t)> phase1_fn_, stamp_fn_;
+  std::function<void(std::size_t)> phase2_fn_, apply_fn_;
+  std::function<void(std::size_t)> phase3a_fn_, phase3b_fn_;
+};
+
 }  // namespace
 
 KernelKind resolve_kernel(KernelKind kind) noexcept {
   return kind == KernelKind::Auto ? KernelKind::Frontier : kind;
+}
+
+KernelKind resolve_kernel(KernelKind kind, std::size_t shard_threads) noexcept {
+  if (kind == KernelKind::Auto && shard_threads != 1)
+    return KernelKind::Sharded;
+  return resolve_kernel(kind);
 }
 
 template <typename Policy>
@@ -729,6 +1189,8 @@ std::unique_ptr<RoundKernel<Policy>> make_round_kernel(
       return std::make_unique<BitKernel<Policy>>(ctx);
     case KernelKind::Frontier:
       return std::make_unique<FrontierKernel<Policy>>(ctx);
+    case KernelKind::Sharded:
+      return std::make_unique<ShardedKernel<Policy>>(ctx);
     default:
       return std::make_unique<ScalarKernel<Policy>>(ctx);
   }

@@ -63,6 +63,9 @@ struct KernelContext {
   std::size_t* mis_count = nullptr;
   std::uint64_t seed = 0;  ///< master seed keying the counter draws
   bool half = false;       ///< Duplex::Half: a beeper hears nothing
+  /// Worker threads for the sharded kernel's private TaskPool (0 = one per
+  /// hardware thread, 1 = inline serial). Ignored by the serial kernels.
+  std::size_t shard_threads = 1;
 };
 
 /// One fault-free, noise-free round of FastEngine<Policy>: beep decisions

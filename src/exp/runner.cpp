@@ -120,13 +120,14 @@ RunResult run_variant(const graph::Graph& g, Variant variant,
                       beep::Round max_rounds, std::int32_t c1,
                       obs::MetricsRegistry* metrics,
                       obs::RoundObserver* observer, core::EngineKind kind,
-                      core::KernelKind kernel) {
+                      core::KernelKind kernel, std::size_t shard_threads) {
   core::EngineConfig config;
   config.variant = variant;
   config.kind = kind;
   config.kernel = kernel;
   config.seed = seed;
   config.c1 = c1;
+  config.shard_threads = shard_threads;
   auto engine = core::make_engine(g, config);
   engine->set_observer(observer);
   engine->set_metrics(metrics);
@@ -145,7 +146,8 @@ std::vector<RunResult> run_replicas(const graph::Graph& g, Variant variant,
                                     obs::MetricsRegistry* metrics,
                                     obs::RoundObserver* observer,
                                     core::EngineKind kind,
-                                    core::KernelKind kernel) {
+                                    core::KernelKind kernel,
+                                    std::size_t shard_threads) {
   struct Shard {
     RunResult result;
     std::unique_ptr<obs::MetricsRegistry> scratch;
@@ -163,7 +165,7 @@ std::vector<RunResult> run_replicas(const graph::Graph& g, Variant variant,
     shard.result =
         run_variant(g, variant, init, seeds[i], max_rounds, c1, scratch,
                     observer != nullptr ? &shard.events : nullptr, kind,
-                    kernel);
+                    kernel, shard_threads);
   });
   // Deterministic fold in seed order: digests are order-sensitive, so the
   // coordinator — not the workers — owns all shared aggregation.

@@ -69,13 +69,16 @@ RunResult run_to_stabilization(core::Engine& engine, beep::Round max_rounds,
 /// and kernel-independent because all executors are stream-identical under
 /// the same seed). `observer`, if given, receives one obs::RoundEvent per
 /// round.
+/// `shard_threads` sizes the fast engine's intra-round sharded pool (see
+/// core::EngineConfig::shard_threads); 1 keeps every kernel serial.
 RunResult run_variant(const graph::Graph& g, Variant variant,
                       core::InitPolicy init, std::uint64_t seed,
                       beep::Round max_rounds, std::int32_t c1 = 0,
                       obs::MetricsRegistry* metrics = nullptr,
                       obs::RoundObserver* observer = nullptr,
                       core::EngineKind kind = core::EngineKind::Auto,
-                      core::KernelKind kernel = core::KernelKind::Auto);
+                      core::KernelKind kernel = core::KernelKind::Auto,
+                      std::size_t shard_threads = 1);
 
 /// Batch entry point: one run_variant replica per entry of `seeds`, all on
 /// the same graph, executed through `pool` (one task per seed; pass a
@@ -96,7 +99,8 @@ std::vector<RunResult> run_replicas(const graph::Graph& g, Variant variant,
                                     core::EngineKind kind =
                                         core::EngineKind::Auto,
                                     core::KernelKind kernel =
-                                        core::KernelKind::Auto);
+                                        core::KernelKind::Auto,
+                                    std::size_t shard_threads = 1);
 
 /// A generous default budget: stabilization is Θ(log n), so this failing
 /// indicates a real bug rather than bad luck.

@@ -62,6 +62,11 @@ struct SweepConfig {
   /// digests, merged metrics (modulo wall-clock timer values), observer
   /// streams — are bit-identical for every value; see docs/architecture.md.
   std::size_t threads = 1;
+  /// Worker threads *inside* each replica's rounds (the fast engine's
+  /// sharded kernel; see core::EngineConfig::shard_threads). Orthogonal to
+  /// `threads`: replica-level parallelism scales across runs, sharding
+  /// scales one giant instance. Results are bit-identical for every value.
+  std::size_t shard_threads = 1;
 };
 
 /// Master seed of the (family, n, s) replica: a splitmix64 sponge folding

@@ -53,4 +53,53 @@ Graph GraphBuilder::build() && {
   return g;
 }
 
+StreamingCsrBuilder::StreamingCsrBuilder(std::size_t vertex_count,
+                                         std::string name)
+    : n_(vertex_count) {
+  g_.name_ = std::move(name);
+  g_.offsets_.assign(n_ + 1, 0);
+}
+
+void StreamingCsrBuilder::count_edge(VertexId u, VertexId v) {
+  BEEPMIS_CHECK(!filling_, "count_edge after begin_fill");
+  BEEPMIS_CHECK(u < n_ && v < n_, "edge endpoint out of range");
+  BEEPMIS_CHECK(u != v, "self-loops are not allowed in a simple graph");
+  ++g_.offsets_[u + 1];
+  ++g_.offsets_[v + 1];
+}
+
+void StreamingCsrBuilder::begin_fill() {
+  BEEPMIS_CHECK(!filling_, "begin_fill called twice");
+  filling_ = true;
+  for (std::size_t i = 1; i <= n_; ++i) g_.offsets_[i] += g_.offsets_[i - 1];
+  // During the fill pass offsets_[v] doubles as row v's write cursor: it
+  // starts at the row head, ends at the row end, and finish() shifts the
+  // whole array one slot right to recover the real offsets.
+  g_.adjacency_.resize(g_.offsets_[n_]);
+}
+
+Graph StreamingCsrBuilder::finish(bool sort_rows) && {
+  BEEPMIS_CHECK(filling_, "finish before begin_fill");
+  BEEPMIS_CHECK(filled_ * 2 == g_.adjacency_.size(),
+                "fill pass replayed a different edge count than pass 1");
+  for (std::size_t v = n_; v >= 1; --v) g_.offsets_[v] = g_.offsets_[v - 1];
+  g_.offsets_[0] = 0;
+  for (std::size_t v = 0; v < n_; ++v) {
+    const auto first = g_.adjacency_.begin() +
+                       static_cast<std::ptrdiff_t>(g_.offsets_[v]);
+    const auto last = g_.adjacency_.begin() +
+                      static_cast<std::ptrdiff_t>(g_.offsets_[v + 1]);
+    if (sort_rows) std::sort(first, last);
+    BEEPMIS_CHECK(std::adjacent_find(first, last,
+                                     [](VertexId a, VertexId b) {
+                                       return a >= b;
+                                     }) == last,
+                  "streamed CSR row not strictly ascending "
+                  "(duplicate or out-of-order edge)");
+    g_.max_degree_ =
+        std::max(g_.max_degree_, g_.offsets_[v + 1] - g_.offsets_[v]);
+  }
+  return std::move(g_);
+}
+
 }  // namespace beepmis::graph

@@ -39,6 +39,7 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  friend class StreamingCsrBuilder;
   std::vector<std::size_t> offsets_;
   std::vector<VertexId> adjacency_;
   std::size_t max_degree_ = 0;
@@ -64,6 +65,50 @@ class GraphBuilder {
   std::size_t n_;
   std::string name_;
   std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+/// Two-pass streaming CSR construction. Pass 1 replays the edge stream
+/// through count_edge to accumulate degrees; begin_fill() prefix-sums them
+/// into offsets and allocates the adjacency array; pass 2 replays the SAME
+/// stream through fill_edge; finish() freezes the Graph. Unlike
+/// GraphBuilder no edge list is ever materialized — peak memory is the
+/// final CSR itself — which is what lets n = 10^7 instances fit. The
+/// caller owns replay fidelity (the streaming generators replay from a
+/// copied Rng) and must not emit duplicate edges; self-loops abort as in
+/// GraphBuilder.
+class StreamingCsrBuilder {
+ public:
+  explicit StreamingCsrBuilder(std::size_t vertex_count,
+                               std::string name = "graph");
+
+  /// Pass 1: record the existence of undirected edge {u, v}.
+  void count_edge(VertexId u, VertexId v);
+
+  /// Ends pass 1: turns degree counts into CSR offsets and allocates the
+  /// adjacency array.
+  void begin_fill();
+
+  /// Pass 2: writes both arcs of undirected edge {u, v}.
+  void fill_edge(VertexId u, VertexId v) {
+    g_.adjacency_[g_.offsets_[u]++] = v;
+    g_.adjacency_[g_.offsets_[v]++] = u;
+    ++filled_;
+  }
+
+  std::size_t vertex_count() const noexcept { return n_; }
+
+  /// Freezes into an immutable Graph; the builder is consumed. Pass
+  /// sort_rows = true when the generator does not emit each neighborhood in
+  /// ascending order (e.g. geometric graphs). Rows must end up strictly
+  /// ascending — a duplicate edge aborts, matching the simple-graph
+  /// contract (dedup is the caller's job here, unlike GraphBuilder).
+  Graph finish(bool sort_rows = false) &&;
+
+ private:
+  std::size_t n_;
+  std::size_t filled_ = 0;
+  bool filling_ = false;
+  Graph g_;
 };
 
 }  // namespace beepmis::graph

@@ -30,4 +30,17 @@ void write_dimacs(const Graph& g, std::ostream& os);
 /// vertices.
 Graph read_dimacs(std::istream& is, std::string name = "dimacs");
 
+/// Binary packed-CSR format ("BMPKCSR1" magic): header (n, arc count,
+/// graph name), u32 per-vertex degrees, then the adjacency array verbatim.
+/// Host-endian — a cache format for giant generated instances (graphgen
+/// --stream-out), not an interchange format. ~12 bytes/edge versus the
+/// text formats' ~15 bytes/edge plus parse time; reading is two memcpy-like
+/// passes instead of per-edge integer parsing.
+void write_packed(const Graph& g, std::ostream& os);
+
+/// Reads the write_packed format, revalidating the full simple-graph
+/// contract (sorted duplicate-free rows, symmetric arcs) on the way in.
+/// An empty `name` keeps the name stored in the file.
+Graph read_packed(std::istream& is, std::string name = "");
+
 }  // namespace beepmis::graph

@@ -40,6 +40,17 @@ PackedGraph::PackedGraph(const Graph& g) : n_(g.vertex_count()) {
   }
 }
 
+bool PackedGraph::has_edge(VertexId u, VertexId v) const {
+  const auto word = static_cast<std::uint32_t>(v >> 6);
+  const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+  if (has_bitset_rows()) return (row(u)[word] & bit) != 0;
+  const auto bl = blocks(u);
+  const auto it = std::lower_bound(
+      bl.begin(), bl.end(), word,
+      [](const Block& b, std::uint32_t w) { return b.word < w; });
+  return it != bl.end() && it->word == word && (it->mask & bit) != 0;
+}
+
 RelabeledGraph relabel_by_degree(const Graph& g) {
   const std::size_t n = g.vertex_count();
   RelabeledGraph out;

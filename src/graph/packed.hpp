@@ -42,6 +42,14 @@ class PackedGraph {
   /// Total blocks across all vertices (the packed analogue of 2·|E|).
   std::size_t block_count() const noexcept { return blocks_.size(); }
 
+  /// Adjacency probe: one load + bit test against u's bitset row when rows
+  /// are resident, otherwise a binary search over u's blocked runs by word
+  /// — O(log deg) on word indices versus Graph::has_edge's O(log deg) on
+  /// neighbor ids, but with 64× fewer distinct keys and no id comparison
+  /// chain. Callers holding a PackedGraph should prefer this; callers with
+  /// only a Graph keep the binary-search fallback.
+  bool has_edge(VertexId u, VertexId v) const;
+
   bool has_bitset_rows() const noexcept { return !rows_.empty(); }
   /// Full n-bit adjacency row of v (empty span unless has_bitset_rows()).
   std::span<const std::uint64_t> row(VertexId v) const {

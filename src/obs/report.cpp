@@ -12,6 +12,7 @@
 #include "src/obs/manifest.hpp"
 #include "src/obs/perf.hpp"
 #include "src/obs/recovery.hpp"
+#include "src/support/fit.hpp"
 
 namespace beepmis::obs {
 
@@ -195,6 +196,30 @@ bool ReportBuilder::add_document(const JsonValue& doc,
     }
     return true;
   }
+  if (schema == "beepmis.sweep.v1") {
+    sources_.push_back(source);
+    const std::string algorithm = doc.get("algorithm").as_string("?");
+    const std::string family = doc.get("family").as_string("?");
+    for (const JsonValue& pt : doc.get("points").array) {
+      const auto n = static_cast<std::uint64_t>(pt.get("n").as_number(0.0));
+      const auto runs =
+          static_cast<std::uint64_t>(pt.get("runs").as_number(0.0));
+      if (n == 0 || runs == 0) continue;
+      // Sweep quantiles are exact per-point digests, so they join the
+      // stabilization table at full fidelity (p90 has no column and is
+      // dropped).
+      merge_summary({algorithm, family, n}, runs,
+                    pt.get("mean").as_number(), pt.get("p50").as_number(),
+                    pt.get("p95").as_number(), pt.get("p99").as_number(),
+                    pt.get("min").as_number(), pt.get("max").as_number(),
+                    /*approximate=*/false);
+      SweepSample& s = sweep_[{algorithm, family}][n];
+      s.weighted_p50 +=
+          static_cast<double>(runs) * pt.get("p50").as_number();
+      s.runs += runs;
+    }
+    return true;
+  }
   if (schema == "beepmis.dump.v1") {
     sources_.push_back(source);
     for (const JsonValue& a : doc.get("anomalies").array) {
@@ -353,6 +378,31 @@ std::vector<ReportBuilder::StabRow> ReportBuilder::stabilization_rows()
                    a.count, a.weighted_mean / w, a.weighted_p50 / w,
                    a.weighted_p95 / w, a.weighted_p99 / w, a.min, a.max,
                    a.approximate});
+  }
+  return out;
+}
+
+std::vector<ReportBuilder::GrowthFitRow> ReportBuilder::growth_fit_rows()
+    const {
+  std::vector<GrowthFitRow> out;
+  for (const auto& [key, curve] : sweep_) {
+    std::vector<double> ns, ys;
+    for (const auto& [n, s] : curve) {
+      if (n < 3 || s.runs == 0) continue;  // regressors need log log n > 0
+      ns.push_back(static_cast<double>(n));
+      ys.push_back(s.weighted_p50 / static_cast<double>(s.runs));
+    }
+    // A two-point "fit" matches every model exactly; demand three sizes
+    // before claiming any asymptotic shape.
+    if (ns.size() < 3) continue;
+    const auto ranked = support::rank_growth_models(ns, ys);
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      const auto& [model, fit] = ranked[i];
+      out.push_back({key.first, key.second,
+                     support::growth_model_name(model), fit.slope,
+                     fit.intercept, fit.r2, fit.rmse,
+                     static_cast<std::uint64_t>(ns.size()), i == 0});
+    }
   }
   return out;
 }
@@ -554,6 +604,24 @@ void ReportBuilder::write_markdown(std::ostream& os,
           "artifacts.)\n\n";
   }
 
+  const auto fits = growth_fit_rows();
+  if (!fits.empty()) {
+    os << "## Growth-model fits (sweep p50)\n\n";
+    os << "Thm 2.1 predicts O(log n) stabilization from scratch; Thm 2.2 "
+          "predicts O(log n log log n) from adversarial states. `*` marks "
+          "the best-R² model per (algorithm, family) curve.\n\n";
+    os << "| algorithm | family | model | slope | intercept | R² | "
+          "rmse | sizes |\n";
+    os << "|---|---|---|---:|---:|---:|---:|---:|\n";
+    for (const GrowthFitRow& r : fits) {
+      os << "| " << r.algorithm << " | " << r.family << " | " << r.model
+         << (r.best ? " `*`" : "") << " | " << fmt("%.3f", r.slope) << " | "
+         << fmt("%.2f", r.intercept) << " | " << fmt("%.4f", r.r2) << " | "
+         << fmt("%.2f", r.rmse) << " | " << r.sizes << " |\n";
+    }
+    os << '\n';
+  }
+
   const auto recovery = recovery_rows();
   if (!recovery.empty()) {
     os << "## Recovery epochs (fault -> re-stabilization)\n\n";
@@ -732,6 +800,22 @@ void ReportBuilder::write_json(std::ostream& os, double tolerance) const {
     w.field("min", r.min);
     w.field("max", r.max);
     w.field("approximate", r.approximate);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("growth_fits").begin_array();
+  for (const GrowthFitRow& r : growth_fit_rows()) {
+    w.begin_object();
+    w.field("algorithm", r.algorithm);
+    w.field("family", r.family);
+    w.field("model", r.model);
+    w.field("slope", r.slope);
+    w.field("intercept", r.intercept);
+    w.field("r2", r.r2);
+    w.field("rmse", r.rmse);
+    w.field("sizes", r.sizes);
+    w.field("best", r.best);
     w.end_object();
   }
   w.end_array();

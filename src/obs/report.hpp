@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "src/obs/json_parse.hpp"
@@ -16,9 +17,11 @@ namespace beepmis::obs {
 /// Aggregates run artifacts — "beepmis.run.v1" manifests (including bench
 /// captures such as BENCH_micro.json), "beepmis.dump.v1" flight-recorder
 /// dumps, "beepmis.trace.v1" span traces, "beepmis.profile.v1" hardware
-/// profiles, "beepmis.recovery.v1" recovery artifacts, and raw JSONL
+/// profiles, "beepmis.recovery.v1" recovery artifacts, "beepmis.sweep.v1"
+/// scaling-sweep summaries, and raw JSONL
 /// round-event streams — into one report:
 /// stabilization percentiles per (algorithm, family, n),
+/// growth-model fits over sweep curves (the Thm 2.1 / Thm 2.2 shape check),
 /// per-fault recovery-epoch outcomes and quantiles,
 /// fast-vs-reference speedups, sink and digest overheads, span-duration
 /// quantiles, hardware-efficiency metrics (IPC, instructions/round,
@@ -129,6 +132,23 @@ class ReportBuilder {
     double task_clock_per_round_ns = -1.0;
   };
 
+  /// One growth-model fit over a sweep's (n, p50) stabilization curve for
+  /// one (algorithm, family) pair, sourced from "beepmis.sweep.v1" inputs
+  /// with >= 3 distinct sizes. `best` marks the highest-R² model: Thm 2.1
+  /// predicts log n from clean starts, Thm 2.2 log n · log log n from
+  /// adversarial ones — the fit table is the empirical shape check.
+  struct GrowthFitRow {
+    std::string algorithm;
+    std::string family;
+    std::string model;      ///< support::growth_model_name
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0;
+    double rmse = 0.0;
+    std::uint64_t sizes = 0;  ///< distinct n fitted
+    bool best = false;
+  };
+
   /// Span-duration quantiles for one (algorithm, family, n, span name)
   /// cell, aggregated over every "X" event in the ingested traces (the
   /// trace document's context block supplies the first three coordinates).
@@ -145,8 +165,9 @@ class ReportBuilder {
   };
 
   /// Ingests one parsed artifact. Accepts "beepmis.run.v1",
-  /// "beepmis.dump.v1", "beepmis.trace.v1", "beepmis.profile.v1" and
-  /// "beepmis.recovery.v1"; anything else fails with `error` set. `source`
+  /// "beepmis.dump.v1", "beepmis.trace.v1", "beepmis.profile.v1",
+  /// "beepmis.recovery.v1" and "beepmis.sweep.v1"; anything else fails with
+  /// `error` set. `source`
   /// is the label used in the report (typically the file name).
   bool add_document(const JsonValue& doc, const std::string& source,
                     std::string* error);
@@ -167,6 +188,7 @@ class ReportBuilder {
   std::vector<BenchDelta> regressions(double tolerance) const;
 
   std::vector<StabRow> stabilization_rows() const;
+  std::vector<GrowthFitRow> growth_fit_rows() const;
   std::vector<RecoveryRow> recovery_rows() const;
   std::vector<Speedup> speedups() const;
   std::vector<KernelSpeedup> kernel_speedups() const;
@@ -244,6 +266,13 @@ class ReportBuilder {
     bool any = false;
   };
 
+  /// Per-(algorithm, family) sweep curve: n -> run-weighted p50 sum, so
+  /// repeated sweeps over the same size merge instead of colliding.
+  struct SweepSample {
+    double weighted_p50 = 0.0;
+    std::uint64_t runs = 0;
+  };
+
   void accumulate_stabilization(const JsonValue& doc);
   void merge_sample(const StabKey& key, double rounds);
   void merge_summary(const StabKey& key, std::uint64_t count, double mean,
@@ -251,6 +280,9 @@ class ReportBuilder {
                      bool approximate);
 
   std::map<StabKey, StabAccum> stab_;
+  std::map<std::pair<std::string, std::string>,
+           std::map<std::uint64_t, SweepSample>>
+      sweep_;
   std::map<StabKey, RecoveryAccum> recovery_;
   std::map<SpanKey, Digest> spans_;  // span durations from ingested traces
   std::map<StabKey, ProfileAccum> profile_;

@@ -201,5 +201,58 @@ TEST_P(GeneratorSizeSweep, AllFamiliesWellFormed) {
 INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorSizeSweep,
                          ::testing::Values(16, 33, 64, 100, 257));
 
+// The streaming generators promise the IDENTICAL graph to the materialized
+// ones — same name, offsets, adjacency — just built without an edge list.
+// Compare them structurally element for element.
+
+namespace {
+void expect_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.vertex_count(), b.vertex_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.max_degree(), b.max_degree());
+  for (VertexId v = 0; v < a.vertex_count(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+        << "vertex " << v;
+  }
+}
+}  // namespace
+
+TEST(StreamingGenerators, ErdosRenyiMatchesMaterialized) {
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    support::Rng r1(seed);
+    const Graph mat = make_erdos_renyi_avg_degree(513, 8.0, r1);
+    const Graph str = make_erdos_renyi_avg_degree_stream(
+        513, 8.0, support::Rng(seed));
+    expect_identical(mat, str);
+  }
+  // Dense corner: p = 1 takes the non-geometric skip branch.
+  support::Rng r2(5);
+  expect_identical(make_erdos_renyi(40, 1.0, r2),
+                   make_erdos_renyi_stream(40, 1.0, support::Rng(5)));
+}
+
+TEST(StreamingGenerators, BarabasiAlbertMatchesMaterialized) {
+  for (std::uint64_t seed : {2u, 9u, 77u}) {
+    support::Rng r1(seed);
+    const Graph mat = make_barabasi_albert(400, 3, r1);
+    const Graph str = make_barabasi_albert_stream(400, 3, support::Rng(seed));
+    expect_identical(mat, str);
+  }
+}
+
+TEST(StreamingGenerators, RandomGeometricMatchesMaterialized) {
+  const double radius = std::sqrt(8.0 / (3.14159265358979 * 400.0));
+  for (std::uint64_t seed : {3u, 11u, 99u}) {
+    support::Rng r1(seed);
+    const Graph mat = make_random_geometric(400, radius, r1);
+    const Graph str =
+        make_random_geometric_stream(400, radius, support::Rng(seed));
+    expect_identical(mat, str);
+  }
+}
+
 }  // namespace
 }  // namespace beepmis::graph

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/graph/generators.hpp"
@@ -79,6 +80,52 @@ TEST(GraphIo, DimacsToleratesCommentsAndColKind) {
   EXPECT_TRUE(g.has_edge(0, 1));
   EXPECT_TRUE(g.has_edge(1, 2));
   EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, PackedRoundTrip) {
+  // Through the streaming generator, as graphgen --stream-out writes it,
+  // compared against the in-memory builder's graph after the round trip.
+  support::Rng rng(9);
+  const Graph built = make_erdos_renyi_avg_degree(300, 8.0, rng);
+  const Graph streamed =
+      make_erdos_renyi_avg_degree_stream(300, 8.0, support::Rng(9));
+  std::stringstream ss;
+  write_packed(streamed, ss);
+  const Graph h = read_packed(ss);
+  ASSERT_EQ(h.vertex_count(), built.vertex_count());
+  ASSERT_EQ(h.edge_count(), built.edge_count());
+  EXPECT_EQ(h.name(), built.name());
+  EXPECT_EQ(h.max_degree(), built.max_degree());
+  for (VertexId v = 0; v < built.vertex_count(); ++v) {
+    const auto a = built.neighbors(v), b = h.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "vertex " << v;
+  }
+}
+
+TEST(GraphIo, PackedRenameAndEmptyGraph) {
+  std::stringstream ss;
+  write_packed(GraphBuilder(5, "tiny").build(), ss);
+  const Graph h = read_packed(ss, "renamed");
+  EXPECT_EQ(h.vertex_count(), 5u);
+  EXPECT_EQ(h.edge_count(), 0u);
+  EXPECT_EQ(h.name(), "renamed");
+}
+
+TEST(GraphIoDeath, PackedMalformedInputsAbort) {
+  {
+    std::stringstream ss("definitely not packed");
+    EXPECT_DEATH(read_packed(ss), "bad magic");
+  }
+  {
+    const Graph g = make_cycle(6);
+    std::stringstream ss;
+    write_packed(g, ss);
+    std::string bytes = ss.str();
+    bytes.resize(bytes.size() - 4);  // drop the last adjacency entry
+    std::stringstream truncated(bytes);
+    EXPECT_DEATH(read_packed(truncated), "truncated");
+  }
 }
 
 TEST(GraphIoDeath, DimacsMalformedInputsAbort) {

@@ -158,6 +158,16 @@ TEST(Kernels, AutoResolvesToFrontier) {
   EXPECT_EQ(resolve_kernel(KernelKind::Frontier), KernelKind::Frontier);
 }
 
+TEST(Kernels, AutoWithShardThreadsResolvesToSharded) {
+  // The config-aware overload: asking for intra-round parallelism flips
+  // Auto to the sharded kernel; explicit choices always win.
+  EXPECT_EQ(resolve_kernel(KernelKind::Auto, 1), KernelKind::Frontier);
+  EXPECT_EQ(resolve_kernel(KernelKind::Auto, 8), KernelKind::Sharded);
+  EXPECT_EQ(resolve_kernel(KernelKind::Auto, 0), KernelKind::Sharded);
+  EXPECT_EQ(resolve_kernel(KernelKind::Frontier, 8), KernelKind::Frontier);
+  EXPECT_EQ(resolve_kernel(KernelKind::Sharded, 1), KernelKind::Sharded);
+}
+
 TEST(Kernels, EngineExposesResolvedKernelName) {
   const auto g = graph::make_path(8);
   const auto lmax = lmax_global_delta(g);
@@ -170,6 +180,180 @@ TEST(Kernels, EngineExposesResolvedKernelName) {
   for (const auto& [kind, name] : cases) {
     FastEngine<Alg1Policy> e(g, lmax, 1, {}, beep::Duplex::Full, kind);
     EXPECT_EQ(e.kernel_name(), name);
+  }
+  FastEngine<Alg1Policy> sh(g, lmax, 1, {}, beep::Duplex::Full,
+                            KernelKind::Auto, /*shard_threads=*/4);
+  EXPECT_EQ(sh.kernel_name(), "sharded");
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-vs-serial lockstep: the sharded kernel must reproduce the serial
+// kernels' trajectories bit for bit at EVERY shard count — levels, active
+// counts, and the full per-round RoundEvent stream. The worker count only
+// changes who computes each word, never what is computed: coins are pure
+// functions of (seed, node, round), every phase writes only shard-owned
+// state, and the coordinator folds in ascending shard order.
+
+/// Captures the engine's per-round event stream for exact comparison.
+struct EventLog final : obs::RoundObserver {
+  std::vector<obs::RoundEvent> events;
+  void on_round(const obs::RoundEvent& event) override {
+    events.push_back(event);
+  }
+};
+
+template <typename Policy>
+struct ShardedDuo {
+  FastEngine<Policy> serial;
+  FastEngine<Policy> sharded;
+  EventLog serial_log;
+  EventLog sharded_log;
+
+  ShardedDuo(const graph::Graph& g, const LmaxVector& lmax,
+             std::uint64_t seed, KernelKind serial_kind,
+             std::size_t shard_threads,
+             beep::Duplex duplex = beep::Duplex::Full)
+      : serial(g, lmax, seed, {}, duplex, serial_kind),
+        sharded(g, lmax, seed, {}, duplex, KernelKind::Sharded,
+                shard_threads) {
+    serial.set_observer(&serial_log);
+    sharded.set_observer(&sharded_log);
+  }
+
+  void corrupt_init(std::uint64_t seed) {
+    support::Rng c(seed);
+    const std::size_t n = serial.graph().vertex_count();
+    for (graph::VertexId v = 0; v < n; ++v) serial.corrupt(v, c);
+    for (graph::VertexId v = 0; v < n; ++v)
+      sharded.set_level(v, serial.level(v));
+  }
+
+  void run_lockstep(int rounds, const std::vector<int>& corrupt_at = {},
+                    std::size_t corrupt_count = 0) {
+    support::Rng f1(0xc0), f2(0xc0);
+    const std::size_t n = serial.graph().vertex_count();
+    for (int r = 0; r < rounds; ++r) {
+      for (int cr : corrupt_at) {
+        if (cr != r) continue;
+        const auto a = corrupt_random(serial, corrupt_count, f1);
+        const auto b = corrupt_random(sharded, corrupt_count, f2);
+        ASSERT_EQ(a, b) << "round " << r;
+      }
+      serial.step();
+      sharded.step();
+      for (graph::VertexId v = 0; v < n; ++v) {
+        ASSERT_EQ(sharded.level(v), serial.level(v))
+            << "round " << r << " vertex " << v;
+      }
+      ASSERT_EQ(sharded.active_count(), serial.active_count())
+          << "round " << r;
+      ASSERT_EQ(sharded_log.events.back(), serial_log.events.back())
+          << "round " << r;
+    }
+    EXPECT_EQ(sharded_log.events, serial_log.events);
+    EXPECT_EQ(sharded.mis_members(), serial.mis_members());
+    EXPECT_EQ(sharded.is_stabilized(), serial.is_stabilized());
+  }
+};
+
+// Worker counts exercised everywhere below: 1 (inline serial pool), 3 (odd
+// shard split), 8 (more workers than this host has cores — oversubscribed),
+// 0 (one per hardware thread, host-dependent). Byte-identical output across
+// all of them IS the determinism contract.
+constexpr std::size_t kShardCounts[] = {1, 3, 8, 0};
+
+TEST(Kernels, ShardedLockstepGridAlg1) {
+  support::Rng grng(31);
+  const auto graphs = {
+      graph::make_grid(9, 9),
+      graph::make_erdos_renyi_avg_degree(192, 8.0, grng),
+      graph::make_barabasi_albert(130, 3, grng),
+  };
+  const KernelKind serial_kinds[] = {KernelKind::Scalar, KernelKind::Bit,
+                                     KernelKind::Frontier};
+  for (const auto& g : graphs) {
+    const auto lmax = lmax_global_delta(g);
+    for (KernelKind serial_kind : serial_kinds) {
+      for (std::size_t st : kShardCounts) {
+        ShardedDuo<Alg1Policy> duo(g, lmax, 1234, serial_kind, st);
+        duo.corrupt_init(7);
+        duo.run_lockstep(250);
+      }
+    }
+  }
+}
+
+TEST(Kernels, ShardedLockstepGridAlg2) {
+  support::Rng grng(32);
+  const auto graphs = {
+      graph::make_star(48),
+      graph::make_erdos_renyi_avg_degree(192, 8.0, grng),
+      graph::make_barabasi_albert(130, 3, grng),
+  };
+  const KernelKind serial_kinds[] = {KernelKind::Scalar, KernelKind::Bit,
+                                     KernelKind::Frontier};
+  for (const auto& g : graphs) {
+    const auto lmax = lmax_one_hop(g);
+    for (KernelKind serial_kind : serial_kinds) {
+      for (std::size_t st : kShardCounts) {
+        ShardedDuo<Alg2Policy> duo(g, lmax, 4321, serial_kind, st);
+        duo.corrupt_init(9);
+        duo.run_lockstep(250);
+      }
+    }
+  }
+}
+
+TEST(Kernels, ShardedSurvivesMidRunCorruption) {
+  support::Rng grng(33);
+  const auto g = graph::make_erdos_renyi_avg_degree(160, 8.0, grng);
+  for (std::size_t st : kShardCounts) {
+    {
+      ShardedDuo<Alg1Policy> duo(g, lmax_global_delta(g), 55,
+                                 KernelKind::Frontier, st);
+      duo.corrupt_init(3);
+      duo.run_lockstep(400, /*corrupt_at=*/{60, 140, 260}, /*count=*/24);
+    }
+    {
+      ShardedDuo<Alg2Policy> duo(g, lmax_one_hop(g), 56, KernelKind::Bit,
+                                 st);
+      duo.corrupt_init(4);
+      duo.run_lockstep(400, /*corrupt_at=*/{60, 140, 260}, /*count=*/24);
+    }
+  }
+}
+
+TEST(Kernels, ShardedHalfDuplexLockstep) {
+  support::Rng grng(34);
+  const auto g = graph::make_erdos_renyi_avg_degree(160, 8.0, grng);
+  for (std::size_t st : kShardCounts) {
+    {
+      ShardedDuo<Alg1Policy> duo(g, lmax_global_delta(g), 77,
+                                 KernelKind::Scalar, st, beep::Duplex::Half);
+      duo.corrupt_init(5);
+      duo.run_lockstep(250);
+    }
+    {
+      ShardedDuo<Alg2Policy> duo(g, lmax_one_hop(g), 78,
+                                 KernelKind::Frontier, st,
+                                 beep::Duplex::Half);
+      duo.corrupt_init(6);
+      duo.run_lockstep(250);
+    }
+  }
+}
+
+TEST(Kernels, ShardedSweepSizedGraphMatchesFrontier) {
+  // Big enough for several 64-word shards per worker and a long all-active
+  // chaos phase; also checks the shard-count clamp (more workers than
+  // words is fine).
+  support::Rng grng(35);
+  const auto g = graph::make_erdos_renyi_avg_degree(1024, 8.0, grng);
+  for (std::size_t st : kShardCounts) {
+    ShardedDuo<Alg1Policy> duo(g, lmax_global_delta(g), 99,
+                               KernelKind::Frontier, st);
+    duo.corrupt_init(11);
+    duo.run_lockstep(200);
   }
 }
 

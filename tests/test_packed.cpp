@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 #include <set>
 #include <vector>
 
@@ -100,6 +101,50 @@ TEST(RelabelByDegree, PermutationIsDegreeSortedAndConsistent) {
     const auto nb = g.neighbors(r.perm[nv]);
     EXPECT_EQ(mapped, std::vector<VertexId>(nb.begin(), nb.end()));
   }
+}
+
+TEST(PackedGraph, HasEdgeMatchesGraphInBothRepresentations) {
+  support::Rng grng(34);
+  // Sparse (blocked-run probe) and dense (bitset-row probe) sides of the
+  // representation switch; probe every pair including non-edges.
+  const auto graphs = {make_erdos_renyi_avg_degree(150, 8.0, grng),
+                       make_complete_bipartite(40, 56)};
+  for (const auto& g : graphs) {
+    const PackedGraph pg(g);
+    for (VertexId u = 0; u < g.vertex_count(); ++u)
+      for (VertexId v = 0; v < g.vertex_count(); ++v)
+        ASSERT_EQ(pg.has_edge(u, v), g.has_edge(u, v))
+            << g.name() << " " << u << "-" << v;
+  }
+}
+
+TEST(RelabelByDegree, GoldenPermutationPinsTieBreak) {
+  // A caterpillar has massive degree ties (every leaf has degree 1, inner
+  // spine vertices tie too), so this pins the stable tie-break by original
+  // id: any drift to an unstable sort or a different comparator reshuffles
+  // the golden values below.
+  const auto g = make_caterpillar(/*spine=*/4, /*legs=*/3);
+  // Degrees: spine 0 and 3 have 1 spine edge + 3 legs = 4; spine 1, 2 have
+  // 2 spine edges + 3 legs = 5; leaves 4..15 have 1.
+  const RelabeledGraph r = relabel_by_degree(g);
+  const std::vector<VertexId> golden = {1, 2,  0,  3,  4,  5,  6,  7,
+                                        8, 9, 10, 11, 12, 13, 14, 15};
+  EXPECT_EQ(r.perm, golden);
+  EXPECT_EQ(r.graph.name(), "caterpillar_s4_l3_degord");
+
+  // And a randomized instance stays exactly reproducible end to end.
+  support::Rng grng(35);
+  const auto ba = make_barabasi_albert(24, 2, grng);
+  const RelabeledGraph rb = relabel_by_degree(ba);
+  std::vector<VertexId> expect(ba.vertex_count());
+  std::iota(expect.begin(), expect.end(), VertexId{0});
+  std::stable_sort(expect.begin(), expect.end(),
+                   [&](VertexId a, VertexId b) {
+                     if (ba.degree(a) != ba.degree(b))
+                       return ba.degree(a) > ba.degree(b);
+                     return a < b;
+                   });
+  EXPECT_EQ(rb.perm, expect);
 }
 
 }  // namespace

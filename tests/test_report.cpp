@@ -181,6 +181,86 @@ TEST(Report, EventStreamsYieldOneStabilizationSample) {
   EXPECT_DOUBLE_EQ(rows[0].p50, 3.0);  // stabilized at round 3
 }
 
+TEST(Report, SweepDocumentFeedsStabilizationAndGrowthFits) {
+  // Five sizes along an exact 10·ln(n) + 5 curve: the log n model must win
+  // with R² ≈ 1, and every point must land in the stabilization table.
+  const char* sweep = R"({
+    "schema": "beepmis.sweep.v1", "family": "er-avg8",
+    "algorithm": "V1-global-delta", "init": "uniform-random",
+    "base_seed": 7, "seeds_per_size": 4, "kernel": "sharded",
+    "points": [
+      {"n": 256, "runs": 4, "mean": 60.45, "min": 60, "max": 61,
+       "p50": 60.45, "p90": 61, "p95": 61, "p99": 61,
+       "failures": 0, "invalid": 0},
+      {"n": 1024, "runs": 4, "mean": 74.31, "min": 74, "max": 75,
+       "p50": 74.31, "p90": 75, "p95": 75, "p99": 75,
+       "failures": 0, "invalid": 0},
+      {"n": 4096, "runs": 4, "mean": 88.18, "min": 88, "max": 89,
+       "p50": 88.18, "p90": 89, "p95": 89, "p99": 89,
+       "failures": 0, "invalid": 0},
+      {"n": 16384, "runs": 4, "mean": 102.04, "min": 101, "max": 103,
+       "p50": 102.04, "p90": 103, "p95": 103, "p99": 103,
+       "failures": 0, "invalid": 0},
+      {"n": 65536, "runs": 4, "mean": 115.90, "min": 115, "max": 117,
+       "p50": 115.90, "p90": 117, "p95": 117, "p99": 117,
+       "failures": 0, "invalid": 0}
+    ]
+  })";
+  obs::ReportBuilder b;
+  std::string error;
+  ASSERT_TRUE(b.add_document(parse(sweep), "sweep.json", &error)) << error;
+
+  const auto stab = b.stabilization_rows();
+  ASSERT_EQ(stab.size(), 5u);
+  EXPECT_EQ(stab[0].algorithm, "V1-global-delta");
+  EXPECT_EQ(stab[0].family, "er-avg8");
+  EXPECT_EQ(stab[0].n, 256u);
+  EXPECT_EQ(stab[0].count, 4u);
+  EXPECT_NEAR(stab[0].p50, 60.45, 1e-9);
+  EXPECT_FALSE(stab[0].approximate);
+
+  const auto fits = b.growth_fit_rows();
+  ASSERT_EQ(fits.size(), 4u);  // all models, ranked best-R² first
+  EXPECT_TRUE(fits[0].best);
+  EXPECT_EQ(fits[0].model, "log n");
+  EXPECT_GT(fits[0].r2, 0.999);
+  EXPECT_NEAR(fits[0].slope, 10.0, 0.1);
+  EXPECT_NEAR(fits[0].intercept, 5.0, 1.0);
+  EXPECT_EQ(fits[0].sizes, 5u);
+  for (std::size_t i = 1; i < fits.size(); ++i) {
+    EXPECT_FALSE(fits[i].best);
+    EXPECT_LE(fits[i].r2, fits[i - 1].r2);
+  }
+
+  // The fit also lands in both renderings.
+  std::ostringstream md, js;
+  b.write_markdown(md, 0.10);
+  EXPECT_NE(md.str().find("Growth-model fits"), std::string::npos);
+  b.write_json(js, 0.10);
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::json_parse(js.str(), &doc));
+  ASSERT_EQ(doc.get("growth_fits").array.size(), 4u);
+  EXPECT_EQ(doc.get("growth_fits").array[0].get("model").as_string(),
+            "log n");
+}
+
+TEST(Report, GrowthFitsNeedThreeDistinctSizes) {
+  const char* sweep = R"({
+    "schema": "beepmis.sweep.v1", "family": "torus",
+    "algorithm": "V2-own-degree", "points": [
+      {"n": 64, "runs": 2, "mean": 40, "min": 39, "max": 41,
+       "p50": 40, "p90": 41, "p95": 41, "p99": 41},
+      {"n": 256, "runs": 2, "mean": 50, "min": 49, "max": 51,
+       "p50": 50, "p90": 51, "p95": 51, "p99": 51}
+    ]
+  })";
+  obs::ReportBuilder b;
+  std::string error;
+  ASSERT_TRUE(b.add_document(parse(sweep), "sweep.json", &error)) << error;
+  EXPECT_EQ(b.stabilization_rows().size(), 2u);
+  EXPECT_TRUE(b.growth_fit_rows().empty());
+}
+
 TEST(Report, UnknownSchemaIsRejected) {
   obs::ReportBuilder b;
   std::string error;

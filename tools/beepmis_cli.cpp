@@ -27,6 +27,7 @@
 #include "src/exp/runner.hpp"
 #include "src/exp/sweep.hpp"
 #include "src/graph/io.hpp"
+#include "src/graph/packed.hpp"
 #include "src/obs/json.hpp"
 #include "src/mis/verifier.hpp"
 #include "src/obs/flight.hpp"
@@ -65,8 +66,10 @@ graph::Graph load_graph(const support::ArgParser& args, support::Rng& rng) {
       std::cerr << "cannot open graph file: " << path << "\n";
       std::exit(2);
     }
-    // Auto-detect: DIMACS files start with 'c' or 'p'; edge lists with n m.
+    // Auto-detect: packed binary starts with 'B' (the "BMPKCSR1" magic);
+    // DIMACS files start with 'c' or 'p'; edge lists with n m.
     const int first = in.peek();
+    if (first == 'B') return graph::read_packed(in);
     if (first == 'c' || first == 'p') return graph::read_dimacs(in, path);
     return graph::read_edge_list(in, path);
   }
@@ -289,9 +292,11 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
   }
   if (!core::parse_kernel_kind(args.get("kernel"), &config.kernel)) {
     std::cerr << "unknown kernel: " << args.get("kernel")
-              << " (try auto, scalar, bit, frontier)\n";
+              << " (try auto, scalar, bit, frontier, sharded)\n";
     std::exit(2);
   }
+  config.shard_threads =
+      static_cast<std::size_t>(args.get_int("shard-threads"));
   if (const std::string& d = args.get("duplex"); d == "half") {
     config.duplex = beep::Duplex::Half;
   } else if (d != "full") {
@@ -534,6 +539,7 @@ int run_selfstab(const support::ArgParser& args, const graph::Graph& g,
     man.add_extra("engine_requested", core::engine_kind_name(config.kind));
     man.add_extra("kernel", engine->kernel_name());
     man.add_extra("kernel_requested", core::kernel_kind_name(config.kernel));
+    man.add_extra("shard_threads_requested", args.get("shard-threads"));
     man.add_extra("duplex", args.get("duplex"));
     man.add_extra("faults_per_wave", args.get("faults"));
     man.add_extra("waves", args.get("waves"));
@@ -581,14 +587,19 @@ int run_sweep(const support::ArgParser& args, exp::Variant variant,
   }
   if (!core::parse_kernel_kind(args.get("kernel"), &cfg.kernel)) {
     std::cerr << "unknown kernel: " << args.get("kernel")
-              << " (try auto, scalar, bit, frontier)\n";
+              << " (try auto, scalar, bit, frontier, sharded)\n";
     return 2;
   }
+  cfg.shard_threads =
+      static_cast<std::size_t>(args.get_int("shard-threads"));
   obs::MetricsRegistry metrics;
   cfg.metrics = &metrics;
 
-  // --sizes: comma-separated vertex counts.
+  // --sizes: comma-separated vertex counts, or the "giant" preset — the
+  // n = 10^7 ladder the sharded kernel and streaming generators exist for.
+  // Pair it with a small --sweep-seeds (replicas at 10^7 take minutes each).
   std::string sizes = args.get("sizes");
+  if (sizes == "giant") sizes = "100000,300000,1000000,3000000,10000000";
   for (std::size_t pos = 0; pos < sizes.size();) {
     const std::size_t comma = sizes.find(',', pos);
     const std::string tok =
@@ -654,7 +665,8 @@ int run_sweep(const support::ArgParser& args, exp::Variant variant,
     w.field("seeds_per_size", static_cast<std::uint64_t>(cfg.seeds));
     // Wall-clock provenance only: results are kernel-invariant, and the CI
     // equivalence gate diffs sweep outputs across kernels modulo this field.
-    w.field("kernel", core::kernel_kind_name(core::resolve_kernel(cfg.kernel)));
+    w.field("kernel", core::kernel_kind_name(core::resolve_kernel(
+                          cfg.kernel, cfg.shard_threads)));
     w.key("points").begin_array();
     for (const auto& pt : points) {
       w.begin_object();
@@ -701,6 +713,7 @@ int run_sweep(const support::ArgParser& args, exp::Variant variant,
     man.add_extra("sizes", args.get("sizes"));
     man.add_extra("seeds_per_size", args.get("sweep-seeds"));
     man.add_extra("threads_requested", args.get("threads"));
+    man.add_extra("shard_threads_requested", args.get("shard-threads"));
     if (!args.get("trace-out").empty())
       man.trace_dropped = obs::Tracer::instance().dropped_spans();
     man.profiling = profiling_state(args);
@@ -831,7 +844,16 @@ int main(int argc, char** argv) {
                   "(auto picks the fast engine; both are stream-identical)");
   args.add_option("kernel", "auto",
                   "fast-engine round kernel: auto | scalar | bit | frontier "
-                  "(all stream-identical; auto picks the measured winner)");
+                  "| sharded (all stream-identical; auto picks the measured "
+                  "winner, or sharded when --shard-threads != 1)");
+  args.add_option("shard-threads", "1",
+                  "worker threads INSIDE each round (sharded kernel): 1 = "
+                  "serial, 0 = one per hardware thread; results are "
+                  "bit-identical for every value");
+  args.add_flag("relabel",
+                "relabel vertices by descending degree before running "
+                "(packs hub neighborhoods into few mask words; the graph "
+                "name gains a _degord suffix)");
   args.add_option("duplex", "full",
                   "radio model: full (hear while beeping) | half");
   args.add_option("alpha", "3", "ruling-set separation (algorithm=ruling)");
@@ -929,7 +951,8 @@ int main(int argc, char** argv) {
 
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   support::Rng graph_rng = support::Rng(seed).derive_stream(0x6ea9);
-  const graph::Graph g = load_graph(args, graph_rng);
+  graph::Graph g = load_graph(args, graph_rng);
+  if (args.flag("relabel")) g = graph::relabel_by_degree(g).graph;
   std::printf("graph %s: n=%zu m=%zu max-degree=%zu\n", g.name().c_str(),
               g.vertex_count(), g.edge_count(), g.max_degree());
 

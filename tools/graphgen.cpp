@@ -2,6 +2,8 @@
 /// them as edge lists (stdout) or Graphviz DOT, for use with beepmis_cli
 /// --graph-file or external tooling.
 
+#include <cmath>
+#include <fstream>
 #include <iostream>
 
 #include "src/exp/families.hpp"
@@ -26,6 +28,10 @@ int main(int argc, char** argv) {
   args.add_flag("dot", "emit Graphviz DOT instead of an edge list");
   args.add_flag("dimacs", "emit DIMACS edge format instead of an edge list");
   args.add_flag("stats", "print degree statistics to stderr");
+  args.add_option("stream-out", "",
+                  "write binary packed CSR to FILE, building er-avg8 / ba-m3"
+                  " / rgg-avg8 through the streaming generators (no edge"
+                  " list in memory — supports n up to 10^7)");
 
   std::string error;
   if (!args.parse(argc, argv, &error)) {
@@ -36,6 +42,39 @@ int main(int argc, char** argv) {
   support::Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
   const auto n = static_cast<std::size_t>(args.get_int("n"));
   const std::string fam = args.get("family");
+
+  // Streaming path: same family parameters as exp::make_family, built with
+  // the streaming generators at ANY size and written as binary packed CSR.
+  if (const std::string out = args.get("stream-out"); !out.empty()) {
+    graph::Graph g;
+    if (fam == "er-avg8") {
+      g = graph::make_erdos_renyi_avg_degree_stream(n, 8.0, rng);
+    } else if (fam == "ba-m3") {
+      g = graph::make_barabasi_albert_stream(n, 3, rng);
+    } else if (fam == "rgg-avg8") {
+      const double r = std::sqrt(8.0 / (3.14159265358979 *
+                                        static_cast<double>(n)));
+      g = graph::make_random_geometric_stream(n, r, rng);
+    } else {
+      std::cerr << "--stream-out supports er-avg8 | ba-m3 | rgg-avg8, not "
+                << fam << "\n";
+      return 2;
+    }
+    std::ofstream os(out, std::ios::binary);
+    if (!os) {
+      std::cerr << "cannot open " << out << " for writing\n";
+      return 2;
+    }
+    graph::write_packed(g, os);
+    if (args.flag("stats")) {
+      const auto s = graph::degree_stats(g);
+      std::cerr << g.name() << ": n=" << g.vertex_count()
+                << " m=" << g.edge_count() << " deg[min=" << s.min
+                << " mean=" << s.mean << " max=" << s.max
+                << " isolated=" << s.isolated << "]\n";
+    }
+    return 0;
+  }
 
   graph::Graph g;
   if (fam == "ws") {
