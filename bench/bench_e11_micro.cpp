@@ -300,14 +300,14 @@ const std::vector<std::int32_t>& shard_bench_lmax() {
 }
 
 void run_shard_bench(benchmark::State& state, core::KernelKind kernel,
-                     std::size_t shard_threads) {
+                     std::size_t shard_threads, bool phase_telemetry = false) {
   const graph::Graph& g = shard_bench_graph();
   const auto& lmax = shard_bench_lmax();
   std::uint64_t seed = 0;
   std::uint64_t rounds = 0;
   for (auto _ : state) {
     core::FastMisEngine fast(g, lmax, ++seed, {}, beep::Duplex::Full,
-                             kernel, shard_threads);
+                             kernel, shard_threads, phase_telemetry);
     support::Rng irng(seed);
     for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
       const auto span = static_cast<std::uint64_t>(2 * lmax[v] + 1);
@@ -337,6 +337,22 @@ void BM_EngineRunShardedAnchor(benchmark::State& state) {
   run_shard_bench(state, core::KernelKind::Frontier, 1);
 }
 BENCHMARK(BM_EngineRunShardedAnchor)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Telemetry-overhead A/B: the same sharded run with per-round
+/// ShardTelemetry collection forced on (what --timeseries-out/--progress-out
+/// and a live tracer enable). CI gates this against the bare
+/// BM_EngineRunSharded arm at the same thread count — the phase clocks and
+/// per-shard tallies must stay within a few percent of free.
+void BM_EngineRunSharded_Telemetry(benchmark::State& state) {
+  run_shard_bench(state, core::KernelKind::Sharded,
+                  static_cast<std::size_t>(state.range(0)),
+                  /*phase_telemetry=*/true);
+}
+BENCHMARK(BM_EngineRunSharded_Telemetry)
+    ->Arg(1)
+    ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -183,10 +183,12 @@ std::unique_ptr<Engine> make_engine(const graph::Graph& g,
   if (config.variant == Variant::TwoChannel)
     return std::make_unique<FastEngine<Alg2Policy>>(
         g, make_lmax(g, config.variant, config.c1), config.seed, config.noise,
-        config.duplex, config.kernel, config.shard_threads);
+        config.duplex, config.kernel, config.shard_threads,
+        config.phase_telemetry);
   return std::make_unique<FastEngine<Alg1Policy>>(
       g, make_lmax(g, config.variant, config.c1), config.seed, config.noise,
-      config.duplex, config.kernel, config.shard_threads);
+      config.duplex, config.kernel, config.shard_threads,
+      config.phase_telemetry);
 }
 
 std::vector<graph::VertexId> corrupt_random(Engine& engine, std::size_t count,

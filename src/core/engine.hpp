@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -72,6 +73,46 @@ KernelKind resolve_kernel(KernelKind kind) noexcept;
 /// Still a pure function of its inputs, so determinism gates hold.
 KernelKind resolve_kernel(KernelKind kind, std::size_t shard_threads) noexcept;
 
+/// The sharded kernel's barrier-phased round, in execution order. The names
+/// double as tracer span names (static storage, as the tracer requires) and
+/// as the `phase_ms` keys of the beepmis.timeseries.v1 artifact.
+inline constexpr std::size_t kShardPhaseCount = 6;
+inline constexpr const char* kShardPhaseNames[kShardPhaseCount] = {
+    "shard.decide", "shard.stamp",  "shard.update",
+    "shard.apply",  "shard.settle", "shard.fold"};
+inline constexpr const char* kShardPhaseKeys[kShardPhaseCount] = {
+    "decide", "stamp", "update", "apply", "settle", "fold"};
+
+/// Cumulative phase telemetry of a sharded-kernel run, accumulated only over
+/// instrumented rounds (config.phase_telemetry or a live tracing session).
+/// Everything is a running total so samplers can diff two snapshots to get
+/// exact per-window means without the kernel keeping any history:
+/// per-round phase wall = phase_ms[i] / rounds, load imbalance over a window
+/// = Δmax_busy_ms / (Δbusy_ms / shards), barrier-wait share
+/// = barrier_wait_ms / (barrier_wait_ms + busy_ms). The work counters are
+/// deterministic vertex tallies (crosser rows excepted — those depend on the
+/// shard layout), summed over shards and rounds.
+struct ShardTelemetry {
+  std::size_t shards = 0;     ///< shard == worker count of the private pool
+  std::uint64_t rounds = 0;   ///< instrumented rounds folded into the totals
+  std::array<double, kShardPhaseCount> phase_ms{};  ///< coordinator wall
+  double busy_ms = 0.0;          ///< Σ rounds Σ shards task-body time
+  double max_busy_ms = 0.0;      ///< Σ rounds max-shard task-body time
+  double barrier_wait_ms = 0.0;  ///< Σ rounds Σ phases idle-at-barrier time
+  std::uint64_t active_vertices = 0;     ///< pre-round |active|
+  std::uint64_t coin_beepers = 0;        ///< coin-frontier beepers
+  std::uint64_t crosser_rows = 0;        ///< cross-shard delta rows (dp+dc)
+  std::uint64_t settled_candidates = 0;  ///< settlement candidates harvested
+
+  /// max/mean per-shard busy time over the accumulated rounds (1.0 =
+  /// perfectly balanced); 0 when nothing was accumulated.
+  double imbalance() const noexcept {
+    return busy_ms > 0.0 && shards > 0
+               ? max_busy_ms / (busy_ms / static_cast<double>(shards))
+               : 0.0;
+  }
+};
+
 /// Everything make_engine needs besides the graph. A run is a pure function
 /// of (graph, config): the seed fixes per-node streams, noise draws, and —
 /// via the caller's derived init/fault streams — the whole trajectory.
@@ -89,6 +130,11 @@ struct EngineConfig {
   /// derived from the graph alone and every phase writes only shard-owned
   /// state (see docs/architecture.md, "Intra-round sharding").
   std::size_t shard_threads = 1;
+  /// Collect ShardTelemetry every round even without a tracing session (the
+  /// sharded kernel also collects whenever the tracer is live). Never changes
+  /// a result — only clock reads and shard-owned tallies; the
+  /// BM_EngineRunSharded_Telemetry bench pair holds the cost at <= 2%.
+  bool phase_telemetry = false;
 };
 
 /// Uniform runtime interface over the self-stabilizing MIS executors: the
@@ -140,6 +186,14 @@ class Engine {
   /// Routes internal timers into `registry` (may be null to detach; a no-op
   /// for engines without internal instrumentation).
   virtual void set_metrics(obs::MetricsRegistry* registry) = 0;
+
+  /// Snapshots the cumulative shard-phase telemetry. Returns false (leaving
+  /// `out` untouched) on executors without a sharded kernel or when nothing
+  /// was accumulated yet — callers degrade to round-only sampling.
+  virtual bool shard_telemetry(ShardTelemetry* out) const {
+    (void)out;
+    return false;
+  }
 };
 
 /// Builds the requested executor for `config.variant` on `g`. EngineKind::

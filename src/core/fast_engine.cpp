@@ -13,7 +13,8 @@ template <typename Policy>
 FastEngine<Policy>::FastEngine(const graph::Graph& g, LmaxVector lmax,
                                std::uint64_t seed, beep::ChannelNoise noise,
                                beep::Duplex duplex, KernelKind kernel,
-                               std::size_t shard_threads)
+                               std::size_t shard_threads,
+                               bool phase_telemetry)
     : graph_(&g),
       lmax_(std::move(lmax)),
       seed_(seed),
@@ -51,11 +52,17 @@ FastEngine<Policy>::FastEngine(const graph::Graph& g, LmaxVector lmax,
   ctx.seed = seed_;
   ctx.half = duplex_ == beep::Duplex::Half;
   ctx.shard_threads = shard_threads;
+  ctx.telemetry = phase_telemetry;
   kernel_ = make_round_kernel<Policy>(kernel_kind_, ctx);
 }
 
 template <typename Policy>
 FastEngine<Policy>::~FastEngine() = default;
+
+template <typename Policy>
+bool FastEngine<Policy>::shard_telemetry(ShardTelemetry* out) const {
+  return kernel_ != nullptr && kernel_->shard_telemetry(out);
+}
 
 template <typename Policy>
 bool FastEngine<Policy>::member_settled(graph::VertexId v) const {

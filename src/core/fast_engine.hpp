@@ -194,11 +194,13 @@ class FastEngine final : public Engine {
   /// `shard_threads` sizes the sharded kernel's private worker pool (only
   /// read when the resolved kernel is Sharded; Auto resolves to Sharded
   /// whenever shard_threads != 1): 1 = serial, 0 = one per hardware thread.
+  /// `phase_telemetry` makes the sharded kernel collect ShardTelemetry every
+  /// round (it always collects while a tracing session is live).
   FastEngine(const graph::Graph& g, LmaxVector lmax, std::uint64_t seed,
              beep::ChannelNoise noise = {},
              beep::Duplex duplex = beep::Duplex::Full,
              KernelKind kernel = KernelKind::Auto,
-             std::size_t shard_threads = 1);
+             std::size_t shard_threads = 1, bool phase_telemetry = false);
   ~FastEngine() override;  // out-of-line: RoundKernel is incomplete here
 
   std::string name() const override {
@@ -264,6 +266,10 @@ class FastEngine final : public Engine {
         registry ? &registry->digest(prefix + ".refresh_settlement_ns")
                  : nullptr;
   }
+
+  /// Delegates to the round kernel: true with the sharded kernel once any
+  /// instrumented round has run, false otherwise.
+  bool shard_telemetry(ShardTelemetry* out) const override;
 
  private:
   // The settlement bookkeeping is a cache over levels_ (rebuilt lazily

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <functional>
 #include <span>
 
 #include "src/core/fast_engine.hpp"
 #include "src/core/kernel_simd.hpp"
 #include "src/graph/packed.hpp"
+#include "src/obs/trace.hpp"
 #include "src/support/check.hpp"
 #include "src/support/task_pool.hpp"
 
@@ -761,7 +763,10 @@ class ShardedKernel final : public RoundKernel<Policy> {
  public:
   explicit ShardedKernel(const KernelContext<Policy>& ctx)
       : ctx_(ctx),
-        pool_(support::TaskPool::resolve_thread_count(ctx.shard_threads)) {
+        // The pool label gives the private pool's workers their own trace
+        // tracks ("shard-worker-N") — see obs::detail::PoolHook.
+        pool_(support::TaskPool::resolve_thread_count(ctx.shard_threads),
+              "shard") {
     const std::size_t n = ctx_.levels->size();
     words_ = (n + 63) / 64;
     // One shard per worker, clamped so no shard is empty of words; the
@@ -793,6 +798,14 @@ class ShardedKernel final : public RoundKernel<Policy> {
     apply_fn_ = [this](std::size_t si) { apply(si); };
     phase3a_fn_ = [this](std::size_t si) { phase3a(si); };
     phase3b_fn_ = [this](std::size_t si) { phase3b(si); };
+    // Telemetry wrapper, bound once like the phase bodies: clocks the task
+    // body into the shard's own busy tally (shard-owned, so no contention;
+    // the pool's batch mutex orders the timed_inner_ hand-off).
+    timed_fn_ = [this](std::size_t si) {
+      const auto t0 = TelClock::now();
+      (*timed_inner_)(si);
+      shards_[si].busy_ns += elapsed_ns(t0, TelClock::now());
+    };
   }
 
   const char* name() const noexcept override { return "sharded"; }
@@ -816,15 +829,28 @@ class ShardedKernel final : public RoundKernel<Policy> {
     round_state_ = support::counter_round_state(ctx_.seed, round);
     observing_ = observing;
 
-    pool_.parallel_for(shards_.size(), phase1_fn_);
+    // Telemetry is pure observation — clock reads, shard-owned tallies and
+    // (when tracing) span records; nothing below branches on it, so results
+    // stay byte-identical with the layer on or off.
+    tel_round_ = ctx_.telemetry || obs::Tracer::active();
+    std::uint64_t round_active = 0;
+    if (tel_round_) {
+      for (Shard& sh : shards_) {
+        sh.busy_ns = 0;
+        round_active += sh.active.size();  // pre-round |active|, pre-prune
+      }
+      round_wall_ns_ = 0;
+    }
+
+    run_phase(0, phase1_fn_);  // shard.decide
     // Barrier: stamp reads every shard's coin frontier.
-    pool_.parallel_for(shards_.size(), stamp_fn_);
+    run_phase(1, stamp_fn_);  // shard.stamp
     // Barrier: phase 2 reads any shard's heard words and counts.
-    pool_.parallel_for(shards_.size(), phase2_fn_);
+    run_phase(2, phase2_fn_);  // shard.update
     // Barrier: apply reads every shard's crosser lists.
-    pool_.parallel_for(shards_.size(), apply_fn_);
+    run_phase(3, apply_fn_);  // shard.apply
     // Barrier: 3a reads the (now frozen) counts.
-    pool_.parallel_for(shards_.size(), phase3a_fn_);
+    run_phase(4, phase3a_fn_);  // shard.settle (member half)
     full_scan_ = false;
 
     // Coordinator fold, ascending shard order: the round's only cross-shard
@@ -832,6 +858,8 @@ class ShardedKernel final : public RoundKernel<Policy> {
     // mis tally. All OR-sets and integer sums — commutative, so the
     // ascending order is a convention the serial stream shares, not a
     // correctness requirement.
+    TelClock::time_point f0;
+    if (tel_round_) f0 = TelClock::now();
     bool any_settled = false;
     for (Shard& sh : shards_) {
       *ctx_.mis_count += sh.mis_settled;
@@ -841,10 +869,17 @@ class ShardedKernel final : public RoundKernel<Policy> {
           member_nb_mask_[u >> 6] |= 1ull << (u & 63u);
       }
     }
+    if (tel_round_) {
+      const auto f1 = TelClock::now();
+      tel_phase_ns_[5] += elapsed_ns(f0, f1);
+      if (obs::Tracer::active())
+        obs::Tracer::complete(kShardPhaseNames[5], f0, f1);
+    }
 
     // Barrier above: 3b reads the member-neighbor words the fold just wrote.
-    pool_.parallel_for(shards_.size(), phase3b_fn_);
+    run_phase(4, phase3b_fn_);  // shard.settle (dominated half)
 
+    if (tel_round_) f0 = TelClock::now();
     for (const Shard& sh : shards_) {
       census.active_beeps[0] += sh.census.active_beeps[0];
       census.active_beeps[1] += sh.census.active_beeps[1];
@@ -856,6 +891,29 @@ class ShardedKernel final : public RoundKernel<Policy> {
       any_settled |= sh.any_settled;
     }
     if (any_settled) prune_active(ctx_);
+    if (tel_round_) {
+      const auto f1 = TelClock::now();
+      tel_phase_ns_[5] += elapsed_ns(f0, f1);
+      if (obs::Tracer::active())
+        obs::Tracer::complete(kShardPhaseNames[5], f0, f1);
+      finish_round_telemetry(round, round_active);
+    }
+  }
+
+  bool shard_telemetry(ShardTelemetry* out) const override {
+    if (tel_rounds_ == 0) return false;
+    out->shards = shards_.size();
+    out->rounds = tel_rounds_;
+    for (std::size_t i = 0; i < kShardPhaseCount; ++i)
+      out->phase_ms[i] = static_cast<double>(tel_phase_ns_[i]) / 1e6;
+    out->busy_ms = static_cast<double>(tel_busy_ns_) / 1e6;
+    out->max_busy_ms = static_cast<double>(tel_max_busy_ns_) / 1e6;
+    out->barrier_wait_ms = static_cast<double>(tel_barrier_ns_) / 1e6;
+    out->active_vertices = tel_active_;
+    out->coin_beepers = tel_coin_;
+    out->crosser_rows = tel_crossers_;
+    out->settled_candidates = tel_cand_;
+    return true;
   }
 
  private:
@@ -875,9 +933,83 @@ class ShardedKernel final : public RoundKernel<Policy> {
     std::vector<std::uint32_t> dp_idx, dc_idx, sc_idx;
     SparseCensus census;
     std::uint32_t mis_settled = 0;
+    std::uint64_t busy_ns = 0;  ///< this round's task-body time (telemetry)
     bool sweep = false;  ///< this round took the dense sweep path
     bool any_settled = false;
   };
+
+  using TelClock = std::chrono::steady_clock;
+
+  static std::uint64_t elapsed_ns(TelClock::time_point a,
+                                  TelClock::time_point b) noexcept {
+    return b <= a ? 0
+                  : static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            b - a)
+                            .count());
+  }
+
+  /// One barrier-phased parallel step. Without telemetry this is exactly
+  /// the bare parallel_for; with it, the coordinator clocks the phase wall
+  /// (emitting the named span when tracing) and the timed wrapper clocks
+  /// each shard's task body into its busy tally.
+  void run_phase(std::size_t pi, const std::function<void(std::size_t)>& fn) {
+    if (!tel_round_) {
+      pool_.parallel_for(shards_.size(), fn);
+      return;
+    }
+    const auto t0 = TelClock::now();
+    timed_inner_ = &fn;
+    pool_.parallel_for(shards_.size(), timed_fn_);
+    const auto t1 = TelClock::now();
+    tel_phase_ns_[pi] += elapsed_ns(t0, t1);
+    round_wall_ns_ += elapsed_ns(t0, t1);
+    if (obs::Tracer::active()) obs::Tracer::complete(kShardPhaseNames[pi], t0, t1);
+  }
+
+  /// Round-end telemetry fold: per-shard busy -> busy/max-busy/barrier
+  /// totals, work-counter sums (the per-round lists are stable until the
+  /// next round's phase 1 clears them), and — at the tracer's counter
+  /// cadence — the derived per-round gauges as counter tracks.
+  void finish_round_telemetry(std::uint64_t round, std::uint64_t active) {
+    std::uint64_t busy = 0, max_busy = 0;
+    std::uint64_t coin = 0, crossers = 0, cand = 0;
+    for (const Shard& sh : shards_) {
+      busy += sh.busy_ns;
+      max_busy = std::max(max_busy, sh.busy_ns);
+      coin += sh.coin.size();
+      crossers += sh.dp.size() + sh.dc.size();
+      cand += sh.settle_cand.size();
+    }
+    ++tel_rounds_;
+    tel_busy_ns_ += busy;
+    tel_max_busy_ns_ += max_busy;
+    // Idle-at-barrier time: each parallel phase holds shards_.size() tasks
+    // hostage until the slowest finishes, so the round's idle is the phase
+    // walls times the shard count minus the total busy time.
+    const std::uint64_t held = round_wall_ns_ * shards_.size();
+    tel_barrier_ns_ += held > busy ? held - busy : 0;
+    tel_active_ += active;
+    tel_coin_ += coin;
+    tel_crossers_ += crossers;
+    tel_cand_ += cand;
+    if (const std::uint64_t k = obs::Tracer::counter_interval();
+        k != 0 && round % k == 0 && obs::Tracer::active()) {
+      const double mean_busy =
+          static_cast<double>(busy) / static_cast<double>(shards_.size());
+      obs::Tracer::counter("shard.imbalance",
+                           mean_busy > 0.0
+                               ? static_cast<double>(max_busy) / mean_busy
+                               : 0.0);
+      obs::Tracer::counter("shard.barrier_wait_ms",
+                           static_cast<double>(held > busy ? held - busy : 0) /
+                               1e6);
+      obs::Tracer::counter("shard.active", static_cast<double>(active));
+      obs::Tracer::counter("shard.coin", static_cast<double>(coin));
+      obs::Tracer::counter("shard.crossers", static_cast<double>(crossers));
+      obs::Tracer::counter("shard.settle_cand", static_cast<double>(cand));
+    }
+  }
 
   /// Restrict a CSR row to the shard's own vertices. Neighborhoods are
   /// sorted (enforced at graph build), so the intersection is two binary
@@ -1167,6 +1299,22 @@ class ShardedKernel final : public RoundKernel<Policy> {
   std::function<void(std::size_t)> phase1_fn_, stamp_fn_;
   std::function<void(std::size_t)> phase2_fn_, apply_fn_;
   std::function<void(std::size_t)> phase3a_fn_, phase3b_fn_;
+  // Phase telemetry (see ShardTelemetry): cumulative over instrumented
+  // rounds, all coordinator-owned — workers only ever write their own
+  // shard's busy_ns through timed_fn_.
+  std::function<void(std::size_t)> timed_fn_;
+  const std::function<void(std::size_t)>* timed_inner_ = nullptr;
+  bool tel_round_ = false;        // collecting this round
+  std::uint64_t round_wall_ns_ = 0;  // this round's parallel-phase wall
+  std::uint64_t tel_rounds_ = 0;
+  std::uint64_t tel_phase_ns_[kShardPhaseCount] = {};
+  std::uint64_t tel_busy_ns_ = 0;
+  std::uint64_t tel_max_busy_ns_ = 0;
+  std::uint64_t tel_barrier_ns_ = 0;
+  std::uint64_t tel_active_ = 0;
+  std::uint64_t tel_coin_ = 0;
+  std::uint64_t tel_crossers_ = 0;
+  std::uint64_t tel_cand_ = 0;
 };
 
 }  // namespace

@@ -66,6 +66,10 @@ struct KernelContext {
   /// Worker threads for the sharded kernel's private TaskPool (0 = one per
   /// hardware thread, 1 = inline serial). Ignored by the serial kernels.
   std::size_t shard_threads = 1;
+  /// Collect per-phase ShardTelemetry every round, tracing session or not
+  /// (the sharded kernel always collects while the tracer is live). Ignored
+  /// by the serial kernels.
+  bool telemetry = false;
 };
 
 /// One fault-free, noise-free round of FastEngine<Policy>: beep decisions
@@ -94,6 +98,13 @@ class RoundKernel {
   /// out-of-band write — set_level refresh, corruption resettle. Called
   /// lazily by the engine before the next step_sparse.
   virtual void rebuild() = 0;
+
+  /// Snapshots cumulative phase telemetry (sharded kernel only): false on
+  /// the serial kernels and before any instrumented round has run.
+  virtual bool shard_telemetry(ShardTelemetry* out) const {
+    (void)out;
+    return false;
+  }
 };
 
 /// Builds the requested kernel over `ctx`. KernelKind::Auto must be resolved

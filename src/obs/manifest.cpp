@@ -1,11 +1,37 @@
 #include "src/obs/manifest.hpp"
 
+#include <cstdio>
+#include <cstring>
 #include <ctime>
 #include <ostream>
 
 #include "src/obs/json.hpp"
 
 namespace beepmis::obs {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  // VmHWM ("high water mark") is the process's peak resident set; reading it
+  // at manifest-finalize time captures the whole run's footprint. The field
+  // is kilobytes per proc(5).
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      if (std::sscanf(line + 6, "%llu",
+                      reinterpret_cast<unsigned long long*>(&kb)) != 1)
+        kb = 0;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  return 0;
+#endif
+}
 
 std::string build_compiler() {
 #if defined(__clang__)
@@ -96,6 +122,12 @@ void write_run_json(std::ostream& os, const RunManifest& m,
   w.key("obs").begin_object();
   w.field("trace_dropped", m.trace_dropped);
   w.field("profiling", m.profiling);
+  // Peak RSS sampled here, at finalize, so it covers the whole run; the
+  // string form keeps the graceful-degradation convention of "profiling".
+  if (const std::uint64_t rss = peak_rss_bytes(); rss != 0)
+    w.field("peak_rss_bytes", rss);
+  else
+    w.field("peak_rss", "unavailable");
   w.end_object();
 
   w.key("extra").begin_object();

@@ -70,6 +70,11 @@ bool build_git_dirty();
 /// Current UTC time as ISO-8601 ("2026-08-07T12:34:56Z").
 std::string timestamp_utc();
 
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status); 0 where the kernel does not expose it (non-Linux) —
+/// write_run_json then records "peak_rss": "unavailable" instead of a size.
+std::uint64_t peak_rss_bytes();
+
 /// Writes the full run document:
 ///   {"schema": "beepmis.run.v1", "tool": ..., "timestamp": ...,
 ///    "seed": ..., "graph": {...}, "algorithm": {...}, "build": {...},

@@ -17,12 +17,13 @@ namespace {
 /// to "pool.task".
 class PoolHook final : public support::TaskPool::Observer {
  public:
-  void on_task_start(std::size_t /*worker_index*/,
+  void on_task_start(const char* /*pool_label*/, std::size_t /*worker_index*/,
                      std::size_t /*task_index*/) override {
     t_perf_armed = PerfSession::begin(&t_perf_start);
   }
 
-  void on_task(std::size_t worker_index, std::size_t task_index,
+  void on_task(const char* pool_label, std::size_t worker_index,
+               std::size_t task_index,
                std::chrono::steady_clock::time_point start,
                std::chrono::steady_clock::time_point end) override {
     if (t_perf_armed) {
@@ -30,13 +31,26 @@ class PoolHook final : public support::TaskPool::Observer {
       PerfSession::end("pool.task", t_perf_start);
     }
     if (!Tracer::active()) return;
+    // Track naming. Anonymous pools own the generic names: worker 0 is the
+    // calling thread ("main"), spawned workers are "pool-worker-N". Labeled
+    // pools are *private* — their batches may run inside another pool's
+    // task — so their spawned workers get "<label>-worker-N" tracks and
+    // worker 0 (the caller, which already has an identity: "main" or an
+    // outer pool's worker) is never relabeled.
+    thread_local const char* labeled_pool = nullptr;
     thread_local std::size_t labeled_as = static_cast<std::size_t>(-1);
-    if (labeled_as != worker_index) {
+    if (labeled_pool != pool_label || labeled_as != worker_index) {
+      labeled_pool = pool_label;
       labeled_as = worker_index;
-      Tracer::set_thread_label(worker_index == 0
-                                   ? std::string("main")
-                                   : "pool-worker-" +
-                                         std::to_string(worker_index));
+      if (pool_label == nullptr) {
+        Tracer::set_thread_label(worker_index == 0
+                                     ? std::string("main")
+                                     : "pool-worker-" +
+                                           std::to_string(worker_index));
+      } else if (worker_index != 0) {
+        Tracer::set_thread_label(std::string(pool_label) + "-worker-" +
+                                 std::to_string(worker_index));
+      }
     }
     Tracer::complete("pool.task", start, end,
                      static_cast<std::uint64_t>(task_index),

@@ -231,6 +231,9 @@ bool ReportBuilder::add_document(const JsonValue& doc,
   }
   if (schema == "beepmis.trace.v1") {
     sources_.push_back(source);
+    const auto dropped = static_cast<std::uint64_t>(
+        doc.get("dropped_total").as_number(0.0));
+    if (dropped > 0) dropped_sources_.emplace_back(source, dropped);
     // Every complete ("X") event feeds the per-span duration digest; the
     // trace's context block keys the cell next to the stabilization rows.
     const JsonValue& ctx = doc.get("context");
@@ -241,11 +244,59 @@ bool ReportBuilder::add_document(const JsonValue& doc,
     auto n = static_cast<std::uint64_t>(ctx.get("n").as_number(0.0));
     if (n == 0)
       n = std::strtoull(ctx.get("n").as_string("0").c_str(), nullptr, 10);
+    const std::uint64_t shards = context_u64(ctx, "shards");
+    const PhaseKey shard_key{algorithm, family, n, shards};
     for (const JsonValue& th : doc.get("threads").array) {
       for (const JsonValue& ev : th.get("events").array) {
-        if (ev.get("ph").as_string() != "X") continue;
-        spans_[{algorithm, family, n, ev.get("name").as_string("?")}].add(
+        const std::string ph = ev.get("ph").as_string();
+        const std::string name = ev.get("name").as_string("?");
+        if (ph == "C") {
+          // Per-round shard counters feed the imbalance digests.
+          if (name == "shard.imbalance")
+            shard_[shard_key].imbalance.add(ev.get("value").as_number(0.0));
+          else if (name == "shard.barrier_wait_ms")
+            shard_[shard_key].barrier_ms.add(
+                ev.get("value").as_number(0.0));
+          continue;
+        }
+        if (ph != "X") continue;
+        spans_[{algorithm, family, n, name}].add(
             ev.get("dur_ns").as_number(0.0));
+        // "shard.<phase>" spans additionally feed the phase-breakdown
+        // table, which (unlike the span table) is keyed by shard count.
+        for (std::size_t p = 0; p < kTimeSeriesPhases; ++p)
+          if (name == std::string("shard.") + kTimeSeriesPhaseKeys[p])
+            shard_[shard_key].phase_ns[p].add(
+                ev.get("dur_ns").as_number(0.0));
+      }
+    }
+    return true;
+  }
+  if (schema == "beepmis.timeseries.v1") {
+    std::string verror;
+    if (!timeseries_validate(doc, &verror)) {
+      if (error != nullptr) *error = source + ": " + verror;
+      return false;
+    }
+    sources_.push_back(source);
+    const JsonValue& ctx = doc.get("context");
+    const std::string algorithm = ctx.get("algorithm").as_string("?");
+    const std::string family = ctx.get("family").as_string("?");
+    const std::uint64_t n = context_u64(ctx, "n");
+    const std::uint64_t shards = context_u64(ctx, "shards");
+    ShardAccum& acc = shard_[{algorithm, family, n, shards}];
+    RoundMsSample& curve = round_ms_[{algorithm, family}][n];
+    for (const JsonValue& s : doc.get("samples").array) {
+      const JsonValue& timing = s.get("timing");
+      const double round_ms = timing.get("round_ms").as_number(0.0);
+      if (round_ms > 0.0) {
+        curve.sum += round_ms;
+        curve.count += 1;
+      }
+      const double imbalance = timing.get("imbalance").as_number(0.0);
+      if (imbalance > 0.0) {
+        acc.imbalance.add(imbalance);
+        acc.barrier_ms.add(timing.get("barrier_ms").as_number(0.0));
       }
     }
     return true;
@@ -520,6 +571,75 @@ std::vector<ReportBuilder::SpanRow> ReportBuilder::span_rows() const {
   return out;
 }
 
+std::vector<ReportBuilder::GrowthFitRow> ReportBuilder::round_ms_fit_rows()
+    const {
+  std::vector<GrowthFitRow> out;
+  for (const auto& [key, curve] : round_ms_) {
+    std::vector<double> ns, ys;
+    for (const auto& [n, s] : curve) {
+      if (n < 3 || s.count == 0) continue;  // regressors need log log n > 0
+      ns.push_back(static_cast<double>(n));
+      ys.push_back(s.sum / static_cast<double>(s.count));
+    }
+    // Same rule as the round-count fits: a two-point curve matches every
+    // model exactly, so demand three sizes before claiming a shape.
+    if (ns.size() < 3) continue;
+    const auto ranked = support::rank_growth_models(ns, ys);
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      const auto& [model, fit] = ranked[i];
+      out.push_back({key.first, key.second,
+                     support::growth_model_name(model), fit.slope,
+                     fit.intercept, fit.r2, fit.rmse,
+                     static_cast<std::uint64_t>(ns.size()), i == 0});
+    }
+  }
+  return out;
+}
+
+std::vector<ReportBuilder::PhaseRow> ReportBuilder::phase_rows() const {
+  std::vector<PhaseRow> out;
+  for (const auto& [key, acc] : shard_) {
+    PhaseRow r;
+    r.algorithm = std::get<0>(key);
+    r.family = std::get<1>(key);
+    r.n = std::get<2>(key);
+    r.shards = std::get<3>(key);
+    bool any = false;
+    for (std::size_t p = 0; p < kTimeSeriesPhases; ++p) {
+      if (acc.phase_ns[p].count() == 0) continue;
+      r.mean_ns[p] = acc.phase_ns[p].mean();
+      any = true;
+    }
+    if (!any) continue;  // imbalance-only cell (timeseries input)
+    // One decide span per round; settle/fold record two spans per round,
+    // which the mean already absorbs per occurrence.
+    r.rounds = acc.phase_ns[0].count();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<ReportBuilder::ImbalanceRow> ReportBuilder::imbalance_rows()
+    const {
+  std::vector<ImbalanceRow> out;
+  for (const auto& [key, acc] : shard_) {
+    if (acc.imbalance.count() == 0) continue;
+    ImbalanceRow r;
+    r.algorithm = std::get<0>(key);
+    r.family = std::get<1>(key);
+    r.n = std::get<2>(key);
+    r.shards = std::get<3>(key);
+    r.samples = acc.imbalance.count();
+    r.mean = acc.imbalance.mean();
+    r.p95 = acc.imbalance.quantile(0.95);
+    r.max = acc.imbalance.max();
+    r.barrier_ms_mean =
+        acc.barrier_ms.count() > 0 ? acc.barrier_ms.mean() : 0.0;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 std::vector<ReportBuilder::ProfileRow> ReportBuilder::profile_rows() const {
   std::vector<ProfileRow> out;
   for (const auto& [key, acc] : profile_) {
@@ -581,6 +701,16 @@ void ReportBuilder::write_markdown(std::ostream& os,
        << " input(s) were captured from a dirty working tree — their "
           "numbers may not correspond to any commit:";
     for (const std::string& s : dirty_sources_) os << " `" << s << "`";
+    os << "\n\n";
+  }
+
+  if (!dropped_sources_.empty()) {
+    os << "> **Warning:** " << dropped_sources_.size()
+       << " trace input(s) overflowed their ring and dropped spans — "
+          "their quantiles are biased toward the end of the run (rerun "
+          "with a larger --trace-capacity):";
+    for (const auto& [s, d] : dropped_sources_)
+      os << " `" << s << "` (" << d << " dropped)";
     os << "\n\n";
   }
 
@@ -691,6 +821,61 @@ void ReportBuilder::write_markdown(std::ostream& os,
          << fmt("%.0f", r.mean_ns) << " | " << fmt("%.0f", r.p50_ns)
          << " | " << fmt("%.0f", r.p95_ns) << " | " << fmt("%.0f", r.max_ns)
          << " |\n";
+    }
+    os << '\n';
+  }
+
+  const auto phases = phase_rows();
+  if (!phases.empty()) {
+    os << "## Sharded kernel phase breakdown (mean us/span)\n\n";
+    os << "| algorithm | family | n | shards | rounds |";
+    for (std::size_t p = 0; p < kTimeSeriesPhases; ++p)
+      os << ' ' << kTimeSeriesPhaseKeys[p] << " |";
+    os << "\n|---|---|---:|---:|---:|";
+    for (std::size_t p = 0; p < kTimeSeriesPhases; ++p) os << "---:|";
+    os << '\n';
+    for (const PhaseRow& r : phases) {
+      os << "| " << r.algorithm << " | " << r.family << " | " << r.n
+         << " | " << r.shards << " | " << r.rounds << " |";
+      for (std::size_t p = 0; p < kTimeSeriesPhases; ++p)
+        os << ' ' << fmt("%.1f", r.mean_ns[p] / 1e3) << " |";
+      os << '\n';
+    }
+    os << "\n(From `shard.*` spans in traces; settle and fold record two "
+          "spans per round.)\n\n";
+  }
+
+  const auto imbalance = imbalance_rows();
+  if (!imbalance.empty()) {
+    os << "## Shard load imbalance (max/mean busy)\n\n";
+    os << "| algorithm | family | n | shards | samples | mean | p95 | max | "
+          "barrier ms/round |\n";
+    os << "|---|---|---:|---:|---:|---:|---:|---:|---:|\n";
+    for (const ImbalanceRow& r : imbalance) {
+      os << "| " << r.algorithm << " | " << r.family << " | " << r.n
+         << " | " << r.shards << " | " << r.samples << " | "
+         << fmt("%.2f", r.mean) << " | " << fmt("%.2f", r.p95) << " | "
+         << fmt("%.2f", r.max) << " | " << fmt("%.3f", r.barrier_ms_mean)
+         << " |\n";
+    }
+    os << "\n(1.00 = perfectly balanced shards; from trace counters and "
+          "timeseries timing blocks.)\n\n";
+  }
+
+  const auto round_fits = round_ms_fit_rows();
+  if (!round_fits.empty()) {
+    os << "## Wall-time-per-round growth fits (timeseries round_ms)\n\n";
+    os << "Work per round should grow near-linearly in n (each round "
+          "touches O(n + m) state); `*` marks the best-R² model per "
+          "(algorithm, family) curve.\n\n";
+    os << "| algorithm | family | model | slope | intercept | R² | "
+          "rmse | sizes |\n";
+    os << "|---|---|---|---:|---:|---:|---:|---:|\n";
+    for (const GrowthFitRow& r : round_fits) {
+      os << "| " << r.algorithm << " | " << r.family << " | " << r.model
+         << (r.best ? " `*`" : "") << " | " << fmt("%.4f", r.slope) << " | "
+         << fmt("%.3f", r.intercept) << " | " << fmt("%.4f", r.r2) << " | "
+         << fmt("%.3f", r.rmse) << " | " << r.sizes << " |\n";
     }
     os << '\n';
   }
@@ -890,6 +1075,54 @@ void ReportBuilder::write_json(std::ostream& os, double tolerance) const {
   }
   w.end_array();
 
+  w.key("phase_breakdown").begin_array();
+  for (const PhaseRow& r : phase_rows()) {
+    w.begin_object();
+    w.field("algorithm", r.algorithm);
+    w.field("family", r.family);
+    w.field("n", r.n);
+    w.field("shards", r.shards);
+    w.field("rounds", r.rounds);
+    w.key("mean_ns").begin_object();
+    for (std::size_t p = 0; p < kTimeSeriesPhases; ++p)
+      w.field(kTimeSeriesPhaseKeys[p], r.mean_ns[p]);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("imbalance").begin_array();
+  for (const ImbalanceRow& r : imbalance_rows()) {
+    w.begin_object();
+    w.field("algorithm", r.algorithm);
+    w.field("family", r.family);
+    w.field("n", r.n);
+    w.field("shards", r.shards);
+    w.field("samples", r.samples);
+    w.field("mean", r.mean);
+    w.field("p95", r.p95);
+    w.field("max", r.max);
+    w.field("barrier_ms_mean", r.barrier_ms_mean);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("round_ms_fits").begin_array();
+  for (const GrowthFitRow& r : round_ms_fit_rows()) {
+    w.begin_object();
+    w.field("algorithm", r.algorithm);
+    w.field("family", r.family);
+    w.field("model", r.model);
+    w.field("slope", r.slope);
+    w.field("intercept", r.intercept);
+    w.field("r2", r.r2);
+    w.field("rmse", r.rmse);
+    w.field("sizes", r.sizes);
+    w.field("best", r.best);
+    w.end_object();
+  }
+  w.end_array();
+
   // Absent metrics (host denied the counters) are omitted, not emitted as
   // sentinels — consumers key on field presence.
   w.key("profile").begin_array();
@@ -914,6 +1147,15 @@ void ReportBuilder::write_json(std::ostream& os, double tolerance) const {
 
   w.key("dirty_inputs").begin_array();
   for (const std::string& s : dirty_sources_) w.value(s);
+  w.end_array();
+
+  w.key("dropped_trace_inputs").begin_array();
+  for (const auto& [s, d] : dropped_sources_) {
+    w.begin_object();
+    w.field("source", s);
+    w.field("dropped", d);
+    w.end_object();
+  }
   w.end_array();
 
   w.key("anomalies").begin_array();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -11,6 +12,7 @@
 
 #include "src/obs/json_parse.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/timeseries.hpp"
 
 namespace beepmis::obs {
 
@@ -149,6 +151,36 @@ class ReportBuilder {
     bool best = false;
   };
 
+  /// Sharded-kernel phase breakdown for one (algorithm, family, n, shards)
+  /// cell: mean wall ns per occurrence of each "shard.<phase>" span,
+  /// aggregated over every ingested trace. The shard count comes from the
+  /// trace context's "shards" entry (0 when absent — pre-telemetry traces).
+  struct PhaseRow {
+    std::string algorithm;
+    std::string family;
+    std::uint64_t n = 0;
+    std::uint64_t shards = 0;
+    std::uint64_t rounds = 0;  ///< decide-span count (one per round)
+    std::array<double, kTimeSeriesPhases> mean_ns{};
+  };
+
+  /// Load-imbalance digest for one (algorithm, family, n, shards) cell, fed
+  /// by "shard.imbalance"/"shard.barrier_wait_ms" counter samples from
+  /// traces and by the per-sample timing blocks of ingested
+  /// beepmis.timeseries.v1 documents. Imbalance 1.0 = perfectly balanced
+  /// shards; barrier_ms is idle-at-barrier wall ms per round.
+  struct ImbalanceRow {
+    std::string algorithm;
+    std::string family;
+    std::uint64_t n = 0;
+    std::uint64_t shards = 0;
+    std::uint64_t samples = 0;
+    double mean = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+    double barrier_ms_mean = 0.0;
+  };
+
   /// Span-duration quantiles for one (algorithm, family, n, span name)
   /// cell, aggregated over every "X" event in the ingested traces (the
   /// trace document's context block supplies the first three coordinates).
@@ -189,6 +221,14 @@ class ReportBuilder {
 
   std::vector<StabRow> stabilization_rows() const;
   std::vector<GrowthFitRow> growth_fit_rows() const;
+  /// Wall-ms-per-round growth fits from ingested beepmis.timeseries.v1
+  /// documents: per (algorithm, family) curves of mean round_ms over n,
+  /// ranked by the same growth models as the stabilization fits (needs >= 3
+  /// distinct sizes). The empirical work-per-round shape check next to the
+  /// Thm 2.1/2.2 round-count fits.
+  std::vector<GrowthFitRow> round_ms_fit_rows() const;
+  std::vector<PhaseRow> phase_rows() const;
+  std::vector<ImbalanceRow> imbalance_rows() const;
   std::vector<RecoveryRow> recovery_rows() const;
   std::vector<Speedup> speedups() const;
   std::vector<KernelSpeedup> kernel_speedups() const;
@@ -218,6 +258,15 @@ class ReportBuilder {
   /// True when the installed baseline was captured from a dirty tree.
   bool baseline_dirty() const noexcept { return baseline_dirty_; }
 
+  /// Ingested "beepmis.trace.v1" sources whose ring overflowed
+  /// (dropped_total > 0), with the drop count — their span quantiles are
+  /// biased toward the end of the run, so the report warns about them the
+  /// same way it warns about dirty builds.
+  const std::vector<std::pair<std::string, std::uint64_t>>& dropped_sources()
+      const noexcept {
+    return dropped_sources_;
+  }
+
   void write_markdown(std::ostream& os, double tolerance) const;
   /// Writes the "beepmis.report.v1" document.
   void write_json(std::ostream& os, double tolerance) const;
@@ -237,6 +286,23 @@ class ReportBuilder {
   using StabKey = std::tuple<std::string, std::string, std::uint64_t>;
   using SpanKey =
       std::tuple<std::string, std::string, std::uint64_t, std::string>;
+  using PhaseKey =
+      std::tuple<std::string, std::string, std::uint64_t, std::uint64_t>;
+
+  /// Per-cell shard digests: one duration digest per kernel phase plus the
+  /// imbalance/barrier sample digests.
+  struct ShardAccum {
+    std::array<Digest, kTimeSeriesPhases> phase_ns;
+    Digest imbalance;
+    Digest barrier_ms;
+  };
+
+  /// Per-(algorithm, family) wall-ms-per-round curve: n -> summed sample
+  /// means, so repeated documents over the same size merge.
+  struct RoundMsSample {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
 
   struct CounterSum {
     double sum = 0.0;
@@ -285,6 +351,10 @@ class ReportBuilder {
       sweep_;
   std::map<StabKey, RecoveryAccum> recovery_;
   std::map<SpanKey, Digest> spans_;  // span durations from ingested traces
+  std::map<PhaseKey, ShardAccum> shard_;  // shard.* spans + counters
+  std::map<std::pair<std::string, std::string>,
+           std::map<std::uint64_t, RoundMsSample>>
+      round_ms_;  // timeseries wall-ms-per-round curves
   std::map<StabKey, ProfileAccum> profile_;
   std::map<std::string, double> current_cpu_ns_;   // gauge prefix -> cpu_ns
   std::map<std::string, double> baseline_cpu_ns_;
@@ -293,6 +363,7 @@ class ReportBuilder {
   std::vector<DumpAnomaly> dump_anomalies_;
   std::vector<std::string> sources_;
   std::vector<std::string> dirty_sources_;
+  std::vector<std::pair<std::string, std::uint64_t>> dropped_sources_;
   std::string baseline_label_;
   bool have_baseline_ = false;
   bool baseline_dirty_ = false;

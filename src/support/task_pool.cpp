@@ -18,7 +18,8 @@ std::size_t TaskPool::resolve_thread_count(std::size_t requested) noexcept {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-TaskPool::TaskPool(std::size_t threads) : threads_(threads) {
+TaskPool::TaskPool(std::size_t threads, const char* label)
+    : threads_(threads), label_(label) {
   BEEPMIS_CHECK(threads >= 1, "TaskPool needs at least one thread");
   workers_.reserve(threads - 1);
   for (std::size_t i = 0; i + 1 < threads; ++i)
@@ -53,7 +54,7 @@ void TaskPool::run_tasks(std::unique_lock<std::mutex>& lock,
     Observer* const obs = observer_.load(std::memory_order_acquire);
     std::chrono::steady_clock::time_point start;
     if (obs != nullptr) {
-      obs->on_task_start(worker_index, index);
+      obs->on_task_start(label_, worker_index, index);
       start = std::chrono::steady_clock::now();
     }
     std::exception_ptr error;
@@ -63,7 +64,7 @@ void TaskPool::run_tasks(std::unique_lock<std::mutex>& lock,
       error = std::current_exception();
     }
     if (obs != nullptr)
-      obs->on_task(worker_index, index, start,
+      obs->on_task(label_, worker_index, index, start,
                    std::chrono::steady_clock::now());
     lock.lock();
     ++done_;

@@ -45,13 +45,21 @@ class TaskPool {
 
   /// Spawns `threads - 1` workers (the caller is the remaining one).
   /// `threads` must be >= 1; use resolve_thread_count for the 0 convention.
-  explicit TaskPool(std::size_t threads = 1);
+  ///
+  /// `label` names the pool for observers (a static-storage string literal,
+  /// like tracer span names, or nullptr for the anonymous default). Private
+  /// pools — ones whose batches run *inside* another pool's task, like the
+  /// sharded round kernel's — must pass a label: it lets the observer give
+  /// their workers distinct trace tracks instead of fighting the outer
+  /// pool's worker over the generic "main"/"pool-worker-N" names.
+  explicit TaskPool(std::size_t threads = 1, const char* label = nullptr);
   ~TaskPool();
 
   TaskPool(const TaskPool&) = delete;
   TaskPool& operator=(const TaskPool&) = delete;
 
   std::size_t thread_count() const noexcept { return threads_; }
+  const char* label() const noexcept { return label_; }
 
   /// Runs fn(0) .. fn(count - 1) across the pool; returns when every
   /// claimed index has finished. Rethrows the lowest-index exception, if
@@ -70,12 +78,15 @@ class TaskPool {
     /// Called on the executing thread immediately before the task body, so
     /// observers that bracket tasks with begin/end measurements (perf
     /// counter reads) can take their start sample. Default: nothing.
-    virtual void on_task_start(std::size_t /*worker_index*/,
+    virtual void on_task_start(const char* /*pool_label*/,
+                               std::size_t /*worker_index*/,
                                std::size_t /*task_index*/) {}
-    /// One completed task: `worker_index` 0 is the thread that called
-    /// parallel_for, spawned workers are 1..threads-1; start/end bracket
-    /// the task body with a steady-clock pair taken by the pool.
-    virtual void on_task(std::size_t worker_index, std::size_t task_index,
+    /// One completed task: `pool_label` is the executing pool's label()
+    /// (nullptr for anonymous pools), `worker_index` 0 is the thread that
+    /// called parallel_for, spawned workers are 1..threads-1; start/end
+    /// bracket the task body with a steady-clock pair taken by the pool.
+    virtual void on_task(const char* pool_label, std::size_t worker_index,
+                         std::size_t task_index,
                          std::chrono::steady_clock::time_point start,
                          std::chrono::steady_clock::time_point end) = 0;
   };
@@ -94,6 +105,7 @@ class TaskPool {
   static std::atomic<Observer*> observer_;
 
   std::size_t threads_;
+  const char* label_;
   std::vector<std::thread> workers_;
 
   // Current-batch state, all guarded by mu_. Claim and completion are two

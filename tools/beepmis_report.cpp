@@ -3,8 +3,12 @@
 /// Inputs (any mix, via repeated/comma-separated --in): "beepmis.run.v1"
 /// manifests (CLI runs, soak summaries, BENCH_micro.json bench captures),
 /// "beepmis.dump.v1" flight-recorder dumps, "beepmis.trace.v1" span traces,
-/// "beepmis.profile.v1" hardware profiles, and raw JSONL round-event files.
-/// File kind is auto-detected from content.
+/// "beepmis.profile.v1" hardware profiles, "beepmis.timeseries.v1" periodic
+/// samples, and raw JSONL round-event files. File kind is auto-detected
+/// from content. Sharded-kernel traces and timeseries documents feed the
+/// per-(algorithm, family, n, shards) phase-breakdown and load-imbalance
+/// tables, and timeseries round_ms curves get a wall-time-per-round growth
+/// fit next to the Thm 2.1/2.2 round-count fits.
 ///
 /// Output: a markdown report (stdout or --out) with stabilization
 /// percentiles per (algorithm, family, n), the fast-vs-reference speedup
@@ -98,6 +102,19 @@ int main(int argc, char** argv) {
       std::cerr << "beepmis_report: " << error << '\n';
       return 1;
     }
+  }
+
+  // Loud, but not fatal (mirrors the dirty-tree warning): a trace that
+  // overflowed its ring dropped its oldest spans, so its quantiles describe
+  // the end of the run only.
+  if (!builder.dropped_sources().empty()) {
+    std::cerr << "beepmis_report: WARNING: "
+              << builder.dropped_sources().size()
+              << " trace input(s) dropped spans (ring overflow; rerun with "
+                 "a larger --trace-capacity):";
+    for (const auto& [s, d] : builder.dropped_sources())
+      std::cerr << ' ' << s << " (" << d << ")";
+    std::cerr << '\n';
   }
 
   const double tolerance = args.get_double("tolerance");

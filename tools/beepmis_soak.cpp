@@ -74,9 +74,10 @@ struct SoakKnobs {
 
 bool run_scenario(const Scenario& s, std::uint64_t seed,
                   core::EngineKind kind, core::KernelKind kernel,
-                  obs::MetricsRegistry& metrics,
+                  std::size_t shard_threads, obs::MetricsRegistry& metrics,
                   const std::string& dump_path, const SoakKnobs& knobs,
-                  obs::RecoverySummary* recovery_out) {
+                  obs::RecoverySummary* recovery_out,
+                  core::ShardTelemetry* shard_out) {
   obs::ScopedTimer timer(&metrics, "soak.scenario");
   support::Rng grng = support::Rng(seed).derive_stream(1);
   graph::Graph g = exp::make_family(s.family, s.n, grng);
@@ -85,6 +86,11 @@ bool run_scenario(const Scenario& s, std::uint64_t seed,
   config.kind = kind;
   config.kernel = kernel;
   config.seed = seed;
+  config.shard_threads = shard_threads;
+  // Phase telemetry rides along whenever the sharded kernel is in the
+  // rotation, so the heartbeat can report load imbalance; it observes only
+  // (every verdict stays identical with it on or off).
+  config.phase_telemetry = shard_threads != 1;
   auto engine = core::make_engine(g, config);
   engine->set_metrics(&metrics);
 
@@ -178,6 +184,8 @@ bool run_scenario(const Scenario& s, std::uint64_t seed,
   }
   recovery.finalize(engine->round());
   if (recovery_out != nullptr) *recovery_out = recovery.summary();
+  if (shard_out != nullptr && !engine->shard_telemetry(shard_out))
+    *shard_out = core::ShardTelemetry{};
   if (!ok) return false;
   if (!flight.anomalies().empty()) {
     metrics.counter("soak.anomalies").inc(flight.anomalies().size());
@@ -250,6 +258,9 @@ int main(int argc, char** argv) {
   args.add_option("heartbeat", "0",
                   "print scenario-count heartbeat to stderr every K seconds "
                   "(0 = off)");
+  args.add_option("progress-every", "0",
+                  "unified cadence alias for --heartbeat (seconds, matching "
+                  "the beepmis_cli flag name); wins when nonzero");
   args.add_option("metrics-out", "",
                   "write run manifest + metrics JSON to this file at exit");
   args.add_option("flight-dump", "soak.dump.json",
@@ -283,11 +294,18 @@ int main(int argc, char** argv) {
                   "randomly per scenario so both executors get soak coverage");
   args.add_option("kernel", "auto",
                   "fast-engine round kernel: auto | scalar | bit | frontier "
-                  "— auto rotates per scenario so every kernel gets soaked");
+                  "| sharded — auto rotates per scenario so every kernel "
+                  "gets soaked (sharded joins the rotation only when "
+                  "--shard-threads != 1)");
   args.add_option("threads", "1",
                   "worker threads for scenario execution (0 = one per "
                   "hardware thread); the scenario stream, every verdict and "
                   "all non-timing metrics are identical for every value");
+  args.add_option("shard-threads", "1",
+                  "worker threads INSIDE each sharded-kernel round (0 = one "
+                  "per hardware thread); when != 1 the auto kernel rotation "
+                  "gains sharded as a fourth pick and the heartbeat reports "
+                  "phase-imbalance from the folded shard telemetry");
   args.add_option("trace-out", "",
                   "write a beepmis.trace.v1 span trace to this file at exit "
                   "(plus a <name>.chrome.json Perfetto conversion)");
@@ -315,11 +333,19 @@ int main(int argc, char** argv) {
   }
   core::KernelKind kernel_requested;
   if (!core::parse_kernel_kind(args.get("kernel"), &kernel_requested)) {
-    std::fprintf(stderr,
-                 "unknown kernel: %s (try auto, scalar, bit, frontier)\n",
-                 args.get("kernel").c_str());
+    std::fprintf(
+        stderr,
+        "unknown kernel: %s (try auto, scalar, bit, frontier, sharded)\n",
+        args.get("kernel").c_str());
     return 2;
   }
+  const auto shard_threads =
+      static_cast<std::size_t>(args.get_int("shard-threads"));
+  // Sharded only enters the auto rotation when asked for: with the default
+  // --shard-threads 1 the kernel pick stays below(3), so existing seed →
+  // scenario-stream mappings (and therefore all soak artifacts) are
+  // unchanged. 0 means one shard worker per hardware thread, like the CLI.
+  const bool shard_rotation = shard_threads != 1;
 
   const bool tracing = !args.get("trace-out").empty();
   if (tracing) {
@@ -351,7 +377,9 @@ int main(int argc, char** argv) {
   const auto budget = std::chrono::seconds(args.get_int("seconds"));
   const auto scenario_cap =
       static_cast<std::uint64_t>(args.get_int("scenarios"));
-  const auto heartbeat = std::chrono::seconds(args.get_int("heartbeat"));
+  const auto heartbeat = std::chrono::seconds(
+      args.get_int("progress-every") > 0 ? args.get_int("progress-every")
+                                         : args.get_int("heartbeat"));
   const auto start = std::chrono::steady_clock::now();
   auto next_beat = start + heartbeat;
   support::Rng scenario_rng(static_cast<std::uint64_t>(args.get_int("seed")));
@@ -389,7 +417,9 @@ int main(int argc, char** argv) {
     bool ok = true;
     obs::MetricsRegistry scratch;
     obs::RecoverySummary recovery;
+    core::ShardTelemetry telemetry;
   };
+  core::ShardTelemetry shard_total;  // folded in draw order, like the rest
   std::uint64_t ordinal = 0;  // scenarios dispatched so far
   while (!failed && std::chrono::steady_clock::now() - start < budget &&
          (scenario_cap == 0 || ordinal < scenario_cap)) {
@@ -416,15 +446,17 @@ int main(int argc, char** argv) {
       // all three stream-identical kernels, still seed-deterministic.
       core::KernelKind kernel = kernel_requested;
       if (kernel == core::KernelKind::Auto) {
-        const std::uint64_t pick = srng.below(3);
+        const std::uint64_t pick = srng.below(shard_rotation ? 4 : 3);
         kernel = pick == 0   ? core::KernelKind::Scalar
                  : pick == 1 ? core::KernelKind::Bit
-                             : core::KernelKind::Frontier;
+                 : pick == 2 ? core::KernelKind::Frontier
+                             : core::KernelKind::Sharded;
       }
       outcomes[i].ok =
-          run_scenario(s, seed, kind, kernel, outcomes[i].scratch,
+          run_scenario(s, seed, kind, kernel, shard_threads,
+                       outcomes[i].scratch,
                        task_dump_path(dump_base, ordinal + i, parallel),
-                       knobs, &outcomes[i].recovery);
+                       knobs, &outcomes[i].recovery, &outcomes[i].telemetry);
     });
     for (std::size_t i = 0; i < batch; ++i) {
       metrics.counter("soak.scenarios_total").inc();
@@ -433,6 +465,20 @@ int main(int argc, char** argv) {
       // coordinator-owned aggregation the metrics use — so the artifact is
       // byte-identical for every --threads value.
       recovery_total.merge(outcomes[i].recovery);
+      if (const core::ShardTelemetry& tel = outcomes[i].telemetry;
+          tel.rounds > 0) {
+        shard_total.shards = std::max(shard_total.shards, tel.shards);
+        shard_total.rounds += tel.rounds;
+        for (std::size_t p = 0; p < core::kShardPhaseCount; ++p)
+          shard_total.phase_ms[p] += tel.phase_ms[p];
+        shard_total.busy_ms += tel.busy_ms;
+        shard_total.max_busy_ms += tel.max_busy_ms;
+        shard_total.barrier_wait_ms += tel.barrier_wait_ms;
+        shard_total.active_vertices += tel.active_vertices;
+        shard_total.coin_beepers += tel.coin_beepers;
+        shard_total.crosser_rows += tel.crosser_rows;
+        shard_total.settled_candidates += tel.settled_candidates;
+      }
       if (!outcomes[i].ok) {
         metrics.counter("soak.violations").inc();
         std::fprintf(stderr, "soak FAILED after %llu scenarios\n",
@@ -455,7 +501,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "[soak] %s t=%.0fs scenarios=%llu rounds=%llu "
                    "violations=%llu anomalies=%llu epochs=%llu rate=%.1f/s "
-                   "workers=%zu per-worker=%.1f/s trace-dropped=%llu\n",
+                   "workers=%zu per-worker=%.1f/s shard-threads=%zu "
+                   "phase-imbalance=%.2f trace-dropped=%llu\n",
                    obs::timestamp_utc().c_str(), elapsed,
                    static_cast<unsigned long long>(runs),
                    static_cast<unsigned long long>(
@@ -467,6 +514,8 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(recovery_total.epochs),
                    rate, pool.thread_count(),
                    rate / static_cast<double>(pool.thread_count()),
+                   support::TaskPool::resolve_thread_count(shard_threads),
+                   shard_total.imbalance(),
                    static_cast<unsigned long long>(
                        tracing ? obs::Tracer::instance().dropped_spans() : 0));
       next_beat += heartbeat;
@@ -534,6 +583,7 @@ int main(int argc, char** argv) {
     man.add_extra("recovery_epochs", std::to_string(recovery_total.epochs));
     man.add_extra("engine", core::engine_kind_name(requested));
     man.add_extra("kernel", core::kernel_kind_name(kernel_requested));
+    man.add_extra("shard_threads", std::to_string(shard_threads));
     man.add_extra("result", failed ? "FAILED" : "passed");
     std::ofstream mout(path);
     if (!mout) {
